@@ -1,0 +1,197 @@
+//! Batched betweenness centrality (Brandes), the "batched BC" of §1/§5.6.
+//!
+//! Brandes' algorithm is two traversals per source: a forward BFS counting
+//! shortest paths σ, and a backward sweep accumulating dependencies δ. Both
+//! are masked matvecs:
+//!
+//! * forward — `σ_{l+1} = (Aᵀ σ_l) .∗ ¬visited` over plus-second: the
+//!   frontier is sparse, output sparsity is the unvisited set, exactly the
+//!   BFS pattern with counts instead of Booleans;
+//! * backward — each level `l` pulls `(1 + δ_w)/σ_w` from its level-`l+1`
+//!   children through `A`, masked by level-`l` membership (output sparsity
+//!   known: only that level updates), then scales by `σ_v`.
+
+use graphblas_core::descriptor::Descriptor;
+use graphblas_core::mask::Mask;
+use graphblas_core::ops::PlusSecond;
+use graphblas_core::vector::Vector;
+use graphblas_core::mxv;
+use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::BitVec;
+
+/// Betweenness scores from a batch of sources (unnormalized, directed
+/// counting; for undirected BC halve the scores).
+#[must_use]
+pub fn betweenness(g: &Graph<bool>, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.n_vertices();
+    let mut bc = vec![0.0f64; n];
+    for &s in sources {
+        accumulate_source(g, s, &mut bc);
+    }
+    bc
+}
+
+fn accumulate_source(g: &Graph<bool>, source: VertexId, bc: &mut [f64]) {
+    let n = g.n_vertices();
+    assert!((source as usize) < n);
+    let desc_fwd = Descriptor::new().transpose(true);
+    let desc_bwd = Descriptor::new(); // children direction: A, not Aᵀ
+
+    // Forward phase: per-level sparse (ids, σ) frontiers.
+    let mut visited = BitVec::new(n);
+    visited.set(source as usize);
+    let mut sigma = vec![0.0f64; n];
+    sigma[source as usize] = 1.0;
+    let mut levels: Vec<Vector<f64>> = vec![Vector::singleton(n, 0.0, source, 1.0)];
+    loop {
+        let frontier = levels.last().expect("non-empty");
+        let mask = Mask::complement(&visited);
+        let next: Vector<f64> =
+            mxv(Some(&mask), PlusSecond, g, frontier, &desc_fwd, None).expect("dims verified");
+        if next.nnz() == 0 {
+            break;
+        }
+        for (i, s) in next.iter_explicit() {
+            visited.set(i as usize);
+            sigma[i as usize] = s;
+        }
+        levels.push(next);
+    }
+
+    // Backward phase: δ accumulation level by level.
+    let mut delta = vec![0.0f64; n];
+    for l in (0..levels.len().saturating_sub(1)).rev() {
+        // Weights from the deeper level: (1 + δ_w) / σ_w.
+        let deeper = &levels[l + 1];
+        let ids: Vec<VertexId> = deeper.iter_explicit().map(|(i, _)| i).collect();
+        let vals: Vec<f64> = ids
+            .iter()
+            .map(|&w| (1.0 + delta[w as usize]) / sigma[w as usize])
+            .collect();
+        let weights = Vector::from_sparse(n, 0.0, ids, vals);
+        // Level-l membership mask: only vertices of this level update.
+        let mut level_bits = BitVec::new(n);
+        for (i, _) in levels[l].iter_explicit() {
+            level_bits.set(i as usize);
+        }
+        let mask = Mask::new(&level_bits);
+        // Pull from children through A (row v of A lists v's children).
+        let contrib: Vector<f64> =
+            mxv(Some(&mask), PlusSecond, g, &weights, &desc_bwd, None).expect("dims verified");
+        for (v, c) in contrib.iter_explicit() {
+            delta[v as usize] += sigma[v as usize] * c;
+        }
+    }
+
+    for v in 0..n {
+        if v != source as usize {
+            bc[v] += delta[v];
+        }
+    }
+}
+
+/// Serial Brandes oracle (exact, queue-based).
+#[must_use]
+pub fn brandes_oracle(g: &Graph<bool>, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.n_vertices();
+    let mut bc = vec![0.0f64; n];
+    for &s in sources {
+        let mut stack: Vec<u32> = Vec::new();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in g.children(v) {
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w as usize] {
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            }
+            if w != s {
+                bc[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_gen::erdos::erdos_renyi;
+    use graphblas_gen::powerlaw::{chung_lu, PowerLawParams};
+    use graphblas_matrix::Coo;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < 1e-6, "at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn path_graph_middle_dominates() {
+        // Path 0-1-2-3-4: vertex 2 lies on the most shortest paths.
+        let mut coo = Coo::new(5, 5);
+        for i in 0..4 {
+            coo.push(i as u32, i as u32 + 1, true);
+        }
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        let sources: Vec<u32> = (0..5).collect();
+        let bc = betweenness(&g, &sources);
+        assert_close(&bc, &brandes_oracle(&g, &sources));
+        assert!(bc[2] > bc[1] && bc[2] > bc[3]);
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[4], 0.0);
+    }
+
+    #[test]
+    fn star_center_carries_everything() {
+        let n = 7;
+        let mut coo = Coo::new(n, n);
+        for leaf in 1..n as u32 {
+            coo.push(0, leaf, true);
+        }
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        let sources: Vec<u32> = (0..n as u32).collect();
+        let bc = betweenness(&g, &sources);
+        assert_close(&bc, &brandes_oracle(&g, &sources));
+        // Center: all (n-1)(n-2) ordered leaf pairs route through it.
+        assert!((bc[0] - ((n - 1) * (n - 2)) as f64).abs() < 1e-9);
+        for &leaf_bc in &bc[1..n] {
+            assert_eq!(leaf_bc, 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_matches_oracle_on_random_graph() {
+        let g = erdos_renyi(300, 1800, 23);
+        let sources: Vec<u32> = vec![0, 5, 17, 100];
+        assert_close(&betweenness(&g, &sources), &brandes_oracle(&g, &sources));
+    }
+
+    #[test]
+    fn batched_matches_oracle_on_scale_free() {
+        let g = chung_lu(500, 8, PowerLawParams::default(), 11);
+        let sources: Vec<u32> = vec![1, 2, 3];
+        assert_close(&betweenness(&g, &sources), &brandes_oracle(&g, &sources));
+    }
+}

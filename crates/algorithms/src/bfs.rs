@@ -1,0 +1,526 @@
+//! Direction-optimized BFS — Algorithm 1 of the paper.
+//!
+//! ```text
+//! procedure GrB_BFS(Vector v, Graph A, Source s)
+//!   f(s) ← 1; v ← 0; d ← 1
+//!   while c > 0:
+//!     v ← f × d + v          ▷ GrB_assign
+//!     f ← Aᵀf .∗ ¬v          ▷ GrB_mxv   (push OR pull — backend decides)
+//!     c ← Σ f(i)             ▷ GrB_reduce
+//!     d ← d + 1
+//! ```
+//!
+//! The whole point of the paper is that this *one* expression covers both
+//! traversal directions; everything interesting happens in the options:
+//!
+//! * **change of direction** — frontier storage follows the §6.3 hysteresis
+//!   rule (`r = nnz(f)/M` vs. `α = β = 0.01`); off ⇒ push-only.
+//! * **masking** — `¬v` passed as a kernel mask (with the amortized
+//!   unvisited active list of §3.2); off ⇒ unmasked matvec followed by an
+//!   elementwise filter.
+//! * **early-exit** — pull rows stop at the first frontier parent.
+//! * **operand reuse** — pull iterations feed the dense *visited* vector as
+//!   the input (`Aᵀv .∗ ¬v`), so push→pull switches skip the sparse→dense
+//!   frontier conversion (§5.4, Gunrock's trick).
+//! * **structure-only** — the Boolean semiring ignores matrix values and
+//!   the push kernel key-only sorts (§5.5).
+//!
+//! [`BfsOpts::ladder`] reproduces Table 2's cumulative configurations.
+
+use graphblas_core::descriptor::{Descriptor, Direction};
+use graphblas_core::mask::Mask;
+use graphblas_core::ops::{BoolOrAnd, BoolStructure, Semiring};
+use graphblas_core::vector::Vector;
+use graphblas_core::vector_ops::filter_by_mask;
+use graphblas_core::mxv;
+use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::counters::AccessCounters;
+use graphblas_primitives::BitVec;
+use std::time::Instant;
+
+/// Depth label for unreached vertices (matches `graphblas-baselines`).
+pub const UNREACHED: i32 = -1;
+
+/// Per-optimization switches; defaults enable everything (the "This Work"
+/// configuration of Figure 7).
+#[derive(Clone, Copy, Debug)]
+pub struct BfsOpts {
+    /// Optimization 1 (§5.1): push↔pull switching. Off ⇒ push-only.
+    pub change_of_direction: bool,
+    /// Optimization 2 (§5.2): `¬v` as a kernel-level mask.
+    pub masking: bool,
+    /// Optimization 3 (§5.3): pull rows stop at the first frontier parent.
+    pub early_exit: bool,
+    /// Optimization 4 (§5.4): pull input is the visited vector.
+    pub operand_reuse: bool,
+    /// Optimization 5 (§5.5): pattern-only semiring + key-only sort.
+    pub structure_only: bool,
+    /// The §6.3 switch ratio (α = β). Paper default 0.01.
+    pub switch_threshold: f64,
+    /// Force every iteration into one direction (Figs. 5–6 per-direction
+    /// studies). Overrides `change_of_direction`.
+    pub force: Option<Direction>,
+    /// Record per-iteration telemetry (adds two timer reads per level).
+    pub record_trace: bool,
+}
+
+impl Default for BfsOpts {
+    fn default() -> Self {
+        Self {
+            change_of_direction: true,
+            masking: true,
+            early_exit: true,
+            operand_reuse: true,
+            structure_only: true,
+            switch_threshold: 0.01,
+            force: None,
+            record_trace: false,
+        }
+    }
+}
+
+impl BfsOpts {
+    /// Everything off: the push-only, unmasked, key-value-sort
+    /// linear-algebra BFS — Table 2's "Baseline" row.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            change_of_direction: false,
+            masking: false,
+            early_exit: false,
+            operand_reuse: false,
+            structure_only: false,
+            switch_threshold: 0.01,
+            force: None,
+            record_trace: false,
+        }
+    }
+
+    /// Table 2's cumulative optimization ladder, in paper order. Each row
+    /// adds one optimization on top of all previous ones.
+    #[must_use]
+    pub fn ladder() -> Vec<(&'static str, Self)> {
+        let mut cfg = Self::baseline();
+        let mut out = vec![("Baseline", cfg)];
+        cfg.structure_only = true;
+        out.push(("Structure only", cfg));
+        cfg.change_of_direction = true;
+        out.push(("Change of direction", cfg));
+        cfg.masking = true;
+        out.push(("Masking", cfg));
+        cfg.early_exit = true;
+        out.push(("Early exit", cfg));
+        cfg.operand_reuse = true;
+        out.push(("Operand reuse", cfg));
+        out
+    }
+
+    /// Builder: force a direction for every iteration.
+    #[must_use]
+    pub fn forced(mut self, d: Direction) -> Self {
+        self.force = Some(d);
+        self
+    }
+
+    /// Builder: enable per-iteration telemetry.
+    #[must_use]
+    pub fn traced(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// One BFS level's telemetry (feeds Figures 5 and 6).
+#[derive(Clone, Copy, Debug)]
+pub struct IterRecord {
+    /// 1-based BFS level.
+    pub level: usize,
+    /// Kernel family this level ran.
+    pub direction: Direction,
+    /// `nnz(f)` entering the level.
+    pub frontier_nnz: usize,
+    /// Unvisited vertex count entering the level (`nnz(¬v)`).
+    pub unvisited: usize,
+    /// Wall time of the level's matvec + bookkeeping.
+    pub micros: u128,
+}
+
+/// Output of a BFS run.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// Per-vertex depth; [`UNREACHED`] where not reachable.
+    pub depths: Vec<i32>,
+    /// Number of levels executed.
+    pub levels: usize,
+    /// Per-level telemetry (empty unless `record_trace`).
+    pub trace: Vec<IterRecord>,
+}
+
+impl BfsResult {
+    /// Vertices reached (including the source).
+    #[must_use]
+    pub fn reached(&self) -> usize {
+        self.depths.iter().filter(|&&d| d != UNREACHED).count()
+    }
+}
+
+/// Direction state implementing the §6.3 hysteresis heuristic on frontier
+/// size: switch push→pull while `r` is rising above `α`, pull→push while
+/// falling below `β` (we use `α = β` as the paper does).
+#[derive(Debug)]
+struct DirState {
+    dir: Direction,
+    last_nnz: usize,
+}
+
+impl DirState {
+    fn new() -> Self {
+        Self {
+            dir: Direction::Push,
+            last_nnz: 0,
+        }
+    }
+
+    fn update(&mut self, nnz: usize, m: usize, threshold: f64) -> Direction {
+        let r = nnz as f64 / m.max(1) as f64;
+        let rising = nnz >= self.last_nnz;
+        match self.dir {
+            Direction::Push if rising && r > threshold => self.dir = Direction::Pull,
+            Direction::Pull if !rising && r < threshold => self.dir = Direction::Push,
+            _ => {}
+        }
+        self.last_nnz = nnz;
+        self.dir
+    }
+}
+
+/// BFS with all optimizations enabled.
+///
+/// ```
+/// use graphblas_algo::bfs::bfs;
+/// use graphblas_matrix::{Coo, Graph};
+///
+/// // Path 0 – 1 – 2 (undirected).
+/// let mut coo = Coo::new(3, 3);
+/// coo.push(0, 1, true);
+/// coo.push(1, 2, true);
+/// coo.clean_undirected();
+/// let g = Graph::from_coo(&coo);
+///
+/// let r = bfs(&g, 0);
+/// assert_eq!(r.depths, vec![0, 1, 2]);
+/// assert_eq!(r.reached(), 3);
+/// ```
+#[must_use]
+pub fn bfs(g: &Graph<bool>, source: VertexId) -> BfsResult {
+    bfs_with_opts(g, source, &BfsOpts::default(), None)
+}
+
+/// BFS with explicit options and optional access counters.
+#[must_use]
+pub fn bfs_with_opts(
+    g: &Graph<bool>,
+    source: VertexId,
+    opts: &BfsOpts,
+    counters: Option<&AccessCounters>,
+) -> BfsResult {
+    if opts.structure_only {
+        bfs_loop(g, source, opts, BoolStructure, counters)
+    } else {
+        bfs_loop(g, source, opts, BoolOrAnd, counters)
+    }
+}
+
+fn bfs_loop<S>(
+    g: &Graph<bool>,
+    source: VertexId,
+    opts: &BfsOpts,
+    semiring: S,
+    counters: Option<&AccessCounters>,
+) -> BfsResult
+where
+    S: Semiring<bool, bool, bool>,
+{
+    let n = g.n_vertices();
+    assert!((source as usize) < n, "source out of range");
+
+    let mut depths = vec![UNREACHED; n];
+    depths[source as usize] = 0;
+    let mut visited = BitVec::new(n);
+    visited.set(source as usize);
+    // Dense visited vector maintained for operand reuse (cheap: one write
+    // per discovered vertex; passed by reference, never cloned).
+    let mut visited_vec: Vector<bool> = Vector::new_dense(n, false);
+    visited_vec
+        .as_dense_mut()
+        .expect("dense by construction")
+        .set(source as usize, true);
+    // The §3.2 amortized list of unvisited vertices: built once at cost
+    // O(M), compacted lazily (only when a pull iteration will use it).
+    let mut unvisited: Vec<VertexId> = if opts.masking {
+        (0..n as VertexId).filter(|&i| i != source).collect()
+    } else {
+        Vec::new()
+    };
+    let mut unvisited_stale = false;
+    let mut unvisited_count = n - 1;
+
+    let mut f: Vector<bool> = Vector::singleton(n, false, source, true);
+    let mut frontier_nnz = 1usize;
+    let mut dir_state = DirState::new();
+    let mut level = 0usize;
+    let mut trace = Vec::new();
+
+    // One descriptor per direction, derived from the options. transpose =
+    // true: Algorithm 1 multiplies by Aᵀ.
+    let base_desc = Descriptor::new()
+        .transpose(true)
+        .early_exit(opts.early_exit)
+        .structure_only(opts.structure_only)
+        .switch_threshold(opts.switch_threshold);
+
+    loop {
+        let t0 = opts.record_trace.then(Instant::now);
+        level += 1;
+
+        // Optimization 1: pick this level's direction.
+        let dir = match opts.force {
+            Some(d) => d,
+            None if opts.change_of_direction => {
+                dir_state.update(frontier_nnz, n, opts.switch_threshold)
+            }
+            None => Direction::Push,
+        };
+        let desc = base_desc.force(dir);
+
+        // Storage follows direction (the convert() of §6.3). With operand
+        // reuse the pull input is the dense visited vector, so the frontier
+        // itself never needs densifying.
+        let use_reuse = dir == Direction::Pull && opts.operand_reuse;
+        if !use_reuse {
+            match dir {
+                Direction::Push => f.make_sparse(),
+                Direction::Pull => f.make_dense(),
+            }
+        }
+        // With operand reuse the frontier is not an operand this level, so
+        // its storage is left alone — the "free conversion" of §5.4.
+
+        // Optimization 2: kernel-level mask with amortized active list.
+        let w: Vector<bool> = if opts.masking {
+            if dir == Direction::Pull && unvisited_stale {
+                // (Re-assigned after the matvec; compaction only needs to
+                // happen on the first pull after new discoveries.)
+                unvisited.retain(|&v| !visited.get(v as usize));
+            }
+            let mask = if dir == Direction::Pull {
+                Mask::complement(&visited).with_active_list(&unvisited)
+            } else {
+                Mask::complement(&visited)
+            };
+            let input = if use_reuse {
+                // Aᵀv .∗ ¬v — f ⊂ v makes this equivalent (§5.4).
+                &visited_vec
+            } else {
+                &f
+            };
+            mxv(Some(&mask), semiring, g, input, &desc, counters).expect("dims verified")
+        } else {
+            let input = if use_reuse { &visited_vec } else { &f };
+            let raw: Vector<bool> =
+                mxv(None, semiring, g, input, &desc, counters).expect("dims verified");
+            filter_by_mask(&raw, &Mask::complement(&visited))
+        };
+
+        // GrB_assign + GrB_reduce: record depths, update the visited set.
+        let mut new_count = 0usize;
+        {
+            let vd = visited_vec.as_dense_mut().expect("dense by construction");
+            for (i, _) in w.iter_explicit() {
+                let i = i as usize;
+                debug_assert!(!visited.get(i), "mask let a visited vertex through");
+                depths[i] = level as i32;
+                visited.set(i);
+                vd.set(i, true);
+                new_count += 1;
+            }
+        }
+        unvisited_count -= new_count;
+        unvisited_stale = new_count > 0;
+
+        if let Some(t0) = t0 {
+            trace.push(IterRecord {
+                level,
+                direction: dir,
+                frontier_nnz,
+                unvisited: unvisited_count + new_count,
+                micros: t0.elapsed().as_micros(),
+            });
+        }
+        if new_count == 0 {
+            break;
+        }
+        f = w;
+        frontier_nnz = new_count;
+    }
+
+    BfsResult {
+        depths,
+        levels: level,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_baselines::textbook::bfs_serial;
+    use graphblas_gen::grid::{road_mesh, RoadParams};
+    use graphblas_gen::powerlaw::{chung_lu, PowerLawParams};
+    use graphblas_gen::rmat::{rmat, RmatParams};
+    use graphblas_matrix::Coo;
+
+    fn check_against_oracle(g: &Graph<bool>, sources: &[u32], opts: &BfsOpts) {
+        for &s in sources {
+            let got = bfs_with_opts(g, s, opts, None);
+            let expect = bfs_serial(g, s);
+            assert_eq!(got.depths, expect, "source {s}, opts {opts:?}");
+        }
+    }
+
+    #[test]
+    fn default_opts_match_oracle_on_scale_free() {
+        let g = rmat(12, 16, RmatParams::default(), 5);
+        check_against_oracle(&g, &[0, 7, 1000], &BfsOpts::default());
+    }
+
+    #[test]
+    fn default_opts_match_oracle_on_mesh() {
+        let g = road_mesh(50, 50, RoadParams::default(), 6);
+        check_against_oracle(&g, &[0, 1249, 2499], &BfsOpts::default());
+    }
+
+    #[test]
+    fn every_ladder_rung_matches_oracle() {
+        let g = rmat(11, 12, RmatParams::default(), 8);
+        for (name, opts) in BfsOpts::ladder() {
+            let got = bfs_with_opts(&g, 3, &opts, None);
+            let expect = bfs_serial(&g, 3);
+            assert_eq!(got.depths, expect, "ladder rung `{name}`");
+        }
+    }
+
+    #[test]
+    fn all_32_option_combinations_match_oracle() {
+        // The five toggles are claimed separable: every combination must be
+        // correct, not just the paper's ladder.
+        let g = chung_lu(2048, 10, PowerLawParams::default(), 17);
+        let expect = bfs_serial(&g, 11);
+        for bits in 0u32..32 {
+            let opts = BfsOpts {
+                change_of_direction: bits & 1 != 0,
+                masking: bits & 2 != 0,
+                early_exit: bits & 4 != 0,
+                operand_reuse: bits & 8 != 0,
+                structure_only: bits & 16 != 0,
+                ..BfsOpts::baseline()
+            };
+            let got = bfs_with_opts(&g, 11, &opts, None);
+            assert_eq!(got.depths, expect, "combination {bits:05b}");
+        }
+    }
+
+    #[test]
+    fn forced_push_and_pull_match_oracle() {
+        let g = rmat(10, 16, RmatParams::default(), 2);
+        let expect = bfs_serial(&g, 0);
+        for d in [Direction::Push, Direction::Pull] {
+            let got = bfs_with_opts(&g, 0, &BfsOpts::default().forced(d), None);
+            assert_eq!(got.depths, expect, "forced {d:?}");
+        }
+    }
+
+    #[test]
+    fn trace_records_three_phase_shape() {
+        // Scale-free graph: expect push → pull → push somewhere in the
+        // trace (the Figure 5 phenomenon).
+        let g = rmat(13, 24, RmatParams::default(), 9);
+        let r = bfs_with_opts(&g, 0, &BfsOpts::default().traced(), None);
+        assert!(!r.trace.is_empty());
+        let dirs: Vec<Direction> = r.trace.iter().map(|t| t.direction).collect();
+        assert_eq!(dirs[0], Direction::Push, "level 1 is push");
+        assert!(
+            dirs.contains(&Direction::Pull),
+            "a pull phase must appear on a scale-free graph: {dirs:?}"
+        );
+        // Frontier counts in the trace match a sane BFS profile.
+        let total_frontier: usize = r.trace.iter().map(|t| t.frontier_nnz).sum();
+        assert_eq!(total_frontier, r.reached(), "frontiers partition reached vertices");
+        // Unvisited is non-increasing.
+        assert!(r.trace.windows(2).all(|w| w[0].unvisited >= w[1].unvisited));
+    }
+
+    #[test]
+    fn road_network_stays_push_only() {
+        // Road frontiers are O(side) waves while 1% of n is O(side²/100):
+        // at paper-like proportions (side ≥ ~150) the threshold is never
+        // crossed, which is why road networks run push-only (§7.3).
+        let g = road_mesh(200, 200, RoadParams::default(), 10);
+        let r = bfs_with_opts(&g, 0, &BfsOpts::default().traced(), None);
+        assert!(
+            r.trace.iter().all(|t| t.direction == Direction::Push),
+            "thin frontiers never cross the 1% threshold on a road mesh"
+        );
+        assert_eq!(r.depths, bfs_serial(&g, 0));
+    }
+
+    #[test]
+    fn isolated_source_terminates_immediately() {
+        let mut coo = Coo::new(5, 5);
+        coo.push(1, 2, true);
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        let r = bfs(&g, 0);
+        assert_eq!(r.reached(), 1);
+        assert_eq!(r.depths[0], 0);
+        assert_eq!(r.levels, 1);
+    }
+
+    #[test]
+    fn directed_graph_bfs_follows_edge_direction() {
+        // 0 -> 1 -> 2, plus 3 -> 0: from 0 only {0,1,2} reachable.
+        let mut coo = Coo::new(4, 4);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (3, 0)] {
+            coo.push(u, v, true);
+        }
+        let g = Graph::from_coo(&coo);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depths, vec![0, 1, 2, UNREACHED]);
+        // And pull must agree on the directed graph too.
+        let pulled = bfs_with_opts(&g, 0, &BfsOpts::default().forced(Direction::Pull), None);
+        assert_eq!(pulled.depths, r.depths);
+    }
+
+    #[test]
+    fn counters_show_masking_beats_unmasked_pull() {
+        // Pull-only BFS with and without masking: the masked variant must
+        // touch far fewer matrix elements (Table 1's O(dM) vs O(d·nnz(m))).
+        let g = rmat(12, 16, RmatParams::default(), 4);
+        let run = |masking: bool| {
+            let c = AccessCounters::new();
+            let opts = BfsOpts {
+                masking,
+                ..BfsOpts::default()
+            }
+            .forced(Direction::Pull);
+            let _ = bfs_with_opts(&g, 0, &opts, Some(&c));
+            c.snapshot().matrix
+        };
+        let masked = run(true);
+        let unmasked = run(false);
+        assert!(
+            masked * 2 < unmasked,
+            "masking must cut matrix traffic: {masked} vs {unmasked}"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Parent-pointer BFS — the Graph500 output format (the benchmark 32 of
+//! the top 37 entries of which run direction-optimized BFS, per the
+//! paper's introduction).
+//!
+//! Instead of depths, each vertex records *which* parent discovered it.
+//! In GraphBLAS form the frontier carries vertex ids and the semiring is
+//! (min, second): a child reduces the ids of its frontier parents with
+//! `min`, making the tree deterministic in both directions (a plain
+//! "any parent" formulation would let push and pull disagree). Early-exit
+//! cannot fire here — `min`'s annihilator is vertex id 0 — which is the
+//! paper's point that Optimization 3 is semiring-specific (§5.6).
+
+use graphblas_core::descriptor::{Descriptor, Direction};
+use graphblas_core::mask::Mask;
+use graphblas_core::ops::MinSecond;
+use graphblas_core::vector::Vector;
+use graphblas_core::mxv;
+use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::BitVec;
+
+/// Parent label for unreached vertices.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Result of a parent BFS.
+#[derive(Clone, Debug)]
+pub struct ParentBfsResult {
+    /// `parent[v]` = minimum-id BFS parent of `v`; the source points to
+    /// itself; [`NO_PARENT`] where unreached.
+    pub parent: Vec<u32>,
+    /// Levels executed.
+    pub levels: usize,
+}
+
+/// Direction-optimized parent BFS (min-parent tie-breaking).
+#[must_use]
+pub fn bfs_parents(g: &Graph<bool>, source: VertexId, switch_threshold: f64) -> ParentBfsResult {
+    let n = g.n_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut parent = vec![NO_PARENT; n];
+    parent[source as usize] = source;
+    let mut visited = BitVec::new(n);
+    visited.set(source as usize);
+
+    // Frontier carries each frontier vertex's own id as its value.
+    let mut f: Vector<u32> = Vector::singleton(n, NO_PARENT, source, source);
+    let mut last_nnz = 1usize;
+    let mut pulling = false;
+    let mut levels = 0usize;
+    let base = Descriptor::new().transpose(true);
+
+    loop {
+        levels += 1;
+        let nnz = f.nnz();
+        let r = nnz as f64 / n.max(1) as f64;
+        if !pulling && nnz >= last_nnz && r > switch_threshold {
+            pulling = true;
+        } else if pulling && nnz < last_nnz && r < switch_threshold {
+            pulling = false;
+        }
+        last_nnz = nnz;
+        let desc = base.force(if pulling { Direction::Pull } else { Direction::Push });
+        if pulling {
+            f.make_dense();
+        } else {
+            f.make_sparse();
+        }
+
+        let mask = Mask::complement(&visited);
+        let w: Vector<u32> =
+            mxv(Some(&mask), MinSecond, g, &f, &desc, None).expect("dims verified");
+        let mut discovered = 0usize;
+        for (v, p) in w.iter_explicit() {
+            debug_assert!(!visited.get(v as usize));
+            parent[v as usize] = p;
+            visited.set(v as usize);
+            discovered += 1;
+        }
+        if discovered == 0 {
+            break;
+        }
+        // Next frontier: the discovered vertices, carrying their own ids.
+        let ids: Vec<u32> = w.iter_explicit().map(|(v, _)| v).collect();
+        let vals = ids.clone();
+        f = Vector::from_sparse(n, NO_PARENT, ids, vals);
+    }
+
+    ParentBfsResult { parent, levels }
+}
+
+/// Validate a parent array against the graph, Graph500-style: the source
+/// is its own parent, every reached vertex's parent is reached, adjacent,
+/// and exactly one level shallower.
+#[must_use]
+pub fn verify_parents(g: &Graph<bool>, source: VertexId, parent: &[u32]) -> bool {
+    let depths = crate::bfs::bfs(g, source).depths;
+    if parent[source as usize] != source {
+        return false;
+    }
+    for v in 0..g.n_vertices() {
+        let p = parent[v];
+        if p == NO_PARENT {
+            if depths[v] >= 0 {
+                return false; // reached but no parent recorded
+            }
+            continue;
+        }
+        if v == source as usize {
+            continue;
+        }
+        // Parent must be adjacent (edge p → v) and one level above.
+        if !g.children(p).contains(&(v as u32)) {
+            return false;
+        }
+        if depths[p as usize] + 1 != depths[v] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_gen::grid::{road_mesh, RoadParams};
+    use graphblas_gen::rmat::{rmat, RmatParams};
+    use graphblas_matrix::Coo;
+
+    #[test]
+    fn path_parents_are_predecessors() {
+        let mut coo = Coo::new(4, 4);
+        for i in 0..3 {
+            coo.push(i as u32, i as u32 + 1, true);
+        }
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        let r = bfs_parents(&g, 0, 0.01);
+        assert_eq!(r.parent, vec![0, 0, 1, 2]);
+        assert!(verify_parents(&g, 0, &r.parent));
+    }
+
+    #[test]
+    fn parents_valid_on_scale_free() {
+        let g = rmat(11, 16, RmatParams::default(), 3);
+        for src in [0u32, 99] {
+            let r = bfs_parents(&g, src, 0.01);
+            assert!(verify_parents(&g, src, &r.parent), "source {src}");
+        }
+    }
+
+    #[test]
+    fn parents_valid_on_mesh() {
+        let g = road_mesh(40, 40, RoadParams::default(), 8);
+        let r = bfs_parents(&g, 5, 0.01);
+        assert!(verify_parents(&g, 5, &r.parent));
+    }
+
+    #[test]
+    fn min_parent_is_deterministic_across_directions() {
+        // Diamond: 0 -> {1,2} -> 3. Both 1 and 2 can parent 3; min wins.
+        let mut coo = Coo::new(4, 4);
+        for &(u, v) in &[(0u32, 1u32), (0, 2), (1, 3), (2, 3)] {
+            coo.push(u, v, true);
+        }
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        // Push-only (threshold 2.0 never crosses) and pull-heavy
+        // (threshold 0.0 crosses immediately) must agree exactly.
+        let push = bfs_parents(&g, 0, 2.0);
+        let pull = bfs_parents(&g, 0, 0.0);
+        assert_eq!(push.parent, pull.parent);
+        assert_eq!(push.parent[3], 1, "minimum-id parent");
+    }
+
+    #[test]
+    fn unreached_have_no_parent() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, true);
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        let r = bfs_parents(&g, 0, 0.01);
+        assert_eq!(r.parent[2], NO_PARENT);
+        assert!(verify_parents(&g, 0, &r.parent));
+    }
+}

@@ -1,0 +1,159 @@
+//! Connected components by min-label propagation over the (min, second)
+//! semiring — one of the traversal-style algorithms §5.6 claims the
+//! direction-optimization machinery generalizes to.
+//!
+//! Every vertex starts labeled with its own id; each round propagates the
+//! minimum label across edges. The *delta* set (vertices whose label
+//! changed) is the frontier: small deltas run the column kernel, large
+//! deltas the row kernel, with the same hysteresis switch BFS uses.
+
+use graphblas_core::descriptor::{Descriptor, Direction};
+use graphblas_core::ops::MinSecond;
+use graphblas_core::vector::{DenseVector, Vector};
+use graphblas_core::mxv;
+use graphblas_matrix::{Graph, VertexId};
+
+/// Result of a components run.
+#[derive(Clone, Debug)]
+pub struct CcResult {
+    /// Per-vertex component label (the minimum vertex id in the component).
+    pub labels: Vec<u32>,
+    /// Propagation rounds executed.
+    pub rounds: usize,
+}
+
+/// Number of distinct components in a label vector.
+#[must_use]
+pub fn component_count(labels: &[u32]) -> usize {
+    let mut sorted = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Label-propagation connected components (undirected graphs).
+#[must_use]
+pub fn connected_components(g: &Graph<bool>, switch_threshold: f64) -> CcResult {
+    let n = g.n_vertices();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    // Initially every vertex is "changed".
+    let mut delta: Vector<u32> = Vector::Dense(DenseVector::from_values(labels.clone(), u32::MAX));
+    let mut rounds = 0usize;
+    let mut last_nnz = n;
+    let mut pulling = true; // dense start: every label is active
+    let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
+    let desc_pull = Descriptor::new().transpose(true).force(Direction::Pull);
+
+    loop {
+        rounds += 1;
+        let nnz = delta.nnz();
+        // Same hysteresis rule as BFS (§6.3), on the delta set.
+        let r = nnz as f64 / n.max(1) as f64;
+        if pulling && nnz < last_nnz && r < switch_threshold {
+            pulling = false;
+        } else if !pulling && nnz >= last_nnz && r > switch_threshold {
+            pulling = true;
+        }
+        last_nnz = nnz;
+
+        let candidates: Vector<u32> = if pulling {
+            // Row-based over the full label vector (min is idempotent, so
+            // relaxing against all labels is sound — operand reuse again).
+            let full = Vector::Dense(DenseVector::from_values(labels.clone(), u32::MAX));
+            mxv(None, MinSecond, g, &full, &desc_pull, None).expect("dims verified")
+        } else {
+            mxv(None, MinSecond, g, &delta, &desc_push, None).expect("dims verified")
+        };
+
+        let mut ids = Vec::new();
+        let mut vals = Vec::new();
+        for (i, c) in candidates.iter_explicit() {
+            if c < labels[i as usize] {
+                labels[i as usize] = c;
+                ids.push(i);
+                vals.push(c);
+            }
+        }
+        if ids.is_empty() {
+            break;
+        }
+        delta = Vector::from_sparse(n, u32::MAX, ids, vals);
+    }
+
+    CcResult { labels, rounds }
+}
+
+/// Serial union-find oracle.
+#[must_use]
+pub fn cc_oracle(g: &Graph<bool>) -> Vec<u32> {
+    let n = g.n_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for u in 0..n {
+        for &v in g.children(u as VertexId) {
+            let ru = find(&mut parent, u as u32);
+            let rv = find(&mut parent, v);
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+    }
+    // Normalize: label = min id in component.
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_gen::erdos::erdos_renyi;
+    use graphblas_gen::grid::{road_mesh, RoadParams};
+    use graphblas_matrix::Coo;
+
+    #[test]
+    fn two_components() {
+        let mut coo = Coo::new(6, 6);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (3, 4)] {
+            coo.push(u, v, true);
+        }
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        let r = connected_components(&g, 0.01);
+        assert_eq!(r.labels, vec![0, 0, 0, 3, 3, 5]);
+        assert_eq!(component_count(&r.labels), 3);
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graph() {
+        let g = erdos_renyi(2000, 3000, 31); // sparse ⇒ many components
+        let r = connected_components(&g, 0.01);
+        assert_eq!(r.labels, cc_oracle(&g));
+    }
+
+    #[test]
+    fn matches_union_find_on_sparse_mesh() {
+        let g = road_mesh(40, 40, RoadParams { keep: 0.55, diagonal: 0.0 }, 7);
+        let r = connected_components(&g, 0.01);
+        assert_eq!(r.labels, cc_oracle(&g));
+        assert!(component_count(&r.labels) > 1, "low keep ⇒ fragmentation");
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = Graph::from_coo(&Coo::<bool>::new(4, 4));
+        let r = connected_components(&g, 0.01);
+        assert_eq!(r.labels, vec![0, 1, 2, 3]);
+        assert_eq!(r.rounds, 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Graph algorithms written against the GraphBLAS core — the paper's
+//! Algorithm 1 (BFS) plus the §5.6 generality set.
+//!
+//! * [`bfs()`](bfs::bfs) — direction-optimized BFS, a direct transcription of
+//!   Algorithm 1 with each of the five optimizations independently
+//!   toggleable ([`bfs::BfsOpts`]); the Table 2 ablation ladder lives here.
+//! * [`sssp`] — Bellman-Ford over min-plus with the 2-phase direction
+//!   optimization §5.6 describes.
+//! * [`pagerank`] — power iteration over plus-times, and *adaptive*
+//!   PageRank (Kamvar et al.) where converged vertices drop out through a
+//!   mask — the paper's flagship example of output-sparsity generality.
+//! * [`cc`] — connected components by min-label propagation.
+//! * [`mis`] — Luby's maximal independent set (masked candidate updates).
+//! * [`tricount`] — triangle counting via masked SpGEMM `C⟨L⟩ = L·L`.
+//! * [`bc`] — batched Brandes betweenness centrality (masked forward
+//!   sweeps, level-masked backward accumulation).
+
+pub mod bc;
+pub mod bfs;
+pub mod bfs_parents;
+pub mod cc;
+pub mod ktruss;
+pub mod mis;
+pub mod msbfs;
+pub mod pagerank;
+pub mod sssp;
+pub mod tricount;
+
+pub use bfs::{bfs, bfs_with_opts, BfsOpts, BfsResult, IterRecord};
+pub use bfs_parents::{bfs_parents, ParentBfsResult};

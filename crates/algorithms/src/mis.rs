@@ -1,0 +1,158 @@
+//! Maximal independent set — Luby's algorithm, listed in §1 and §5.6 among
+//! the algorithms whose output sparsity is known a priori: each round only
+//! the surviving *candidate* vertices can change state, so the candidate
+//! set is a mask for the neighbor-maximum matvec.
+
+use graphblas_core::descriptor::Descriptor;
+use graphblas_core::mask::Mask;
+use graphblas_core::ops::MaxSecond;
+use graphblas_core::vector::Vector;
+use graphblas_core::mxv;
+use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::BitVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a MIS run.
+#[derive(Clone, Debug)]
+pub struct MisResult {
+    /// Membership flags.
+    pub in_set: Vec<bool>,
+    /// Luby rounds executed (O(log n) with high probability).
+    pub rounds: usize,
+}
+
+/// Luby's randomized MIS.
+#[must_use]
+pub fn maximal_independent_set(g: &Graph<bool>, seed: u64) -> MisResult {
+    let n = g.n_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random priorities; ties broken by vertex id via the pair ordering.
+    let priority: Vec<u64> = (0..n).map(|i| (rng.gen::<u64>() << 20) | i as u64).collect();
+
+    let mut in_set = vec![false; n];
+    let mut candidate = BitVec::new(n);
+    let mut candidate_list: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in 0..n {
+        candidate.set(i);
+    }
+    let mut rounds = 0usize;
+    let desc = Descriptor::new().transpose(true);
+
+    while !candidate_list.is_empty() {
+        rounds += 1;
+        // Sparse priority vector over the candidates.
+        let ids: Vec<VertexId> = candidate_list.clone();
+        let vals: Vec<u64> = ids.iter().map(|&v| priority[v as usize]).collect();
+        let p = Vector::from_sparse(n, 0u64, ids, vals);
+        // neighbor_max(v) = max over candidate neighbors' priorities,
+        // masked to candidates (output sparsity known a priori).
+        let mask = Mask::new(&candidate).with_active_list(&candidate_list);
+        let neighbor_max: Vector<u64> =
+            mxv(Some(&mask), MaxSecond, g, &p, &desc, None).expect("dims verified");
+
+        // Winners: candidates whose priority beats every candidate
+        // neighbor (vertices with no candidate neighbors win trivially).
+        let winners: Vec<VertexId> = candidate_list
+            .iter()
+            .copied()
+            .filter(|&v| {
+                let nm = neighbor_max.get(v);
+                priority[v as usize] > nm || nm == 0
+            })
+            .collect();
+        debug_assert!(!winners.is_empty(), "Luby round must make progress");
+
+        // Add winners; knock out winners and their neighbors.
+        for &v in &winners {
+            in_set[v as usize] = true;
+            candidate.clear(v as usize);
+            for &u in g.children(v) {
+                candidate.clear(u as usize);
+            }
+        }
+        candidate_list.retain(|&v| candidate.get(v as usize));
+    }
+
+    MisResult { in_set, rounds }
+}
+
+/// Check independence + maximality (test/bench helper).
+#[must_use]
+pub fn verify_mis(g: &Graph<bool>, in_set: &[bool]) -> bool {
+    let n = g.n_vertices();
+    // Independence: no two adjacent members.
+    for u in 0..n {
+        if in_set[u] {
+            for &v in g.children(u as VertexId) {
+                if in_set[v as usize] && v as usize != u {
+                    return false;
+                }
+            }
+        }
+    }
+    // Maximality: every non-member has a member neighbor.
+    for u in 0..n {
+        if !in_set[u] {
+            let covered = g.children(u as VertexId).iter().any(|&v| in_set[v as usize]);
+            if !covered {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_gen::erdos::erdos_renyi;
+    use graphblas_gen::powerlaw::{chung_lu, PowerLawParams};
+    use graphblas_matrix::Coo;
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for seed in 0..3 {
+            let g = erdos_renyi(1000, 5000, seed);
+            let r = maximal_independent_set(&g, seed * 7 + 1);
+            assert!(verify_mis(&g, &r.in_set), "invalid MIS for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn valid_on_scale_free() {
+        let g = chung_lu(2000, 10, PowerLawParams::default(), 5);
+        let r = maximal_independent_set(&g, 42);
+        assert!(verify_mis(&g, &r.in_set));
+        assert!(r.rounds < 40, "Luby should converge in O(log n) rounds");
+    }
+
+    #[test]
+    fn edgeless_graph_takes_everything() {
+        let g = Graph::from_coo(&Coo::<bool>::new(10, 10));
+        let r = maximal_independent_set(&g, 1);
+        assert!(r.in_set.iter().all(|&b| b));
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn triangle_takes_exactly_one() {
+        let mut coo = Coo::new(3, 3);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (0, 2)] {
+            coo.push(u, v, true);
+        }
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        let r = maximal_independent_set(&g, 9);
+        assert_eq!(r.in_set.iter().filter(|&&b| b).count(), 1);
+        assert!(verify_mis(&g, &r.in_set));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = erdos_renyi(500, 2500, 3);
+        let a = maximal_independent_set(&g, 11);
+        let b = maximal_independent_set(&g, 11);
+        assert_eq!(a.in_set, b.in_set);
+    }
+}

@@ -1,0 +1,170 @@
+//! Multi-source (batched) BFS — frontiers from `k` sources advanced
+//! simultaneously as a sparse `k × n` Boolean matrix, each step one masked
+//! SpGEMM: `F' = (F · A) .∗ ¬V`.
+//!
+//! This is the matrix-level face of the paper's thesis: where single-source
+//! BFS is a masked mat*vec*, the batched traversal is a masked mat*mat*
+//! with the per-source visited matrix `V` as the mask complement. The
+//! batched betweenness-centrality workload of §1 is the canonical consumer
+//! (Brandes forward sweeps for a whole source batch at once), and it
+//! exercises `mxm`'s masking machinery the same way BFS exercises `mxv`'s.
+
+use graphblas_matrix::{Csr, Graph, VertexId};
+use graphblas_primitives::BitVec;
+use rayon::prelude::*;
+
+/// Depth label for unreached (source, vertex) pairs.
+pub const UNREACHED: i32 = -1;
+
+/// Result of a batched BFS.
+#[derive(Clone, Debug)]
+pub struct MsBfsResult {
+    /// `depths[s][v]` = depth of `v` from `sources[s]`.
+    pub depths: Vec<Vec<i32>>,
+    /// Levels executed (maximum over the batch).
+    pub levels: usize,
+}
+
+/// Batched BFS from `sources` (duplicates allowed).
+#[must_use]
+pub fn multi_source_bfs(g: &Graph<bool>, sources: &[VertexId]) -> MsBfsResult {
+    let n = g.n_vertices();
+    let k = sources.len();
+    assert!(k > 0, "need at least one source");
+    for &s in sources {
+        assert!((s as usize) < n, "source out of range");
+    }
+
+    // Frontier rows and per-source visited bitmaps.
+    let mut frontier: Vec<Vec<VertexId>> = sources.iter().map(|&s| vec![s]).collect();
+    let mut visited: Vec<BitVec> = sources
+        .iter()
+        .map(|&s| {
+            let mut b = BitVec::new(n);
+            b.set(s as usize);
+            b
+        })
+        .collect();
+    let mut depths: Vec<Vec<i32>> = sources
+        .iter()
+        .map(|&s| {
+            let mut d = vec![UNREACHED; n];
+            d[s as usize] = 0;
+            d
+        })
+        .collect();
+
+    let a = g.csr();
+    let mut level = 0usize;
+    loop {
+        level += 1;
+        // One SpGEMM row product per source, masked by ¬visited[s]:
+        // row s of F' = union of children of frontier[s], minus visited.
+        // Rows are independent ⇒ embarrassingly parallel over the batch.
+        let next: Vec<Vec<VertexId>> = frontier
+            .par_iter()
+            .zip(visited.par_iter())
+            .map(|(row, vis)| {
+                let mut out: Vec<VertexId> = Vec::new();
+                let mut seen = BitVec::new(n);
+                for &u in row {
+                    for &c in a.row(u as usize) {
+                        if !vis.get(c as usize) && seen.set(c as usize) {
+                            out.push(c);
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out
+            })
+            .collect();
+
+        let mut any = false;
+        for (s, row) in next.iter().enumerate() {
+            for &v in row {
+                visited[s].set(v as usize);
+                depths[s][v as usize] = level as i32;
+            }
+            any |= !row.is_empty();
+        }
+        if !any {
+            break;
+        }
+        frontier = next;
+    }
+
+    MsBfsResult { depths, levels: level }
+}
+
+/// The batch frontier after `steps` synchronous steps, materialized as a
+/// `k × n` Boolean CSR — the matrix-form object the formulation advances.
+/// Exposed for tests and for algorithms that want the intermediate state.
+#[must_use]
+pub fn frontier_matrix(g: &Graph<bool>, sources: &[VertexId], steps: usize) -> Csr<bool> {
+    let r = multi_source_bfs(g, sources);
+    let n = g.n_vertices();
+    let k = sources.len();
+    let mut row_ptr = Vec::with_capacity(k + 1);
+    let mut col_ind: Vec<VertexId> = Vec::new();
+    row_ptr.push(0usize);
+    for s in 0..k {
+        for v in 0..n {
+            if r.depths[s][v] == steps as i32 {
+                col_ind.push(v as VertexId);
+            }
+        }
+        row_ptr.push(col_ind.len());
+    }
+    let values = vec![true; col_ind.len()];
+    Csr::from_parts(k, n, row_ptr, col_ind, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_baselines::textbook::bfs_serial;
+    use graphblas_gen::grid::{road_mesh, RoadParams};
+    use graphblas_gen::rmat::{rmat, RmatParams};
+
+    #[test]
+    fn batch_matches_per_source_oracle() {
+        let g = rmat(10, 12, RmatParams::default(), 3);
+        let sources = [0u32, 17, 300, 17]; // includes a duplicate
+        let r = multi_source_bfs(&g, &sources);
+        assert_eq!(r.depths.len(), 4);
+        for (s, &src) in sources.iter().enumerate() {
+            assert_eq!(r.depths[s], bfs_serial(&g, src), "source {src}");
+        }
+    }
+
+    #[test]
+    fn batch_on_mesh() {
+        let g = road_mesh(30, 30, RoadParams::default(), 2);
+        let sources = [0u32, 450, 899];
+        let r = multi_source_bfs(&g, &sources);
+        for (s, &src) in sources.iter().enumerate() {
+            assert_eq!(r.depths[s], bfs_serial(&g, src), "source {src}");
+        }
+    }
+
+    #[test]
+    fn frontier_matrix_rows_are_level_sets() {
+        let g = rmat(9, 8, RmatParams::default(), 5);
+        let sources = [0u32, 7];
+        let f2 = frontier_matrix(&g, &sources, 2);
+        assert_eq!(f2.n_rows(), 2);
+        let oracle0 = bfs_serial(&g, 0);
+        let expect: Vec<u32> = (0..g.n_vertices())
+            .filter(|&v| oracle0[v] == 2)
+            .map(|v| v as u32)
+            .collect();
+        assert_eq!(f2.row(0), expect.as_slice());
+    }
+
+    #[test]
+    fn single_source_batch_degenerates_to_bfs() {
+        let g = rmat(9, 8, RmatParams::default(), 7);
+        let r = multi_source_bfs(&g, &[42]);
+        assert_eq!(r.depths[0], bfs_serial(&g, 42));
+    }
+}

@@ -1,0 +1,235 @@
+//! Single-source shortest paths: Bellman-Ford over the min-plus semiring,
+//! with the two-phase direction optimization of §5.6.
+//!
+//! §5.6: "In SSSP … a simple 2-phase direction-optimized traversal can be
+//! used where the traversal is begun using unmasked column-based matvec,
+//! with a switch to row-based matvec when the frontier becomes large
+//! enough." The *frontier* here is the delta set — vertices whose tentative
+//! distance improved last round; masking does not apply because the output
+//! sparsity is unknown (any vertex might improve).
+//!
+//! Push rounds relax only edges out of the delta set (column kernel over a
+//! sparse distance vector). Pull rounds relax every vertex against the full
+//! distance vector (row kernel) — valid because min is idempotent, the same
+//! argument that makes operand reuse sound for BFS.
+
+use graphblas_core::descriptor::{Descriptor, Direction};
+use graphblas_core::ops::MinPlus;
+use graphblas_core::vector::Vector;
+use graphblas_core::mxv;
+use graphblas_matrix::{Graph, VertexId};
+
+/// Options for the SSSP solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SsspOpts {
+    /// Delta-set ratio at which push switches to pull (once; 2-phase).
+    pub switch_threshold: f64,
+    /// Disable the switch entirely (push-only Bellman-Ford).
+    pub change_of_direction: bool,
+    /// Safety cap on rounds (≥ diameter suffices; default |V|).
+    pub max_rounds: Option<usize>,
+}
+
+impl Default for SsspOpts {
+    fn default() -> Self {
+        Self {
+            switch_threshold: 0.01,
+            change_of_direction: true,
+            max_rounds: None,
+        }
+    }
+}
+
+/// Result of an SSSP run.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// Tentative distances; `f32::INFINITY` where unreachable.
+    pub dist: Vec<f32>,
+    /// Relaxation rounds executed.
+    pub rounds: usize,
+    /// Rounds executed in the pull (row-based) phase.
+    pub pull_rounds: usize,
+}
+
+/// Bellman-Ford from `source` on a non-negatively weighted graph.
+#[must_use]
+pub fn sssp(g: &Graph<f32>, source: VertexId, opts: &SsspOpts) -> SsspResult {
+    let n = g.n_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let max_rounds = opts.max_rounds.unwrap_or(n.max(1));
+
+    let mut dist = vec![f32::INFINITY; n];
+    dist[source as usize] = 0.0;
+    // Delta set: vertices improved last round, with their distances.
+    let mut delta: Vector<f32> = Vector::singleton(n, f32::INFINITY, source, 0.0);
+    let mut pulling = false;
+    let mut rounds = 0usize;
+    let mut pull_rounds = 0usize;
+    let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
+    let desc_pull = Descriptor::new().transpose(true).force(Direction::Pull);
+
+    while rounds < max_rounds {
+        rounds += 1;
+        // 2-phase switch: once the delta set crosses the threshold, stay
+        // row-based for the remainder (§5.6).
+        if opts.change_of_direction
+            && !pulling
+            && delta.nnz() as f64 / n as f64 > opts.switch_threshold
+        {
+            pulling = true;
+        }
+
+        let candidates: Vector<f32> = if pulling {
+            pull_rounds += 1;
+            // Row-based over the full distance vector (superset of delta —
+            // idempotent min makes the extra relaxations harmless).
+            let full = Vector::Dense(graphblas_core::DenseVector::from_values(
+                dist.clone(),
+                f32::INFINITY,
+            ));
+            mxv(None, MinPlus, g, &full, &desc_pull, None).expect("dims verified")
+        } else {
+            mxv(None, MinPlus, g, &delta, &desc_push, None).expect("dims verified")
+        };
+
+        // dist ← min(dist, candidates); next delta = strict improvements.
+        let mut ids = Vec::new();
+        let mut vals = Vec::new();
+        for (i, c) in candidates.iter_explicit() {
+            if c < dist[i as usize] {
+                dist[i as usize] = c;
+                ids.push(i);
+                vals.push(c);
+            }
+        }
+        if ids.is_empty() {
+            break;
+        }
+        delta = Vector::from_sparse(n, f32::INFINITY, ids, vals);
+    }
+
+    SsspResult {
+        dist,
+        rounds,
+        pull_rounds,
+    }
+}
+
+/// Serial Dijkstra used as the correctness oracle in tests and benches.
+#[must_use]
+pub fn dijkstra_oracle(g: &Graph<f32>, source: VertexId) -> Vec<f32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.n_vertices();
+    let mut dist = vec![f32::INFINITY; n];
+    dist[source as usize] = 0.0;
+    // f32 is not Ord; order by bit pattern of non-negative floats.
+    let key = |d: f32| d.to_bits();
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((key(0.0), source)));
+    while let Some(Reverse((k, u))) = heap.pop() {
+        if k != key(dist[u as usize]) {
+            continue;
+        }
+        let du = dist[u as usize];
+        let a = g.csr();
+        for (idx, &v) in a.row(u as usize).iter().enumerate() {
+            let w = a.row_values(u as usize)[idx];
+            let nd = du + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((key(nd), v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_gen::erdos::erdos_renyi;
+    use graphblas_gen::grid::{road_mesh, RoadParams};
+    use graphblas_gen::rmat::{rmat, RmatParams};
+    use graphblas_gen::with_uniform_weights;
+    use graphblas_matrix::Coo;
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            if x.is_infinite() || y.is_infinite() {
+                assert_eq!(x, y, "at {i}");
+            } else {
+                assert!((x - y).abs() < 1e-4, "at {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_weighted_graph_exact() {
+        // 0 -1-> 1 -1-> 2 and 0 -5-> 2: shortest to 2 is 2.0.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0f32);
+        coo.push(1, 2, 1.0);
+        coo.push(0, 2, 5.0);
+        let g = Graph::from_coo(&coo);
+        let r = sssp(&g, 0, &SsspOpts::default());
+        assert_close(&r.dist, &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graph() {
+        let gb = erdos_renyi(1500, 9000, 21);
+        let g = with_uniform_weights(&gb, 4);
+        let r = sssp(&g, 3, &SsspOpts::default());
+        assert_close(&r.dist, &dijkstra_oracle(&g, 3));
+    }
+
+    #[test]
+    fn matches_dijkstra_on_scale_free_and_uses_pull() {
+        let gb = rmat(11, 16, RmatParams::default(), 6);
+        let g = with_uniform_weights(&gb, 8);
+        let r = sssp(&g, 0, &SsspOpts::default());
+        assert_close(&r.dist, &dijkstra_oracle(&g, 0));
+        assert!(
+            r.pull_rounds > 0,
+            "scale-free delta set must cross the 1% threshold"
+        );
+    }
+
+    #[test]
+    fn push_only_agrees_with_switching() {
+        let gb = erdos_renyi(800, 4000, 9);
+        let g = with_uniform_weights(&gb, 2);
+        let auto = sssp(&g, 1, &SsspOpts::default());
+        let push = sssp(
+            &g,
+            1,
+            &SsspOpts {
+                change_of_direction: false,
+                ..SsspOpts::default()
+            },
+        );
+        assert_close(&auto.dist, &push.dist);
+        assert_eq!(push.pull_rounds, 0);
+    }
+
+    #[test]
+    fn mesh_stays_push() {
+        let gb = road_mesh(30, 30, RoadParams::default(), 3);
+        let g = with_uniform_weights(&gb, 13);
+        let r = sssp(&g, 0, &SsspOpts::default());
+        assert_close(&r.dist, &dijkstra_oracle(&g, 0));
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, 1.0f32);
+        coo.push(2, 3, 1.0);
+        let g = Graph::from_coo(&coo);
+        let r = sssp(&g, 0, &SsspOpts::default());
+        assert_eq!(r.dist[2], f32::INFINITY);
+        assert_eq!(r.dist[3], f32::INFINITY);
+    }
+}

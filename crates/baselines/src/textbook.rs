@@ -1,0 +1,79 @@
+//! Serial textbook BFS — the correctness oracle.
+//!
+//! Every other BFS in the workspace (five comparator engines, the
+//! GraphBLAS DOBFS in all 2⁵ optimization configurations) is validated
+//! against this queue implementation in tests and before each benchmark.
+
+use crate::{BfsEngine, UNREACHED};
+use graphblas_matrix::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Queue BFS from `source`; returns per-vertex depth, `-1` if unreached.
+#[must_use]
+pub fn bfs_serial(g: &Graph<bool>, source: VertexId) -> Vec<i32> {
+    let n = g.n_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut depth = vec![UNREACHED; n];
+    let mut queue = VecDeque::new();
+    depth[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = depth[u as usize];
+        for &v in g.children(u) {
+            if depth[v as usize] == UNREACHED {
+                depth[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    depth
+}
+
+/// The oracle wrapped as an engine (it also appears in timing tables as a
+/// serial reference point).
+pub struct Textbook;
+
+impl BfsEngine for Textbook {
+    fn name(&self) -> &'static str {
+        "Serial"
+    }
+    fn bfs(&self, g: &Graph<bool>, source: VertexId) -> Vec<i32> {
+        bfs_serial(g, source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_matrix::Coo;
+
+    fn tiny() -> Graph<bool> {
+        // 0-1, 1-2, 2-3 path plus isolated vertex 4.
+        let mut coo = Coo::new(5, 5);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 3)] {
+            coo.push(u, v, true);
+        }
+        coo.clean_undirected();
+        Graph::from_coo(&coo)
+    }
+
+    #[test]
+    fn path_depths() {
+        let g = tiny();
+        assert_eq!(bfs_serial(&g, 0), vec![0, 1, 2, 3, UNREACHED]);
+        assert_eq!(bfs_serial(&g, 2), vec![2, 1, 0, 1, UNREACHED]);
+    }
+
+    #[test]
+    fn isolated_source() {
+        let g = tiny();
+        assert_eq!(bfs_serial(&g, 4), vec![-1, -1, -1, -1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn source_bounds_checked() {
+        let g = tiny();
+        let _ = bfs_serial(&g, 99);
+    }
+}

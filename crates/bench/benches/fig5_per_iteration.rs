@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 5b: forced push-only vs pull-only vs
+//! direction-optimized full BFS on the kron stand-in — the integral of the
+//! per-level curves the figure plots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphblas_algo::bfs::{bfs_with_opts, BfsOpts};
+use graphblas_core::descriptor::Direction;
+use graphblas_gen::rmat::{rmat, RmatParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_directions(c: &mut Criterion) {
+    let g = rmat(13, 24, RmatParams::default(), 9);
+    let mut group = c.benchmark_group("fig5_directions");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("push_only", |b| {
+        let opts = BfsOpts::default().forced(Direction::Push);
+        b.iter(|| black_box(bfs_with_opts(&g, 0, &opts, None)))
+    });
+    group.bench_function("pull_only", |b| {
+        let opts = BfsOpts::default().forced(Direction::Pull);
+        b.iter(|| black_box(bfs_with_opts(&g, 0, &opts, None)))
+    });
+    group.bench_function("direction_optimized", |b| {
+        let opts = BfsOpts::default();
+        b.iter(|| black_box(bfs_with_opts(&g, 0, &opts, None)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_directions);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 7: all six engines on one scale-free and one
+//! road-mesh graph — the two regimes whose contrast drives the paper's
+//! §7.3 discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::engines::figure7_lineup;
+use graphblas_gen::grid::{road_mesh, RoadParams};
+use graphblas_gen::rmat::{rmat, RmatParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_frameworks(c: &mut Criterion) {
+    let kron = rmat(13, 24, RmatParams::default(), 5);
+    let road = road_mesh(150, 150, RoadParams::default(), 5);
+    let engines = figure7_lineup();
+
+    let mut group = c.benchmark_group("fig7_frameworks");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for engine in &engines {
+        group.bench_with_input(
+            BenchmarkId::new("kron", engine.name()),
+            engine,
+            |b, engine| b.iter(|| black_box(engine.bfs(&kron, 0))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("road", engine.name()),
+            engine,
+            |b, engine| b.iter(|| black_box(engine.bfs(&road, 0))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frameworks);
+criterion_main!(benches);

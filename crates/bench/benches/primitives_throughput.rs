@@ -1,0 +1,114 @@
+//! Throughput benches for the parallel-primitives substrate (the layer the
+//! paper gets "for free" from ModernGPU/CUB). Regressions here silently
+//! poison every matvec number above, so the substrate is benchmarked on
+//! its own: scan, key-only vs key-value radix sort (the structure-only
+//! factor at its source), gather, and segmented reduce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphblas_primitives::{gather, scan, segreduce, sort};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 1 << 20;
+
+fn bench_scan(c: &mut Criterion) {
+    let data: Vec<usize> = (0..N).map(|i| i % 17).collect();
+    let mut group = c.benchmark_group("primitives_scan");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(N as u64));
+    group.bench_function("exclusive_scan_1M", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            black_box(scan::exclusive_scan_in_place(&mut v));
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let max_key = (1 << 21) - 1;
+    let keys: Vec<u32> = (0..N).map(|_| rng.gen_range(0..=max_key)).collect();
+    let vals: Vec<u32> = (0..N as u32).collect();
+
+    let mut group = c.benchmark_group("primitives_sort");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(N as u64));
+    group.bench_function("key_only_1M", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            sort::sort_keys(&mut k, max_key);
+            black_box(k)
+        })
+    });
+    group.bench_function("key_value_1M", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            let mut v = vals.clone();
+            sort::sort_pairs(&mut k, &mut v, max_key);
+            black_box((k, v))
+        })
+    });
+    group.bench_function("std_sort_unstable_1M", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            k.sort_unstable();
+            black_box(k)
+        })
+    });
+    group.finish();
+}
+
+fn bench_gather_and_segreduce(c: &mut Criterion) {
+    // Segment layout shaped like a BFS expansion: many short segments plus
+    // a few supervertex-sized ones.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut lengths: Vec<usize> = (0..50_000).map(|_| rng.gen_range(1..16)).collect();
+    for _ in 0..20 {
+        lengths.push(20_000);
+    }
+    let offsets = scan::exclusive_scan_offsets(&lengths);
+    let total = *offsets.last().unwrap();
+    let src: Vec<u32> = (0..total as u32).collect();
+    let starts: Vec<usize> = offsets[..lengths.len()].to_vec();
+
+    let mut group = c.benchmark_group("primitives_gather_segreduce");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(total as u64));
+    group.bench_with_input(
+        BenchmarkId::new("interval_gather", total),
+        &total,
+        |b, _| {
+            b.iter(|| black_box(gather::gather_segments(&src, &starts, &offsets, 4096)))
+        },
+    );
+
+    let mut keys: Vec<u32> = (0..total).map(|_| rng.gen_range(0..100_000u32)).collect();
+    keys.sort_unstable();
+    let vals: Vec<u64> = (0..total as u64).collect();
+    group.bench_with_input(
+        BenchmarkId::new("segmented_reduce", total),
+        &total,
+        |b, _| {
+            b.iter(|| {
+                black_box(segreduce::segmented_reduce_by_key(&keys, &vals, |a, b| a + b))
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_sort, bench_gather_and_segreduce);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion bench for Table 1: the four matvec variants at three points
+//! of the input/mask-sparsity sweep. Wall-clock companion to the
+//! access-count validation in `paper table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::study::random_ids;
+use graphblas_core::descriptor::{Descriptor, Direction};
+use graphblas_core::mask::Mask;
+use graphblas_core::ops::BoolOrAnd;
+use graphblas_core::vector::Vector;
+use graphblas_core::mxv;
+use graphblas_gen::rmat::{rmat, RmatParams};
+use graphblas_primitives::BitVec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_variants(c: &mut Criterion) {
+    let g = rmat(14, 16, RmatParams::default(), 1);
+    let n = g.n_vertices();
+    let mut rng = StdRng::seed_from_u64(7);
+    let desc_pull = Descriptor::new()
+        .transpose(true)
+        .force(Direction::Pull)
+        .early_exit(false);
+    let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
+    let full: Vector<bool> = {
+        let mut v =
+            Vector::from_sparse(n, false, (0..n as u32).collect(), vec![true; n]);
+        v.make_dense();
+        v
+    };
+
+    let mut group = c.benchmark_group("table1_cost_model");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for frac in [1usize, 10, 50] {
+        let k = n * frac / 100;
+        let ids = random_ids(n, k.max(1), &mut rng);
+        let sparse = Vector::from_sparse(n, false, ids.clone(), vec![true; ids.len()]);
+        let mut dense = sparse.clone();
+        dense.make_dense();
+        let bits = {
+            let mut b = BitVec::new(n);
+            for &i in &ids {
+                b.set(i as usize);
+            }
+            b
+        };
+
+        group.bench_with_input(BenchmarkId::new("row_no_mask", frac), &frac, |b, _| {
+            b.iter(|| {
+                let w: Vector<bool> =
+                    mxv(None, BoolOrAnd, &g, black_box(&dense), &desc_pull, None).unwrap();
+                black_box(w)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("row_masked", frac), &frac, |b, _| {
+            b.iter(|| {
+                let mask = Mask::new(&bits).with_active_list(&ids);
+                let w: Vector<bool> =
+                    mxv(Some(&mask), BoolOrAnd, &g, black_box(&full), &desc_pull, None).unwrap();
+                black_box(w)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("col_no_mask", frac), &frac, |b, _| {
+            b.iter(|| {
+                let w: Vector<bool> =
+                    mxv(None, BoolOrAnd, &g, black_box(&sparse), &desc_push, None).unwrap();
+                black_box(w)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("col_masked", frac), &frac, |b, _| {
+            b.iter(|| {
+                let mask = Mask::new(&bits);
+                let w: Vector<bool> =
+                    mxv(Some(&mask), BoolOrAnd, &g, black_box(&sparse), &desc_push, None).unwrap();
+                black_box(w)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

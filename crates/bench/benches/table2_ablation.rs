@@ -1,0 +1,26 @@
+//! Criterion bench for Table 2: each rung of the cumulative optimization
+//! ladder as a full-BFS benchmark on the kron stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_algo::bfs::{bfs_with_opts, BfsOpts};
+use graphblas_gen::rmat::{rmat, RmatParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ladder(c: &mut Criterion) {
+    let g = rmat(13, 24, RmatParams::default(), 5);
+    let mut group = c.benchmark_group("table2_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (name, opts) in BfsOpts::ladder() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| black_box(bfs_with_opts(&g, 0, opts, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ladder);
+criterion_main!(benches);

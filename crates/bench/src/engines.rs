@@ -1,0 +1,55 @@
+//! "This work" wrapped as a [`BfsEngine`], plus the full Figure 7 lineup.
+
+use graphblas_algo::bfs::{bfs_with_opts, BfsOpts};
+use graphblas_baselines::{all_engines, BfsEngine};
+use graphblas_matrix::{Graph, VertexId};
+
+/// The paper's system: DOBFS with all five optimizations.
+pub struct ThisWork;
+
+impl BfsEngine for ThisWork {
+    fn name(&self) -> &'static str {
+        "This Work"
+    }
+    fn bfs(&self, g: &Graph<bool>, source: VertexId) -> Vec<i32> {
+        bfs_with_opts(g, source, &BfsOpts::default(), None).depths
+    }
+}
+
+/// The Figure 7 lineup: five comparators then this work, in paper column
+/// order (SuiteSparse, CuSha, Baseline, Ligra, Gunrock, This Work).
+#[must_use]
+pub fn figure7_lineup() -> Vec<Box<dyn BfsEngine>> {
+    let mut engines = all_engines();
+    engines.push(Box::new(ThisWork));
+    engines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_baselines::textbook::bfs_serial;
+    use graphblas_gen::rmat::{rmat, RmatParams};
+
+    #[test]
+    fn lineup_order_matches_paper() {
+        let names: Vec<&str> = figure7_lineup().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "SuiteSparse-like",
+                "CuSha-like",
+                "Baseline",
+                "Ligra-like",
+                "Gunrock-like",
+                "This Work"
+            ]
+        );
+    }
+
+    #[test]
+    fn this_work_matches_oracle() {
+        let g = rmat(10, 8, RmatParams::default(), 44);
+        assert_eq!(ThisWork.bfs(&g, 0), bfs_serial(&g, 0));
+    }
+}

@@ -1,0 +1,343 @@
+//! The experiment implementations behind each table/figure, shared by the
+//! `paper` binary and the criterion benches.
+
+use crate::{median, time_ms};
+use graphblas_algo::bfs::{bfs_with_opts, BfsOpts};
+use graphblas_core::descriptor::{Descriptor, Direction};
+use graphblas_core::mask::Mask;
+use graphblas_core::ops::BoolOrAnd;
+use graphblas_core::vector::Vector;
+use graphblas_core::mxv;
+use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::counters::{AccessCounters, CounterSnapshot};
+use graphblas_primitives::BitVec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Draw `k` distinct vertex ids, sorted.
+#[must_use]
+pub fn random_ids(n: usize, k: usize, rng: &mut StdRng) -> Vec<VertexId> {
+    let k = k.min(n);
+    // Partial Fisher-Yates over an index pool for small k; full shuffle
+    // when k is a large fraction.
+    let mut ids: Vec<VertexId> = if k * 3 >= n {
+        let mut all: Vec<VertexId> = (0..n as VertexId).collect();
+        all.shuffle(rng);
+        all.truncate(k);
+        all
+    } else {
+        let mut set = std::collections::HashSet::with_capacity(k * 2);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let v = rng.gen_range(0..n) as VertexId;
+            if set.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    };
+    ids.sort_unstable();
+    ids
+}
+
+/// One measurement of the four matvec variants at a given vector/mask size.
+#[derive(Clone, Copy, Debug)]
+pub struct VariantSample {
+    /// nnz of the input vector (col variants) or of the mask (row-masked).
+    pub nnz: usize,
+    /// Wall time, ms.
+    pub row_ms: f64,
+    pub row_masked_ms: f64,
+    pub col_ms: f64,
+    pub col_masked_ms: f64,
+    /// Matrix access counts from the instrumented kernels.
+    pub row_accesses: CounterSnapshot,
+    pub row_masked_accesses: CounterSnapshot,
+    pub col_accesses: CounterSnapshot,
+    pub col_masked_accesses: CounterSnapshot,
+}
+
+/// The Figure 2 / Table 1 microbenchmark: random vectors and masks of
+/// increasing nnz against one matrix, measuring all four variants.
+///
+/// Protocol follows §3.2: (1) row-based sweeps nnz(f) with no mask (its
+/// cost must stay flat); (2) row-based masked fixes nnz(f) = M and sweeps
+/// nnz(m); (3) column-based sweeps nnz(f); (4) column-based masked sweeps
+/// nnz(f) with the mask at ⅔·nnz(f). Early-exit is disabled — these are
+/// *random* vectors, the pure cost-model study.
+#[must_use]
+pub fn matvec_variant_sweep(
+    g: &Graph<bool>,
+    sweep: &[usize],
+    repeats: usize,
+    seed: u64,
+) -> Vec<VariantSample> {
+    let n = g.n_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let desc_pull = Descriptor::new()
+        .transpose(true)
+        .force(Direction::Pull)
+        .early_exit(false);
+    let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
+
+    // Full dense input for the row-masked variant (nnz(f) = M).
+    let full: Vector<bool> = {
+        let mut v = Vector::from_sparse(
+            n,
+            false,
+            (0..n as VertexId).collect(),
+            vec![true; n],
+        );
+        v.make_dense();
+        v
+    };
+
+    sweep
+        .iter()
+        .map(|&k| {
+            let k = k.min(n);
+            let ids = random_ids(n, k, &mut rng);
+            let sparse_f = Vector::from_sparse(n, false, ids.clone(), vec![true; ids.len()]);
+            let mut dense_f = sparse_f.clone();
+            dense_f.make_dense();
+            let mask_bits = {
+                let mut b = BitVec::new(n);
+                for &i in &ids {
+                    b.set(i as usize);
+                }
+                b
+            };
+            let mask_list = ids.clone();
+            // Column-masked protocol: mask at ⅔ of nnz(f).
+            let col_mask_bits = {
+                let mut b = BitVec::new(n);
+                for &i in ids.iter().take(k * 2 / 3) {
+                    b.set(i as usize);
+                }
+                b
+            };
+
+            let run = |f: &dyn Fn(Option<&AccessCounters>)| -> (f64, CounterSnapshot) {
+                // Counted pass (once), then timed passes without counters.
+                let c = AccessCounters::new();
+                f(Some(&c));
+                let times: Vec<f64> =
+                    (0..repeats).map(|_| time_ms(|| f(None)).1).collect();
+                (median(&times), c.snapshot())
+            };
+
+            let (row_ms, row_accesses) = run(&|c| {
+                let _: Vector<bool> =
+                    mxv(None, BoolOrAnd, g, &dense_f, &desc_pull, c).expect("dims");
+            });
+            let (row_masked_ms, row_masked_accesses) = run(&|c| {
+                let mask = Mask::new(&mask_bits).with_active_list(&mask_list);
+                let _: Vector<bool> =
+                    mxv(Some(&mask), BoolOrAnd, g, &full, &desc_pull, c).expect("dims");
+            });
+            let (col_ms, col_accesses) = run(&|c| {
+                let _: Vector<bool> =
+                    mxv(None, BoolOrAnd, g, &sparse_f, &desc_push, c).expect("dims");
+            });
+            let (col_masked_ms, col_masked_accesses) = run(&|c| {
+                let mask = Mask::new(&col_mask_bits);
+                let _: Vector<bool> =
+                    mxv(Some(&mask), BoolOrAnd, g, &sparse_f, &desc_push, c).expect("dims");
+            });
+
+            VariantSample {
+                nnz: k,
+                row_ms,
+                row_masked_ms,
+                col_ms,
+                col_masked_ms,
+                row_accesses,
+                row_masked_accesses,
+                col_accesses,
+                col_masked_accesses,
+            }
+        })
+        .collect()
+}
+
+/// One BFS level with both directions timed on identical state (Figure 5b,
+/// and the oracle for the §6.3 heuristic study).
+#[derive(Clone, Copy, Debug)]
+pub struct LevelTiming {
+    pub level: usize,
+    pub frontier_nnz: usize,
+    pub unvisited: usize,
+    pub push_ms: f64,
+    pub pull_ms: f64,
+}
+
+/// Replay a BFS from `source`, timing the push kernel and the pull kernel
+/// at every level on the same traversal state.
+#[must_use]
+pub fn per_level_study(g: &Graph<bool>, source: VertexId, repeats: usize) -> Vec<LevelTiming> {
+    let n = g.n_vertices();
+    let mut visited = BitVec::new(n);
+    visited.set(source as usize);
+    let mut unvisited_list: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| v != source).collect();
+    let mut frontier = Vector::singleton(n, false, source, true);
+    let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
+    let desc_pull = Descriptor::new().transpose(true).force(Direction::Pull);
+    let mut out = Vec::new();
+    let mut level = 0usize;
+
+    loop {
+        level += 1;
+        let frontier_nnz = frontier.nnz();
+        let unvisited = unvisited_list.len();
+
+        // Timed pull (masked row with early exit + active list).
+        let mut dense_f = frontier.clone();
+        dense_f.make_dense();
+        let pull_times: Vec<f64> = (0..repeats)
+            .map(|_| {
+                time_ms(|| {
+                    let mask = Mask::complement(&visited).with_active_list(&unvisited_list);
+                    let w: Vector<bool> =
+                        mxv(Some(&mask), BoolOrAnd, g, &dense_f, &desc_pull, None).expect("dims");
+                    w
+                })
+                .1
+            })
+            .collect();
+
+        // Timed push (masked column), also used to advance the state.
+        let mut sparse_f = frontier.clone();
+        sparse_f.make_sparse();
+        let mut next = None;
+        let push_times: Vec<f64> = (0..repeats)
+            .map(|_| {
+                let (w, ms) = time_ms(|| {
+                    let mask = Mask::complement(&visited);
+                    let w: Vector<bool> =
+                        mxv(Some(&mask), BoolOrAnd, g, &sparse_f, &desc_push, None).expect("dims");
+                    w
+                });
+                next = Some(w);
+                ms
+            })
+            .collect();
+        let next = next.expect("at least one repeat");
+
+        out.push(LevelTiming {
+            level,
+            frontier_nnz,
+            unvisited,
+            push_ms: median(&push_times),
+            pull_ms: median(&pull_times),
+        });
+
+        if next.nnz() == 0 {
+            break;
+        }
+        for (i, _) in next.iter_explicit() {
+            visited.set(i as usize);
+        }
+        unvisited_list.retain(|&v| !visited.get(v as usize));
+        frontier = next;
+    }
+    out
+}
+
+/// Time a full BFS under given options, returning (ms, edges traversed).
+#[must_use]
+pub fn time_bfs(g: &Graph<bool>, sources: &[VertexId], opts: &BfsOpts) -> (f64, usize) {
+    let mut total_ms = 0.0;
+    let mut total_edges = 0usize;
+    for &s in sources {
+        let (r, ms) = time_ms(|| bfs_with_opts(g, s, opts, None));
+        total_ms += ms;
+        total_edges += r
+            .depths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d >= 0)
+            .map(|(v, _)| g.csr().degree(v))
+            .sum::<usize>();
+    }
+    (total_ms, total_edges)
+}
+
+/// Pick `count` random sources that are not isolated vertices.
+#[must_use]
+pub fn random_sources(g: &Graph<bool>, count: usize, seed: u64) -> Vec<VertexId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.n_vertices();
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0usize;
+    while out.len() < count && guard < count * 1000 {
+        guard += 1;
+        let v = rng.gen_range(0..n);
+        if g.csr().degree(v) > 0 {
+            out.push(v as VertexId);
+        }
+    }
+    assert!(!out.is_empty(), "graph has no non-isolated vertices");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_gen::rmat::{rmat, RmatParams};
+
+    #[test]
+    fn random_ids_distinct_sorted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &k in &[0usize, 5, 100, 900] {
+            let ids = random_ids(1000, k, &mut rng);
+            assert_eq!(ids.len(), k);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn sweep_validates_cost_model_shape() {
+        let g = rmat(11, 16, RmatParams::default(), 2);
+        let samples = matvec_variant_sweep(&g, &[100, 1000], 1, 3);
+        assert_eq!(samples.len(), 2);
+        // Row unmasked: matrix accesses equal nnz(A), independent of sweep.
+        assert_eq!(samples[0].row_accesses.matrix, g.n_edges() as u64);
+        assert_eq!(samples[1].row_accesses.matrix, g.n_edges() as u64);
+        // Row masked: accesses grow with nnz(m).
+        assert!(samples[1].row_masked_accesses.matrix > samples[0].row_masked_accesses.matrix);
+        // Col: accesses grow with nnz(f).
+        assert!(samples[1].col_accesses.matrix > samples[0].col_accesses.matrix);
+        // Col masked does NOT reduce matrix accesses vs col (Table 1).
+        assert_eq!(
+            samples[1].col_masked_accesses.matrix,
+            samples[1].col_accesses.matrix
+        );
+    }
+
+    #[test]
+    fn per_level_study_partitions_vertices() {
+        let g = rmat(10, 16, RmatParams::default(), 7);
+        let levels = per_level_study(&g, 0, 1);
+        assert!(!levels.is_empty());
+        let frontier_sum: usize = levels.iter().map(|l| l.frontier_nnz).sum();
+        // Frontier sizes over all levels = reached vertex count.
+        let reached = graphblas_baselines::textbook::bfs_serial(&g, 0)
+            .iter()
+            .filter(|&&d| d >= 0)
+            .count();
+        assert_eq!(frontier_sum, reached);
+        // Unvisited is strictly decreasing until the last level.
+        assert!(levels.windows(2).all(|w| w[0].unvisited >= w[1].unvisited));
+    }
+
+    #[test]
+    fn time_bfs_reports_edges() {
+        let g = rmat(9, 8, RmatParams::default(), 5);
+        let sources = random_sources(&g, 2, 3);
+        let (ms, edges) = time_bfs(&g, &sources, &BfsOpts::default());
+        assert!(ms >= 0.0);
+        assert!(edges > 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Operation descriptor: the knob panel of §6.3 plus per-optimization
+//! toggles for the Table 2 ablation.
+//!
+//! In the GraphBLAS C API a `GrB_Descriptor` carries transpose/replace/
+//! complement switches and implementation hints. Ours additionally exposes
+//! the paper's optimizations so each can be disabled in isolation:
+//! direction choice (force push/pull or auto), the sparse↔dense switch
+//! threshold (`α = β = 0.01`), early-exit, structure-only, and the multiway
+//! merge strategy of §6.2 (radix sort vs. heap merge).
+
+/// Traversal direction ≡ matvec kernel family (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Column-based matvec over a sparse input (frontier expands children).
+    Push,
+    /// Row-based matvec over a dense input (unvisited rows scan parents).
+    Pull,
+}
+
+/// How `mxv` picks its kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DirectionChoice {
+    /// Follow the input vector's storage: sparse → push, dense → pull.
+    /// This is Optimization 1 — the storage itself is steered by
+    /// [`crate::Vector::convert`].
+    #[default]
+    Auto,
+    /// Always use the given kernel, converting the input if needed
+    /// (used by the per-iteration studies of Figs. 5–6 and the baselines).
+    Force(Direction),
+}
+
+/// How the column kernel resolves its multiway merge (§6.2 discussion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MergeStrategy {
+    /// Concatenate all lists, radix sort, segmented-reduce — the paper's
+    /// GPU-friendly choice, `O(nnz(m_f⁺) log M)`.
+    #[default]
+    SortBased,
+    /// Textbook k-way heap merge, `O(nnz(m_f⁺) log nnz(f))` — kept for the
+    /// ablation bench.
+    HeapMerge,
+    /// Gunrock's local culling (§7.3): dedup through a bitmask claim
+    /// instead of sorting, `O(nnz(m_f⁺))` with no log factor. Only valid
+    /// when the semiring provides a constant product hint (BFS-style
+    /// traversals where duplicate products are all equal); the kernel
+    /// falls back to [`MergeStrategy::SortBased`] otherwise.
+    BitmaskCull,
+}
+
+/// Per-call options for `mxv` and friends.
+#[derive(Clone, Copy, Debug)]
+pub struct Descriptor {
+    /// Operate on `Aᵀ` instead of `A` (GrB_INP0 transpose). BFS sets this:
+    /// Algorithm 1 computes `Aᵀf`.
+    pub transpose: bool,
+    /// Kernel selection policy.
+    pub direction: DirectionChoice,
+    /// The `α = β` ratio of §6.3 at which [`crate::Vector::convert`]
+    /// switches storage. Paper default 0.01.
+    pub switch_threshold: f64,
+    /// Optimization 3: allow the row kernel to break out of a row once the
+    /// ⊕ accumulator reaches the monoid's annihilator.
+    pub early_exit: bool,
+    /// Optimization 5: let the column kernel sort keys only, using the
+    /// semiring's constant product hint instead of carrying values.
+    pub structure_only: bool,
+    /// Column-kernel merge implementation.
+    pub merge_strategy: MergeStrategy,
+}
+
+impl Default for Descriptor {
+    fn default() -> Self {
+        Self {
+            transpose: false,
+            direction: DirectionChoice::Auto,
+            switch_threshold: 0.01,
+            early_exit: true,
+            structure_only: true,
+            merge_strategy: MergeStrategy::SortBased,
+        }
+    }
+}
+
+impl Descriptor {
+    /// Descriptor with every paper optimization enabled (the defaults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: set transpose.
+    #[must_use]
+    pub fn transpose(mut self, on: bool) -> Self {
+        self.transpose = on;
+        self
+    }
+
+    /// Builder: force a direction.
+    #[must_use]
+    pub fn force(mut self, d: Direction) -> Self {
+        self.direction = DirectionChoice::Force(d);
+        self
+    }
+
+    /// Builder: set early-exit.
+    #[must_use]
+    pub fn early_exit(mut self, on: bool) -> Self {
+        self.early_exit = on;
+        self
+    }
+
+    /// Builder: set structure-only.
+    #[must_use]
+    pub fn structure_only(mut self, on: bool) -> Self {
+        self.structure_only = on;
+        self
+    }
+
+    /// Builder: set the merge strategy.
+    #[must_use]
+    pub fn merge_strategy(mut self, s: MergeStrategy) -> Self {
+        self.merge_strategy = s;
+        self
+    }
+
+    /// Builder: set the sparse↔dense switch threshold.
+    #[must_use]
+    pub fn switch_threshold(mut self, t: f64) -> Self {
+        self.switch_threshold = t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let d = Descriptor::default();
+        assert_eq!(d.switch_threshold, 0.01);
+        assert!(d.early_exit);
+        assert!(d.structure_only);
+        assert_eq!(d.direction, DirectionChoice::Auto);
+        assert_eq!(d.merge_strategy, MergeStrategy::SortBased);
+        assert!(!d.transpose);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let d = Descriptor::new()
+            .transpose(true)
+            .force(Direction::Pull)
+            .early_exit(false)
+            .structure_only(false)
+            .merge_strategy(MergeStrategy::HeapMerge)
+            .switch_threshold(0.05);
+        assert!(d.transpose);
+        assert_eq!(d.direction, DirectionChoice::Force(Direction::Pull));
+        assert!(!d.early_exit);
+        assert!(!d.structure_only);
+        assert_eq!(d.merge_strategy, MergeStrategy::HeapMerge);
+        assert!((d.switch_threshold - 0.05).abs() < f64::EPSILON);
+    }
+}

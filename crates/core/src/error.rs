@@ -1,0 +1,71 @@
+//! Error type for GraphBLAS-style operations, mirroring the GrB_Info codes
+//! of the C API specification that apply to a single-process library.
+
+use std::fmt;
+
+/// Errors returned by core operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrbError {
+    /// Operand dimensions do not conform (GrB_DIMENSION_MISMATCH).
+    DimensionMismatch {
+        /// What was being multiplied/combined.
+        context: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Actual extent.
+        actual: usize,
+    },
+    /// An index is out of the valid range (GrB_INDEX_OUT_OF_BOUNDS).
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The dimension it must be below.
+        dim: usize,
+    },
+    /// The requested option combination is not supported.
+    InvalidValue(&'static str),
+}
+
+impl fmt::Display for GrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrbError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            GrbError::IndexOutOfBounds { index, dim } => {
+                write!(f, "index {index} out of bounds for dimension {dim}")
+            }
+            GrbError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GrbError {}
+
+/// Convenience result alias.
+pub type GrbResult<T> = Result<T, GrbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GrbError::DimensionMismatch {
+            context: "mxv",
+            expected: 4,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("mxv"));
+        assert!(e.to_string().contains('4'));
+        let e = GrbError::IndexOutOfBounds { index: 9, dim: 3 };
+        assert!(e.to_string().contains('9'));
+        let e = GrbError::InvalidValue("nope");
+        assert!(e.to_string().contains("nope"));
+    }
+}

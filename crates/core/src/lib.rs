@@ -1,0 +1,42 @@
+//! GraphBLAS-style core: generalized semirings, sparse/dense vectors with
+//! the §6.3 conversion heuristic, masks with structural complement, and the
+//! four matvec kernels of Table 1 behind a single `mxv` entry point that
+//! performs the paper's push-pull direction optimization at runtime.
+//!
+//! The library follows the paper's central isomorphism (§4): *push* is
+//! column-based matvec over a sparse input vector, *pull* is row-based
+//! masked matvec over a dense input vector, and both are the same GraphBLAS
+//! expression `f' = Aᵀf .∗ ¬v`. User code writes the expression once
+//! (see `graphblas-algo`'s BFS, a direct transcription of Algorithm 1);
+//! the backend here picks the kernel.
+//!
+//! Each of the paper's five optimizations is independently switchable
+//! through [`Descriptor`] so the Table 2 ablation can be reproduced:
+//!
+//! 1. **Change of direction** — [`ops_mxv::mxv`] dispatches on the input
+//!    vector's storage; [`vector::Vector::convert`] implements the
+//!    `nnz/M >< 0.01` hysteresis switch.
+//! 2. **Masking** — [`mask::Mask`] plus the masked row/column kernels.
+//! 3. **Early-exit** — row-based masked kernel breaks out of a row when the
+//!    ⊕ monoid hits its annihilator (`OR` saturating at `true`).
+//! 4. **Operand reuse** — enabled by the algorithm layer, which may pass the
+//!    visited vector in place of the frontier (Gunrock's trick, §5.4).
+//! 5. **Structure-only** — column kernel sorts keys instead of (key, value)
+//!    pairs when the semiring ignores matrix values (§5.5).
+
+pub mod descriptor;
+pub mod error;
+pub mod mask;
+pub mod matrix_ops;
+pub mod mxm;
+pub mod ops;
+pub mod ops_mxv;
+pub mod vector;
+pub mod vector_ops;
+
+pub use descriptor::{Descriptor, Direction, DirectionChoice, MergeStrategy};
+pub use error::GrbError;
+pub use mask::Mask;
+pub use ops::{BoolOrAnd, Monoid, MinPlus, PlusTimes, Scalar, Semiring, SemiringNum};
+pub use ops_mxv::{col_masked_mxv, col_mxv, mxv, row_masked_mxv, row_mxv};
+pub use vector::{ConvertState, DenseVector, SparseVector, Vector};

@@ -1,0 +1,146 @@
+//! Masks: the paper's formalism for output sparsity (§3.2).
+//!
+//! A masked matvec `f' = (Af) .∗ m` only materializes outputs where the
+//! mask allows. The *structural complement* `¬m` (§3.2) flips the rule —
+//! BFS pulls into the complement of the visited set. Masks here are
+//! structural Booleans over a bit vector; a pre-computed **active list**
+//! (the sorted indices the mask allows) gives the row kernel its
+//! `O(d·nnz(m))` bound instead of `O(dM + work)`: the paper's SPA trick of
+//! keeping "a sparse vector containing indices where the zeroes are
+//! located", built once and amortized across BFS iterations.
+
+use graphblas_matrix::VertexId;
+use graphblas_primitives::BitVec;
+
+/// A structural Boolean mask over vertex indices.
+#[derive(Clone, Copy, Debug)]
+pub struct Mask<'a> {
+    bits: &'a BitVec,
+    complement: bool,
+    active_list: Option<&'a [VertexId]>,
+}
+
+impl<'a> Mask<'a> {
+    /// Mask allowing indices whose bit is set.
+    #[must_use]
+    pub fn new(bits: &'a BitVec) -> Self {
+        Self {
+            bits,
+            complement: false,
+            active_list: None,
+        }
+    }
+
+    /// Structural complement `¬m`: allow indices whose bit is clear.
+    #[must_use]
+    pub fn complement(bits: &'a BitVec) -> Self {
+        Self {
+            bits,
+            complement: true,
+            active_list: None,
+        }
+    }
+
+    /// Attach a sorted list of exactly the allowed indices. The masked row
+    /// kernel then iterates this list instead of scanning all `M` rows.
+    ///
+    /// Correctness contract (debug-asserted per entry on use): every listed
+    /// index must satisfy [`Mask::allows`].
+    #[must_use]
+    pub fn with_active_list(mut self, list: &'a [VertexId]) -> Self {
+        self.active_list = Some(list);
+        self
+    }
+
+    /// Whether the mask passes index `i` through to the output.
+    #[inline]
+    #[must_use]
+    pub fn allows(&self, i: usize) -> bool {
+        self.bits.get(i) ^ self.complement
+    }
+
+    /// Whether this mask is complemented.
+    #[must_use]
+    pub fn is_complement(&self) -> bool {
+        self.complement
+    }
+
+    /// The attached active list, when present.
+    #[must_use]
+    pub fn active_list(&self) -> Option<&'a [VertexId]> {
+        self.active_list
+    }
+
+    /// Number of allowed indices: `nnz(m)` in the Table 1 cost model.
+    /// O(1) words when no active list is attached (popcount); O(1) when
+    /// attached.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        if let Some(list) = self.active_list {
+            list.len()
+        } else if self.complement {
+            self.bits.len() - self.bits.count_ones()
+        } else {
+            self.bits.count_ones()
+        }
+    }
+
+    /// Dimension the mask covers.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_with(set: &[usize], len: usize) -> BitVec {
+        let mut b = BitVec::new(len);
+        for &i in set {
+            b.set(i);
+        }
+        b
+    }
+
+    #[test]
+    fn plain_mask_allows_set_bits() {
+        let b = bits_with(&[1, 3], 5);
+        let m = Mask::new(&b);
+        assert!(m.allows(1) && m.allows(3));
+        assert!(!m.allows(0) && !m.allows(2) && !m.allows(4));
+        assert_eq!(m.active_count(), 2);
+        assert!(!m.is_complement());
+    }
+
+    #[test]
+    fn complement_mask_inverts() {
+        let b = bits_with(&[1, 3], 5);
+        let m = Mask::complement(&b);
+        assert!(!m.allows(1) && !m.allows(3));
+        assert!(m.allows(0) && m.allows(2) && m.allows(4));
+        assert_eq!(m.active_count(), 3);
+        assert!(m.is_complement());
+    }
+
+    #[test]
+    fn active_list_overrides_count() {
+        let b = bits_with(&[0, 1, 2], 6);
+        let list = [0u32, 1, 2];
+        let m = Mask::new(&b).with_active_list(&list);
+        assert_eq!(m.active_count(), 3);
+        assert_eq!(m.active_list(), Some(&list[..]));
+    }
+
+    #[test]
+    fn bfs_unvisited_mask_shape() {
+        // visited = {0,1}; pull mask = ¬visited with active list {2,3,4}.
+        let visited = bits_with(&[0, 1], 5);
+        let unvisited: Vec<u32> = vec![2, 3, 4];
+        let m = Mask::complement(&visited).with_active_list(&unvisited);
+        assert!(m.allows(2) && !m.allows(0));
+        assert_eq!(m.active_count(), 3);
+        assert_eq!(m.dim(), 5);
+    }
+}

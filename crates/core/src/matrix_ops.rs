@@ -1,0 +1,282 @@
+//! Matrix-level GraphBLAS operations: eWiseAdd/eWiseMult over CSR pairs,
+//! row-wise reduction to a vector, and submatrix extraction — the rest of
+//! the GrB op family Algorithm 1's relatives need (degree vectors for
+//! PageRank's transition matrix, pattern intersection for k-truss-style
+//! analytics, block extraction for batched algorithms).
+
+use crate::ops::{Monoid, Scalar};
+use crate::vector::{DenseVector, Vector};
+use graphblas_matrix::{Csr, VertexId};
+use rayon::prelude::*;
+
+/// GrB_eWiseMult on matrices (intersection semantics): keep entries present
+/// in *both* operands, combining values with `op`.
+#[must_use]
+pub fn matrix_ewise_mult<A, B, Y, F>(a: &Csr<A>, b: &Csr<B>, op: F) -> Csr<Y>
+where
+    A: Scalar,
+    B: Scalar,
+    Y: Scalar,
+    F: Fn(A, B) -> Y + Sync + Send,
+{
+    assert_eq!(a.n_rows(), b.n_rows(), "eWiseMult row mismatch");
+    assert_eq!(a.n_cols(), b.n_cols(), "eWiseMult col mismatch");
+    let rows: Vec<(Vec<VertexId>, Vec<Y>)> = (0..a.n_rows())
+        .into_par_iter()
+        .with_min_len(64)
+        .map(|i| {
+            let (ra, va) = (a.row(i), a.row_values(i));
+            let (rb, vb) = (b.row(i), b.row_values(i));
+            let mut ids = Vec::new();
+            let mut vals = Vec::new();
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < ra.len() && y < rb.len() {
+                match ra[x].cmp(&rb[y]) {
+                    std::cmp::Ordering::Less => x += 1,
+                    std::cmp::Ordering::Greater => y += 1,
+                    std::cmp::Ordering::Equal => {
+                        ids.push(ra[x]);
+                        vals.push(op(va[x], vb[y]));
+                        x += 1;
+                        y += 1;
+                    }
+                }
+            }
+            (ids, vals)
+        })
+        .collect();
+    assemble(a.n_rows(), a.n_cols(), rows)
+}
+
+/// GrB_eWiseAdd on matrices (union semantics): entries from either operand;
+/// where both are present, combine with `op`.
+#[must_use]
+pub fn matrix_ewise_add<T, F>(a: &Csr<T>, b: &Csr<T>, op: F) -> Csr<T>
+where
+    T: Scalar,
+    F: Fn(T, T) -> T + Sync + Send,
+{
+    assert_eq!(a.n_rows(), b.n_rows(), "eWiseAdd row mismatch");
+    assert_eq!(a.n_cols(), b.n_cols(), "eWiseAdd col mismatch");
+    let rows: Vec<(Vec<VertexId>, Vec<T>)> = (0..a.n_rows())
+        .into_par_iter()
+        .with_min_len(64)
+        .map(|i| {
+            let (ra, va) = (a.row(i), a.row_values(i));
+            let (rb, vb) = (b.row(i), b.row_values(i));
+            let mut ids = Vec::with_capacity(ra.len() + rb.len());
+            let mut vals = Vec::with_capacity(ra.len() + rb.len());
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < ra.len() && y < rb.len() {
+                match ra[x].cmp(&rb[y]) {
+                    std::cmp::Ordering::Less => {
+                        ids.push(ra[x]);
+                        vals.push(va[x]);
+                        x += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        ids.push(rb[y]);
+                        vals.push(vb[y]);
+                        y += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        ids.push(ra[x]);
+                        vals.push(op(va[x], vb[y]));
+                        x += 1;
+                        y += 1;
+                    }
+                }
+            }
+            ids.extend_from_slice(&ra[x..]);
+            vals.extend_from_slice(&va[x..]);
+            ids.extend_from_slice(&rb[y..]);
+            vals.extend_from_slice(&vb[y..]);
+            (ids, vals)
+        })
+        .collect();
+    assemble(a.n_rows(), a.n_cols(), rows)
+}
+
+/// GrB_reduce (matrix → vector): fold each row's values under a monoid.
+/// Row `i` of the result is the ⊕-reduction of row `i`'s stored entries
+/// (identity for empty rows). Reducing `Aᵀ` gives column sums.
+#[must_use]
+pub fn reduce_rows<T, M>(a: &Csr<T>, m: M) -> Vector<T>
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    let identity = m.identity();
+    let vals: Vec<T> = (0..a.n_rows())
+        .into_par_iter()
+        .with_min_len(256)
+        .map(|i| {
+            a.row_values(i)
+                .iter()
+                .fold(identity, |acc, &v| m.op(acc, v))
+        })
+        .collect();
+    Vector::Dense(DenseVector::from_values(vals, identity))
+}
+
+/// GrB_extract: the submatrix of `a` with the given (sorted, unique) row
+/// and column index sets; output indices are renumbered to positions in
+/// the selection lists.
+#[must_use]
+pub fn extract<T: Scalar>(a: &Csr<T>, rows: &[VertexId], cols: &[VertexId]) -> Csr<T> {
+    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted unique");
+    debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted unique");
+    if let Some(&r) = rows.last() {
+        assert!((r as usize) < a.n_rows(), "row index out of range");
+    }
+    if let Some(&c) = cols.last() {
+        assert!((c as usize) < a.n_cols(), "col index out of range");
+    }
+    let picked: Vec<(Vec<VertexId>, Vec<T>)> = rows
+        .par_iter()
+        .with_min_len(64)
+        .map(|&r| {
+            let ra = a.row(r as usize);
+            let va = a.row_values(r as usize);
+            let mut ids = Vec::new();
+            let mut vals = Vec::new();
+            // Merge-walk row entries against the sorted column selection.
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < ra.len() && y < cols.len() {
+                match ra[x].cmp(&cols[y]) {
+                    std::cmp::Ordering::Less => x += 1,
+                    std::cmp::Ordering::Greater => y += 1,
+                    std::cmp::Ordering::Equal => {
+                        ids.push(y as VertexId); // renumbered
+                        vals.push(va[x]);
+                        x += 1;
+                        y += 1;
+                    }
+                }
+            }
+            (ids, vals)
+        })
+        .collect();
+    assemble(rows.len(), cols.len(), picked)
+}
+
+fn assemble<T: Scalar>(
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<(Vec<VertexId>, Vec<T>)>,
+) -> Csr<T> {
+    let mut row_ptr = Vec::with_capacity(n_rows + 1);
+    row_ptr.push(0usize);
+    let mut total = 0usize;
+    for (ids, _) in &rows {
+        total += ids.len();
+        row_ptr.push(total);
+    }
+    let mut col_ind = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
+    for (ids, vals) in rows {
+        col_ind.extend(ids);
+        values.extend(vals);
+    }
+    Csr::from_parts(n_rows, n_cols, row_ptr, col_ind, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{MinMonoid, PlusMonoid};
+    use graphblas_matrix::Coo;
+
+    fn m1() -> Csr<i64> {
+        let mut coo = Coo::new(3, 4);
+        for &(r, c, v) in &[(0u32, 0u32, 1i64), (0, 2, 2), (1, 1, 3), (2, 3, 4)] {
+            coo.push(r, c, v);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    fn m2() -> Csr<i64> {
+        let mut coo = Coo::new(3, 4);
+        for &(r, c, v) in &[(0u32, 0u32, 10i64), (0, 1, 20), (1, 1, 30), (2, 0, 40)] {
+            coo.push(r, c, v);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn ewise_mult_intersects_patterns() {
+        let c = matrix_ewise_mult(&m1(), &m2(), |a, b| a * b);
+        // Intersection: (0,0) and (1,1).
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.row(0), &[0]);
+        assert_eq!(c.row_values(0), &[10]);
+        assert_eq!(c.row(1), &[1]);
+        assert_eq!(c.row_values(1), &[90]);
+        assert_eq!(c.row(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn ewise_add_unions_patterns() {
+        let c = matrix_ewise_add(&m1(), &m2(), |a, b| a + b);
+        assert_eq!(c.nnz(), 6);
+        assert_eq!(c.row(0), &[0, 1, 2]);
+        assert_eq!(c.row_values(0), &[11, 20, 2]);
+        assert_eq!(c.row(2), &[0, 3]);
+        assert_eq!(c.row_values(2), &[40, 4]);
+    }
+
+    #[test]
+    fn ewise_with_self_is_idempotent_pattern() {
+        let a = m1();
+        let doubled = matrix_ewise_add(&a, &a, |x, y| x + y);
+        assert_eq!(doubled.nnz(), a.nnz());
+        assert_eq!(doubled.col_ind(), a.col_ind());
+        let squared = matrix_ewise_mult(&a, &a, |x, y| x * y);
+        assert_eq!(squared.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn reduce_rows_plus_gives_row_sums() {
+        let v = reduce_rows(&m1(), PlusMonoid);
+        assert_eq!(v.get(0), 3);
+        assert_eq!(v.get(1), 3);
+        assert_eq!(v.get(2), 4);
+    }
+
+    #[test]
+    fn reduce_rows_min_with_empty_row() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 5.0f64);
+        coo.push(0, 2, 2.0);
+        let a = Csr::from_coo(&coo);
+        let v = reduce_rows(&a, MinMonoid);
+        assert_eq!(v.get(0), 2.0);
+        assert_eq!(v.get(1), f64::INFINITY, "empty row reduces to identity");
+    }
+
+    #[test]
+    fn extract_renumbers_indices() {
+        // Take rows {0, 2}, cols {0, 2, 3} of m1.
+        let sub = extract(&m1(), &[0, 2], &[0, 2, 3]);
+        assert_eq!(sub.n_rows(), 2);
+        assert_eq!(sub.n_cols(), 3);
+        // (0,0,1) stays at (0,0); (0,2,2) → (0,1); (2,3,4) → (1,2).
+        assert_eq!(sub.row(0), &[0, 1]);
+        assert_eq!(sub.row_values(0), &[1, 2]);
+        assert_eq!(sub.row(1), &[2]);
+        assert_eq!(sub.row_values(1), &[4]);
+    }
+
+    #[test]
+    fn extract_full_is_identity() {
+        let a = m1();
+        let sub = extract(&a, &[0, 1, 2], &[0, 1, 2, 3]);
+        assert_eq!(sub, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "row index out of range")]
+    fn extract_bounds_checked() {
+        let _ = extract(&m1(), &[7], &[0]);
+    }
+}

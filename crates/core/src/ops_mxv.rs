@@ -1,0 +1,1029 @@
+//! The four matvec kernels of Table 1 and the push-pull dispatcher.
+//!
+//! | kernel            | paper name                | cost (Table 1)                  |
+//! |-------------------|---------------------------|---------------------------------|
+//! | [`row_mxv`]       | row-based, no mask        | `O(dM)`                         |
+//! | [`row_masked_mxv`]| row-based, mask (Alg. 2)  | `O(d·nnz(m))`                   |
+//! | [`col_mxv`]       | column-based, no mask     | `O(d·nnz(f)·log nnz(f))`        |
+//! | [`col_masked_mxv`]| column-based, mask (Alg.3)| `O(d·nnz(f)·log nnz(f))`        |
+//!
+//! [`mxv`] is the public entry point (GrB_mxv): it resolves the operand
+//! orientation from the descriptor's transpose flag, picks row vs. column
+//! by the input vector's storage (or a forced direction), and applies the
+//! mask inside the kernel (row) or as a post-filter (column) — exactly the
+//! asymmetry Figure 4 illustrates: masking accelerates the row kernel but
+//! merely filters the column kernel's output.
+
+use crate::descriptor::{Descriptor, Direction, DirectionChoice, MergeStrategy};
+use crate::error::{GrbError, GrbResult};
+use crate::mask::Mask;
+use crate::ops::{Monoid, Scalar, Semiring};
+use crate::vector::{DenseVector, SparseVector, Vector};
+use graphblas_matrix::{Csr, Graph};
+use graphblas_primitives::counters::AccessCounters;
+use graphblas_primitives::{gather, merge, pool, scan, segreduce, sort, AtomicBitVec};
+use rayon::prelude::*;
+
+/// Row grain for parallel row-kernel loops.
+const ROW_GRAIN: usize = 512;
+
+// ---------------------------------------------------------------------------
+// Row-based (pull) kernels
+// ---------------------------------------------------------------------------
+
+/// Row-based matvec without a mask: `w(i) = ⊕_j op(i,j) ⊗ v(j)` for every
+/// row. Touches every stored entry regardless of input sparsity — the
+/// `O(dM)` row of Table 1.
+pub fn row_mxv<A, X, Y, S>(
+    s: S,
+    op: &Csr<A>,
+    v: &DenseVector<X>,
+    counters: Option<&AccessCounters>,
+) -> DenseVector<Y>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    assert_eq!(op.n_cols(), v.dim(), "operand columns must match input dim");
+    let add = s.add_monoid();
+    let identity = add.identity();
+    let vals: Vec<Y> = (0..op.n_rows())
+        .into_par_iter()
+        .with_min_len(ROW_GRAIN)
+        .map(|i| reduce_row(s, op, v, i, identity, false, counters))
+        .collect();
+    DenseVector::from_values(vals, identity)
+}
+
+/// Row-based **masked** matvec — Algorithm 2. Only rows the mask allows are
+/// computed; with `early_exit`, a row's reduction stops at the monoid's
+/// annihilator (the short-circuit OR of line 8). `O(d·nnz(m))`.
+pub fn row_masked_mxv<A, X, Y, S>(
+    s: S,
+    op: &Csr<A>,
+    v: &DenseVector<X>,
+    mask: &Mask<'_>,
+    early_exit: bool,
+    counters: Option<&AccessCounters>,
+) -> DenseVector<Y>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    assert_eq!(op.n_cols(), v.dim(), "operand columns must match input dim");
+    assert_eq!(op.n_rows(), mask.dim(), "mask must cover output dim");
+    let add = s.add_monoid();
+    let identity = add.identity();
+
+    if let Some(active) = mask.active_list() {
+        // O(nnz(m)) row iteration: only the listed rows are touched. This
+        // is the amortized-SPA path of §3.2.
+        if let Some(c) = counters {
+            c.add_mask(active.len() as u64);
+        }
+        let mut vals = vec![identity; op.n_rows()];
+        let out = SendPtr(vals.as_mut_ptr());
+        active.par_iter().with_min_len(ROW_GRAIN).for_each(|&i| {
+            debug_assert!(mask.allows(i as usize), "active list disagrees with mask");
+            let y = reduce_row(s, op, v, i as usize, identity, early_exit, counters);
+            // SAFETY: active-list entries are unique, so writes are disjoint.
+            unsafe { *out.get().add(i as usize) = y };
+        });
+        DenseVector::from_values(vals, identity)
+    } else {
+        // No active list: scan all rows but skip masked-out ones before
+        // touching the matrix (mask reads cost O(M), matrix cost O(d·nnz(m))).
+        if let Some(c) = counters {
+            c.add_mask(op.n_rows() as u64);
+        }
+        let vals: Vec<Y> = (0..op.n_rows())
+            .into_par_iter()
+            .with_min_len(ROW_GRAIN)
+            .map(|i| {
+                if mask.allows(i) {
+                    reduce_row(s, op, v, i, identity, early_exit, counters)
+                } else {
+                    identity
+                }
+            })
+            .collect();
+        DenseVector::from_values(vals, identity)
+    }
+}
+
+/// Reduce one operand row against a dense input vector.
+#[inline]
+fn reduce_row<A, X, Y, S>(
+    s: S,
+    op: &Csr<A>,
+    v: &DenseVector<X>,
+    i: usize,
+    identity: Y,
+    early_exit: bool,
+    counters: Option<&AccessCounters>,
+) -> Y
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    let add = s.add_monoid();
+    let annihilator = add.annihilator();
+    let cols = op.row(i);
+    let avals = op.row_values(i);
+    let mut acc = identity;
+    let mut examined = 0u64;
+    for (idx, &j) in cols.iter().enumerate() {
+        examined += 1;
+        if v.is_explicit(j as usize) {
+            acc = add.op(acc, s.mult(avals[idx], v.get(j as usize)));
+            if early_exit && annihilator == Some(acc) {
+                break;
+            }
+        }
+    }
+    if let Some(c) = counters {
+        c.add_matrix(examined);
+        c.add_vector(examined + 1);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Column-based (push) kernels
+// ---------------------------------------------------------------------------
+
+/// Column-based matvec without a mask: gathers the operand columns selected
+/// by the sparse input's nonzeros and resolves collisions by multiway merge
+/// (radix sort + segmented reduce, Algorithm 3, or a heap merge when the
+/// descriptor asks). `O(d·nnz(f)·log nnz(f))`.
+///
+/// `op_t` must be the *transpose* of the logical operand: its rows are the
+/// operand's columns, which is how CSC access is realized (§3).
+pub fn col_mxv<A, X, Y, S>(
+    s: S,
+    op_t: &Csr<A>,
+    v: &SparseVector<X>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> SparseVector<Y>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    col_kernel(s, op_t, v, None, desc, counters)
+}
+
+/// Column-based **masked** matvec — Algorithm 3 with the final mask filter
+/// (lines 17–24). The mask does *not* reduce work here (Fig. 4d): the full
+/// expansion, sort, and reduction happen first; the mask only gates which
+/// entries reach the output.
+pub fn col_masked_mxv<A, X, Y, S>(
+    s: S,
+    op_t: &Csr<A>,
+    v: &SparseVector<X>,
+    mask: &Mask<'_>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> SparseVector<Y>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    assert_eq!(op_t.n_rows(), mask.dim(), "mask must cover output dim");
+    col_kernel(s, op_t, v, Some(mask), desc, counters)
+}
+
+fn col_kernel<A, X, Y, S>(
+    s: S,
+    op_t: &Csr<A>,
+    v: &SparseVector<X>,
+    mask: Option<&Mask<'_>>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> SparseVector<Y>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    let add = s.add_monoid();
+    let identity = add.identity();
+    if let Some(c) = counters {
+        c.add_vector(v.nnz() as u64);
+    }
+
+    // Structure-only fast path: all products are a known constant, so the
+    // expansion carries bare keys and the sort is key-only (§5.5).
+    let structure_hint = if desc.structure_only { s.product_hint() } else { None };
+
+    let sort_based = |counters: Option<&AccessCounters>| -> (Vec<u32>, Vec<Y>) {
+        if let Some(hint) = structure_hint {
+            let mut keys = expand_keys_only(op_t, v, counters);
+            if let Some(c) = counters {
+                c.add_sort(keys.len() as u64 * sort::passes_for(op_t.n_rows().max(1) as u32 - 1) as u64);
+            }
+            sort::sort_keys(&mut keys, op_t.n_rows().max(1) as u32 - 1);
+            keys.dedup();
+            let vals = vec![hint; keys.len()];
+            (keys, vals)
+        } else {
+            let (mut keys, mut prods) = expand_pairs(s, op_t, v, counters);
+            if let Some(c) = counters {
+                // Key-value sort moves twice the data of a key-only sort —
+                // the factor structure-only removes.
+                c.add_sort(2 * keys.len() as u64 * sort::passes_for(op_t.n_rows().max(1) as u32 - 1) as u64);
+            }
+            sort::sort_pairs(&mut keys, &mut prods, op_t.n_rows().max(1) as u32 - 1);
+            segreduce::segmented_reduce_by_key(&keys, &prods, |a, b| add.op(a, b))
+        }
+    };
+
+    let (mut ids, mut vals) = match desc.merge_strategy {
+        MergeStrategy::SortBased => sort_based(counters),
+        MergeStrategy::BitmaskCull => {
+            // Gunrock-style local culling (§7.3): claim output slots in a
+            // bitmask instead of sorting. Requires every surviving product
+            // to be the same constant; fall back to sorting otherwise.
+            match s.product_hint() {
+                Some(hint) => {
+                    let lengths: Vec<usize> =
+                        v.ids().iter().map(|&k| op_t.degree(k as usize)).collect();
+                    let offsets = scan::exclusive_scan_offsets(&lengths);
+                    let total = *offsets.last().expect("non-empty offsets");
+                    if let Some(c) = counters {
+                        c.add_vector(total as u64);
+                        c.add_matrix(total as u64);
+                    }
+                    let claimed = AtomicBitVec::new(op_t.n_rows());
+                    let ids_ref = v.ids();
+                    gather::interval_gather(&offsets, pool::DEFAULT_GRAIN, |seg, within, _pos| {
+                        let src = ids_ref[seg] as usize;
+                        claimed.set(op_t.row(src)[within] as usize);
+                    });
+                    // Bit iteration yields sorted unique indices for free.
+                    let keys: Vec<u32> =
+                        claimed.to_bitvec().iter_ones().map(|i| i as u32).collect();
+                    let vals = vec![hint; keys.len()];
+                    (keys, vals)
+                }
+                None => sort_based(counters),
+            }
+        }
+        MergeStrategy::HeapMerge => {
+            // Materialize each selected column as a sorted (row, product)
+            // list and k-way merge — the textbook §3.1 formulation.
+            let lists: Vec<Vec<(u32, Y)>> = v
+                .ids()
+                .iter()
+                .zip(v.vals().iter())
+                .map(|(&k, &x)| {
+                    let cols = op_t.row(k as usize);
+                    let avals = op_t.row_values(k as usize);
+                    if let Some(c) = counters {
+                        c.add_matrix(cols.len() as u64);
+                        c.add_sort((cols.len() as f64 * (v.nnz().max(2) as f64).log2()) as u64);
+                    }
+                    cols.iter()
+                        .zip(avals.iter())
+                        .map(|(&j, &a)| (j, s.mult(a, x)))
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[(u32, Y)]> = lists.iter().map(Vec::as_slice).collect();
+            let merged = merge::multiway_merge_reduce(&refs, |a, b| add.op(a, b));
+            merged.into_iter().unzip()
+        }
+    };
+
+    // Mask filter (lines 17–24 of Algorithm 3) and identity drop. Entries
+    // whose reduced value equals the ⊕ identity are implicit zeros and are
+    // not materialized.
+    if let Some(c) = counters {
+        if mask.is_some() {
+            c.add_mask(ids.len() as u64);
+        }
+    }
+    let mut write = 0usize;
+    for read in 0..ids.len() {
+        let keep = vals[read] != identity
+            && mask.is_none_or(|m| m.allows(ids[read] as usize));
+        if keep {
+            ids[write] = ids[read];
+            vals[write] = vals[read];
+            write += 1;
+        }
+    }
+    ids.truncate(write);
+    vals.truncate(write);
+    SparseVector::from_sorted(ids, vals)
+}
+
+/// Expand the selected columns into a flat (row-index, product) pair list.
+fn expand_pairs<A, X, Y, S>(
+    s: S,
+    op_t: &Csr<A>,
+    v: &SparseVector<X>,
+    counters: Option<&AccessCounters>,
+) -> (Vec<u32>, Vec<Y>)
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    let lengths: Vec<usize> = v.ids().iter().map(|&k| op_t.degree(k as usize)).collect();
+    let offsets = scan::exclusive_scan_offsets(&lengths);
+    let total = *offsets.last().expect("non-empty offsets");
+    if let Some(c) = counters {
+        c.add_matrix(total as u64);
+    }
+    let mut keys = vec![0u32; total];
+    let mut prods: Vec<Y> = vec![s.add_monoid().identity(); total];
+    let kp = SendPtr(keys.as_mut_ptr());
+    let pp = SendPtr(prods.as_mut_ptr());
+    let ids = v.ids();
+    let xs = v.vals();
+    gather::interval_gather(&offsets, pool::DEFAULT_GRAIN, |seg, within, pos| {
+        let src = ids[seg] as usize;
+        let j = op_t.row(src)[within];
+        let a = op_t.row_values(src)[within];
+        // SAFETY: positions partition 0..total; writes are disjoint.
+        unsafe {
+            *kp.get().add(pos) = j;
+            *pp.get().add(pos) = s.mult(a, xs[seg]);
+        }
+    });
+    (keys, prods)
+}
+
+/// Expand the selected columns into bare row indices (structure-only path:
+/// no matrix values, no products).
+fn expand_keys_only<A, X>(
+    op_t: &Csr<A>,
+    v: &SparseVector<X>,
+    counters: Option<&AccessCounters>,
+) -> Vec<u32>
+where
+    A: Scalar,
+    X: Scalar,
+{
+    let lengths: Vec<usize> = v.ids().iter().map(|&k| op_t.degree(k as usize)).collect();
+    let offsets = scan::exclusive_scan_offsets(&lengths);
+    let total = *offsets.last().expect("non-empty offsets");
+    if let Some(c) = counters {
+        c.add_matrix(total as u64);
+    }
+    let mut keys = vec![0u32; total];
+    let kp = SendPtr(keys.as_mut_ptr());
+    let ids = v.ids();
+    gather::interval_gather(&offsets, pool::DEFAULT_GRAIN, |seg, within, pos| {
+        let src = ids[seg] as usize;
+        let j = op_t.row(src)[within];
+        // SAFETY: positions partition 0..total; writes are disjoint.
+        unsafe { *kp.get().add(pos) = j };
+    });
+    keys
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch (GrB_mxv)
+// ---------------------------------------------------------------------------
+
+/// The direction a given call would take under the descriptor's policy.
+#[must_use]
+pub fn resolve_direction<X: Scalar>(v: &Vector<X>, desc: &Descriptor) -> Direction {
+    match desc.direction {
+        DirectionChoice::Force(d) => d,
+        DirectionChoice::Auto => {
+            if v.is_sparse() {
+                Direction::Push
+            } else {
+                Direction::Pull
+            }
+        }
+    }
+}
+
+/// GrB_mxv: `w = op(A) · v` under a semiring, with optional mask.
+///
+/// Both push and pull compute the same expression; which kernel runs is an
+/// implementation decision (§4.4, §6.3):
+///
+/// * **Push** (sparse `v`): column kernel over the operand's transpose.
+/// * **Pull** (dense `v`): row kernel; masked when a mask is supplied.
+///
+/// The output's storage matches the kernel (push → sparse, pull → dense),
+/// so a DOBFS loop alternating directions naturally hands each iteration
+/// the representation the next one wants.
+///
+/// ```
+/// use graphblas_core::{mxv, BoolOrAnd, Descriptor, Vector};
+/// use graphblas_matrix::{Coo, Graph};
+///
+/// // 0 → 1 → 2: one BFS step from {0} over Aᵀ lands on {1}.
+/// let mut coo = Coo::new(3, 3);
+/// coo.push(0, 1, true);
+/// coo.push(1, 2, true);
+/// let g = Graph::from_coo(&coo);
+/// let f = Vector::singleton(3, false, 0, true);
+/// let desc = Descriptor::new().transpose(true);
+///
+/// let next: Vector<bool> = mxv(None, BoolOrAnd, &g, &f, &desc, None).unwrap();
+/// assert_eq!(next.iter_explicit().collect::<Vec<_>>(), vec![(1, true)]);
+/// ```
+pub fn mxv<A, X, Y, S>(
+    mask: Option<&Mask<'_>>,
+    s: S,
+    graph: &Graph<A>,
+    v: &Vector<X>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<Vector<Y>>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    // Operand orientation: `operand` is what row-based iterates rows of;
+    // `operand_t` (its transpose) is what column-based iterates rows of.
+    let (operand, operand_t) = if desc.transpose {
+        (graph.csr_t(), graph.csr())
+    } else {
+        (graph.csr(), graph.csr_t())
+    };
+    if operand.n_cols() != v.dim() {
+        return Err(GrbError::DimensionMismatch {
+            context: "mxv input vector",
+            expected: operand.n_cols(),
+            actual: v.dim(),
+        });
+    }
+    if let Some(m) = mask {
+        if m.dim() != operand.n_rows() {
+            return Err(GrbError::DimensionMismatch {
+                context: "mxv mask",
+                expected: operand.n_rows(),
+                actual: m.dim(),
+            });
+        }
+    }
+
+    let identity = s.add_monoid().identity();
+    match resolve_direction(v, desc) {
+        Direction::Push => {
+            let sparse_input;
+            let sv = match v.as_sparse() {
+                Some(sv) => sv,
+                None => {
+                    sparse_input = v.to_sparse();
+                    &sparse_input
+                }
+            };
+            let out = match mask {
+                Some(m) => col_masked_mxv(s, operand_t, sv, m, desc, counters),
+                None => col_mxv(s, operand_t, sv, desc, counters),
+            };
+            let (ids, vals) = (out.ids().to_vec(), out.vals().to_vec());
+            Ok(Vector::from_sparse(operand.n_rows(), identity, ids, vals))
+        }
+        Direction::Pull => {
+            let dense_input;
+            let dv = match v.as_dense() {
+                Some(dv) => dv,
+                None => {
+                    dense_input = v.to_dense();
+                    &dense_input
+                }
+            };
+            let out = match mask {
+                Some(m) => row_masked_mxv(s, operand, dv, m, desc.early_exit, counters),
+                None => row_mxv(s, operand, dv, counters),
+            };
+            Ok(Vector::Dense(out))
+        }
+    }
+}
+
+/// GrB_mxv with an accumulator: `w = w accum (op(A) · v)` — the `+=` form
+/// of the C API. New products merge into the existing output under
+/// `accum`; entries untouched by the product keep their old values.
+///
+/// Used by accumulating algorithms (dependency sums in betweenness,
+/// batched scores) where replacing the output vector would lose state.
+pub fn mxv_accum<A, X, Y, S, F>(
+    w: &mut Vector<Y>,
+    mask: Option<&Mask<'_>>,
+    accum: F,
+    s: S,
+    graph: &Graph<A>,
+    v: &Vector<X>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<()>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+    F: Fn(Y, Y) -> Y,
+{
+    let t: Vector<Y> = mxv(mask, s, graph, v, desc, counters)?;
+    if w.dim() != t.dim() {
+        return Err(GrbError::DimensionMismatch {
+            context: "mxv_accum output",
+            expected: t.dim(),
+            actual: w.dim(),
+        });
+    }
+    // Merge: entries explicit in t combine with w's current value.
+    let fill = w.fill();
+    let mut merged = w.to_dense();
+    for (i, y) in t.iter_explicit() {
+        let old = merged.get(i as usize);
+        let new = if old == fill { y } else { accum(old, y) };
+        merged.set(i as usize, new);
+    }
+    *w = Vector::Dense(merged);
+    Ok(())
+}
+
+/// GrB_vxm: `w = v · op(A)`, the row-vector form. Equivalent to `mxv` with
+/// the transpose flag flipped; provided for API fidelity with the C spec.
+pub fn vxm<A, X, Y, S>(
+    mask: Option<&Mask<'_>>,
+    s: S,
+    v: &Vector<X>,
+    graph: &Graph<A>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<Vector<Y>>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    let flipped = Descriptor {
+        transpose: !desc.transpose,
+        ..*desc
+    };
+    mxv(mask, s, graph, v, &flipped, counters)
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{BoolOrAnd, BoolStructure, MinPlus, PlusTimes};
+    use graphblas_matrix::Coo;
+    use graphblas_primitives::BitVec;
+
+    /// The 8-vertex example of Figure 3: frontier {B, C, D}, visited
+    /// {A, B, C, D}; push/pull must both discover exactly {E, F}.
+    ///
+    /// Vertices: A=0, B=1, C=2, D=3, E=4, F=5, G=6, H=7.
+    /// Edges (directed, child lists): B->A, B->E, C->F, D->A, D->F,
+    /// E->G(reverse discovered later)… we keep it minimal: the asserted
+    /// behaviour is discovery of {E=4, F=5} and exclusion of A=0.
+    fn fig3_graph() -> Graph<bool> {
+        let mut coo = Coo::new(8, 8);
+        for &(u, c) in &[(1u32, 0u32), (1, 4), (2, 5), (3, 0), (3, 5), (6, 7)] {
+            coo.push(u, c, true);
+        }
+        Graph::from_coo(&coo)
+    }
+
+    fn frontier_bcd() -> Vector<bool> {
+        Vector::from_sparse(8, false, vec![1, 2, 3], vec![true; 3])
+    }
+
+    fn visited_abcd() -> BitVec {
+        let mut b = BitVec::new(8);
+        for i in 0..4 {
+            b.set(i);
+        }
+        b
+    }
+
+    fn desc_bfs() -> Descriptor {
+        // BFS multiplies by Aᵀ: children of the frontier.
+        Descriptor::new().transpose(true)
+    }
+
+    #[test]
+    fn push_discovers_children_with_mask() {
+        let g = fig3_graph();
+        let f = frontier_bcd();
+        let visited = visited_abcd();
+        let mask = Mask::complement(&visited);
+        let desc = desc_bfs().force(Direction::Push);
+        let out: Vector<bool> = mxv(Some(&mask), BoolOrAnd, &g, &f, &desc, None).expect("mxv");
+        let found: Vec<u32> = out.iter_explicit().map(|(i, _)| i).collect();
+        assert_eq!(found, vec![4, 5], "push finds E and F, filters A");
+        assert!(out.is_sparse(), "push output stays sparse");
+    }
+
+    #[test]
+    fn pull_matches_push() {
+        let g = fig3_graph();
+        let mut f = frontier_bcd();
+        f.make_dense();
+        let visited = visited_abcd();
+        let mask = Mask::complement(&visited);
+        let desc = desc_bfs().force(Direction::Pull);
+        let out: Vector<bool> = mxv(Some(&mask), BoolOrAnd, &g, &f, &desc, None).expect("mxv");
+        let found: Vec<u32> = out.iter_explicit().map(|(i, _)| i).collect();
+        assert_eq!(found, vec![4, 5], "pull finds the same frontier");
+        assert!(!out.is_sparse(), "pull output is dense");
+    }
+
+    #[test]
+    fn auto_direction_follows_storage() {
+        let g = fig3_graph();
+        let desc = desc_bfs();
+        let sparse_f = frontier_bcd();
+        assert_eq!(resolve_direction(&sparse_f, &desc), Direction::Push);
+        let mut dense_f = frontier_bcd();
+        dense_f.make_dense();
+        assert_eq!(resolve_direction(&dense_f, &desc), Direction::Pull);
+        // And both give identical explicit sets through the full dispatcher.
+        let visited = visited_abcd();
+        let mask = Mask::complement(&visited);
+        let a: Vector<bool> = mxv(Some(&mask), BoolOrAnd, &g, &sparse_f, &desc, None).unwrap();
+        let b: Vector<bool> = mxv(Some(&mask), BoolOrAnd, &g, &dense_f, &desc, None).unwrap();
+        let ea: Vec<_> = a.iter_explicit().collect();
+        let eb: Vec<_> = b.iter_explicit().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn unmasked_push_includes_already_visited() {
+        let g = fig3_graph();
+        let f = frontier_bcd();
+        let desc = desc_bfs().force(Direction::Push);
+        let out: Vector<bool> = mxv(None, BoolOrAnd, &g, &f, &desc, None).expect("mxv");
+        let found: Vec<u32> = out.iter_explicit().map(|(i, _)| i).collect();
+        assert_eq!(found, vec![0, 4, 5], "without the mask, A re-appears");
+    }
+
+    #[test]
+    fn structure_only_path_matches_generic() {
+        let g = fig3_graph();
+        let f = frontier_bcd();
+        let visited = visited_abcd();
+        let mask = Mask::complement(&visited);
+        let generic: Vector<bool> = mxv(
+            Some(&mask),
+            BoolOrAnd,
+            &g,
+            &f,
+            &desc_bfs().force(Direction::Push).structure_only(false),
+            None,
+        )
+        .unwrap();
+        let structural: Vector<bool> = mxv(
+            Some(&mask),
+            BoolStructure,
+            &g,
+            &f,
+            &desc_bfs().force(Direction::Push).structure_only(true),
+            None,
+        )
+        .unwrap();
+        let a: Vec<_> = generic.iter_explicit().collect();
+        let b: Vec<_> = structural.iter_explicit().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heap_merge_matches_sort_based() {
+        let g = fig3_graph();
+        let f = frontier_bcd();
+        let sorted: Vector<bool> = mxv(
+            None,
+            BoolOrAnd,
+            &g,
+            &f,
+            &desc_bfs().force(Direction::Push).merge_strategy(MergeStrategy::SortBased),
+            None,
+        )
+        .unwrap();
+        let heaped: Vector<bool> = mxv(
+            None,
+            BoolOrAnd,
+            &g,
+            &f,
+            &desc_bfs().force(Direction::Push).merge_strategy(MergeStrategy::HeapMerge),
+            None,
+        )
+        .unwrap();
+        let a: Vec<_> = sorted.iter_explicit().collect();
+        let b: Vec<_> = heaped.iter_explicit().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bitmask_cull_matches_sort_based() {
+        let g = fig3_graph();
+        let f = frontier_bcd();
+        let visited = visited_abcd();
+        let mask = Mask::complement(&visited);
+        // With a product hint (BoolStructure), culling is exact.
+        let sorted: Vector<bool> = mxv(
+            Some(&mask),
+            crate::ops::BoolStructure,
+            &g,
+            &f,
+            &desc_bfs().force(Direction::Push),
+            None,
+        )
+        .unwrap();
+        let culled: Vector<bool> = mxv(
+            Some(&mask),
+            crate::ops::BoolStructure,
+            &g,
+            &f,
+            &desc_bfs()
+                .force(Direction::Push)
+                .merge_strategy(MergeStrategy::BitmaskCull),
+            None,
+        )
+        .unwrap();
+        let a: Vec<_> = sorted.iter_explicit().collect();
+        let b: Vec<_> = culled.iter_explicit().collect();
+        assert_eq!(a, b);
+        // Without a hint (BoolOrAnd under structure_only=false) the kernel
+        // silently falls back to the sort path and stays correct.
+        let fallback: Vector<bool> = mxv(
+            Some(&mask),
+            BoolOrAnd,
+            &g,
+            &f,
+            &desc_bfs()
+                .force(Direction::Push)
+                .structure_only(false)
+                .merge_strategy(MergeStrategy::BitmaskCull),
+            None,
+        )
+        .unwrap();
+        let c: Vec<_> = fallback.iter_explicit().collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn bitmask_cull_avoids_sort_traffic() {
+        let g = fig3_graph();
+        let f = frontier_bcd();
+        let count_sort = |strategy: MergeStrategy| {
+            let c = AccessCounters::new();
+            let _: Vector<bool> = mxv(
+                None,
+                crate::ops::BoolStructure,
+                &g,
+                &f,
+                &desc_bfs().force(Direction::Push).merge_strategy(strategy),
+                Some(&c),
+            )
+            .unwrap();
+            c.snapshot().sort
+        };
+        assert!(count_sort(MergeStrategy::SortBased) > 0);
+        assert_eq!(count_sort(MergeStrategy::BitmaskCull), 0);
+    }
+
+    #[test]
+    fn min_plus_single_step_relaxation() {
+        // Weighted digraph: 0 -2.0-> 1, 0 -5.0-> 2, 1 -1.0-> 2.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0f64);
+        coo.push(0, 2, 5.0);
+        coo.push(1, 2, 1.0);
+        let g = Graph::from_coo(&coo);
+        // Distance vector after init: d(0)=0.
+        let d = Vector::singleton(3, f64::INFINITY, 0, 0.0);
+        // One relaxation step: d' = Aᵀ d (min-plus) gives 1: 2.0, 2: 5.0.
+        let desc = Descriptor::new().transpose(true);
+        let out: Vector<f64> = mxv(None, MinPlus, &g, &d, &desc, None).unwrap();
+        assert_eq!(out.get(1), 2.0);
+        assert_eq!(out.get(2), 5.0);
+        assert_eq!(out.get(0), f64::INFINITY, "no in-edges to 0");
+    }
+
+    #[test]
+    fn plus_times_row_kernel_is_standard_spmv() {
+        // [[1,2],[0,3]] * [10, 100] = [210, 300]
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0f64);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 1, 3.0);
+        let g = Graph::from_coo(&coo);
+        let x = Vector::Dense(DenseVector::from_values(vec![10.0, 100.0], 0.0));
+        let out: Vector<f64> = mxv(None, PlusTimes, &g, &x, &Descriptor::new(), None).unwrap();
+        assert_eq!(out.get(0), 210.0);
+        assert_eq!(out.get(1), 300.0);
+    }
+
+    #[test]
+    fn early_exit_does_not_change_results() {
+        let g = fig3_graph();
+        let mut f = frontier_bcd();
+        f.make_dense();
+        let visited = visited_abcd();
+        let mask = Mask::complement(&visited);
+        let with: Vector<bool> = mxv(
+            Some(&mask),
+            BoolOrAnd,
+            &g,
+            &f,
+            &desc_bfs().force(Direction::Pull).early_exit(true),
+            None,
+        )
+        .unwrap();
+        let without: Vector<bool> = mxv(
+            Some(&mask),
+            BoolOrAnd,
+            &g,
+            &f,
+            &desc_bfs().force(Direction::Pull).early_exit(false),
+            None,
+        )
+        .unwrap();
+        let a: Vec<_> = with.iter_explicit().collect();
+        let b: Vec<_> = without.iter_explicit().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn early_exit_reduces_matrix_accesses() {
+        // Row with many parents, all in the frontier: early exit stops at 1.
+        let n = 100;
+        let mut coo = Coo::new(n, n);
+        for p in 0..n - 1 {
+            coo.push(p as u32, (n - 1) as u32, true); // everyone -> last
+        }
+        let g = Graph::from_coo(&coo);
+        let mut f = Vector::from_sparse(
+            n,
+            false,
+            (0..(n - 1) as u32).collect(),
+            vec![true; n - 1],
+        );
+        f.make_dense();
+        let visited = {
+            let mut b = BitVec::new(n);
+            for i in 0..n - 1 {
+                b.set(i);
+            }
+            b
+        };
+        let mask = Mask::complement(&visited);
+        let count = |ee: bool| {
+            let c = AccessCounters::new();
+            let _: Vector<bool> = mxv(
+                Some(&mask),
+                BoolOrAnd,
+                &g,
+                &f,
+                &desc_bfs().force(Direction::Pull).early_exit(ee),
+                Some(&c),
+            )
+            .unwrap();
+            c.snapshot().matrix
+        };
+        let with = count(true);
+        let without = count(false);
+        assert_eq!(with, 1, "first parent found immediately");
+        assert_eq!(without, (n - 1) as u64, "no early exit scans all parents");
+    }
+
+    #[test]
+    fn mask_active_list_reduces_mask_accesses() {
+        let g = fig3_graph();
+        let mut f = frontier_bcd();
+        f.make_dense();
+        let visited = visited_abcd();
+        let unvisited: Vec<u32> = vec![4, 5, 6, 7];
+        let with_list = {
+            let c = AccessCounters::new();
+            let mask = Mask::complement(&visited).with_active_list(&unvisited);
+            let _: Vector<bool> =
+                mxv(Some(&mask), BoolOrAnd, &g, &f, &desc_bfs().force(Direction::Pull), Some(&c))
+                    .unwrap();
+            c.snapshot().mask
+        };
+        let without_list = {
+            let c = AccessCounters::new();
+            let mask = Mask::complement(&visited);
+            let _: Vector<bool> =
+                mxv(Some(&mask), BoolOrAnd, &g, &f, &desc_bfs().force(Direction::Pull), Some(&c))
+                    .unwrap();
+            c.snapshot().mask
+        };
+        assert_eq!(with_list, 4);
+        assert_eq!(without_list, 8);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let g = fig3_graph();
+        let short = Vector::new_sparse(5, false);
+        let r: GrbResult<Vector<bool>> =
+            mxv(None, BoolOrAnd, &g, &short, &Descriptor::new(), None);
+        assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
+        let bad_bits = BitVec::new(3);
+        let bad_mask = Mask::new(&bad_bits);
+        let f = frontier_bcd();
+        let r: GrbResult<Vector<bool>> =
+            mxv(Some(&bad_mask), BoolOrAnd, &g, &f, &Descriptor::new(), None);
+        assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn vxm_equals_mxv_on_transpose() {
+        let g = fig3_graph();
+        let f = frontier_bcd();
+        // vxm(f, A) = mxv(Aᵀ, f).
+        let a: Vector<bool> = vxm(None, BoolOrAnd, &f, &g, &Descriptor::new(), None).unwrap();
+        let b: Vector<bool> =
+            mxv(None, BoolOrAnd, &g, &f, &Descriptor::new().transpose(true), None).unwrap();
+        let ea: Vec<_> = a.iter_explicit().collect();
+        let eb: Vec<_> = b.iter_explicit().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn empty_frontier_yields_empty_output() {
+        let g = fig3_graph();
+        let f = Vector::new_sparse(8, false);
+        let out: Vector<bool> =
+            mxv(None, BoolOrAnd, &g, &f, &desc_bfs().force(Direction::Push), None).unwrap();
+        assert_eq!(out.nnz(), 0);
+    }
+
+    #[test]
+    fn accum_merges_instead_of_replacing() {
+        // Weighted counts: accumulate in-neighbor contributions into an
+        // existing tally (min-plus style on plus-times data).
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0f64);
+        coo.push(0, 2, 1.0);
+        let g = Graph::from_coo(&coo);
+        // Existing state: w = [10, 20, 0-as-fill].
+        let mut w = Vector::from_sparse(3, 0.0f64, vec![0, 1], vec![10.0, 20.0]);
+        let x = Vector::singleton(3, 0.0f64, 0, 5.0);
+        // Aᵀx over plus-times: t(1) = 5, t(2) = 5.
+        mxv_accum(
+            &mut w,
+            None,
+            |a, b| a + b,
+            PlusTimes,
+            &g,
+            &x,
+            &Descriptor::new().transpose(true),
+            None,
+        )
+        .unwrap();
+        assert_eq!(w.get(0), 10.0, "untouched entries keep state");
+        assert_eq!(w.get(1), 25.0, "accumulated");
+        assert_eq!(w.get(2), 5.0, "fill slots adopt the product");
+    }
+
+    #[test]
+    fn accum_dimension_mismatch_reported() {
+        let g = fig3_graph();
+        let mut w: Vector<bool> = Vector::new_sparse(5, false);
+        let f = frontier_bcd();
+        let r = mxv_accum(
+            &mut w,
+            None,
+            |a, b| a || b,
+            BoolOrAnd,
+            &g,
+            &f,
+            &desc_bfs(),
+            None,
+        );
+        assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
+    }
+}

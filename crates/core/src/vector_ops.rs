@@ -1,0 +1,228 @@
+//! Vector-level GraphBLAS operations: the `GrB_assign`, `GrB_reduce`,
+//! `GrB_eWiseMult`/`eWiseAdd`, and `GrB_apply` that Algorithm 1 composes
+//! around its `GrB_mxv` core.
+
+use crate::mask::Mask;
+use crate::ops::{Monoid, Scalar};
+use crate::vector::{DenseVector, Vector};
+
+/// GrB_assign with a vector pattern: `target(i) = value` for every explicit
+/// entry `i` of `pattern` (Algorithm 1 line 7, `v ← f × d + v`).
+pub fn assign_scalar<T: Scalar, P: Scalar>(
+    target: &mut DenseVector<T>,
+    pattern: &Vector<P>,
+    value: T,
+) {
+    assert_eq!(target.dim(), pattern.dim(), "assign dimensions must match");
+    for (i, _) in pattern.iter_explicit() {
+        target.set(i as usize, value);
+    }
+}
+
+/// GrB_reduce to a scalar: fold all explicit entries with a monoid.
+#[must_use]
+pub fn reduce<T: Scalar, M: Monoid<T>>(v: &Vector<T>, m: M) -> T {
+    let mut acc = m.identity();
+    for (_, x) in v.iter_explicit() {
+        acc = m.op(acc, x);
+    }
+    acc
+}
+
+/// GrB_reduce specialization used on line 9 of Algorithm 1: the number of
+/// explicit entries (`c ← Σ f(i)` over the Boolean frontier).
+#[must_use]
+pub fn reduce_count<T: Scalar>(v: &Vector<T>) -> usize {
+    v.nnz()
+}
+
+/// GrB_apply: map every explicit entry through `f`, preserving structure.
+/// The fill element maps through as well so implicit entries stay implicit.
+#[must_use]
+pub fn apply<T: Scalar, U: Scalar, F: Fn(T) -> U>(v: &Vector<T>, fill_out: U, f: F) -> Vector<U> {
+    match v {
+        Vector::Sparse { dim, data, .. } => Vector::from_sparse(
+            *dim,
+            fill_out,
+            data.ids().to_vec(),
+            data.vals().iter().map(|&x| f(x)).collect(),
+        ),
+        Vector::Dense(d) => Vector::Dense(DenseVector::from_values(
+            d.values().iter().map(|&x| f(x)).collect(),
+            fill_out,
+        )),
+    }
+}
+
+/// GrB_eWiseMult (intersection semantics): `w(i) = op(u(i), v(i))` where
+/// both are explicit.
+#[must_use]
+pub fn ewise_mult<T: Scalar, F: Fn(T, T) -> T>(u: &Vector<T>, v: &Vector<T>, op: F) -> Vector<T> {
+    assert_eq!(u.dim(), v.dim(), "eWiseMult dimensions must match");
+    let fill = u.fill();
+    let mut ids = Vec::new();
+    let mut vals = Vec::new();
+    // Iterate the sparser side, probe the other.
+    let (probe_from, probe_into) = if u.nnz() <= v.nnz() { (u, v) } else { (v, u) };
+    let flipped = u.nnz() > v.nnz();
+    for (i, x) in probe_from.iter_explicit() {
+        let other = probe_into.get(i);
+        if other != probe_into.fill() {
+            let val = if flipped { op(other, x) } else { op(x, other) };
+            ids.push(i);
+            vals.push(val);
+        }
+    }
+    Vector::from_sparse(u.dim(), fill, ids, vals)
+}
+
+/// GrB_eWiseAdd (union semantics): `w(i)` is `op(u(i), v(i))` where both are
+/// explicit, else whichever side is explicit.
+#[must_use]
+pub fn ewise_add<T: Scalar, F: Fn(T, T) -> T>(u: &Vector<T>, v: &Vector<T>, op: F) -> Vector<T> {
+    assert_eq!(u.dim(), v.dim(), "eWiseAdd dimensions must match");
+    let fill = u.fill();
+    let a: Vec<(u32, T)> = u.iter_explicit().collect();
+    let b: Vec<(u32, T)> = v.iter_explicit().collect();
+    let mut ids = Vec::with_capacity(a.len() + b.len());
+    let mut vals = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                ids.push(a[i].0);
+                vals.push(a[i].1);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                ids.push(b[j].0);
+                vals.push(b[j].1);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                ids.push(a[i].0);
+                vals.push(op(a[i].1, b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &(id, x) in &a[i..] {
+        ids.push(id);
+        vals.push(x);
+    }
+    for &(id, x) in &b[j..] {
+        ids.push(id);
+        vals.push(x);
+    }
+    Vector::from_sparse(u.dim(), fill, ids, vals)
+}
+
+/// Keep only entries the mask allows — the standalone `.∗ ¬v` filter used
+/// when masking inside `mxv` is disabled (Table 2's pre-masking rungs).
+#[must_use]
+pub fn filter_by_mask<T: Scalar>(v: &Vector<T>, mask: &Mask<'_>) -> Vector<T> {
+    assert_eq!(v.dim(), mask.dim(), "mask must cover vector");
+    let fill = v.fill();
+    let mut ids = Vec::new();
+    let mut vals = Vec::new();
+    for (i, x) in v.iter_explicit() {
+        if mask.allows(i as usize) {
+            ids.push(i);
+            vals.push(x);
+        }
+    }
+    Vector::from_sparse(v.dim(), fill, ids, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{OrMonoid, PlusMonoid};
+    use graphblas_primitives::BitVec;
+
+    #[test]
+    fn assign_scalar_writes_frontier_depths() {
+        let mut depths = DenseVector::new(6, -1i32);
+        let f = Vector::from_sparse(6, false, vec![1, 4], vec![true, true]);
+        assign_scalar(&mut depths, &f, 3);
+        assert_eq!(depths.get(1), 3);
+        assert_eq!(depths.get(4), 3);
+        assert_eq!(depths.get(0), -1);
+    }
+
+    #[test]
+    fn assign_from_dense_pattern() {
+        let mut depths = DenseVector::new(4, 0u32);
+        let mut f = Vector::from_sparse(4, false, vec![2], vec![true]);
+        f.make_dense();
+        assign_scalar(&mut depths, &f, 9);
+        assert_eq!(depths.get(2), 9);
+        assert_eq!(depths.get(1), 0);
+    }
+
+    #[test]
+    fn reduce_or_and_count() {
+        let f = Vector::from_sparse(5, false, vec![0, 3], vec![true, true]);
+        assert!(reduce(&f, OrMonoid));
+        assert_eq!(reduce_count(&f), 2);
+        let empty: Vector<bool> = Vector::new_sparse(5, false);
+        assert!(!reduce(&empty, OrMonoid));
+        assert_eq!(reduce_count(&empty), 0);
+    }
+
+    #[test]
+    fn reduce_sum() {
+        let v = Vector::from_sparse(4, 0.0f64, vec![0, 2], vec![1.5, 2.5]);
+        let s: f64 = reduce(&v, PlusMonoid);
+        assert_eq!(s, 4.0);
+    }
+
+    #[test]
+    fn apply_maps_values() {
+        let v = Vector::from_sparse(4, 0i32, vec![1, 3], vec![10, 20]);
+        let w = apply(&v, 0i32, |x| x * 2);
+        let got: Vec<_> = w.iter_explicit().collect();
+        assert_eq!(got, vec![(1, 20), (3, 40)]);
+    }
+
+    #[test]
+    fn ewise_mult_intersects() {
+        let u = Vector::from_sparse(6, 0i64, vec![1, 2, 4], vec![10, 20, 40]);
+        let v = Vector::from_sparse(6, 0i64, vec![2, 4, 5], vec![2, 4, 5]);
+        let w = ewise_mult(&u, &v, |a, b| a * b);
+        let got: Vec<_> = w.iter_explicit().collect();
+        assert_eq!(got, vec![(2, 40), (4, 160)]);
+    }
+
+    #[test]
+    fn ewise_mult_argument_order_preserved() {
+        // Non-commutative op; u sparser vs v sparser must both give op(u,v).
+        let u = Vector::from_sparse(4, 0i64, vec![1], vec![10]);
+        let v = Vector::from_sparse(4, 0i64, vec![1, 2, 3], vec![3, 9, 9]);
+        let w = ewise_mult(&u, &v, |a, b| a - b);
+        assert_eq!(w.get(1), 7);
+        let w2 = ewise_mult(&v, &u, |a, b| a - b);
+        assert_eq!(w2.get(1), -7);
+    }
+
+    #[test]
+    fn ewise_add_unions() {
+        let u = Vector::from_sparse(6, 0i64, vec![1, 2], vec![10, 20]);
+        let v = Vector::from_sparse(6, 0i64, vec![2, 5], vec![2, 5]);
+        let w = ewise_add(&u, &v, |a, b| a + b);
+        let got: Vec<_> = w.iter_explicit().collect();
+        assert_eq!(got, vec![(1, 10), (2, 22), (5, 5)]);
+    }
+
+    #[test]
+    fn filter_by_mask_drops_disallowed() {
+        let v = Vector::from_sparse(5, false, vec![0, 2, 4], vec![true; 3]);
+        let mut visited = BitVec::new(5);
+        visited.set(2);
+        let m = Mask::complement(&visited);
+        let w = filter_by_mask(&v, &m);
+        let got: Vec<u32> = w.iter_explicit().map(|(i, _)| i).collect();
+        assert_eq!(got, vec![0, 4]);
+    }
+}

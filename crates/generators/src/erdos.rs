@@ -1,0 +1,59 @@
+//! Erdős–Rényi `G(n, m)` graphs — the unstructured control used by tests
+//! and the cost-model microbenchmarks (Figure 2 uses *random* input
+//! vectors; an ER graph is the matching "no supervertices" matrix).
+
+use crate::finish_undirected;
+use graphblas_matrix::{Coo, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample an undirected graph with `n` vertices and about `m` distinct
+/// edges (duplicates and self-loops are cleaned, so slightly fewer may
+/// remain).
+#[must_use]
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph<bool> {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    coo.reserve(m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        coo.push(u, v, true);
+    }
+    finish_undirected(coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_matrix::GraphStats;
+
+    #[test]
+    fn basic_shape() {
+        let g = erdos_renyi(1000, 5000, 11);
+        assert_eq!(g.n_vertices(), 1000);
+        assert!(g.n_edges() <= 2 * 5000);
+        assert!(g.n_edges() > 8000, "most sampled edges survive cleaning");
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = erdos_renyi(500, 2000, 3);
+        let b = erdos_renyi(500, 2000, 3);
+        assert_eq!(a.csr().col_ind(), b.csr().col_ind());
+    }
+
+    #[test]
+    fn degrees_are_balanced() {
+        let g = erdos_renyi(2000, 20_000, 5);
+        let s = GraphStats::compute(g.csr());
+        assert!(
+            (s.max_degree as f64) < 4.0 * s.avg_degree,
+            "ER should have no supervertices: max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Road-network-style mesh — the roadNet_CA / road_USA (`rm`) stand-in.
+//!
+//! Road networks have degree ≤ ~12, huge diameter (849 and 6809 in Table
+//! 3), and near-planar structure. A 2-D grid with a fraction of edges
+//! knocked out (dead ends) and occasional diagonal shortcuts reproduces
+//! those properties: BFS runs for thousands of levels with small frontiers,
+//! which is why push-only beats direction optimization there (§7.3).
+
+use crate::finish_undirected;
+use graphblas_matrix::{Coo, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the road mesh.
+#[derive(Clone, Copy, Debug)]
+pub struct RoadParams {
+    /// Probability each lattice edge is kept.
+    pub keep: f64,
+    /// Probability of adding a diagonal shortcut at a cell.
+    pub diagonal: f64,
+}
+
+impl Default for RoadParams {
+    fn default() -> Self {
+        Self {
+            keep: 0.92,
+            diagonal: 0.05,
+        }
+    }
+}
+
+/// Generate a `width × height` road-style mesh.
+#[must_use]
+pub fn road_mesh(width: usize, height: usize, params: RoadParams, seed: u64) -> Graph<bool> {
+    assert!(width >= 2 && height >= 2);
+    let n = width * height;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize| (y * width + x) as u32;
+    let mut coo = Coo::new(n, n);
+    coo.reserve(2 * n);
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width && rng.gen::<f64>() < params.keep {
+                coo.push(id(x, y), id(x + 1, y), true);
+            }
+            if y + 1 < height && rng.gen::<f64>() < params.keep {
+                coo.push(id(x, y), id(x, y + 1), true);
+            }
+            if x + 1 < width && y + 1 < height && rng.gen::<f64>() < params.diagonal {
+                coo.push(id(x, y), id(x + 1, y + 1), true);
+            }
+        }
+    }
+    finish_undirected(coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_matrix::GraphStats;
+
+    #[test]
+    fn grid_shape() {
+        let g = road_mesh(50, 40, RoadParams::default(), 3);
+        assert_eq!(g.n_vertices(), 2000);
+        assert!(g.is_symmetric());
+        let s = GraphStats::compute(g.csr());
+        assert!(s.max_degree <= 12, "road max degree {}", s.max_degree);
+    }
+
+    #[test]
+    fn diameter_scales_with_side() {
+        let small = GraphStats::compute(road_mesh(30, 30, RoadParams::default(), 7).csr());
+        let large = GraphStats::compute(road_mesh(90, 90, RoadParams::default(), 7).csr());
+        assert!(
+            large.pseudo_diameter > 2 * small.pseudo_diameter,
+            "diameters {} vs {}",
+            small.pseudo_diameter,
+            large.pseudo_diameter
+        );
+        assert!(small.pseudo_diameter >= 30);
+    }
+
+    #[test]
+    fn full_keep_is_connected_lattice() {
+        let g = road_mesh(20, 20, RoadParams { keep: 1.0, diagonal: 0.0 }, 1);
+        let s = GraphStats::compute(g.csr());
+        assert_eq!(s.reached, 400, "perfect lattice is connected");
+        assert_eq!(s.pseudo_diameter, 38);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = road_mesh(25, 25, RoadParams::default(), 9);
+        let b = road_mesh(25, 25, RoadParams::default(), 9);
+        assert_eq!(a.csr().col_ind(), b.csr().col_ind());
+    }
+}

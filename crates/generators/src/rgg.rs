@@ -1,0 +1,109 @@
+//! Random geometric graph — the `rgg_n_24` (generated mesh) stand-in.
+//!
+//! `n` points uniform on the unit square, an edge between every pair within
+//! distance `radius`. With `radius ≈ sqrt(k / (π n))`, average degree ≈ k.
+//! The paper's rgg has average degree ~16 and diameter 2622: bounded degree
+//! and a long, thin BFS profile — the regime where direction optimization
+//! stops paying off (§7.3). A uniform cell grid of side `radius` makes
+//! generation O(n · k).
+
+use crate::finish_undirected;
+use graphblas_matrix::{Coo, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random geometric graph with `n` vertices and connection
+/// radius `radius` (in [0, 1]).
+#[must_use]
+pub fn rgg(n: usize, radius: f64, seed: u64) -> Graph<bool> {
+    assert!(n >= 2);
+    assert!(radius > 0.0 && radius <= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+
+    // Bucket points into a grid of cell size = radius; neighbors can only
+    // be in the 3×3 surrounding cells.
+    let cells_per_side = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((y * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        grid[cy * cells_per_side + cx].push(i as u32);
+    }
+
+    let r2 = radius * radius;
+    let mut coo = Coo::new(n, n);
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells_per_side + nx as usize] {
+                    // Emit each pair once (i < j); symmetrize handles the rest.
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let (px, py) = points[j as usize];
+                    let (ddx, ddy) = (px - x, py - y);
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        coo.push(i as u32, j, true);
+                    }
+                }
+            }
+        }
+    }
+    finish_undirected(coo)
+}
+
+/// Radius giving expected average degree `k` on `n` uniform points.
+#[must_use]
+pub fn radius_for_degree(n: usize, k: f64) -> f64 {
+    (k / (std::f64::consts::PI * n as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_matrix::GraphStats;
+
+    #[test]
+    fn degree_matches_target() {
+        let n = 20_000;
+        let g = rgg(n, radius_for_degree(n, 16.0), 17);
+        let s = GraphStats::compute(g.csr());
+        // avg_degree counts directed edges; expect ≈ 16.
+        assert!(
+            (s.avg_degree - 16.0).abs() < 3.0,
+            "avg degree {}",
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn mesh_has_bounded_degree_and_long_diameter() {
+        let n = 20_000;
+        let g = rgg(n, radius_for_degree(n, 14.0), 23);
+        let s = GraphStats::compute(g.csr());
+        assert!(s.max_degree < 60, "max degree {}", s.max_degree);
+        assert!(
+            s.pseudo_diameter > 20,
+            "meshes are deep: diameter {}",
+            s.pseudo_diameter
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rgg(2000, 0.02, 5);
+        let b = rgg(2000, 0.02, 5);
+        assert_eq!(a.csr().col_ind(), b.csr().col_ind());
+    }
+}

@@ -1,0 +1,83 @@
+//! Watts-Strogatz small-world graphs: a ring lattice with random rewiring.
+//!
+//! Not one of the paper's dataset classes, but a useful *probe* between
+//! them: at rewiring probability 0 it is a pure mesh (deep BFS, push-only
+//! optimal), at 1 it approaches a random graph (shallow BFS), and sweeping
+//! the probability moves the push/pull crossover continuously — handy for
+//! stress-testing the §6.3 heuristic away from the regimes it was tuned on.
+
+use crate::finish_undirected;
+use graphblas_matrix::{Coo, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a Watts-Strogatz graph: `n` vertices on a ring, each joined to
+/// its `k` nearest neighbors on each side, with every edge rewired to a
+/// random endpoint with probability `beta`.
+#[must_use]
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph<bool> {
+    assert!(n >= 4, "need at least 4 vertices");
+    assert!(k >= 1 && 2 * k < n, "neighborhood must be smaller than the ring");
+    assert!((0.0..=1.0).contains(&beta), "beta is a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    coo.reserve(n * k);
+    for u in 0..n {
+        for offset in 1..=k {
+            let v = (u + offset) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire: keep u, pick a random non-self target.
+                let mut t = rng.gen_range(0..n);
+                while t == u {
+                    t = rng.gen_range(0..n);
+                }
+                coo.push(u as u32, t as u32, true);
+            } else {
+                coo.push(u as u32, v as u32, true);
+            }
+        }
+    }
+    finish_undirected(coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_matrix::GraphStats;
+
+    #[test]
+    fn lattice_limit_is_a_ring() {
+        let g = watts_strogatz(100, 2, 0.0, 1);
+        let s = GraphStats::compute(g.csr());
+        assert_eq!(s.max_degree, 4, "k=2 ring has degree 4 everywhere");
+        assert_eq!(s.reached, 100, "ring is connected");
+        assert!(s.pseudo_diameter >= 20, "lattice is deep: {}", s.pseudo_diameter);
+    }
+
+    #[test]
+    fn rewiring_shrinks_the_diameter() {
+        let lattice = GraphStats::compute(watts_strogatz(2000, 3, 0.0, 7).csr());
+        let small_world = GraphStats::compute(watts_strogatz(2000, 3, 0.2, 7).csr());
+        assert!(
+            small_world.pseudo_diameter * 3 < lattice.pseudo_diameter,
+            "shortcuts collapse the diameter: {} vs {}",
+            small_world.pseudo_diameter,
+            lattice.pseudo_diameter
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = watts_strogatz(500, 2, 0.1, 3);
+        let b = watts_strogatz(500, 2, 0.1, 3);
+        assert_eq!(a.csr().col_ind(), b.csr().col_ind());
+    }
+
+    #[test]
+    fn edge_count_bounded_by_construction() {
+        let g = watts_strogatz(300, 3, 0.5, 9);
+        // ≤ n·k undirected edges before dedup; stored twice.
+        assert!(g.n_edges() <= 2 * 300 * 3);
+        assert!(g.n_edges() >= 300 * 3, "rewiring rarely collides everything");
+    }
+}

@@ -1,0 +1,237 @@
+//! The Table 3 dataset suite, as synthetic stand-ins.
+//!
+//! Every dataset of the paper's evaluation appears here with its class and
+//! a generator whose parameters reproduce the published vertex/edge ratio,
+//! degree skew, and diameter regime. `shrink` divides the vertex count by
+//! `2^shrink` while keeping the edge factor, so `shrink = 0` regenerates
+//! paper-scale graphs (hundreds of millions of edges — budget accordingly)
+//! and the default harness value (6) yields laptop-scale graphs with the
+//! same structure.
+
+use crate::grid::{road_mesh, RoadParams};
+use crate::powerlaw::{chung_lu, PowerLawParams};
+use crate::rgg::{radius_for_degree, rgg};
+use crate::rmat::{rmat, RmatParams};
+use graphblas_matrix::Graph;
+
+/// Table 3's type column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphClass {
+    /// `rs` — real-world scale-free (social/web crawls).
+    RealScaleFree,
+    /// `gs` — generated scale-free (Kronecker / R-MAT).
+    GenScaleFree,
+    /// `gm` — generated mesh (random geometric).
+    GenMesh,
+    /// `rm` — real-world mesh (road networks).
+    RealMesh,
+}
+
+impl GraphClass {
+    /// The two-letter code used in Table 3.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            GraphClass::RealScaleFree => "rs",
+            GraphClass::GenScaleFree => "gs",
+            GraphClass::GenMesh => "gm",
+            GraphClass::RealMesh => "rm",
+        }
+    }
+
+    /// Scale-free graphs are where the paper expects DOBFS to win (§7.3).
+    #[must_use]
+    pub fn is_scale_free(self) -> bool {
+        matches!(self, GraphClass::RealScaleFree | GraphClass::GenScaleFree)
+    }
+}
+
+/// A named, generated dataset.
+pub struct Dataset {
+    /// Paper dataset name this stands in for.
+    pub name: &'static str,
+    /// Table 3 class.
+    pub class: GraphClass,
+    /// The generated graph.
+    pub graph: Graph<bool>,
+}
+
+/// Names in Table 3 order.
+pub const DATASET_NAMES: [&str; 11] = [
+    "soc-orkut",
+    "soc-lj",
+    "h09",
+    "i04",
+    "kron",
+    "rmat-22",
+    "rmat-23",
+    "rmat-24",
+    "rgg",
+    "roadnet",
+    "road_usa",
+];
+
+fn shrunk(n: usize, shrink: u32) -> usize {
+    (n >> shrink).max(1024)
+}
+
+fn mesh_side(n: usize) -> usize {
+    (n as f64).sqrt().round().max(32.0) as usize
+}
+
+/// Generate one dataset by paper name. Returns `None` for unknown names.
+#[must_use]
+pub fn dataset(name: &str, shrink: u32, seed: u64) -> Option<Dataset> {
+    // Paper-scale vertex counts; edge factors derived from Table 3's
+    // edge/vertex ratios (directed-edge counts halved for sampling).
+    let d = match name {
+        "soc-orkut" => Dataset {
+            name: "soc-orkut",
+            class: GraphClass::RealScaleFree,
+            graph: chung_lu(
+                shrunk(3_000_000, shrink),
+                35,
+                PowerLawParams { gamma: 2.4, offset: 12.0 },
+                seed ^ 0x01,
+            ),
+        },
+        "soc-lj" => Dataset {
+            name: "soc-lj",
+            class: GraphClass::RealScaleFree,
+            graph: chung_lu(
+                shrunk(4_800_000, shrink),
+                9,
+                PowerLawParams { gamma: 2.4, offset: 10.0 },
+                seed ^ 0x02,
+            ),
+        },
+        "h09" => Dataset {
+            name: "h09",
+            class: GraphClass::RealScaleFree,
+            graph: chung_lu(
+                shrunk(1_100_000, shrink),
+                50,
+                PowerLawParams { gamma: 2.6, offset: 20.0 },
+                seed ^ 0x03,
+            ),
+        },
+        "i04" => Dataset {
+            name: "i04",
+            class: GraphClass::RealScaleFree,
+            // indochina-04: extreme hubs (max degree 256k) → small gamma.
+            graph: chung_lu(
+                shrunk(7_400_000, shrink),
+                20,
+                PowerLawParams { gamma: 2.05, offset: 4.0 },
+                seed ^ 0x04,
+            ),
+        },
+        "kron" => Dataset {
+            name: "kron",
+            class: GraphClass::GenScaleFree,
+            graph: rmat(21u32.saturating_sub(shrink).max(10), 43, RmatParams::default(), seed ^ 0x05),
+        },
+        "rmat-22" => Dataset {
+            name: "rmat-22",
+            class: GraphClass::GenScaleFree,
+            graph: rmat(22u32.saturating_sub(shrink).max(10), 64, RmatParams::default(), seed ^ 0x06),
+        },
+        "rmat-23" => Dataset {
+            name: "rmat-23",
+            class: GraphClass::GenScaleFree,
+            graph: rmat(23u32.saturating_sub(shrink).max(10), 32, RmatParams::default(), seed ^ 0x07),
+        },
+        "rmat-24" => Dataset {
+            name: "rmat-24",
+            class: GraphClass::GenScaleFree,
+            graph: rmat(24u32.saturating_sub(shrink).max(10), 16, RmatParams::default(), seed ^ 0x08),
+        },
+        "rgg" => Dataset {
+            name: "rgg",
+            class: GraphClass::GenMesh,
+            graph: {
+                let n = shrunk(16_800_000, shrink);
+                rgg(n, radius_for_degree(n, 16.0), seed ^ 0x09)
+            },
+        },
+        "roadnet" => Dataset {
+            name: "roadnet",
+            class: GraphClass::RealMesh,
+            graph: {
+                let side = mesh_side(shrunk(2_000_000, shrink));
+                road_mesh(side, side, RoadParams::default(), seed ^ 0x0a)
+            },
+        },
+        "road_usa" => Dataset {
+            name: "road_usa",
+            class: GraphClass::RealMesh,
+            graph: {
+                let side = mesh_side(shrunk(23_900_000, shrink));
+                road_mesh(side, side, RoadParams::default(), seed ^ 0x0b)
+            },
+        },
+        _ => return None,
+    };
+    Some(d)
+}
+
+/// Generate the full 11-dataset suite in Table 3 order.
+#[must_use]
+pub fn suite(shrink: u32, seed: u64) -> Vec<Dataset> {
+    DATASET_NAMES
+        .iter()
+        .map(|name| dataset(name, shrink, seed).expect("known name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_matrix::GraphStats;
+
+    #[test]
+    fn all_names_resolve() {
+        for name in DATASET_NAMES {
+            let d = dataset(name, 9, 1).expect("resolves");
+            assert_eq!(d.name, name);
+            assert!(d.graph.n_vertices() >= 1024);
+            assert!(d.graph.is_symmetric());
+        }
+        assert!(dataset("nonsense", 9, 1).is_none());
+    }
+
+    #[test]
+    fn classes_match_table3() {
+        let classes: Vec<GraphClass> = suite(9, 1).iter().map(|d| d.class).collect();
+        assert_eq!(classes[0], GraphClass::RealScaleFree);
+        assert_eq!(classes[4], GraphClass::GenScaleFree);
+        assert_eq!(classes[8], GraphClass::GenMesh);
+        assert_eq!(classes[10], GraphClass::RealMesh);
+        assert_eq!(GraphClass::RealMesh.code(), "rm");
+        assert!(GraphClass::GenScaleFree.is_scale_free());
+        assert!(!GraphClass::GenMesh.is_scale_free());
+    }
+
+    #[test]
+    fn scale_free_vs_mesh_structure() {
+        let kron = dataset("kron", 8, 2).unwrap();
+        let road = dataset("roadnet", 8, 2).unwrap();
+        let ks = GraphStats::compute(kron.graph.csr());
+        let rs = GraphStats::compute(road.graph.csr());
+        assert!(ks.max_degree as f64 > 20.0 * ks.avg_degree, "kron has hubs");
+        assert!(rs.max_degree <= 12, "roads do not");
+        assert!(
+            rs.pseudo_diameter > 10 * ks.pseudo_diameter.max(1),
+            "roads are deep: {} vs {}",
+            rs.pseudo_diameter,
+            ks.pseudo_diameter
+        );
+    }
+
+    #[test]
+    fn shrink_controls_size() {
+        let big = dataset("kron", 7, 3).unwrap();
+        let small = dataset("kron", 9, 3).unwrap();
+        assert!(big.graph.n_vertices() > small.graph.n_vertices());
+    }
+}

@@ -1,0 +1,206 @@
+//! Coordinate-format (triplet) matrix builder.
+//!
+//! All generators and file readers produce a [`Coo`], which supports the
+//! dataset-preparation steps from §7.1 of the paper — "All datasets have
+//! been converted to undirected graphs. Self-loops and duplicated edges are
+//! removed." — before conversion to CSR.
+
+use crate::VertexId;
+
+/// A sparse matrix held as unsorted `(row, col, value)` triplets.
+#[derive(Clone, Debug)]
+pub struct Coo<V> {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(VertexId, VertexId, V)>,
+}
+
+impl<V: Copy> Coo<V> {
+    /// Empty COO of the given dimensions.
+    #[must_use]
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        assert!(n_rows <= u32::MAX as usize && n_cols <= u32::MAX as usize);
+        Self {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Build from an existing triplet list.
+    #[must_use]
+    pub fn from_entries(
+        n_rows: usize,
+        n_cols: usize,
+        entries: Vec<(VertexId, VertexId, V)>,
+    ) -> Self {
+        let mut coo = Self::new(n_rows, n_cols);
+        for &(r, c, _) in &entries {
+            assert!((r as usize) < n_rows && (c as usize) < n_cols, "entry out of bounds");
+        }
+        coo.entries = entries;
+        coo
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored triplets (before dedup).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Stored triplets.
+    #[must_use]
+    pub fn entries(&self) -> &[(VertexId, VertexId, V)] {
+        &self.entries
+    }
+
+    /// Append one triplet.
+    pub fn push(&mut self, row: VertexId, col: VertexId, value: V) {
+        debug_assert!((row as usize) < self.n_rows && (col as usize) < self.n_cols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Reserve capacity for `additional` more triplets.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Remove `(i, i)` triplets.
+    pub fn remove_self_loops(&mut self) {
+        self.entries.retain(|&(r, c, _)| r != c);
+    }
+
+    /// Add the reverse of every edge, making the pattern symmetric
+    /// (undirected). Values are copied onto the mirrored edge. Duplicates
+    /// introduced here are collapsed by [`Coo::dedup`] / CSR conversion.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.n_rows, self.n_cols, "symmetrize requires a square matrix");
+        let mirrored: Vec<(VertexId, VertexId, V)> = self
+            .entries
+            .iter()
+            .filter(|&&(r, c, _)| r != c)
+            .map(|&(r, c, v)| (c, r, v))
+            .collect();
+        self.entries.extend(mirrored);
+    }
+
+    /// Sort triplets by (row, col) and collapse duplicates with `combine`.
+    pub fn dedup<F: Fn(V, V) -> V>(&mut self, combine: F) {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut write = 0usize;
+        for read in 0..self.entries.len() {
+            if write > 0
+                && self.entries[write - 1].0 == self.entries[read].0
+                && self.entries[write - 1].1 == self.entries[read].1
+            {
+                self.entries[write - 1].2 = combine(self.entries[write - 1].2, self.entries[read].2);
+            } else {
+                self.entries[write] = self.entries[read];
+                write += 1;
+            }
+        }
+        self.entries.truncate(write);
+    }
+
+    /// §7.1 dataset preparation in one call: drop self-loops, symmetrize,
+    /// and collapse duplicate edges keeping the first value.
+    pub fn clean_undirected(&mut self) {
+        self.remove_self_loops();
+        self.symmetrize();
+        self.dedup(|a, _| a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo<f32> {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 2.0);
+        coo.push(2, 2, 9.0); // self-loop
+        coo.push(0, 1, 5.0); // duplicate
+        coo.push(3, 0, 4.0);
+        coo
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let coo = sample();
+        assert_eq!(coo.n_rows(), 4);
+        assert_eq!(coo.n_cols(), 4);
+        assert_eq!(coo.nnz(), 5);
+    }
+
+    #[test]
+    fn remove_self_loops_drops_diagonal_only() {
+        let mut coo = sample();
+        coo.remove_self_loops();
+        assert_eq!(coo.nnz(), 4);
+        assert!(coo.entries().iter().all(|&(r, c, _)| r != c));
+    }
+
+    #[test]
+    fn dedup_combines_duplicates_in_order() {
+        let mut coo = sample();
+        coo.dedup(|a, b| a + b);
+        // (0,1) collapses: 1.0 + 5.0.
+        let e: Vec<_> = coo.entries().to_vec();
+        assert_eq!(e.len(), 4);
+        assert_eq!(e[0], (0, 1, 6.0));
+        // Sorted by (row, col).
+        assert!(e.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    }
+
+    #[test]
+    fn symmetrize_mirrors_edges() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0f64);
+        coo.push(1, 2, 2.0);
+        coo.symmetrize();
+        coo.dedup(|a, _| a);
+        let e = coo.entries();
+        assert_eq!(e.len(), 4);
+        assert!(e.contains(&(1, 0, 1.0)));
+        assert!(e.contains(&(2, 1, 2.0)));
+    }
+
+    #[test]
+    fn clean_undirected_full_pipeline() {
+        let mut coo = sample();
+        coo.clean_undirected();
+        // No self loops, symmetric pattern, no duplicates.
+        let e = coo.entries();
+        assert!(e.iter().all(|&(r, c, _)| r != c));
+        for &(r, c, _) in e {
+            assert!(
+                e.iter().any(|&(r2, c2, _)| r2 == c && c2 == r),
+                "missing mirror of ({r},{c})"
+            );
+        }
+        let mut keys: Vec<(u32, u32)> = e.iter().map(|&(r, c, _)| (r, c)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), e.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_entries_bounds_checked() {
+        let _ = Coo::from_entries(2, 2, vec![(0u32, 5u32, 1.0f32)]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Dual-orientation graph handle.
+//!
+//! `Graph` owns CSR of `A` (rows = out-neighbors/children) and CSR of `Aᵀ`
+//! (rows = in-neighbors/parents). The BFS recurrence `f' = Aᵀf .∗ ¬v`
+//! operates on `Aᵀ`; its *column-based* kernel fetches columns of `Aᵀ`,
+//! which are rows of `A`, while its *row-based* kernel walks rows of `Aᵀ`.
+//! Keeping both orientations resident is what lets the backend switch
+//! direction per iteration without any transposition cost (§4.4).
+//!
+//! For undirected (symmetric) graphs — all datasets in the paper's
+//! evaluation — the two orientations are identical and the CSR is shared
+//! via `Arc`, halving memory.
+
+use crate::{Coo, Csr, VertexId};
+use std::sync::Arc;
+
+/// A graph held as both `A` and `Aᵀ` in CSR form.
+#[derive(Clone, Debug)]
+pub struct Graph<V> {
+    a: Arc<Csr<V>>,
+    at: Arc<Csr<V>>,
+}
+
+impl<V: Copy + Send + Sync + PartialEq> Graph<V> {
+    /// Build from CSR of `A`, computing `Aᵀ` (or sharing, when symmetric).
+    #[must_use]
+    pub fn from_csr(a: Csr<V>) -> Self {
+        let t = a.transpose();
+        let a = Arc::new(a);
+        let at = if *a == t { Arc::clone(&a) } else { Arc::new(t) };
+        Self { a, at }
+    }
+
+    /// Build from a cleaned COO (see [`Coo::clean_undirected`]).
+    #[must_use]
+    pub fn from_coo(coo: &Coo<V>) -> Self {
+        Self::from_csr(Csr::from_coo(coo))
+    }
+
+    /// Build from a CSR already known to be symmetric, sharing storage
+    /// without verification cost.
+    #[must_use]
+    pub fn from_symmetric_csr(a: Csr<V>) -> Self {
+        let a = Arc::new(a);
+        Self {
+            at: Arc::clone(&a),
+            a,
+        }
+    }
+
+    /// CSR of `A`: row `u` lists children (out-neighbors) of `u`.
+    #[inline]
+    #[must_use]
+    pub fn csr(&self) -> &Csr<V> {
+        &self.a
+    }
+
+    /// CSR of `Aᵀ`: row `v` lists parents (in-neighbors) of `v`.
+    #[inline]
+    #[must_use]
+    pub fn csr_t(&self) -> &Csr<V> {
+        &self.at
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn n_vertices(&self) -> usize {
+        self.a.n_rows()
+    }
+
+    /// Number of stored directed edges (2× the undirected edge count).
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.a.nnz()
+    }
+
+    /// Average out-degree — `d` in the Table 1 cost model.
+    #[must_use]
+    pub fn avg_degree(&self) -> f64 {
+        self.a.avg_degree()
+    }
+
+    /// Whether the two orientations share storage (symmetric graph).
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        Arc::ptr_eq(&self.a, &self.at)
+    }
+
+    /// Out-neighbors of `u`.
+    #[inline]
+    #[must_use]
+    pub fn children(&self, u: VertexId) -> &[VertexId] {
+        self.a.row(u as usize)
+    }
+
+    /// In-neighbors of `v`.
+    #[inline]
+    #[must_use]
+    pub fn parents(&self, v: VertexId) -> &[VertexId] {
+        self.at.row(v as usize)
+    }
+}
+
+impl<V: Copy + Send + Sync + PartialEq> From<Csr<V>> for Graph<V> {
+    fn from(a: Csr<V>) -> Self {
+        Self::from_csr(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directed_graph() -> Graph<bool> {
+        // 0->1, 0->2, 1->2, 2->3, 3->0
+        let mut coo = Coo::new(4, 4);
+        for &(r, c) in &[(0u32, 1u32), (0, 2), (1, 2), (2, 3), (3, 0)] {
+            coo.push(r, c, true);
+        }
+        Graph::from_coo(&coo)
+    }
+
+    #[test]
+    fn children_and_parents() {
+        let g = directed_graph();
+        assert_eq!(g.children(0), &[1, 2]);
+        assert_eq!(g.parents(2), &[0, 1]);
+        assert_eq!(g.parents(0), &[3]);
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 5);
+    }
+
+    #[test]
+    fn directed_graph_has_two_orientations() {
+        let g = directed_graph();
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn undirected_graph_shares_storage() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, true);
+        coo.push(1, 2, true);
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        assert!(g.is_symmetric());
+        assert_eq!(g.children(1), g.parents(1));
+        assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn from_symmetric_csr_skips_transpose() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 2, 1.0f32);
+        coo.push(1, 2, 1.0);
+        coo.clean_undirected();
+        let csr = Csr::from_coo(&coo);
+        let g = Graph::from_symmetric_csr(csr);
+        assert!(g.is_symmetric());
+        assert_eq!(g.parents(2), &[0, 1]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Sparse matrix storage for the push-pull GraphBLAS reproduction.
+//!
+//! The paper stores the graph's adjacency matrix twice: once row-major (CSR
+//! of `A`, giving children / outgoing edges) and once as the transpose (CSR
+//! of `Aᵀ`, i.e. CSC of `A`, giving parents / incoming edges). Row-based
+//! matvec walks rows of the operand; column-based matvec fetches columns,
+//! which are rows of the transpose (§3). [`Graph`] bundles both orientations
+//! so the runtime direction switch never has to transpose on the fly.
+//!
+//! * [`coo`] — triplet builder with the paper's §7.1 dataset cleaning
+//!   (self-loop removal, duplicate removal, symmetrization).
+//! * [`csr`] — compressed sparse row storage with parallel construction.
+//! * [`graph`] — the dual-orientation [`Graph`] handle.
+//! * [`mmio`] — Matrix Market I/O so real datasets can be dropped in.
+//! * [`stats`] — the Table 3 columns: |V|, |E|, max degree, pseudo-diameter.
+
+pub mod coo;
+pub mod csr;
+pub mod graph;
+pub mod mmio;
+pub mod stats;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use graph::Graph;
+pub use stats::GraphStats;
+
+/// Vertex index type. `u32` bounds graphs at ~4.29 B vertices, which covers
+/// every dataset in the paper (largest: road_usa, 23.9 M vertices) while
+/// halving index bandwidth versus `usize` — the same choice GPU frameworks
+/// make.
+pub type VertexId = u32;

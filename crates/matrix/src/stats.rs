@@ -1,0 +1,187 @@
+//! Graph statistics — the columns of the paper's Table 3.
+//!
+//! Table 3 describes each dataset by vertices, edges, max degree, diameter,
+//! and type. Diameter is estimated by the standard double-sweep heuristic
+//! (BFS from an arbitrary vertex, then BFS from the farthest vertex found;
+//! the second eccentricity lower-bounds the true diameter and is exact on
+//! trees). The paper's values are estimates of the same kind.
+
+use crate::{Csr, VertexId};
+use std::collections::VecDeque;
+
+/// Summary statistics for a graph stored as CSR of `A`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of stored directed edges (nnz).
+    pub edges: usize,
+    /// Largest out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Double-sweep pseudo-diameter (lower bound on the true diameter).
+    pub pseudo_diameter: usize,
+    /// Size of the largest set of vertices reached by the sweeps' BFS (a
+    /// lower bound on the largest connected component).
+    pub reached: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for `a` (assumed to be the full adjacency
+    /// structure — symmetric for undirected graphs).
+    #[must_use]
+    pub fn compute<V: Copy + Send + Sync>(a: &Csr<V>) -> Self {
+        let n = a.n_rows();
+        let max_degree = (0..n).map(|i| a.degree(i)).max().unwrap_or(0);
+        // First sweep from the max-degree vertex (most likely inside the
+        // giant component of a scale-free graph).
+        let start = (0..n)
+            .max_by_key(|&i| a.degree(i))
+            .map_or(0, |i| i as VertexId);
+        let (far1, _depth1, reach1) = bfs_farthest(a, start);
+        let (_far2, depth2, reach2) = bfs_farthest(a, far1);
+        Self {
+            vertices: n,
+            edges: a.nnz(),
+            max_degree,
+            avg_degree: a.avg_degree(),
+            pseudo_diameter: depth2,
+            reached: reach1.max(reach2),
+        }
+    }
+}
+
+/// Log₂-bucketed out-degree histogram: `histogram[b]` counts vertices with
+/// degree in `[2^b, 2^(b+1))`; bucket 0 additionally holds degree-0 and
+/// degree-1 vertices. A scale-free graph shows a straight-line decay over
+/// many buckets (the power law); a mesh collapses into 2–3 buckets — the
+/// visual version of Table 3's type column.
+#[must_use]
+pub fn degree_histogram<V: Copy + Send + Sync>(a: &Csr<V>) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for i in 0..a.n_rows() {
+        let d = a.degree(i);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// Serial BFS returning (farthest vertex, its depth, vertices reached).
+fn bfs_farthest<V: Copy + Send + Sync>(a: &Csr<V>, source: VertexId) -> (VertexId, usize, usize) {
+    let n = a.n_rows();
+    if n == 0 {
+        return (0, 0, 0);
+    }
+    let mut depth = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    depth[source as usize] = 0;
+    queue.push_back(source);
+    let mut far = source;
+    let mut reached = 1usize;
+    while let Some(u) = queue.pop_front() {
+        let du = depth[u as usize];
+        for &v in a.row(u as usize) {
+            if depth[v as usize] == usize::MAX {
+                depth[v as usize] = du + 1;
+                reached += 1;
+                if depth[v as usize] > depth[far as usize] {
+                    far = v;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    (far, depth[far as usize], reached)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn path_graph(n: usize) -> Csr<bool> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i as u32, (i + 1) as u32, true);
+        }
+        coo.clean_undirected();
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn path_diameter_is_exact() {
+        let a = path_graph(10);
+        let s = GraphStats::compute(&a);
+        assert_eq!(s.vertices, 10);
+        assert_eq!(s.edges, 18); // 9 undirected edges stored twice
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.pseudo_diameter, 9);
+        assert_eq!(s.reached, 10);
+    }
+
+    #[test]
+    fn star_graph_stats() {
+        let n = 50;
+        let mut coo = Coo::new(n, n);
+        for i in 1..n {
+            coo.push(0, i as u32, true);
+        }
+        coo.clean_undirected();
+        let a = Csr::from_coo(&coo);
+        let s = GraphStats::compute(&a);
+        assert_eq!(s.max_degree, n - 1);
+        assert_eq!(s.pseudo_diameter, 2);
+    }
+
+    #[test]
+    fn disconnected_graph_reached_is_component_bound() {
+        // Two components: a triangle and an isolated edge.
+        let mut coo = Coo::new(5, 5);
+        for &(r, c) in &[(0u32, 1u32), (1, 2), (2, 0), (3, 4)] {
+            coo.push(r, c, true);
+        }
+        coo.clean_undirected();
+        let a = Csr::from_coo(&coo);
+        let s = GraphStats::compute(&a);
+        assert_eq!(s.vertices, 5);
+        assert!(s.reached <= 3);
+        assert!(s.reached >= 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let a: Csr<bool> = Csr::from_coo(&Coo::new(0, 0));
+        let s = GraphStats::compute(&a);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.pseudo_diameter, 0);
+        assert!(degree_histogram(&a).is_empty());
+    }
+
+    #[test]
+    fn degree_histogram_buckets() {
+        // Degrees: 0, 1, 2, 3, 4, 8 → buckets 0,0,1,1,2,3.
+        let mut coo = Coo::new(6, 20);
+        let degrees = [0usize, 1, 2, 3, 4, 8];
+        for (i, &d) in degrees.iter().enumerate() {
+            for j in 0..d {
+                coo.push(i as u32, (6 + j) as u32, true);
+            }
+        }
+        let a = Csr::from_coo(&coo);
+        let h = degree_histogram(&a);
+        assert_eq!(h, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_totals_match_vertex_count() {
+        let a = path_graph(50);
+        let h = degree_histogram(&a);
+        assert_eq!(h.iter().sum::<usize>(), 50);
+    }
+}

@@ -1,0 +1,129 @@
+//! Memory-access counters for validating the Table 1 cost model.
+//!
+//! The paper's central theoretical claim (Table 1) is stated in *memory
+//! accesses into the matrix*, not milliseconds. Wall clock on a different
+//! machine cannot falsify that model, so the matvec kernels in
+//! `graphblas-core` report their access counts through this structure and
+//! the `table1` experiment checks the measured counts against the
+//! `O(dM)` / `O(d·nnz(m))` / `O(d·nnz(f)·log nnz(f))` predictions.
+//!
+//! Counting is coarse-grained (one bulk add per row/segment processed, never
+//! per element in a hot loop) so enabling it does not distort the timed
+//! benches that run with counting disabled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tallies of memory accesses by category, shared across worker threads.
+#[derive(Debug, Default)]
+pub struct AccessCounters {
+    /// Reads of matrix storage (row pointers, column indices, values).
+    pub matrix: AtomicU64,
+    /// Reads/writes of the input and output vectors.
+    pub vector: AtomicU64,
+    /// Reads of the mask.
+    pub mask: AtomicU64,
+    /// Elements moved through sort passes (the multiway-merge cost).
+    pub sort: AtomicU64,
+}
+
+impl AccessCounters {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add_matrix(&self, n: u64) {
+        self.matrix.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_vector(&self, n: u64) {
+        self.vector.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_mask(&self, n: u64) {
+        self.mask.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_sort(&self, n: u64) {
+        self.sort.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.matrix.load(Ordering::Relaxed)
+            + self.vector.load(Ordering::Relaxed)
+            + self.mask.load(Ordering::Relaxed)
+            + self.sort.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as plain integers `(matrix, vector, mask, sort)`.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            matrix: self.matrix.load(Ordering::Relaxed),
+            vector: self.vector.load(Ordering::Relaxed),
+            mask: self.mask.load(Ordering::Relaxed),
+            sort: self.sort.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all categories to zero.
+    pub fn reset(&self) {
+        self.matrix.store(0, Ordering::Relaxed);
+        self.vector.store(0, Ordering::Relaxed);
+        self.mask.store(0, Ordering::Relaxed);
+        self.sort.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-integer snapshot of [`AccessCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    pub matrix: u64,
+    pub vector: u64,
+    pub mask: u64,
+    pub sort: u64,
+}
+
+impl CounterSnapshot {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.matrix + self.vector + self.mask + self.sort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_and_reset() {
+        let c = AccessCounters::new();
+        c.add_matrix(10);
+        c.add_matrix(5);
+        c.add_vector(2);
+        c.add_mask(3);
+        c.add_sort(7);
+        let s = c.snapshot();
+        assert_eq!(s, CounterSnapshot { matrix: 15, vector: 2, mask: 3, sort: 7 });
+        assert_eq!(s.total(), 27);
+        assert_eq!(c.total(), 27);
+        c.reset();
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        use rayon::prelude::*;
+        let c = AccessCounters::new();
+        (0..10_000u64).into_par_iter().for_each(|_| c.add_matrix(1));
+        assert_eq!(c.snapshot().matrix, 10_000);
+    }
+}

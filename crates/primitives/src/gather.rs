@@ -1,0 +1,153 @@
+//! Load-balanced interval gather (the ModernGPU `IntervalGather` substitute).
+//!
+//! Algorithm 3 lines 6–9: given scatter offsets produced by scanning the
+//! frontier's neighbor-list lengths, copy each frontier vertex's column
+//! slice of the matrix into one concatenated output array. Work is balanced
+//! over *output elements*, not segments, so a supervertex with 400k
+//! neighbors does not serialize on one worker: each output chunk binary-
+//! searches the scan array for its starting segment and walks forward.
+
+use crate::pool;
+
+/// For each output position `p` in `0..offsets[last]`, invoke
+/// `write(seg, within, p)` where `seg` is the segment owning `p` and
+/// `within` the position inside that segment.
+///
+/// `offsets` is an exclusive-scan array of segment lengths with a trailing
+/// total (length = number of segments + 1), as produced by
+/// [`crate::scan::exclusive_scan_offsets`].
+pub fn interval_gather<F>(offsets: &[usize], grain: usize, write: F)
+where
+    F: Fn(usize, usize, usize) + Sync + Send,
+{
+    assert!(!offsets.is_empty(), "offsets must contain a trailing total");
+    let total = *offsets.last().expect("non-empty");
+    let n_segments = offsets.len() - 1;
+    if total == 0 || n_segments == 0 {
+        return;
+    }
+    pool::par_for_ranges(total, grain, |range| {
+        // Find the segment containing range.start: the last offset <= start.
+        let mut seg = match offsets[..=n_segments].binary_search(&range.start) {
+            Ok(mut idx) => {
+                // Skip empty segments that share this offset value.
+                while idx < n_segments && offsets[idx + 1] == range.start {
+                    idx += 1;
+                }
+                idx
+            }
+            Err(idx) => idx - 1,
+        };
+        for p in range {
+            while offsets[seg + 1] <= p {
+                seg += 1;
+            }
+            write(seg, p - offsets[seg], p);
+        }
+    });
+}
+
+/// Concatenate segments of `src` selected by `(offsets, starts)` into a new
+/// vector: segment `i` is `src[starts[i] .. starts[i] + len_i]` where
+/// `len_i = offsets[i+1] - offsets[i]`.
+///
+/// This is the exact shape of the frontier neighbor-list expansion: `starts`
+/// are CSR row-pointer values of frontier vertices and `src` is the column-
+/// index array.
+#[must_use]
+pub fn gather_segments<T: Copy + Send + Sync + Default>(
+    src: &[T],
+    starts: &[usize],
+    offsets: &[usize],
+    grain: usize,
+) -> Vec<T> {
+    assert_eq!(starts.len() + 1, offsets.len());
+    let total = *offsets.last().unwrap_or(&0);
+    let mut out = vec![T::default(); total];
+    {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        interval_gather(offsets, grain, |seg, within, pos| {
+            // SAFETY: `pos` values are a partition of 0..total across calls.
+            unsafe { *out_ptr.get().add(pos) = src[starts[seg] + within] };
+        });
+    }
+    out
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor method (rather than field access) so closures capture the
+    /// Sync wrapper, not the raw pointer field.
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::exclusive_scan_offsets;
+
+    #[test]
+    fn gather_simple_segments() {
+        let src = vec![10, 11, 12, 20, 30, 31];
+        // Segments at src offsets 0 (len 3), 3 (len 1), 4 (len 2).
+        let lengths = [3usize, 1, 2];
+        let offsets = exclusive_scan_offsets(&lengths);
+        let starts = [0usize, 3, 4];
+        let out = gather_segments(&src, &starts, &offsets, 2);
+        assert_eq!(out, vec![10, 11, 12, 20, 30, 31]);
+    }
+
+    #[test]
+    fn gather_with_empty_segments() {
+        let src = vec![1, 2, 3, 4, 5];
+        let lengths = [0usize, 2, 0, 0, 3, 0];
+        let offsets = exclusive_scan_offsets(&lengths);
+        let starts = [0usize, 0, 2, 2, 2, 5];
+        let out = gather_segments(&src, &starts, &offsets, 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn gather_all_empty() {
+        let src: Vec<u32> = vec![9, 9];
+        let offsets = exclusive_scan_offsets(&[0, 0, 0]);
+        let out = gather_segments(&src, &[0, 0, 0], &offsets, 16);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gather_supervertex_balance() {
+        // One giant segment among many tiny ones: result must still be exact.
+        let giant = 100_000usize;
+        let mut src: Vec<u32> = (0..giant as u32).collect();
+        src.push(7);
+        src.push(8);
+        let lengths = [1usize, giant, 1];
+        let offsets = exclusive_scan_offsets(&lengths);
+        // starts: tiny seg at index `giant`, giant at 0, tiny at giant+1.
+        let starts = [giant, 0, giant + 1];
+        let out = gather_segments(&src, &starts, &offsets, 1024);
+        assert_eq!(out.len(), giant + 2);
+        assert_eq!(out[0], 7);
+        assert_eq!(out[1], 0);
+        assert_eq!(out[giant], giant as u32 - 1);
+        assert_eq!(out[giant + 1], 8);
+    }
+
+    #[test]
+    fn interval_gather_segment_attribution() {
+        // Verify (seg, within) pairs directly.
+        let offsets = exclusive_scan_offsets(&[2, 0, 3]);
+        let mut hits = vec![(usize::MAX, usize::MAX); 5];
+        let cell = std::sync::Mutex::new(&mut hits);
+        interval_gather(&offsets, 1, |seg, within, pos| {
+            cell.lock().unwrap()[pos] = (seg, within);
+        });
+        assert_eq!(hits, vec![(0, 0), (0, 1), (2, 0), (2, 1), (2, 2)]);
+    }
+}

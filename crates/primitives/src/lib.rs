@@ -1,0 +1,37 @@
+//! Parallel primitives substrate for the push-pull GraphBLAS reproduction.
+//!
+//! The paper implements its column-based masked matvec (Algorithm 3) on the
+//! GPU out of four library primitives: prefix-sum (ModernGPU `Scan`),
+//! load-balanced gather (ModernGPU `IntervalGather`), radix sort (CUB), and
+//! segmented reduction (CUB). This crate provides CPU equivalents of those
+//! primitives with the same operator contracts, plus the supporting data
+//! structures the paper relies on:
+//!
+//! * [`scan`] — sequential and parallel exclusive/inclusive prefix sums.
+//! * [`gather`] — load-balanced interval gather over CSR-style segments.
+//! * [`sort`] — LSD radix sort, key-only and key-value. The key-only /
+//!   key-value distinction is exactly the paper's *structure-only*
+//!   optimization (§5.5): dropping the value payload halves sort traffic.
+//! * [`segreduce`] — segmented reduction under an arbitrary monoid.
+//! * [`merge`] — heap-based multiway merge, the textbook `O(n log k)`
+//!   alternative analyzed in §3.1 (kept for the ablation bench).
+//! * [`spa`] — the sparse accumulator of Gilbert, Moler & Schreiber, with the
+//!   §3.2 "list of zeroes" variant that amortizes the `O(M)` mask setup.
+//! * [`bitvec`] — plain and atomic bit vectors for visited sets and masks.
+//! * [`counters`] — memory-access counters used to *measure* the Table 1
+//!   cost model directly instead of inferring it from wall clock.
+//! * [`pool`] — grain-controlled parallel-for helpers.
+
+pub mod bitvec;
+pub mod counters;
+pub mod gather;
+pub mod merge;
+pub mod pool;
+pub mod scan;
+pub mod segreduce;
+pub mod sort;
+pub mod spa;
+
+pub use bitvec::{AtomicBitVec, BitVec};
+pub use counters::AccessCounters;
+pub use spa::Spa;

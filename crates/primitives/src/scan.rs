@@ -1,0 +1,159 @@
+//! Exclusive and inclusive prefix sums (the ModernGPU `Scan` substitute).
+//!
+//! Column-based matvec (paper Algorithm 3, line 5) scans the per-frontier-
+//! vertex neighbor-list lengths to obtain scatter offsets for the gather
+//! phase. The parallel variant is the classic three-phase chunked scan:
+//! per-chunk reduce, scan of chunk totals, per-chunk rescan with offset.
+
+use crate::pool;
+use rayon::prelude::*;
+
+/// Grain below which the sequential scan is used.
+const SCAN_GRAIN: usize = 1 << 14;
+
+/// In-place exclusive prefix sum. Returns the total (sum of all inputs).
+///
+/// `[3, 1, 4, 1]` becomes `[0, 3, 4, 8]` and `9` is returned.
+pub fn exclusive_scan_in_place(data: &mut [usize]) -> usize {
+    if data.len() >= SCAN_GRAIN && pool::num_threads() > 1 {
+        return exclusive_scan_parallel(data);
+    }
+    let mut running = 0usize;
+    for x in data.iter_mut() {
+        let v = *x;
+        *x = running;
+        running += v;
+    }
+    running
+}
+
+/// Exclusive prefix sum into a fresh vector with one extra trailing slot
+/// holding the total, i.e. a CSR-style offsets array of length `n + 1`.
+#[must_use]
+pub fn exclusive_scan_offsets(lengths: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(lengths.len() + 1);
+    out.extend_from_slice(lengths);
+    out.push(0);
+    exclusive_scan_in_place(&mut out);
+    out
+}
+
+/// In-place inclusive prefix sum. Returns the total.
+pub fn inclusive_scan_in_place(data: &mut [usize]) -> usize {
+    let mut running = 0usize;
+    for x in data.iter_mut() {
+        running += *x;
+        *x = running;
+    }
+    running
+}
+
+fn exclusive_scan_parallel(data: &mut [usize]) -> usize {
+    let n = data.len();
+    let pieces = pool::num_threads() * 4;
+    let ranges = pool::split_ranges(n, pieces);
+
+    // Phase 1: per-chunk totals.
+    let mut totals: Vec<usize> = ranges
+        .par_iter()
+        .map(|r| data[r.clone()].iter().sum::<usize>())
+        .collect();
+
+    // Phase 2: scan the chunk totals sequentially (tiny).
+    let mut running = 0usize;
+    for t in totals.iter_mut() {
+        let v = *t;
+        *t = running;
+        running += v;
+    }
+
+    // Phase 3: rescan each chunk with its offset.
+    // Safety/borrow note: chunks are disjoint, expressed via par chunk split.
+    let offsets = totals;
+    let chunk_bounds: Vec<(usize, usize)> = ranges.iter().map(|r| (r.start, r.end)).collect();
+    // Split `data` into the same disjoint chunks for parallel mutation.
+    let mut slices: Vec<&mut [usize]> = Vec::with_capacity(chunk_bounds.len());
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for &(start, end) in &chunk_bounds {
+        debug_assert_eq!(start, consumed);
+        let (head, tail) = rest.split_at_mut(end - start);
+        slices.push(head);
+        rest = tail;
+        consumed = end;
+    }
+    slices
+        .into_par_iter()
+        .zip(offsets.into_par_iter())
+        .for_each(|(chunk, offset)| {
+            let mut acc = offset;
+            for x in chunk.iter_mut() {
+                let v = *x;
+                *x = acc;
+                acc += v;
+            }
+        });
+    running
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_exclusive(data: &[usize]) -> (Vec<usize>, usize) {
+        let mut out = Vec::with_capacity(data.len());
+        let mut acc = 0;
+        for &x in data {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn exclusive_scan_small() {
+        let mut v = vec![3, 1, 4, 1];
+        let total = exclusive_scan_in_place(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8]);
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn exclusive_scan_empty_and_single() {
+        let mut v: Vec<usize> = vec![];
+        assert_eq!(exclusive_scan_in_place(&mut v), 0);
+        let mut v = vec![42];
+        assert_eq!(exclusive_scan_in_place(&mut v), 42);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn inclusive_scan_small() {
+        let mut v = vec![3, 1, 4, 1];
+        let total = inclusive_scan_in_place(&mut v);
+        assert_eq!(v, vec![3, 4, 8, 9]);
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn exclusive_scan_large_matches_reference() {
+        // Large enough to exercise the parallel path.
+        let data: Vec<usize> = (0..100_000).map(|i| (i * 7 + 3) % 11).collect();
+        let (expect, expect_total) = reference_exclusive(&data);
+        let mut v = data;
+        let total = exclusive_scan_in_place(&mut v);
+        assert_eq!(total, expect_total);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn offsets_form() {
+        let offsets = exclusive_scan_offsets(&[2, 0, 3]);
+        assert_eq!(offsets, vec![0, 2, 2, 5]);
+    }
+
+    #[test]
+    fn offsets_of_empty() {
+        assert_eq!(exclusive_scan_offsets(&[]), vec![0]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Segmented reduction over sorted keys (the CUB segmented-reduce substitute).
+//!
+//! After the radix sort in Algorithm 3, equal column indices are adjacent;
+//! reducing each run under the semiring's ⊕ monoid produces the temporary
+//! output vector `w'` (line 15). The reduction must be associative; it need
+//! not be commutative because runs are reduced left-to-right.
+
+use crate::pool;
+
+/// Reduce adjacent runs of equal keys.
+///
+/// Returns `(unique_keys, reduced_values)`. `keys` must be sorted ascending
+/// (runs of equal keys adjacent); `op` combines two values.
+#[must_use]
+pub fn segmented_reduce_by_key<V, F>(keys: &[u32], vals: &[V], op: F) -> (Vec<u32>, Vec<V>)
+where
+    V: Copy + Send + Sync,
+    F: Fn(V, V) -> V + Sync,
+{
+    assert_eq!(keys.len(), vals.len());
+    if keys.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+
+    const GRAIN: usize = 1 << 14;
+    if keys.len() <= GRAIN {
+        return seq_reduce(keys, vals, &op);
+    }
+
+    // Parallel: reduce each chunk independently, then merge boundary runs
+    // that straddle chunk edges.
+    let pieces = (keys.len() / GRAIN).clamp(1, pool::num_threads() * 2);
+    let partials: Vec<(Vec<u32>, Vec<V>)> =
+        pool::par_map_ranges(keys.len(), pieces, |r| seq_reduce(&keys[r.clone()], &vals[r], &op));
+
+    let total: usize = partials.iter().map(|(k, _)| k.len()).sum();
+    let mut out_keys = Vec::with_capacity(total);
+    let mut out_vals: Vec<V> = Vec::with_capacity(total);
+    for (pk, pv) in partials {
+        let mut start = 0;
+        if let (Some(&last_k), Some(&first_k)) = (out_keys.last(), pk.first()) {
+            if last_k == first_k {
+                let last = out_vals.len() - 1;
+                out_vals[last] = op(out_vals[last], pv[0]);
+                start = 1;
+            }
+        }
+        out_keys.extend_from_slice(&pk[start..]);
+        out_vals.extend_from_slice(&pv[start..]);
+    }
+    (out_keys, out_vals)
+}
+
+fn seq_reduce<V, F>(keys: &[u32], vals: &[V], op: &F) -> (Vec<u32>, Vec<V>)
+where
+    V: Copy,
+    F: Fn(V, V) -> V,
+{
+    let mut out_keys: Vec<u32> = Vec::new();
+    let mut out_vals: Vec<V> = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        if out_keys.last() == Some(&k) {
+            let last = out_vals.len() - 1;
+            out_vals[last] = op(out_vals[last], vals[i]);
+        } else {
+            out_keys.push(k);
+            out_vals.push(vals[i]);
+        }
+    }
+    (out_keys, out_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let (k, v) = segmented_reduce_by_key::<u32, _>(&[], &[], |a, b| a + b);
+        assert!(k.is_empty() && v.is_empty());
+    }
+
+    #[test]
+    fn single_run() {
+        let (k, v) = segmented_reduce_by_key(&[5, 5, 5], &[1u32, 2, 3], |a, b| a + b);
+        assert_eq!(k, vec![5]);
+        assert_eq!(v, vec![6]);
+    }
+
+    #[test]
+    fn distinct_keys_pass_through() {
+        let (k, v) = segmented_reduce_by_key(&[1, 2, 3], &[10u32, 20, 30], |a, b| a + b);
+        assert_eq!(k, vec![1, 2, 3]);
+        assert_eq!(v, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn mixed_runs_with_or_monoid() {
+        // BFS semiring: values are booleans, ⊕ = OR.
+        let keys = [0u32, 0, 2, 2, 2, 7];
+        let vals = [true, false, false, false, true, false];
+        let (k, v) = segmented_reduce_by_key(&keys, &vals, |a, b| a || b);
+        assert_eq!(k, vec![0, 2, 7]);
+        assert_eq!(v, vec![true, true, false]);
+    }
+
+    #[test]
+    fn large_parallel_matches_sequential() {
+        // Many duplicate keys spanning chunk boundaries.
+        let n = 300_000usize;
+        let keys: Vec<u32> = (0..n).map(|i| (i / 37) as u32).collect();
+        let vals: Vec<u64> = (0..n as u64).collect();
+        let (pk, pv) = segmented_reduce_by_key(&keys, &vals, |a, b| a + b);
+        let (sk, sv) = seq_reduce(&keys, &vals, &|a: u64, b: u64| a + b);
+        assert_eq!(pk, sk);
+        assert_eq!(pv, sv);
+    }
+
+    #[test]
+    fn non_commutative_op_reduces_left_to_right() {
+        // op = "keep first" is associative but not commutative.
+        let keys = [3u32, 3, 3, 9, 9];
+        let vals = [100u32, 200, 300, 7, 8];
+        let (k, v) = segmented_reduce_by_key(&keys, &vals, |a, _b| a);
+        assert_eq!(k, vec![3, 9]);
+        assert_eq!(v, vec![100, 7]);
+    }
+
+    #[test]
+    fn min_plus_style_reduction() {
+        let keys = [1u32, 1, 4, 4];
+        let vals = [5.0f64, 2.0, 9.0, 11.0];
+        let (k, v) = segmented_reduce_by_key(&keys, &vals, f64::min);
+        assert_eq!(k, vec![1, 4]);
+        assert_eq!(v, vec![2.0, 9.0]);
+    }
+}

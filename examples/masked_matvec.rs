@@ -1,0 +1,70 @@
+//! The paper's core claim, demonstrated directly at the kernel level:
+//! masking gives the row-based matvec an asymptotic speed-up proportional
+//! to the output sparsity (Table 1), measured here in *memory accesses*
+//! with the library's built-in counters rather than wall clock.
+//!
+//! ```sh
+//! cargo run --release --example masked_matvec
+//! ```
+
+use push_pull::core::descriptor::{Descriptor, Direction};
+use push_pull::core::ops::BoolOrAnd;
+use push_pull::core::vector_ops::reduce_count;
+use push_pull::gen::rmat::{rmat, RmatParams};
+use push_pull::prelude::*;
+use push_pull::primitives::counters::AccessCounters;
+use push_pull::primitives::BitVec;
+
+fn main() {
+    let g = rmat(15, 16, RmatParams::default(), 1);
+    let n = g.n_vertices();
+    let d = g.avg_degree();
+    println!("matrix: {} rows, {} nnz, d = {:.1}\n", n, g.n_edges(), d);
+
+    // A dense frontier (everything explicit) and masks of varying density.
+    let mut f = Vector::from_sparse(n, false, (0..n as u32).collect(), vec![true; n]);
+    f.make_dense();
+    // Early-exit off: we want the pure masking effect, not masking + the
+    // short-circuit OR (that stacking is Table 2's job).
+    let desc = Descriptor::new()
+        .transpose(true)
+        .force(Direction::Pull)
+        .early_exit(false);
+
+    println!(
+        "{:>12} {:>16} {:>16} {:>10}",
+        "nnz(m)", "masked accesses", "unmasked", "ratio"
+    );
+    for percent in [1usize, 5, 10, 25, 50, 100] {
+        let keep = n * percent / 100;
+        let mut bits = BitVec::new(n);
+        // Spread the allowed rows evenly.
+        for i in 0..keep {
+            bits.set(i * n / keep.max(1));
+        }
+        let mask = Mask::new(&bits);
+
+        let masked = AccessCounters::new();
+        let out: Vector<bool> =
+            mxv(Some(&mask), BoolOrAnd, &g, &f, &desc, Some(&masked)).expect("dims");
+        let _ = reduce_count(&out);
+
+        let unmasked = AccessCounters::new();
+        let _out2: Vector<bool> =
+            mxv(None, BoolOrAnd, &g, &f, &desc, Some(&unmasked)).expect("dims");
+
+        let m = masked.snapshot().matrix;
+        let u = unmasked.snapshot().matrix;
+        println!(
+            "{:>11}% {:>16} {:>16} {:>9.2}×",
+            percent,
+            m,
+            u,
+            u as f64 / m.max(1) as f64
+        );
+    }
+    println!(
+        "\nThe ratio tracks M/nnz(m) — Table 1's O(dM) vs O(d·nnz(m)), the\n\
+         asymptotic speed-up the paper credits masking for (§5.2)."
+    );
+}

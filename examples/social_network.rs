@@ -1,0 +1,96 @@
+//! Social-network analytics on a power-law graph — the workload class the
+//! paper's introduction motivates (soc-orkut, soc-LiveJournal1).
+//!
+//! Runs the full §5.6 generality set on one graph: BFS reachability,
+//! PageRank (standard vs. adaptive/masked), connected components, triangle
+//! count, and a betweenness-centrality batch.
+//!
+//! ```sh
+//! cargo run --release --example social_network
+//! ```
+
+use push_pull::algo::bc::betweenness;
+use push_pull::algo::cc::{component_count, connected_components};
+use push_pull::algo::pagerank::{adaptive_pagerank, pagerank, PageRankOpts};
+use push_pull::algo::tricount::triangle_count;
+use push_pull::gen::powerlaw::{chung_lu, PowerLawParams};
+use push_pull::matrix::GraphStats;
+use push_pull::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // soc-orkut-like: power-law degrees, a few hub users with thousands of
+    // connections, almost everyone within 5 hops.
+    let g = chung_lu(1 << 15, 24, PowerLawParams { gamma: 2.3, offset: 10.0 }, 7);
+    let stats = GraphStats::compute(g.csr());
+    println!(
+        "social graph: {} users, {} follow edges, biggest hub {} connections",
+        stats.vertices, stats.edges, stats.max_degree
+    );
+
+    // Reachability from the biggest hub.
+    let hub = (0..g.n_vertices())
+        .max_by_key(|&v| g.csr().degree(v))
+        .expect("non-empty") as u32;
+    let t = Instant::now();
+    let r = bfs(&g, hub);
+    println!(
+        "\nBFS from hub {hub}: {} reachable in {} hops ({:?})",
+        r.reached(),
+        r.levels - 1,
+        t.elapsed()
+    );
+
+    // Influence: standard vs adaptive (masked) PageRank.
+    let opts = PageRankOpts::default();
+    let t = Instant::now();
+    let standard = pagerank(&g, &opts);
+    let t_std = t.elapsed();
+    let t = Instant::now();
+    let adaptive = adaptive_pagerank(&g, &opts);
+    let t_ada = t.elapsed();
+    let mut top: Vec<(usize, f64)> = standard.ranks.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\ntop-5 PageRank users:");
+    for (v, r) in top.iter().take(5) {
+        println!("  user {v:>6}  rank {r:.6}  degree {}", g.csr().degree(*v));
+    }
+    println!(
+        "standard: {} iters, {} row updates ({t_std:?})",
+        standard.iters, standard.row_updates
+    );
+    println!(
+        "adaptive: {} iters, {} row updates ({t_ada:?}) — masking skipped {:.1}% of the work",
+        adaptive.iters,
+        adaptive.row_updates,
+        100.0 * (1.0 - adaptive.row_updates as f64 / standard.row_updates as f64)
+    );
+
+    // Community structure proxies.
+    let cc = connected_components(&g, 0.01);
+    println!(
+        "\ncomponents: {} (in {} label-propagation rounds)",
+        component_count(&cc.labels),
+        cc.rounds
+    );
+    let t = Instant::now();
+    let triangles = triangle_count(&g);
+    println!("triangles: {} (masked SpGEMM, {:?})", triangles, t.elapsed());
+
+    // Brokerage: betweenness from a small source batch.
+    let sources: Vec<u32> = (0..8).map(|i| i * 1013 % g.n_vertices() as u32).collect();
+    let t = Instant::now();
+    let bc = betweenness(&g, &sources);
+    let best = bc
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty");
+    println!(
+        "highest betweenness (batch of {}): user {} with score {:.1} ({:?})",
+        sources.len(),
+        best.0,
+        best.1,
+        t.elapsed()
+    );
+}

@@ -1,0 +1,115 @@
+//! Determinism guarantees: results must not depend on thread scheduling or
+//! repeat runs. Level-synchronous BFS depths, min-label CC, min-parent
+//! trees, and semiring matvec outputs are all scheduling-independent by
+//! construction; these tests pin that property against regressions (e.g.
+//! someone "optimizing" a kernel with a racy first-writer-wins update).
+
+use push_pull::algo::bfs::{bfs_with_opts, BfsOpts};
+use push_pull::algo::bfs_parents::bfs_parents;
+use push_pull::algo::cc::connected_components;
+use push_pull::algo::msbfs::multi_source_bfs;
+use push_pull::algo::sssp::{sssp, SsspOpts};
+use push_pull::core::descriptor::{Descriptor, Direction};
+use push_pull::core::ops::BoolOrAnd;
+use push_pull::core::{mxv, Mask, Vector};
+use push_pull::gen::powerlaw::{chung_lu, PowerLawParams};
+use push_pull::gen::rmat::{rmat, RmatParams};
+use push_pull::gen::with_uniform_weights;
+use push_pull::primitives::BitVec;
+
+const REPEATS: usize = 5;
+
+#[test]
+fn bfs_depths_identical_across_runs() {
+    let g = rmat(12, 16, RmatParams::default(), 11);
+    for (name, opts) in BfsOpts::ladder() {
+        let first = bfs_with_opts(&g, 3, &opts, None).depths;
+        for _ in 1..REPEATS {
+            assert_eq!(
+                bfs_with_opts(&g, 3, &opts, None).depths,
+                first,
+                "ladder rung {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mxv_outputs_identical_across_runs() {
+    let g = chung_lu(8192, 12, PowerLawParams::default(), 5);
+    let n = g.n_vertices();
+    let ids: Vec<u32> = (0..n as u32).step_by(7).collect();
+    let f = Vector::from_sparse(n, false, ids.clone(), vec![true; ids.len()]);
+    let mut bits = BitVec::new(n);
+    for i in (0..n).step_by(3) {
+        bits.set(i);
+    }
+    let mask = Mask::complement(&bits);
+    for dir in [Direction::Push, Direction::Pull] {
+        let desc = Descriptor::new().transpose(true).force(dir);
+        let first: Vec<(u32, bool)> = {
+            let w: Vector<bool> = mxv(Some(&mask), BoolOrAnd, &g, &f, &desc, None).unwrap();
+            w.iter_explicit().collect()
+        };
+        for _ in 1..REPEATS {
+            let w: Vector<bool> = mxv(Some(&mask), BoolOrAnd, &g, &f, &desc, None).unwrap();
+            let got: Vec<(u32, bool)> = w.iter_explicit().collect();
+            assert_eq!(got, first, "{dir:?}");
+        }
+    }
+}
+
+#[test]
+fn parent_trees_identical_across_runs() {
+    let g = rmat(11, 16, RmatParams::default(), 9);
+    let first = bfs_parents(&g, 0, 0.01).parent;
+    for _ in 1..REPEATS {
+        assert_eq!(bfs_parents(&g, 0, 0.01).parent, first);
+    }
+}
+
+#[test]
+fn cc_labels_identical_across_runs() {
+    let g = chung_lu(4096, 6, PowerLawParams::default(), 13);
+    let first = connected_components(&g, 0.01).labels;
+    for _ in 1..REPEATS {
+        assert_eq!(connected_components(&g, 0.01).labels, first);
+    }
+}
+
+#[test]
+fn sssp_distances_identical_across_runs() {
+    // min-plus over f32: floating-point min is order-independent, so even
+    // the parallel reductions must agree bit-for-bit.
+    let gb = rmat(10, 8, RmatParams::default(), 17);
+    let g = with_uniform_weights(&gb, 23);
+    let first = sssp(&g, 0, &SsspOpts::default()).dist;
+    for _ in 1..REPEATS {
+        let again = sssp(&g, 0, &SsspOpts::default()).dist;
+        assert_eq!(
+            again.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            first.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn batched_bfs_identical_across_runs() {
+    let g = rmat(10, 12, RmatParams::default(), 29);
+    let sources = [0u32, 5, 600];
+    let first = multi_source_bfs(&g, &sources).depths;
+    for _ in 1..REPEATS {
+        assert_eq!(multi_source_bfs(&g, &sources).depths, first);
+    }
+}
+
+#[test]
+fn generators_are_scheduling_independent() {
+    // Generators draw per-chunk RNG streams; the chunk count depends on the
+    // thread count but is fixed at runtime — two runs in one process must
+    // agree exactly.
+    let a = rmat(11, 16, RmatParams::default(), 7);
+    let b = rmat(11, 16, RmatParams::default(), 7);
+    assert_eq!(a.csr().row_ptr(), b.csr().row_ptr());
+    assert_eq!(a.csr().col_ind(), b.csr().col_ind());
+}

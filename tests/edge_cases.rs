@@ -1,0 +1,225 @@
+//! Edge-case and failure-injection tests: degenerate graphs, pathological
+//! shapes (stars, supervertices, disconnected dust), boundary masks, and
+//! the error paths of the public API.
+
+use push_pull::algo::bfs::{bfs, bfs_with_opts, BfsOpts};
+use push_pull::algo::cc::{cc_oracle, connected_components};
+use push_pull::algo::pagerank::{pagerank, PageRankOpts};
+use push_pull::algo::sssp::{sssp, SsspOpts};
+use push_pull::algo::tricount::triangle_count;
+use push_pull::baselines::textbook::bfs_serial;
+use push_pull::core::descriptor::{Descriptor, Direction};
+use push_pull::core::error::GrbError;
+use push_pull::core::ops::BoolOrAnd;
+use push_pull::core::{mxv, Mask, Vector};
+use push_pull::matrix::{Coo, Csr, Graph};
+use push_pull::primitives::BitVec;
+
+fn edgeless(n: usize) -> Graph<bool> {
+    Graph::from_coo(&Coo::<bool>::new(n, n))
+}
+
+fn star(n: usize) -> Graph<bool> {
+    let mut coo = Coo::new(n, n);
+    for leaf in 1..n as u32 {
+        coo.push(0, leaf, true);
+    }
+    coo.clean_undirected();
+    Graph::from_coo(&coo)
+}
+
+#[test]
+fn bfs_on_edgeless_graph_touches_only_source() {
+    let g = edgeless(100);
+    for (_, opts) in BfsOpts::ladder() {
+        let r = bfs_with_opts(&g, 42, &opts, None);
+        assert_eq!(r.reached(), 1);
+        assert_eq!(r.depths[42], 0);
+    }
+}
+
+#[test]
+fn single_vertex_graph_works_everywhere() {
+    let g = edgeless(1);
+    assert_eq!(bfs(&g, 0).depths, vec![0]);
+    let labels = connected_components(&g, 0.01).labels;
+    assert_eq!(labels, vec![0]);
+    assert_eq!(triangle_count(&g), 0);
+    let pr = pagerank(&g, &PageRankOpts::default());
+    assert!((pr.ranks[0] - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn star_graph_pull_handles_supervertex_row() {
+    // The center's pull row has n−1 parents; every optimization combo must
+    // survive the extreme-degree row.
+    let g = star(5000);
+    let expect = bfs_serial(&g, 1); // a leaf: depth 0, center 1, others 2
+    for dir in [Direction::Push, Direction::Pull] {
+        let r = bfs_with_opts(&g, 1, &BfsOpts::default().forced(dir), None);
+        assert_eq!(r.depths, expect, "{dir:?}");
+    }
+    assert_eq!(expect[0], 1);
+    assert_eq!(expect[4999], 2);
+}
+
+#[test]
+fn all_engines_survive_isolated_source() {
+    let mut coo = Coo::new(10, 10);
+    coo.push(1, 2, true);
+    coo.clean_undirected();
+    let g = Graph::from_coo(&coo);
+    for engine in push_pull::baselines::all_engines() {
+        let d = engine.bfs(&g, 0);
+        assert_eq!(d[0], 0, "{}", engine.name());
+        assert_eq!(d.iter().filter(|&&x| x >= 0).count(), 1, "{}", engine.name());
+    }
+}
+
+#[test]
+fn mxv_rejects_dimension_mismatches() {
+    let g = star(8);
+    let wrong = Vector::<bool>::new_sparse(5, false);
+    let r: Result<Vector<bool>, _> = mxv(None, BoolOrAnd, &g, &wrong, &Descriptor::new(), None);
+    assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
+
+    let ok_vec = Vector::<bool>::new_sparse(8, false);
+    let wrong_bits = BitVec::new(3);
+    let wrong_mask = Mask::new(&wrong_bits);
+    let r: Result<Vector<bool>, _> =
+        mxv(Some(&wrong_mask), BoolOrAnd, &g, &ok_vec, &Descriptor::new(), None);
+    assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
+}
+
+#[test]
+fn all_ones_mask_equals_no_mask() {
+    let g = star(50);
+    let f = Vector::from_sparse(50, false, vec![0], vec![true]);
+    let mut bits = BitVec::new(50);
+    for i in 0..50 {
+        bits.set(i);
+    }
+    let mask = Mask::new(&bits);
+    let desc = Descriptor::new().transpose(true).force(Direction::Push);
+    let masked: Vector<bool> = mxv(Some(&mask), BoolOrAnd, &g, &f, &desc, None).unwrap();
+    let unmasked: Vector<bool> = mxv(None, BoolOrAnd, &g, &f, &desc, None).unwrap();
+    let a: Vec<_> = masked.iter_explicit().collect();
+    let b: Vec<_> = unmasked.iter_explicit().collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn all_zeros_mask_blocks_everything() {
+    let g = star(50);
+    let f = Vector::from_sparse(50, false, vec![0], vec![true]);
+    let bits = BitVec::new(50); // nothing set
+    let mask = Mask::new(&bits);
+    for dir in [Direction::Push, Direction::Pull] {
+        let desc = Descriptor::new().transpose(true).force(dir);
+        let out: Vector<bool> = mxv(Some(&mask), BoolOrAnd, &g, &f, &desc, None).unwrap();
+        assert_eq!(out.nnz(), 0, "{dir:?}");
+    }
+}
+
+#[test]
+fn directed_asymmetry_respected_in_both_directions() {
+    // Edge 0→1 only. Frontier {1} must discover nothing through Aᵀ's
+    // columns; frontier {0} discovers 1.
+    let mut coo = Coo::new(3, 3);
+    coo.push(0, 1, true);
+    let g = Graph::from_coo(&coo);
+    for dir in [Direction::Push, Direction::Pull] {
+        let desc = Descriptor::new().transpose(true).force(dir);
+        let from1: Vector<bool> = mxv(
+            None,
+            BoolOrAnd,
+            &g,
+            &Vector::singleton(3, false, 1, true),
+            &desc,
+            None,
+        )
+        .unwrap();
+        assert_eq!(from1.nnz(), 0, "{dir:?}: 1 has no out-edges");
+        let from0: Vector<bool> = mxv(
+            None,
+            BoolOrAnd,
+            &g,
+            &Vector::singleton(3, false, 0, true),
+            &desc,
+            None,
+        )
+        .unwrap();
+        let hits: Vec<u32> = from0.iter_explicit().map(|(i, _)| i).collect();
+        assert_eq!(hits, vec![1], "{dir:?}");
+    }
+}
+
+#[test]
+fn sssp_zero_round_cap_returns_initial_state() {
+    let mut coo = Coo::new(3, 3);
+    coo.push(0, 1, 1.0f32);
+    let g = Graph::from_coo(&coo);
+    let r = sssp(
+        &g,
+        0,
+        &SsspOpts {
+            max_rounds: Some(0),
+            ..SsspOpts::default()
+        },
+    );
+    assert_eq!(r.dist[0], 0.0);
+    assert_eq!(r.dist[1], f32::INFINITY, "no rounds ⇒ no relaxations");
+}
+
+#[test]
+fn cc_on_dust_is_identity_labeling() {
+    let g = edgeless(64);
+    let r = connected_components(&g, 0.01);
+    let expect: Vec<u32> = (0..64).collect();
+    assert_eq!(r.labels, expect);
+    assert_eq!(r.labels, cc_oracle(&g));
+}
+
+#[test]
+fn convert_is_stable_on_empty_and_full_vectors() {
+    use push_pull::core::ConvertState;
+    let mut empty = Vector::<bool>::new_sparse(100, false);
+    let mut state = ConvertState::new();
+    assert!(!empty.convert(&mut state, 0.01), "empty stays sparse");
+    assert!(empty.is_sparse());
+
+    let mut full = Vector::from_sparse(100, false, (0..100).collect(), vec![true; 100]);
+    let mut state = ConvertState::new();
+    assert!(full.convert(&mut state, 0.01), "full vector densifies");
+    assert!(!full.is_sparse());
+    // Calling again with unchanged nnz must not flap back.
+    assert!(!full.convert(&mut state, 0.01));
+    assert!(!full.is_sparse());
+}
+
+#[test]
+fn csr_rejects_malformed_parts() {
+    let bad = std::panic::catch_unwind(|| {
+        // row_ptr length must be n_rows + 1.
+        Csr::from_parts(2, 2, vec![0, 1], vec![0], vec![true])
+    });
+    assert!(bad.is_err());
+    let bad = std::panic::catch_unwind(|| {
+        // col_ind length must equal the trailing row_ptr total.
+        Csr::from_parts(1, 2, vec![0, 2], vec![0], vec![true])
+    });
+    assert!(bad.is_err());
+}
+
+#[test]
+fn self_loops_removed_before_traversal_cannot_resurface() {
+    let mut coo = Coo::new(4, 4);
+    coo.push(0, 0, true);
+    coo.push(0, 1, true);
+    coo.push(1, 1, true);
+    coo.clean_undirected();
+    let g = Graph::from_coo(&coo);
+    assert_eq!(g.n_edges(), 2);
+    let r = bfs(&g, 0);
+    assert_eq!(r.depths, vec![0, 1, -1, -1]);
+}

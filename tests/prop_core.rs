@@ -1,0 +1,265 @@
+//! Property-based tests for the GraphBLAS core: the central invariant is
+//! the paper's §4 isomorphism — push (column kernel) and pull (row kernel)
+//! compute the same masked matvec on arbitrary graphs, vectors, and masks,
+//! under every optimization configuration.
+
+use proptest::prelude::*;
+use push_pull::core::descriptor::{Descriptor, Direction, MergeStrategy};
+use push_pull::core::ops::{BoolOrAnd, MinPlus};
+use push_pull::core::vector_ops::{ewise_add, ewise_mult, filter_by_mask};
+use push_pull::core::{mxv, Mask, Vector};
+use push_pull::matrix::{Coo, Graph};
+use push_pull::primitives::BitVec;
+
+/// Arbitrary directed Boolean graph with up to `n` vertices.
+fn arb_graph(n: usize, max_edges: usize) -> impl Strategy<Value = Graph<bool>> {
+    (2..n, prop::collection::vec((0usize..n, 0usize..n), 0..max_edges)).prop_map(
+        move |(dim, edges)| {
+            let mut coo = Coo::new(dim, dim);
+            for (u, v) in edges {
+                if u < dim && v < dim && u != v {
+                    coo.push(u as u32, v as u32, true);
+                }
+            }
+            coo.dedup(|a, _| a);
+            Graph::from_coo(&coo)
+        },
+    )
+}
+
+fn sparse_bool_vector(dim: usize, ids: &[usize]) -> Vector<bool> {
+    let mut sorted: Vec<u32> = ids.iter().filter(|&&i| i < dim).map(|&i| i as u32).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let k = sorted.len();
+    Vector::from_sparse(dim, false, sorted, vec![true; k])
+}
+
+fn explicit_set(v: &Vector<bool>) -> Vec<u32> {
+    v.iter_explicit().map(|(i, _)| i).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Push ≡ pull, masked and unmasked, with and without every
+    /// column-kernel option — the paper's central claim.
+    #[test]
+    fn push_equals_pull_everywhere(
+        g in arb_graph(40, 300),
+        f_ids in prop::collection::vec(0usize..40, 0..20),
+        m_ids in prop::collection::vec(0usize..40, 0..20),
+        complement in any::<bool>(),
+        transpose in any::<bool>(),
+        structure_only in any::<bool>(),
+        heap_merge in any::<bool>(),
+        early_exit in any::<bool>(),
+    ) {
+        let n = g.n_vertices();
+        let f = sparse_bool_vector(n, &f_ids);
+        let mut bits = BitVec::new(n);
+        for &i in &m_ids {
+            if i < n {
+                bits.set(i);
+            }
+        }
+        let mask = if complement { Mask::complement(&bits) } else { Mask::new(&bits) };
+        let base = Descriptor::new()
+            .transpose(transpose)
+            .structure_only(structure_only)
+            .early_exit(early_exit)
+            .merge_strategy(if heap_merge { MergeStrategy::HeapMerge } else { MergeStrategy::SortBased });
+
+        let push: Vector<bool> =
+            mxv(Some(&mask), BoolOrAnd, &g, &f, &base.force(Direction::Push), None).unwrap();
+        let pull: Vector<bool> =
+            mxv(Some(&mask), BoolOrAnd, &g, &f, &base.force(Direction::Pull), None).unwrap();
+        prop_assert_eq!(explicit_set(&push), explicit_set(&pull));
+
+        // Unmasked too.
+        let push_u: Vector<bool> =
+            mxv(None, BoolOrAnd, &g, &f, &base.force(Direction::Push), None).unwrap();
+        let pull_u: Vector<bool> =
+            mxv(None, BoolOrAnd, &g, &f, &base.force(Direction::Pull), None).unwrap();
+        prop_assert_eq!(explicit_set(&push_u), explicit_set(&pull_u));
+
+        // Masked result = unmasked result filtered by the mask.
+        let filtered = filter_by_mask(&push_u, &mask);
+        prop_assert_eq!(explicit_set(&push), explicit_set(&filtered));
+    }
+
+    /// Boolean mxv against a brute-force dense reference.
+    #[test]
+    fn bool_mxv_matches_dense_reference(
+        g in arb_graph(30, 200),
+        f_ids in prop::collection::vec(0usize..30, 0..15),
+    ) {
+        let n = g.n_vertices();
+        let f = sparse_bool_vector(n, &f_ids);
+        let desc = Descriptor::new().transpose(true).force(Direction::Push);
+        let got: Vector<bool> = mxv(None, BoolOrAnd, &g, &f, &desc, None).unwrap();
+        // Reference: child j is reachable iff some explicit f(i) has edge i→j.
+        let mut expect: Vec<u32> = Vec::new();
+        for j in 0..n as u32 {
+            let hit = f.iter_explicit().any(|(i, _)| g.children(i).contains(&j));
+            if hit {
+                expect.push(j);
+            }
+        }
+        prop_assert_eq!(explicit_set(&got), expect);
+    }
+
+    /// Min-plus push ≡ min-plus pull on arbitrary weighted graphs.
+    #[test]
+    fn min_plus_push_equals_pull(
+        edges in prop::collection::vec((0usize..25, 0usize..25, 1u32..100), 0..150),
+        seeds in prop::collection::vec((0usize..25, 0u32..50), 1..8),
+    ) {
+        let dim = 25;
+        let mut coo = Coo::new(dim, dim);
+        for &(u, v, w) in &edges {
+            if u != v {
+                coo.push(u as u32, v as u32, w as f32);
+            }
+        }
+        coo.dedup(|a, _| a);
+        let g = Graph::from_coo(&coo);
+        let mut ids: Vec<u32> = seeds.iter().map(|&(i, _)| i as u32).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let vals: Vec<f32> = ids.iter().map(|&i| {
+            seeds.iter().find(|&&(j, _)| j as u32 == i).map(|&(_, d)| d as f32).unwrap_or(0.0)
+        }).collect();
+        let d = Vector::from_sparse(dim, f32::INFINITY, ids, vals);
+        let base = Descriptor::new().transpose(true);
+        let push: Vector<f32> = mxv(None, MinPlus, &g, &d, &base.force(Direction::Push), None).unwrap();
+        let pull: Vector<f32> = mxv(None, MinPlus, &g, &d, &base.force(Direction::Pull), None).unwrap();
+        for i in 0..dim as u32 {
+            prop_assert_eq!(push.get(i), pull.get(i), "vertex {}", i);
+        }
+    }
+
+    /// Sparse↔dense conversion is lossless and convert() preserves content.
+    #[test]
+    fn storage_conversion_roundtrip(
+        dim in 1usize..200,
+        ids in prop::collection::vec(0usize..200, 0..50),
+    ) {
+        let v = sparse_bool_vector(dim, &ids);
+        let before = explicit_set(&v);
+        let mut w = v.clone();
+        w.make_dense();
+        prop_assert_eq!(&explicit_set(&w), &before);
+        prop_assert_eq!(w.nnz(), before.len());
+        w.make_sparse();
+        prop_assert_eq!(&explicit_set(&w), &before);
+        let mut state = push_pull::core::ConvertState::new();
+        let mut c = v.clone();
+        let _ = c.convert(&mut state, 0.01);
+        prop_assert_eq!(&explicit_set(&c), &before);
+    }
+
+    /// Matrix eWise ops against per-cell dense references.
+    #[test]
+    fn matrix_ewise_matches_dense_reference(
+        a_cells in prop::collection::btree_map((0u32..12, 0u32..12), 1i64..50, 0..40),
+        b_cells in prop::collection::btree_map((0u32..12, 0u32..12), 1i64..50, 0..40),
+    ) {
+        use push_pull::core::matrix_ops::{matrix_ewise_add, matrix_ewise_mult};
+        use push_pull::matrix::Csr;
+        let build = |cells: &std::collections::BTreeMap<(u32, u32), i64>| {
+            let mut coo = Coo::new(12, 12);
+            for (&(r, c), &v) in cells {
+                coo.push(r, c, v);
+            }
+            Csr::from_coo(&coo)
+        };
+        let (a, b) = (build(&a_cells), build(&b_cells));
+        let mult = matrix_ewise_mult(&a, &b, |x, y| x * y);
+        let add = matrix_ewise_add(&a, &b, |x, y| x + y);
+        for r in 0..12u32 {
+            for c in 0..12u32 {
+                let xa = a_cells.get(&(r, c)).copied();
+                let xb = b_cells.get(&(r, c)).copied();
+                let got_mult = mult
+                    .row(r as usize)
+                    .binary_search(&c)
+                    .ok()
+                    .map(|p| mult.row_values(r as usize)[p]);
+                let got_add = add
+                    .row(r as usize)
+                    .binary_search(&c)
+                    .ok()
+                    .map(|p| add.row_values(r as usize)[p]);
+                let want_mult = match (xa, xb) {
+                    (Some(x), Some(y)) => Some(x * y),
+                    _ => None,
+                };
+                let want_add = match (xa, xb) {
+                    (Some(x), Some(y)) => Some(x + y),
+                    (Some(x), None) | (None, Some(x)) => Some(x),
+                    (None, None) => None,
+                };
+                prop_assert_eq!(got_mult, want_mult, "mult at ({}, {})", r, c);
+                prop_assert_eq!(got_add, want_add, "add at ({}, {})", r, c);
+            }
+        }
+    }
+
+    /// reduce_rows under + equals per-row sums; extract of everything is
+    /// the identity.
+    #[test]
+    fn matrix_reduce_and_extract_invariants(
+        cells in prop::collection::btree_map((0u32..15, 0u32..15), 1i64..100, 0..60),
+    ) {
+        use push_pull::core::matrix_ops::{extract, reduce_rows};
+        use push_pull::core::ops::PlusMonoid;
+        use push_pull::matrix::Csr;
+        let mut coo = Coo::new(15, 15);
+        for (&(r, c), &v) in &cells {
+            coo.push(r, c, v);
+        }
+        let a = Csr::from_coo(&coo);
+        let sums = reduce_rows(&a, PlusMonoid);
+        for r in 0..15u32 {
+            let want: i64 = cells
+                .iter()
+                .filter(|(&(rr, _), _)| rr == r)
+                .map(|(_, &v)| v)
+                .sum();
+            prop_assert_eq!(sums.get(r), want, "row {}", r);
+        }
+        let all: Vec<u32> = (0..15).collect();
+        prop_assert_eq!(extract(&a, &all, &all), a);
+    }
+
+    /// eWiseAdd/eWiseMult against BTreeMap references.
+    #[test]
+    fn ewise_ops_match_reference(
+        a in prop::collection::btree_map(0u32..100, 1i64..50, 0..40),
+        b in prop::collection::btree_map(0u32..100, 1i64..50, 0..40),
+    ) {
+        let dim = 100;
+        let mk = |m: &std::collections::BTreeMap<u32, i64>| {
+            Vector::from_sparse(
+                dim,
+                0i64,
+                m.keys().copied().collect(),
+                m.values().copied().collect(),
+            )
+        };
+        let (u, v) = (mk(&a), mk(&b));
+        let mult = ewise_mult(&u, &v, |x, y| x * y);
+        let add = ewise_add(&u, &v, |x, y| x + y);
+        for i in 0..dim as u32 {
+            let (x, y) = (a.get(&i).copied(), b.get(&i).copied());
+            let expect_mult = match (x, y) {
+                (Some(x), Some(y)) => x * y,
+                _ => 0,
+            };
+            let expect_add = x.unwrap_or(0) + y.unwrap_or(0);
+            prop_assert_eq!(mult.get(i), expect_mult);
+            prop_assert_eq!(add.get(i), expect_add);
+        }
+    }
+}
