@@ -13,9 +13,9 @@
 
 use graphblas_core::descriptor::Descriptor;
 use graphblas_core::mask::Mask;
+use graphblas_core::mxv;
 use graphblas_core::ops::PlusSecond;
 use graphblas_core::vector::Vector;
-use graphblas_core::mxv;
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::BitVec;
 

@@ -32,13 +32,13 @@ use graphblas_core::mask::Mask;
 use graphblas_core::ops::{BoolOrAnd, BoolStructure, Semiring};
 use graphblas_core::vector::Vector;
 use graphblas_core::vector_ops::filter_by_mask;
-use graphblas_core::mxv;
+use graphblas_core::{mxv, DirectionPolicy};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
 use std::time::Instant;
 
-/// Depth label for unreached vertices (matches `graphblas-baselines`).
+/// Depth label for unreached vertices (matches `graphblas_baselines`).
 pub const UNREACHED: i32 = -1;
 
 /// Per-optimization switches; defaults enable everything (the "This Work"
@@ -164,36 +164,6 @@ impl BfsResult {
     }
 }
 
-/// Direction state implementing the §6.3 hysteresis heuristic on frontier
-/// size: switch push→pull while `r` is rising above `α`, pull→push while
-/// falling below `β` (we use `α = β` as the paper does).
-#[derive(Debug)]
-struct DirState {
-    dir: Direction,
-    last_nnz: usize,
-}
-
-impl DirState {
-    fn new() -> Self {
-        Self {
-            dir: Direction::Push,
-            last_nnz: 0,
-        }
-    }
-
-    fn update(&mut self, nnz: usize, m: usize, threshold: f64) -> Direction {
-        let r = nnz as f64 / m.max(1) as f64;
-        let rising = nnz >= self.last_nnz;
-        match self.dir {
-            Direction::Push if rising && r > threshold => self.dir = Direction::Pull,
-            Direction::Pull if !rising && r < threshold => self.dir = Direction::Push,
-            _ => {}
-        }
-        self.last_nnz = nnz;
-        self.dir
-    }
-}
-
 /// BFS with all optimizations enabled.
 ///
 /// ```
@@ -267,7 +237,13 @@ where
 
     let mut f: Vector<bool> = Vector::singleton(n, false, source, true);
     let mut frontier_nnz = 1usize;
-    let mut dir_state = DirState::new();
+    // Optimization 1's switching rule lives in graphblas_core; BFS only
+    // chooses which policy variant it runs under.
+    let mut policy = match opts.force {
+        Some(d) => DirectionPolicy::fixed(d),
+        None if opts.change_of_direction => DirectionPolicy::hysteresis(opts.switch_threshold),
+        None => DirectionPolicy::fixed(Direction::Push),
+    };
     let mut level = 0usize;
     let mut trace = Vec::new();
 
@@ -284,13 +260,7 @@ where
         level += 1;
 
         // Optimization 1: pick this level's direction.
-        let dir = match opts.force {
-            Some(d) => d,
-            None if opts.change_of_direction => {
-                dir_state.update(frontier_nnz, n, opts.switch_threshold)
-            }
-            None => Direction::Push,
-        };
+        let dir = policy.update(frontier_nnz, n);
         let desc = base_desc.force(dir);
 
         // Storage follows direction (the convert() of §6.3). With operand
@@ -455,7 +425,11 @@ mod tests {
         );
         // Frontier counts in the trace match a sane BFS profile.
         let total_frontier: usize = r.trace.iter().map(|t| t.frontier_nnz).sum();
-        assert_eq!(total_frontier, r.reached(), "frontiers partition reached vertices");
+        assert_eq!(
+            total_frontier,
+            r.reached(),
+            "frontiers partition reached vertices"
+        );
         // Unvisited is non-increasing.
         assert!(r.trace.windows(2).all(|w| w[0].unvisited >= w[1].unvisited));
     }

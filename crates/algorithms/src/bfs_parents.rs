@@ -14,7 +14,7 @@ use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
 use graphblas_core::ops::MinSecond;
 use graphblas_core::vector::Vector;
-use graphblas_core::mxv;
+use graphblas_core::{mxv, DirectionPolicy};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::BitVec;
 
@@ -43,26 +43,17 @@ pub fn bfs_parents(g: &Graph<bool>, source: VertexId, switch_threshold: f64) -> 
 
     // Frontier carries each frontier vertex's own id as its value.
     let mut f: Vector<u32> = Vector::singleton(n, NO_PARENT, source, source);
-    let mut last_nnz = 1usize;
-    let mut pulling = false;
+    let mut policy = DirectionPolicy::hysteresis(switch_threshold);
     let mut levels = 0usize;
     let base = Descriptor::new().transpose(true);
 
     loop {
         levels += 1;
-        let nnz = f.nnz();
-        let r = nnz as f64 / n.max(1) as f64;
-        if !pulling && nnz >= last_nnz && r > switch_threshold {
-            pulling = true;
-        } else if pulling && nnz < last_nnz && r < switch_threshold {
-            pulling = false;
-        }
-        last_nnz = nnz;
-        let desc = base.force(if pulling { Direction::Pull } else { Direction::Push });
-        if pulling {
-            f.make_dense();
-        } else {
-            f.make_sparse();
+        let dir = policy.update(f.nnz(), n);
+        let desc = base.force(dir);
+        match dir {
+            Direction::Pull => f.make_dense(),
+            Direction::Push => f.make_sparse(),
         }
 
         let mask = Mask::complement(&visited);

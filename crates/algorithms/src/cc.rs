@@ -10,7 +10,7 @@
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::ops::MinSecond;
 use graphblas_core::vector::{DenseVector, Vector};
-use graphblas_core::mxv;
+use graphblas_core::{mxv, DirectionPolicy};
 use graphblas_matrix::{Graph, VertexId};
 
 /// Result of a components run.
@@ -39,24 +39,17 @@ pub fn connected_components(g: &Graph<bool>, switch_threshold: f64) -> CcResult 
     // Initially every vertex is "changed".
     let mut delta: Vector<u32> = Vector::Dense(DenseVector::from_values(labels.clone(), u32::MAX));
     let mut rounds = 0usize;
-    let mut last_nnz = n;
-    let mut pulling = true; // dense start: every label is active
+    // Same hysteresis rule as BFS (§6.3), on the delta set; dense start
+    // means the policy begins in pull.
+    let mut policy = DirectionPolicy::hysteresis_from(Direction::Pull, switch_threshold);
     let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
     let desc_pull = Descriptor::new().transpose(true).force(Direction::Pull);
 
     loop {
         rounds += 1;
-        let nnz = delta.nnz();
-        // Same hysteresis rule as BFS (§6.3), on the delta set.
-        let r = nnz as f64 / n.max(1) as f64;
-        if pulling && nnz < last_nnz && r < switch_threshold {
-            pulling = false;
-        } else if !pulling && nnz >= last_nnz && r > switch_threshold {
-            pulling = true;
-        }
-        last_nnz = nnz;
+        let dir = policy.update(delta.nnz(), n);
 
-        let candidates: Vector<u32> = if pulling {
+        let candidates: Vector<u32> = if dir == Direction::Pull {
             // Row-based over the full label vector (min is idempotent, so
             // relaxing against all labels is sound — operand reuse again).
             let full = Vector::Dense(DenseVector::from_values(labels.clone(), u32::MAX));
@@ -143,7 +136,15 @@ mod tests {
 
     #[test]
     fn matches_union_find_on_sparse_mesh() {
-        let g = road_mesh(40, 40, RoadParams { keep: 0.55, diagonal: 0.0 }, 7);
+        let g = road_mesh(
+            40,
+            40,
+            RoadParams {
+                keep: 0.55,
+                diagonal: 0.0,
+            },
+            7,
+        );
         let r = connected_components(&g, 0.01);
         assert_eq!(r.labels, cc_oracle(&g));
         assert!(component_count(&r.labels) > 1, "low keep ⇒ fragmentation");

@@ -5,9 +5,9 @@
 
 use graphblas_core::descriptor::Descriptor;
 use graphblas_core::mask::Mask;
+use graphblas_core::mxv;
 use graphblas_core::ops::MaxSecond;
 use graphblas_core::vector::Vector;
-use graphblas_core::mxv;
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::BitVec;
 use rand::rngs::StdRng;
@@ -28,7 +28,9 @@ pub fn maximal_independent_set(g: &Graph<bool>, seed: u64) -> MisResult {
     let n = g.n_vertices();
     let mut rng = StdRng::seed_from_u64(seed);
     // Random priorities; ties broken by vertex id via the pair ordering.
-    let priority: Vec<u64> = (0..n).map(|i| (rng.gen::<u64>() << 20) | i as u64).collect();
+    let priority: Vec<u64> = (0..n)
+        .map(|i| (rng.gen::<u64>() << 20) | i as u64)
+        .collect();
 
     let mut in_set = vec![false; n];
     let mut candidate = BitVec::new(n);
@@ -94,7 +96,10 @@ pub fn verify_mis(g: &Graph<bool>, in_set: &[bool]) -> bool {
     // Maximality: every non-member has a member neighbor.
     for u in 0..n {
         if !in_set[u] {
-            let covered = g.children(u as VertexId).iter().any(|&v| in_set[v as usize]);
+            let covered = g
+                .children(u as VertexId)
+                .iter()
+                .any(|&v| in_set[v as usize]);
             if !covered {
                 return false;
             }

@@ -93,7 +93,10 @@ pub fn multi_source_bfs(g: &Graph<bool>, sources: &[VertexId]) -> MsBfsResult {
         frontier = next;
     }
 
-    MsBfsResult { depths, levels: level }
+    MsBfsResult {
+        depths,
+        levels: level,
+    }
 }
 
 /// The batch frontier after `steps` synchronous steps, materialized as a

@@ -11,9 +11,9 @@
 
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
+use graphblas_core::mxv;
 use graphblas_core::ops::PlusTimes;
 use graphblas_core::vector::{DenseVector, Vector};
-use graphblas_core::mxv;
 use graphblas_matrix::{Csr, Graph, VertexId};
 use graphblas_primitives::BitVec;
 

@@ -16,7 +16,7 @@
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::ops::MinPlus;
 use graphblas_core::vector::Vector;
-use graphblas_core::mxv;
+use graphblas_core::{mxv, DirectionPolicy};
 use graphblas_matrix::{Graph, VertexId};
 
 /// Options for the SSSP solver.
@@ -62,7 +62,13 @@ pub fn sssp(g: &Graph<f32>, source: VertexId, opts: &SsspOpts) -> SsspResult {
     dist[source as usize] = 0.0;
     // Delta set: vertices improved last round, with their distances.
     let mut delta: Vector<f32> = Vector::singleton(n, f32::INFINITY, source, 0.0);
-    let mut pulling = false;
+    // 2-phase switch (§5.6): once the delta set crosses the threshold, stay
+    // row-based for the remainder.
+    let mut policy = if opts.change_of_direction {
+        DirectionPolicy::two_phase(opts.switch_threshold)
+    } else {
+        DirectionPolicy::fixed(Direction::Push)
+    };
     let mut rounds = 0usize;
     let mut pull_rounds = 0usize;
     let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
@@ -70,16 +76,9 @@ pub fn sssp(g: &Graph<f32>, source: VertexId, opts: &SsspOpts) -> SsspResult {
 
     while rounds < max_rounds {
         rounds += 1;
-        // 2-phase switch: once the delta set crosses the threshold, stay
-        // row-based for the remainder (§5.6).
-        if opts.change_of_direction
-            && !pulling
-            && delta.nnz() as f64 / n as f64 > opts.switch_threshold
-        {
-            pulling = true;
-        }
+        let dir = policy.update(delta.nnz(), n);
 
-        let candidates: Vector<f32> = if pulling {
+        let candidates: Vector<f32> = if dir == Direction::Pull {
             pull_rounds += 1;
             // Row-based over the full distance vector (superset of delta —
             // idempotent min makes the extra relaxations harmless).

@@ -36,7 +36,8 @@ impl BfsEngine for BaselinePush {
             let lengths: Vec<usize> = frontier.iter().map(|&u| a.degree(u as usize)).collect();
             let offsets = scan::exclusive_scan_offsets(&lengths);
             let starts: Vec<usize> = frontier.iter().map(|&u| a.row_ptr()[u as usize]).collect();
-            let mut keys = gather::gather_segments(a.col_ind(), &starts, &offsets, pool::DEFAULT_GRAIN);
+            let mut keys =
+                gather::gather_segments(a.col_ind(), &starts, &offsets, pool::DEFAULT_GRAIN);
             // The 2015 baseline carries (index, value) pairs through the
             // sort; values are Boolean `true` here, so the payload is a
             // same-size dummy — the cost, not the content, is what matters.
@@ -82,7 +83,15 @@ mod tests {
 
     #[test]
     fn source_only_component() {
-        let g = road_mesh(3, 3, RoadParams { keep: 0.0, diagonal: 0.0 }, 1);
+        let g = road_mesh(
+            3,
+            3,
+            RoadParams {
+                keep: 0.0,
+                diagonal: 0.0,
+            },
+            1,
+        );
         let d = BaselinePush.bfs(&g, 4);
         assert_eq!(d.iter().filter(|&&x| x >= 0).count(), 1);
     }

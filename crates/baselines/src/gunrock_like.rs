@@ -15,6 +15,7 @@
 //! 3. Direction switching on the Beamer ratio, like the paper's heuristic.
 
 use crate::{BfsEngine, UNREACHED};
+use graphblas_core::{Direction, DirectionPolicy};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::AtomicBitVec;
 use rayon::prelude::*;
@@ -46,19 +47,13 @@ impl BfsEngine for GunrockLike {
         // Frontier may contain duplicates; `visited` is the source of truth.
         let mut frontier: Vec<VertexId> = vec![source];
         let mut d = 0i32;
-        let mut pulling = false;
-        let mut last_size = 1usize;
+        // Gunrock switches on the same §6.3 hysteresis rule as the paper's
+        // own heuristic; the rule itself lives in graphblas_core.
+        let mut policy = DirectionPolicy::hysteresis(SWITCH_RATIO);
 
         while !frontier.is_empty() {
             d += 1;
-            let ratio = frontier.len() as f64 / n as f64;
-            let growing = frontier.len() >= last_size;
-            if !pulling && growing && ratio > SWITCH_RATIO {
-                pulling = true;
-            } else if pulling && !growing && ratio < SWITCH_RATIO {
-                pulling = false;
-            }
-            last_size = frontier.len();
+            let pulling = policy.update(frontier.len(), n) == Direction::Pull;
 
             let next: Vec<VertexId> = if pulling {
                 // Operand reuse: input is the visited set, not the frontier

@@ -47,7 +47,7 @@ pub trait BfsEngine: Sync {
 }
 
 /// Every comparator engine, in the paper's Figure 7 column order (without
-/// "this work", which lives in `graphblas-algo`).
+/// "this work", which lives in `graphblas_algo`).
 #[must_use]
 pub fn all_engines() -> Vec<Box<dyn BfsEngine>> {
     vec![
@@ -82,7 +82,13 @@ mod tests {
         let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
         assert_eq!(
             names,
-            vec!["SuiteSparse-like", "CuSha-like", "Baseline", "Ligra-like", "Gunrock-like"]
+            vec![
+                "SuiteSparse-like",
+                "CuSha-like",
+                "Baseline",
+                "Ligra-like",
+                "Gunrock-like"
+            ]
         );
     }
 

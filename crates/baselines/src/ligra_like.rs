@@ -11,6 +11,7 @@
 //! the |E|/20 threshold.
 
 use crate::{BfsEngine, UNREACHED};
+use graphblas_core::{Direction, DirectionPolicy};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::AtomicBitVec;
 use rayon::prelude::*;
@@ -40,12 +41,16 @@ impl BfsEngine for LigraLike {
         depth[source as usize] = 0;
         let mut frontier: Vec<VertexId> = vec![source];
         let mut d = 0i32;
+        // Beamer's memoryless rule, |frontier ∪ out-edges| > |E|/20, as a
+        // core DirectionPolicy: threshold 1/20 on the edge-capacity ratio.
+        let mut policy = DirectionPolicy::memoryless(1.0 / DENSE_FRACTION as f64);
 
         while !frontier.is_empty() {
             d += 1;
             let frontier_edges: usize = frontier.iter().map(|&u| a.degree(u as usize)).sum();
-            let next: Vec<VertexId> = if (frontier.len() + frontier_edges) > g.n_edges() / DENSE_FRACTION
-            {
+            let dense_mode =
+                policy.update(frontier.len() + frontier_edges, g.n_edges()) == Direction::Pull;
+            let next: Vec<VertexId> = if dense_mode {
                 // edgeMapDense: every unvisited vertex scans in-neighbors,
                 // breaking at the first frontier parent.
                 let in_frontier = {

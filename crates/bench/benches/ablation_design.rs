@@ -14,9 +14,9 @@ use graphblas_algo::tricount::{triangle_count, triangle_count_unmasked};
 use graphblas_bench::study::random_ids;
 use graphblas_core::descriptor::{Descriptor, Direction, MergeStrategy};
 use graphblas_core::mask::Mask;
+use graphblas_core::mxv;
 use graphblas_core::ops::{BoolOrAnd, BoolStructure};
 use graphblas_core::vector::Vector;
-use graphblas_core::mxv;
 use graphblas_gen::rmat::{rmat, RmatParams};
 use graphblas_primitives::BitVec;
 use rand::rngs::StdRng;
@@ -47,8 +47,7 @@ fn bench_merge_strategy(c: &mut Criterion) {
             .structure_only(false);
         group.bench_function(name, |b| {
             b.iter(|| {
-                let w: Vector<bool> =
-                    mxv(None, BoolOrAnd, &g, black_box(&f), &desc, None).unwrap();
+                let w: Vector<bool> = mxv(None, BoolOrAnd, &g, black_box(&f), &desc, None).unwrap();
                 black_box(w)
             })
         });

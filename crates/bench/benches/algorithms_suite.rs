@@ -35,7 +35,9 @@ fn bench_algorithms(c: &mut Criterion) {
         let sources: Vec<u32> = (0..8).map(|i| i * 37).collect();
         b.iter(|| black_box(multi_source_bfs(&g, &sources)))
     });
-    group.bench_function("sssp", |b| b.iter(|| black_box(sssp(&w, 0, &SsspOpts::default()))));
+    group.bench_function("sssp", |b| {
+        b.iter(|| black_box(sssp(&w, 0, &SsspOpts::default())))
+    });
     group.bench_function("pagerank", |b| b.iter(|| black_box(pagerank(&g, &pr_opts))));
     group.bench_function("adaptive_pagerank", |b| {
         b.iter(|| black_box(adaptive_pagerank(&g, &pr_opts)))

@@ -6,9 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
+use graphblas_core::mxv;
 use graphblas_core::ops::BoolStructure;
 use graphblas_core::vector::Vector;
-use graphblas_core::mxv;
 use graphblas_gen::rmat::{rmat, RmatParams};
 use graphblas_primitives::BitVec;
 use std::hint::black_box;
@@ -60,8 +60,15 @@ fn bench_bfs_semantic_iterations(c: &mut Criterion) {
             sf.make_sparse();
             b.iter(|| {
                 let mask = Mask::complement(visited);
-                let w: Vector<bool> =
-                    mxv(Some(&mask), BoolStructure, &g, black_box(&sf), &desc_push, None).unwrap();
+                let w: Vector<bool> = mxv(
+                    Some(&mask),
+                    BoolStructure,
+                    &g,
+                    black_box(&sf),
+                    &desc_push,
+                    None,
+                )
+                .unwrap();
                 black_box(w)
             })
         });
@@ -70,8 +77,15 @@ fn bench_bfs_semantic_iterations(c: &mut Criterion) {
             df.make_dense();
             b.iter(|| {
                 let mask = Mask::complement(visited).with_active_list(unvisited);
-                let w: Vector<bool> =
-                    mxv(Some(&mask), BoolStructure, &g, black_box(&df), &desc_pull, None).unwrap();
+                let w: Vector<bool> = mxv(
+                    Some(&mask),
+                    BoolStructure,
+                    &g,
+                    black_box(&df),
+                    &desc_pull,
+                    None,
+                )
+                .unwrap();
                 black_box(w)
             })
         });

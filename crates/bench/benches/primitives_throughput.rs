@@ -73,9 +73,7 @@ fn bench_gather_and_segreduce(c: &mut Criterion) {
     // a few supervertex-sized ones.
     let mut rng = StdRng::seed_from_u64(2);
     let mut lengths: Vec<usize> = (0..50_000).map(|_| rng.gen_range(1..16)).collect();
-    for _ in 0..20 {
-        lengths.push(20_000);
-    }
+    lengths.extend(std::iter::repeat_n(20_000, 20));
     let offsets = scan::exclusive_scan_offsets(&lengths);
     let total = *offsets.last().unwrap();
     let src: Vec<u32> = (0..total as u32).collect();
@@ -90,9 +88,7 @@ fn bench_gather_and_segreduce(c: &mut Criterion) {
     group.bench_with_input(
         BenchmarkId::new("interval_gather", total),
         &total,
-        |b, _| {
-            b.iter(|| black_box(gather::gather_segments(&src, &starts, &offsets, 4096)))
-        },
+        |b, _| b.iter(|| black_box(gather::gather_segments(&src, &starts, &offsets, 4096))),
     );
 
     let mut keys: Vec<u32> = (0..total).map(|_| rng.gen_range(0..100_000u32)).collect();
@@ -103,7 +99,9 @@ fn bench_gather_and_segreduce(c: &mut Criterion) {
         &total,
         |b, _| {
             b.iter(|| {
-                black_box(segreduce::segmented_reduce_by_key(&keys, &vals, |a, b| a + b))
+                black_box(segreduce::segmented_reduce_by_key(&keys, &vals, |a, b| {
+                    a + b
+                }))
             })
         },
     );

@@ -6,9 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphblas_bench::study::random_ids;
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
+use graphblas_core::mxv;
 use graphblas_core::ops::BoolOrAnd;
 use graphblas_core::vector::Vector;
-use graphblas_core::mxv;
 use graphblas_gen::rmat::{rmat, RmatParams};
 use graphblas_primitives::BitVec;
 use rand::rngs::StdRng;
@@ -26,8 +26,7 @@ fn bench_variants(c: &mut Criterion) {
         .early_exit(false);
     let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
     let full: Vector<bool> = {
-        let mut v =
-            Vector::from_sparse(n, false, (0..n as u32).collect(), vec![true; n]);
+        let mut v = Vector::from_sparse(n, false, (0..n as u32).collect(), vec![true; n]);
         v.make_dense();
         v
     };
@@ -62,8 +61,15 @@ fn bench_variants(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("row_masked", frac), &frac, |b, _| {
             b.iter(|| {
                 let mask = Mask::new(&bits).with_active_list(&ids);
-                let w: Vector<bool> =
-                    mxv(Some(&mask), BoolOrAnd, &g, black_box(&full), &desc_pull, None).unwrap();
+                let w: Vector<bool> = mxv(
+                    Some(&mask),
+                    BoolOrAnd,
+                    &g,
+                    black_box(&full),
+                    &desc_pull,
+                    None,
+                )
+                .unwrap();
                 black_box(w)
             })
         });
@@ -77,8 +83,15 @@ fn bench_variants(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("col_masked", frac), &frac, |b, _| {
             b.iter(|| {
                 let mask = Mask::new(&bits);
-                let w: Vector<bool> =
-                    mxv(Some(&mask), BoolOrAnd, &g, black_box(&sparse), &desc_push, None).unwrap();
+                let w: Vector<bool> = mxv(
+                    Some(&mask),
+                    BoolOrAnd,
+                    &g,
+                    black_box(&sparse),
+                    &desc_push,
+                    None,
+                )
+                .unwrap();
                 black_box(w)
             })
         });

@@ -98,7 +98,11 @@ fn table1(cfg: &Config) {
     let g = cfg.kron();
     let n = g.n_vertices();
     let d = g.avg_degree();
-    eprintln!("[table1] kron stand-in: {} vertices, {} edges", n, g.n_edges());
+    eprintln!(
+        "[table1] kron stand-in: {} vertices, {} edges",
+        n,
+        g.n_edges()
+    );
     let sweep: Vec<usize> = [0.001, 0.01, 0.05, 0.2, 0.5]
         .iter()
         .map(|&r| ((n as f64 * r) as usize).max(1))
@@ -176,7 +180,14 @@ fn table2(cfg: &Config) {
 fn table3(cfg: &Config) {
     let mut t = Table::new(
         "Table 3 — dataset suite (synthetic stand-ins)",
-        &["Dataset", "Vertices", "Edges", "Max Degree", "Pseudo-Diameter", "Type"],
+        &[
+            "Dataset",
+            "Vertices",
+            "Edges",
+            "Max Degree",
+            "Pseudo-Diameter",
+            "Type",
+        ],
     );
     for Dataset { name, class, graph } in suite(cfg.shrink, cfg.seed) {
         eprintln!("[table3] {name}");
@@ -199,13 +210,23 @@ fn table3(cfg: &Config) {
 fn fig2(cfg: &Config) {
     let g = cfg.kron();
     let n = g.n_vertices();
-    eprintln!("[fig2] kron stand-in: {} vertices, {} edges", n, g.n_edges());
+    eprintln!(
+        "[fig2] kron stand-in: {} vertices, {} edges",
+        n,
+        g.n_edges()
+    );
     let sweep: Vec<usize> = (1..=10).map(|i| n * i / 10).collect();
     let samples = matvec_variant_sweep(&g, &sweep, 3, cfg.seed);
 
     let mut t = Table::new(
         "Figure 2 — matvec runtime (ms) vs nnz, random vectors (kron stand-in)",
-        &["nnz", "row (no mask)", "row (mask)", "col (no mask)", "col (mask)"],
+        &[
+            "nnz",
+            "row (no mask)",
+            "row (mask)",
+            "col (no mask)",
+            "col (mask)",
+        ],
     );
     for s in &samples {
         t.row(vec![
@@ -235,7 +256,14 @@ fn fig5(cfg: &Config) {
 
     let mut t = Table::new(
         "Figure 5 — per-level frontier/unvisited counts and push/pull runtime",
-        &["level", "frontier", "unvisited", "push ms", "pull ms", "winner"],
+        &[
+            "level",
+            "frontier",
+            "unvisited",
+            "push ms",
+            "pull ms",
+            "winner",
+        ],
     );
     for l in &levels {
         t.row(vec![
@@ -244,7 +272,12 @@ fn fig5(cfg: &Config) {
             l.unvisited.to_string(),
             f(l.push_ms),
             f(l.pull_ms),
-            if l.push_ms <= l.pull_ms { "push" } else { "pull" }.to_string(),
+            if l.push_ms <= l.pull_ms {
+                "push"
+            } else {
+                "pull"
+            }
+            .to_string(),
         ]);
     }
     t.print();
@@ -329,11 +362,27 @@ fn fig7(cfg: &Config) {
     let n_sources = cfg.sources.clamp(1, 5);
     let mut runtime = Table::new(
         "Figure 7 — runtime (ms per BFS) [lower is better]",
-        &["Dataset", "SuiteSparse", "CuSha", "Baseline", "Ligra", "Gunrock", "This Work"],
+        &[
+            "Dataset",
+            "SuiteSparse",
+            "CuSha",
+            "Baseline",
+            "Ligra",
+            "Gunrock",
+            "This Work",
+        ],
     );
     let mut throughput = Table::new(
         "Figure 7 — edge throughput (MTEPS) [higher is better]",
-        &["Dataset", "SuiteSparse", "CuSha", "Baseline", "Ligra", "Gunrock", "This Work"],
+        &[
+            "Dataset",
+            "SuiteSparse",
+            "CuSha",
+            "Baseline",
+            "Ligra",
+            "Gunrock",
+            "This Work",
+        ],
     );
     let mut ours_vs: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
     let mut scale_free_ratio: Vec<f64> = Vec::new();
@@ -437,7 +486,11 @@ fn heuristic(cfg: &Config) {
         "§6.3 heuristic — α = β sweep vs per-level oracle (kron stand-in)",
         &["policy", "total ms", "vs oracle"],
     );
-    t.row(vec!["oracle (per-level best)".into(), f(oracle_ms), "1.00x".into()]);
+    t.row(vec![
+        "oracle (per-level best)".into(),
+        f(oracle_ms),
+        "1.00x".into(),
+    ]);
     t.row(vec![
         "push-only".into(),
         f(push_only_ms),

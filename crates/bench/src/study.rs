@@ -5,9 +5,9 @@ use crate::{median, time_ms};
 use graphblas_algo::bfs::{bfs_with_opts, BfsOpts};
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
+use graphblas_core::mxv;
 use graphblas_core::ops::BoolOrAnd;
 use graphblas_core::vector::Vector;
-use graphblas_core::mxv;
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::{AccessCounters, CounterSnapshot};
 use graphblas_primitives::BitVec;
@@ -83,12 +83,7 @@ pub fn matvec_variant_sweep(
 
     // Full dense input for the row-masked variant (nnz(f) = M).
     let full: Vector<bool> = {
-        let mut v = Vector::from_sparse(
-            n,
-            false,
-            (0..n as VertexId).collect(),
-            vec![true; n],
-        );
+        let mut v = Vector::from_sparse(n, false, (0..n as VertexId).collect(), vec![true; n]);
         v.make_dense();
         v
     };
@@ -122,8 +117,7 @@ pub fn matvec_variant_sweep(
                 // Counted pass (once), then timed passes without counters.
                 let c = AccessCounters::new();
                 f(Some(&c));
-                let times: Vec<f64> =
-                    (0..repeats).map(|_| time_ms(|| f(None)).1).collect();
+                let times: Vec<f64> = (0..repeats).map(|_| time_ms(|| f(None)).1).collect();
                 (median(&times), c.snapshot())
             };
 
@@ -179,8 +173,7 @@ pub fn per_level_study(g: &Graph<bool>, source: VertexId, repeats: usize) -> Vec
     let n = g.n_vertices();
     let mut visited = BitVec::new(n);
     visited.set(source as usize);
-    let mut unvisited_list: Vec<VertexId> =
-        (0..n as VertexId).filter(|&v| v != source).collect();
+    let mut unvisited_list: Vec<VertexId> = (0..n as VertexId).filter(|&v| v != source).collect();
     let mut frontier = Vector::singleton(n, false, source, true);
     let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
     let desc_pull = Descriptor::new().transpose(true).force(Direction::Pull);

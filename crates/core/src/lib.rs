@@ -7,7 +7,7 @@
 //! column-based matvec over a sparse input vector, *pull* is row-based
 //! masked matvec over a dense input vector, and both are the same GraphBLAS
 //! expression `f' = Aᵀf .∗ ¬v`. User code writes the expression once
-//! (see `graphblas-algo`'s BFS, a direct transcription of Algorithm 1);
+//! (see `graphblas_algo`'s BFS, a direct transcription of Algorithm 1);
 //! the backend here picks the kernel.
 //!
 //! Each of the paper's five optimizations is independently switchable
@@ -37,6 +37,8 @@ pub mod vector_ops;
 pub use descriptor::{Descriptor, Direction, DirectionChoice, MergeStrategy};
 pub use error::GrbError;
 pub use mask::Mask;
-pub use ops::{BoolOrAnd, Monoid, MinPlus, PlusTimes, Scalar, Semiring, SemiringNum};
-pub use ops_mxv::{col_masked_mxv, col_mxv, mxv, row_masked_mxv, row_mxv};
+pub use ops::{BoolOrAnd, MinPlus, Monoid, PlusTimes, Scalar, Semiring, SemiringNum};
+pub use ops_mxv::{
+    col_masked_mxv, col_mxv, mxv, resolve_direction, row_masked_mxv, row_mxv, DirectionPolicy,
+};
 pub use vector::{ConvertState, DenseVector, SparseVector, Vector};

@@ -124,8 +124,14 @@ where
 /// the selection lists.
 #[must_use]
 pub fn extract<T: Scalar>(a: &Csr<T>, rows: &[VertexId], cols: &[VertexId]) -> Csr<T> {
-    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted unique");
-    debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted unique");
+    debug_assert!(
+        rows.windows(2).all(|w| w[0] < w[1]),
+        "rows must be sorted unique"
+    );
+    debug_assert!(
+        cols.windows(2).all(|w| w[0] < w[1]),
+        "cols must be sorted unique"
+    );
     if let Some(&r) = rows.last() {
         assert!((r as usize) < a.n_rows(), "row index out of range");
     }
@@ -160,11 +166,7 @@ pub fn extract<T: Scalar>(a: &Csr<T>, rows: &[VertexId], cols: &[VertexId]) -> C
     assemble(rows.len(), cols.len(), picked)
 }
 
-fn assemble<T: Scalar>(
-    n_rows: usize,
-    n_cols: usize,
-    rows: Vec<(Vec<VertexId>, Vec<T>)>,
-) -> Csr<T> {
+fn assemble<T: Scalar>(n_rows: usize, n_cols: usize, rows: Vec<(Vec<VertexId>, Vec<T>)>) -> Csr<T> {
     let mut row_ptr = Vec::with_capacity(n_rows + 1);
     row_ptr.push(0usize);
     let mut total = 0usize;

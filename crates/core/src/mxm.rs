@@ -6,7 +6,7 @@
 //! `C⟨L⟩ = L·L` — only entries of `C` that coincide with an edge of the
 //! lower triangle `L` are wanted, so the masked Gustavson row product can
 //! skip accumulating everything else. This module provides exactly that
-//! kernel and is what `graphblas-algo::tricount` builds on.
+//! kernel and is what `graphblas_algo::tricount` builds on.
 
 use crate::ops::{Monoid, Scalar, Semiring};
 use graphblas_matrix::Csr;
@@ -21,13 +21,7 @@ use rayon::prelude::*;
 /// "all reachable columns" to "mask row length" probes — the matrix-level
 /// analog of Table 1's `O(dM) → O(d·nnz(m))`.
 #[must_use]
-pub fn mxm<A, B, Y, S, M>(
-    mask: Option<&Csr<M>>,
-    s: S,
-    a: &Csr<A>,
-    b: &Csr<B>,
-    y_zero: Y,
-) -> Csr<Y>
+pub fn mxm<A, B, Y, S, M>(mask: Option<&Csr<M>>, s: S, a: &Csr<A>, b: &Csr<B>, y_zero: Y) -> Csr<Y>
 where
     A: Scalar,
     B: Scalar,
@@ -49,11 +43,9 @@ where
         .into_par_iter()
         .map_init(
             || Spa::new(b.n_cols(), identity),
-            |spa, i| {
-                match mask {
-                    Some(m) => masked_row(s, add, a, b, m, i, spa),
-                    None => unmasked_row(s, add, a, b, i, spa),
-                }
+            |spa, i| match mask {
+                Some(m) => masked_row(s, add, a, b, m, i, spa),
+                None => unmasked_row(s, add, a, b, i, spa),
             },
         )
         .collect();

@@ -206,7 +206,7 @@ impl<T: SemiringNum> Monoid<T> for MaxMonoid {
 /// `MULT_IGNORES_A` is *false* here: ⊗ = AND reads the matrix value. Use
 /// [`BoolStructure`] for the structure-only variant that treats matrix
 /// entry *existence* as `true` (§5.5) — for 0/1 adjacency matrices the two
-/// produce identical results, which `graphblas-algo` relies on.
+/// produce identical results, which `graphblas_algo` relies on.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct BoolOrAnd;
 impl Semiring<bool, bool, bool> for BoolOrAnd {
@@ -430,7 +430,11 @@ mod tests {
 
     #[test]
     fn saturating_integer_arithmetic() {
-        assert_eq!(u32::MAX.add(1), u32::MAX, "min-plus over ints must not wrap");
+        assert_eq!(
+            u32::MAX.add(1),
+            u32::MAX,
+            "min-plus over ints must not wrap"
+        );
         assert_eq!(i32::MAX.mul(2), i32::MAX);
     }
 }

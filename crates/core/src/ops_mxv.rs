@@ -225,13 +225,19 @@ where
 
     // Structure-only fast path: all products are a known constant, so the
     // expansion carries bare keys and the sort is key-only (§5.5).
-    let structure_hint = if desc.structure_only { s.product_hint() } else { None };
+    let structure_hint = if desc.structure_only {
+        s.product_hint()
+    } else {
+        None
+    };
 
     let sort_based = |counters: Option<&AccessCounters>| -> (Vec<u32>, Vec<Y>) {
         if let Some(hint) = structure_hint {
             let mut keys = expand_keys_only(op_t, v, counters);
             if let Some(c) = counters {
-                c.add_sort(keys.len() as u64 * sort::passes_for(op_t.n_rows().max(1) as u32 - 1) as u64);
+                c.add_sort(
+                    keys.len() as u64 * sort::passes_for(op_t.n_rows().max(1) as u32 - 1) as u64,
+                );
             }
             sort::sort_keys(&mut keys, op_t.n_rows().max(1) as u32 - 1);
             keys.dedup();
@@ -242,7 +248,10 @@ where
             if let Some(c) = counters {
                 // Key-value sort moves twice the data of a key-only sort —
                 // the factor structure-only removes.
-                c.add_sort(2 * keys.len() as u64 * sort::passes_for(op_t.n_rows().max(1) as u32 - 1) as u64);
+                c.add_sort(
+                    2 * keys.len() as u64
+                        * sort::passes_for(op_t.n_rows().max(1) as u32 - 1) as u64,
+                );
             }
             sort::sort_pairs(&mut keys, &mut prods, op_t.n_rows().max(1) as u32 - 1);
             segreduce::segmented_reduce_by_key(&keys, &prods, |a, b| add.op(a, b))
@@ -316,8 +325,7 @@ where
     }
     let mut write = 0usize;
     for read in 0..ids.len() {
-        let keep = vals[read] != identity
-            && mask.is_none_or(|m| m.allows(ids[read] as usize));
+        let keep = vals[read] != identity && mask.is_none_or(|m| m.allows(ids[read] as usize));
         if keep {
             ids[write] = ids[read];
             vals[write] = vals[read];
@@ -412,6 +420,133 @@ pub fn resolve_direction<X: Scalar>(v: &Vector<X>, desc: &Descriptor) -> Directi
                 Direction::Pull
             }
         }
+    }
+}
+
+/// How a [`DirectionPolicy`] reacts to the per-iteration activity ratio.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum PolicyMode {
+    /// §6.3 hysteresis: switch push→pull while activity is rising above the
+    /// threshold, pull→push while falling below it (`α = β`, as the paper).
+    Hysteresis { threshold: f64 },
+    /// §5.6 two-phase: switch push→pull once the threshold is crossed and
+    /// stay there (SSSP's delta-set rule).
+    TwoPhase { threshold: f64 },
+    /// Memoryless: pull iff the ratio exceeds the threshold this iteration
+    /// (Beamer's rule as used by Ligra, `|frontier ∪ its edges| > |E|/20`).
+    Memoryless { threshold: f64 },
+    /// Never switch.
+    Fixed,
+}
+
+/// The workspace's one stateful push/pull switching rule (§6.3 and its
+/// variants).
+///
+/// [`resolve_direction`] is the *storage→direction* rule `mxv` dispatches
+/// on; `DirectionPolicy` is the *activity→direction* heuristic that decides
+/// which storage/kernel an iterative algorithm should steer toward next.
+/// Every direction-optimized loop in the workspace — BFS and parent BFS,
+/// SSSP's two-phase switch, connected components, and the Ligra-like /
+/// Gunrock-like comparator engines — feeds its per-iteration activity count
+/// through one of these instead of hand-rolling the comparison, so the
+/// Table 2 "change of direction" ablation toggles exactly one rule.
+///
+/// `update` takes the iteration's *activity* (frontier nnz, delta-set size,
+/// frontier-edge count — whatever the traversal's work measure is) and the
+/// *capacity* it is measured against (|V| or |E|), and returns the
+/// direction to use this iteration.
+#[derive(Clone, Debug)]
+pub struct DirectionPolicy {
+    mode: PolicyMode,
+    dir: Direction,
+    last_activity: usize,
+}
+
+impl DirectionPolicy {
+    /// §6.3 hysteresis starting from push (BFS-style traversals).
+    #[must_use]
+    pub fn hysteresis(threshold: f64) -> Self {
+        Self::hysteresis_from(Direction::Push, threshold)
+    }
+
+    /// §6.3 hysteresis from an explicit starting direction (label
+    /// propagation starts dense, hence pull).
+    #[must_use]
+    pub fn hysteresis_from(start: Direction, threshold: f64) -> Self {
+        DirectionPolicy {
+            mode: PolicyMode::Hysteresis { threshold },
+            dir: start,
+            last_activity: 0,
+        }
+    }
+
+    /// §5.6 two-phase rule: push until the activity ratio first exceeds the
+    /// threshold, pull forever after.
+    #[must_use]
+    pub fn two_phase(threshold: f64) -> Self {
+        DirectionPolicy {
+            mode: PolicyMode::TwoPhase { threshold },
+            dir: Direction::Push,
+            last_activity: 0,
+        }
+    }
+
+    /// Memoryless threshold rule: pull exactly when `activity / capacity`
+    /// exceeds the threshold (Beamer/Ligra's `> |E|/20` with
+    /// `threshold = 1/20`).
+    #[must_use]
+    pub fn memoryless(threshold: f64) -> Self {
+        DirectionPolicy {
+            mode: PolicyMode::Memoryless { threshold },
+            dir: Direction::Push,
+            last_activity: 0,
+        }
+    }
+
+    /// Pinned direction (the "change of direction off" ablation arm).
+    #[must_use]
+    pub fn fixed(dir: Direction) -> Self {
+        DirectionPolicy {
+            mode: PolicyMode::Fixed,
+            dir,
+            last_activity: 0,
+        }
+    }
+
+    /// Feed this iteration's activity measure; returns the direction to use.
+    pub fn update(&mut self, activity: usize, capacity: usize) -> Direction {
+        let r = activity as f64 / capacity.max(1) as f64;
+        match self.mode {
+            PolicyMode::Hysteresis { threshold } => {
+                let rising = activity >= self.last_activity;
+                match self.dir {
+                    Direction::Push if rising && r > threshold => self.dir = Direction::Pull,
+                    Direction::Pull if !rising && r < threshold => self.dir = Direction::Push,
+                    _ => {}
+                }
+            }
+            PolicyMode::TwoPhase { threshold } => {
+                if self.dir == Direction::Push && r > threshold {
+                    self.dir = Direction::Pull;
+                }
+            }
+            PolicyMode::Memoryless { threshold } => {
+                self.dir = if r > threshold {
+                    Direction::Pull
+                } else {
+                    Direction::Push
+                };
+            }
+            PolicyMode::Fixed => {}
+        }
+        self.last_activity = activity;
+        self.dir
+    }
+
+    /// The direction the last `update` settled on.
+    #[must_use]
+    pub fn current(&self) -> Direction {
+        self.dir
     }
 }
 
@@ -522,6 +657,10 @@ where
 ///
 /// Used by accumulating algorithms (dependency sums in betweenness,
 /// batched scores) where replacing the output vector would lose state.
+// The arity mirrors the GraphBLAS C signature (output, mask, accum, op,
+// A, u, desc) plus the instrumentation handle; collapsing it would only
+// move the argument count into an options struct at every call site.
+#[allow(clippy::too_many_arguments)]
 pub fn mxv_accum<A, X, Y, S, F>(
     w: &mut Vector<Y>,
     mask: Option<&Mask<'_>>,
@@ -725,7 +864,9 @@ mod tests {
             BoolOrAnd,
             &g,
             &f,
-            &desc_bfs().force(Direction::Push).merge_strategy(MergeStrategy::SortBased),
+            &desc_bfs()
+                .force(Direction::Push)
+                .merge_strategy(MergeStrategy::SortBased),
             None,
         )
         .unwrap();
@@ -734,7 +875,9 @@ mod tests {
             BoolOrAnd,
             &g,
             &f,
-            &desc_bfs().force(Direction::Push).merge_strategy(MergeStrategy::HeapMerge),
+            &desc_bfs()
+                .force(Direction::Push)
+                .merge_strategy(MergeStrategy::HeapMerge),
             None,
         )
         .unwrap();
@@ -883,12 +1026,7 @@ mod tests {
             coo.push(p as u32, (n - 1) as u32, true); // everyone -> last
         }
         let g = Graph::from_coo(&coo);
-        let mut f = Vector::from_sparse(
-            n,
-            false,
-            (0..(n - 1) as u32).collect(),
-            vec![true; n - 1],
-        );
+        let mut f = Vector::from_sparse(n, false, (0..(n - 1) as u32).collect(), vec![true; n - 1]);
         f.make_dense();
         let visited = {
             let mut b = BitVec::new(n);
@@ -927,17 +1065,29 @@ mod tests {
         let with_list = {
             let c = AccessCounters::new();
             let mask = Mask::complement(&visited).with_active_list(&unvisited);
-            let _: Vector<bool> =
-                mxv(Some(&mask), BoolOrAnd, &g, &f, &desc_bfs().force(Direction::Pull), Some(&c))
-                    .unwrap();
+            let _: Vector<bool> = mxv(
+                Some(&mask),
+                BoolOrAnd,
+                &g,
+                &f,
+                &desc_bfs().force(Direction::Pull),
+                Some(&c),
+            )
+            .unwrap();
             c.snapshot().mask
         };
         let without_list = {
             let c = AccessCounters::new();
             let mask = Mask::complement(&visited);
-            let _: Vector<bool> =
-                mxv(Some(&mask), BoolOrAnd, &g, &f, &desc_bfs().force(Direction::Pull), Some(&c))
-                    .unwrap();
+            let _: Vector<bool> = mxv(
+                Some(&mask),
+                BoolOrAnd,
+                &g,
+                &f,
+                &desc_bfs().force(Direction::Pull),
+                Some(&c),
+            )
+            .unwrap();
             c.snapshot().mask
         };
         assert_eq!(with_list, 4);
@@ -948,8 +1098,7 @@ mod tests {
     fn dimension_mismatch_is_reported() {
         let g = fig3_graph();
         let short = Vector::new_sparse(5, false);
-        let r: GrbResult<Vector<bool>> =
-            mxv(None, BoolOrAnd, &g, &short, &Descriptor::new(), None);
+        let r: GrbResult<Vector<bool>> = mxv(None, BoolOrAnd, &g, &short, &Descriptor::new(), None);
         assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
         let bad_bits = BitVec::new(3);
         let bad_mask = Mask::new(&bad_bits);
@@ -965,8 +1114,15 @@ mod tests {
         let f = frontier_bcd();
         // vxm(f, A) = mxv(Aᵀ, f).
         let a: Vector<bool> = vxm(None, BoolOrAnd, &f, &g, &Descriptor::new(), None).unwrap();
-        let b: Vector<bool> =
-            mxv(None, BoolOrAnd, &g, &f, &Descriptor::new().transpose(true), None).unwrap();
+        let b: Vector<bool> = mxv(
+            None,
+            BoolOrAnd,
+            &g,
+            &f,
+            &Descriptor::new().transpose(true),
+            None,
+        )
+        .unwrap();
         let ea: Vec<_> = a.iter_explicit().collect();
         let eb: Vec<_> = b.iter_explicit().collect();
         assert_eq!(ea, eb);
@@ -976,8 +1132,15 @@ mod tests {
     fn empty_frontier_yields_empty_output() {
         let g = fig3_graph();
         let f = Vector::new_sparse(8, false);
-        let out: Vector<bool> =
-            mxv(None, BoolOrAnd, &g, &f, &desc_bfs().force(Direction::Push), None).unwrap();
+        let out: Vector<bool> = mxv(
+            None,
+            BoolOrAnd,
+            &g,
+            &f,
+            &desc_bfs().force(Direction::Push),
+            None,
+        )
+        .unwrap();
         assert_eq!(out.nnz(), 0);
     }
 
@@ -1025,5 +1188,56 @@ mod tests {
             None,
         );
         assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn hysteresis_policy_switches_both_ways() {
+        let mut p = DirectionPolicy::hysteresis(0.01);
+        // Small rising frontier below threshold: stay push.
+        assert_eq!(p.update(1, 1000), Direction::Push);
+        assert_eq!(p.update(5, 1000), Direction::Push);
+        // Rising above threshold: switch to pull.
+        assert_eq!(p.update(100, 1000), Direction::Pull);
+        // Still large: stay pull even while falling.
+        assert_eq!(p.update(90, 1000), Direction::Pull);
+        // Falling below threshold: back to push.
+        assert_eq!(p.update(5, 1000), Direction::Push);
+        // Small but *rising* below threshold: hysteresis keeps push.
+        assert_eq!(p.update(8, 1000), Direction::Push);
+        assert_eq!(p.current(), Direction::Push);
+    }
+
+    #[test]
+    fn two_phase_policy_never_returns() {
+        let mut p = DirectionPolicy::two_phase(0.01);
+        assert_eq!(p.update(1, 1000), Direction::Push);
+        assert_eq!(p.update(100, 1000), Direction::Pull);
+        // Tiny delta set again — two-phase stays pull (§5.6).
+        assert_eq!(p.update(1, 1000), Direction::Pull);
+    }
+
+    #[test]
+    fn memoryless_policy_follows_ratio_exactly() {
+        let mut p = DirectionPolicy::memoryless(1.0 / 20.0);
+        assert_eq!(p.update(1, 1000), Direction::Push);
+        assert_eq!(p.update(51, 1000), Direction::Pull);
+        assert_eq!(p.update(50, 1000), Direction::Push, "boundary is strict >");
+    }
+
+    #[test]
+    fn fixed_policy_ignores_activity() {
+        let mut p = DirectionPolicy::fixed(Direction::Pull);
+        assert_eq!(p.update(0, 10), Direction::Pull);
+        assert_eq!(p.update(10, 10), Direction::Pull);
+    }
+
+    #[test]
+    fn hysteresis_from_pull_handles_dense_start() {
+        // CC starts with a dense (all-active) delta: first update must not
+        // bounce to push even though the ratio is high.
+        let mut p = DirectionPolicy::hysteresis_from(Direction::Pull, 0.01);
+        assert_eq!(p.update(1000, 1000), Direction::Pull);
+        // Delta collapses: falling below threshold switches to push.
+        assert_eq!(p.update(3, 1000), Direction::Push);
     }
 }

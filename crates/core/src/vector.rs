@@ -24,7 +24,10 @@ impl<T: Scalar> SparseVector<T> {
     #[must_use]
     pub fn from_sorted(ids: Vec<VertexId>, vals: Vec<T>) -> Self {
         assert_eq!(ids.len(), vals.len());
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted unique");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be sorted unique"
+        );
         Self { ids, vals }
     }
 
@@ -49,10 +52,7 @@ impl<T: Scalar> SparseVector<T> {
     /// Value at `i`, when explicit.
     #[must_use]
     pub fn get(&self, i: VertexId) -> Option<T> {
-        self.ids
-            .binary_search(&i)
-            .ok()
-            .map(|pos| self.vals[pos])
+        self.ids.binary_search(&i).ok().map(|pos| self.vals[pos])
     }
 }
 
@@ -252,12 +252,9 @@ impl<T: Scalar> Vector<T> {
     /// Iterate explicit entries as `(id, value)` in index order.
     pub fn iter_explicit(&self) -> Box<dyn Iterator<Item = (VertexId, T)> + '_> {
         match self {
-            Vector::Sparse { data, .. } => Box::new(
-                data.ids
-                    .iter()
-                    .copied()
-                    .zip(data.vals.iter().copied()),
-            ),
+            Vector::Sparse { data, .. } => {
+                Box::new(data.ids.iter().copied().zip(data.vals.iter().copied()))
+            }
             Vector::Dense(d) => {
                 let fill = d.fill();
                 Box::new(

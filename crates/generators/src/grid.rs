@@ -83,7 +83,15 @@ mod tests {
 
     #[test]
     fn full_keep_is_connected_lattice() {
-        let g = road_mesh(20, 20, RoadParams { keep: 1.0, diagonal: 0.0 }, 1);
+        let g = road_mesh(
+            20,
+            20,
+            RoadParams {
+                keep: 1.0,
+                diagonal: 0.0,
+            },
+            1,
+        );
         let s = GraphStats::compute(g.csr());
         assert_eq!(s.reached, 400, "perfect lattice is connected");
         assert_eq!(s.pseudo_diameter, 38);

@@ -38,7 +38,10 @@ impl Default for PowerLawParams {
 #[must_use]
 pub fn chung_lu(n: usize, edge_factor: usize, params: PowerLawParams, seed: u64) -> Graph<bool> {
     assert!(n >= 2);
-    assert!(params.gamma > 2.0, "gamma must exceed 2 for finite mean degree");
+    assert!(
+        params.gamma > 2.0,
+        "gamma must exceed 2 for finite mean degree"
+    );
     let m = n * edge_factor;
 
     // Weights w_i = (i + offset)^(-alpha); cumulative table for inverse-CDF
@@ -117,8 +120,24 @@ mod tests {
 
     #[test]
     fn gamma_controls_skew() {
-        let sharp = chung_lu(8192, 16, PowerLawParams { gamma: 2.1, offset: 4.0 }, 21);
-        let mild = chung_lu(8192, 16, PowerLawParams { gamma: 2.9, offset: 4.0 }, 21);
+        let sharp = chung_lu(
+            8192,
+            16,
+            PowerLawParams {
+                gamma: 2.1,
+                offset: 4.0,
+            },
+            21,
+        );
+        let mild = chung_lu(
+            8192,
+            16,
+            PowerLawParams {
+                gamma: 2.9,
+                offset: 4.0,
+            },
+            21,
+        );
         let s_sharp = GraphStats::compute(sharp.csr());
         let s_mild = GraphStats::compute(mild.csr());
         assert!(

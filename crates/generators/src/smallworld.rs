@@ -17,7 +17,10 @@ use rand::{Rng, SeedableRng};
 #[must_use]
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph<bool> {
     assert!(n >= 4, "need at least 4 vertices");
-    assert!(k >= 1 && 2 * k < n, "neighborhood must be smaller than the ring");
+    assert!(
+        k >= 1 && 2 * k < n,
+        "neighborhood must be smaller than the ring"
+    );
     assert!((0.0..=1.0).contains(&beta), "beta is a probability");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut coo = Coo::new(n, n);
@@ -51,7 +54,11 @@ mod tests {
         let s = GraphStats::compute(g.csr());
         assert_eq!(s.max_degree, 4, "k=2 ring has degree 4 everywhere");
         assert_eq!(s.reached, 100, "ring is connected");
-        assert!(s.pseudo_diameter >= 20, "lattice is deep: {}", s.pseudo_diameter);
+        assert!(
+            s.pseudo_diameter >= 20,
+            "lattice is deep: {}",
+            s.pseudo_diameter
+        );
     }
 
     #[test]
@@ -78,6 +85,9 @@ mod tests {
         let g = watts_strogatz(300, 3, 0.5, 9);
         // ≤ n·k undirected edges before dedup; stored twice.
         assert!(g.n_edges() <= 2 * 300 * 3);
-        assert!(g.n_edges() >= 300 * 3, "rewiring rarely collides everything");
+        assert!(
+            g.n_edges() >= 300 * 3,
+            "rewiring rarely collides everything"
+        );
     }
 }

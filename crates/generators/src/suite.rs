@@ -91,7 +91,10 @@ pub fn dataset(name: &str, shrink: u32, seed: u64) -> Option<Dataset> {
             graph: chung_lu(
                 shrunk(3_000_000, shrink),
                 35,
-                PowerLawParams { gamma: 2.4, offset: 12.0 },
+                PowerLawParams {
+                    gamma: 2.4,
+                    offset: 12.0,
+                },
                 seed ^ 0x01,
             ),
         },
@@ -101,7 +104,10 @@ pub fn dataset(name: &str, shrink: u32, seed: u64) -> Option<Dataset> {
             graph: chung_lu(
                 shrunk(4_800_000, shrink),
                 9,
-                PowerLawParams { gamma: 2.4, offset: 10.0 },
+                PowerLawParams {
+                    gamma: 2.4,
+                    offset: 10.0,
+                },
                 seed ^ 0x02,
             ),
         },
@@ -111,7 +117,10 @@ pub fn dataset(name: &str, shrink: u32, seed: u64) -> Option<Dataset> {
             graph: chung_lu(
                 shrunk(1_100_000, shrink),
                 50,
-                PowerLawParams { gamma: 2.6, offset: 20.0 },
+                PowerLawParams {
+                    gamma: 2.6,
+                    offset: 20.0,
+                },
                 seed ^ 0x03,
             ),
         },
@@ -122,29 +131,52 @@ pub fn dataset(name: &str, shrink: u32, seed: u64) -> Option<Dataset> {
             graph: chung_lu(
                 shrunk(7_400_000, shrink),
                 20,
-                PowerLawParams { gamma: 2.05, offset: 4.0 },
+                PowerLawParams {
+                    gamma: 2.05,
+                    offset: 4.0,
+                },
                 seed ^ 0x04,
             ),
         },
         "kron" => Dataset {
             name: "kron",
             class: GraphClass::GenScaleFree,
-            graph: rmat(21u32.saturating_sub(shrink).max(10), 43, RmatParams::default(), seed ^ 0x05),
+            graph: rmat(
+                21u32.saturating_sub(shrink).max(10),
+                43,
+                RmatParams::default(),
+                seed ^ 0x05,
+            ),
         },
         "rmat-22" => Dataset {
             name: "rmat-22",
             class: GraphClass::GenScaleFree,
-            graph: rmat(22u32.saturating_sub(shrink).max(10), 64, RmatParams::default(), seed ^ 0x06),
+            graph: rmat(
+                22u32.saturating_sub(shrink).max(10),
+                64,
+                RmatParams::default(),
+                seed ^ 0x06,
+            ),
         },
         "rmat-23" => Dataset {
             name: "rmat-23",
             class: GraphClass::GenScaleFree,
-            graph: rmat(23u32.saturating_sub(shrink).max(10), 32, RmatParams::default(), seed ^ 0x07),
+            graph: rmat(
+                23u32.saturating_sub(shrink).max(10),
+                32,
+                RmatParams::default(),
+                seed ^ 0x07,
+            ),
         },
         "rmat-24" => Dataset {
             name: "rmat-24",
             class: GraphClass::GenScaleFree,
-            graph: rmat(24u32.saturating_sub(shrink).max(10), 16, RmatParams::default(), seed ^ 0x08),
+            graph: rmat(
+                24u32.saturating_sub(shrink).max(10),
+                16,
+                RmatParams::default(),
+                seed ^ 0x08,
+            ),
         },
         "rgg" => Dataset {
             name: "rgg",

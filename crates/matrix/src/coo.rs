@@ -36,7 +36,10 @@ impl<V: Copy> Coo<V> {
     ) -> Self {
         let mut coo = Self::new(n_rows, n_cols);
         for &(r, c, _) in &entries {
-            assert!((r as usize) < n_rows && (c as usize) < n_cols, "entry out of bounds");
+            assert!(
+                (r as usize) < n_rows && (c as usize) < n_cols,
+                "entry out of bounds"
+            );
         }
         coo.entries = entries;
         coo
@@ -86,7 +89,10 @@ impl<V: Copy> Coo<V> {
     /// (undirected). Values are copied onto the mirrored edge. Duplicates
     /// introduced here are collapsed by [`Coo::dedup`] / CSR conversion.
     pub fn symmetrize(&mut self) {
-        assert_eq!(self.n_rows, self.n_cols, "symmetrize requires a square matrix");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "symmetrize requires a square matrix"
+        );
         let mirrored: Vec<(VertexId, VertexId, V)> = self
             .entries
             .iter()
@@ -106,7 +112,8 @@ impl<V: Copy> Coo<V> {
                 && self.entries[write - 1].0 == self.entries[read].0
                 && self.entries[write - 1].1 == self.entries[read].1
             {
-                self.entries[write - 1].2 = combine(self.entries[write - 1].2, self.entries[read].2);
+                self.entries[write - 1].2 =
+                    combine(self.entries[write - 1].2, self.entries[read].2);
             } else {
                 self.entries[write] = self.entries[read];
                 write += 1;

@@ -2,7 +2,7 @@
 //!
 //! CSR of `A` is simultaneously CSC of `Aᵀ`: row `i` of the structure holds
 //! the out-neighbors of vertex `i` when it stores `A`, and the in-neighbors
-//! when it stores `Aᵀ`. The matvec kernels in `graphblas-core` only ever see
+//! when it stores `Aᵀ`. The matvec kernels in `graphblas_core` only ever see
 //! a `Csr` plus a flag for which orientation it represents.
 //!
 //! Column indices within each row are kept sorted — the paper's sparse
@@ -98,8 +98,10 @@ impl<V: Copy + Send + Sync> Csr<V> {
                 return;
             }
             // SAFETY: row windows are disjoint.
-            let cols = unsafe { std::slice::from_raw_parts_mut(col_ptr.get().add(start), end - start) };
-            let vals = unsafe { std::slice::from_raw_parts_mut(val_ptr.get().add(start), end - start) };
+            let cols =
+                unsafe { std::slice::from_raw_parts_mut(col_ptr.get().add(start), end - start) };
+            let vals =
+                unsafe { std::slice::from_raw_parts_mut(val_ptr.get().add(start), end - start) };
             if cols.windows(2).all(|w| w[0] < w[1]) {
                 return;
             }
@@ -349,7 +351,11 @@ mod tests {
         let m = sample_csr();
         let t = m.transpose();
         // Value of (0,2) in A is 2.0 and must appear at (2,0) in Aᵀ.
-        let pos = t.row(2).iter().position(|&c| c == 0).expect("entry present");
+        let pos = t
+            .row(2)
+            .iter()
+            .position(|&c| c == 0)
+            .expect("entry present");
         assert_eq!(t.row_values(2)[pos], 2.0);
     }
 

@@ -47,9 +47,7 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 /// Read a coordinate-format Matrix Market stream into a [`Coo<f64>`].
 pub fn read_coo<R: BufRead>(reader: R) -> Result<Coo<f64>, MmError> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 5 || !fields[0].eq_ignore_ascii_case("%%MatrixMarket") {
         return Err(parse_err("missing %%MatrixMarket header"));
@@ -205,18 +203,27 @@ mod tests {
     #[test]
     fn rejects_wrong_count() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
-        assert!(matches!(read_coo(Cursor::new(text)), Err(MmError::Parse(_))));
+        assert!(matches!(
+            read_coo(Cursor::new(text)),
+            Err(MmError::Parse(_))
+        ));
     }
 
     #[test]
     fn rejects_out_of_bounds_entry() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
-        assert!(matches!(read_coo(Cursor::new(text)), Err(MmError::Parse(_))));
+        assert!(matches!(
+            read_coo(Cursor::new(text)),
+            Err(MmError::Parse(_))
+        ));
     }
 
     #[test]
     fn rejects_unsupported_field() {
         let text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n";
-        assert!(matches!(read_coo(Cursor::new(text)), Err(MmError::Parse(_))));
+        assert!(matches!(
+            read_coo(Cursor::new(text)),
+            Err(MmError::Parse(_))
+        ));
     }
 }

@@ -62,7 +62,11 @@ pub fn degree_histogram<V: Copy + Send + Sync>(a: &Csr<V>) -> Vec<usize> {
     let mut hist = Vec::new();
     for i in 0..a.n_rows() {
         let d = a.degree(i);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - d.leading_zeros()) as usize
+        };
         if bucket >= hist.len() {
             hist.resize(bucket + 1, 0);
         }

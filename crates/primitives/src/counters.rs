@@ -3,7 +3,7 @@
 //! The paper's central theoretical claim (Table 1) is stated in *memory
 //! accesses into the matrix*, not milliseconds. Wall clock on a different
 //! machine cannot falsify that model, so the matvec kernels in
-//! `graphblas-core` report their access counts through this structure and
+//! `graphblas_core` report their access counts through this structure and
 //! the `table1` experiment checks the measured counts against the
 //! `O(dM)` / `O(d·nnz(m))` / `O(d·nnz(f)·log nnz(f))` predictions.
 //!
@@ -112,7 +112,15 @@ mod tests {
         c.add_mask(3);
         c.add_sort(7);
         let s = c.snapshot();
-        assert_eq!(s, CounterSnapshot { matrix: 15, vector: 2, mask: 3, sort: 7 });
+        assert_eq!(
+            s,
+            CounterSnapshot {
+                matrix: 15,
+                vector: 2,
+                mask: 3,
+                sort: 7
+            }
+        );
         assert_eq!(s.total(), 27);
         assert_eq!(c.total(), 27);
         c.reset();

@@ -90,7 +90,10 @@ mod tests {
         let empty: Vec<&[(u32, u32)]> = vec![];
         assert!(multiway_merge_reduce(&empty, |a, b| a + b).is_empty());
         let l: &[(u32, u32)] = &[(1, 10), (5, 50)];
-        assert_eq!(multiway_merge_reduce(&[l], |a, b| a + b), vec![(1, 10), (5, 50)]);
+        assert_eq!(
+            multiway_merge_reduce(&[l], |a, b| a + b),
+            vec![(1, 10), (5, 50)]
+        );
     }
 
     #[test]
@@ -120,10 +123,7 @@ mod tests {
         let b: &[(u32, bool)] = &[(4, true), (5, true)];
         let c: &[(u32, bool)] = &[(0, true), (5, true), (6, true)];
         let merged = multiway_merge_reduce(&[a, b, c], |x, y| x || y);
-        assert_eq!(
-            merged,
-            vec![(0, true), (4, true), (5, true), (6, true)]
-        );
+        assert_eq!(merged, vec![(0, true), (4, true), (5, true), (6, true)]);
     }
 
     #[test]
@@ -152,7 +152,9 @@ mod tests {
                 let mut keys: Vec<u32> = (0..200).map(|_| (next() % 500) as u32).collect();
                 keys.sort_unstable();
                 keys.dedup();
-                keys.into_iter().map(|k| (k, u64::from(k) * 2 + 1)).collect()
+                keys.into_iter()
+                    .map(|k| (k, u64::from(k) * 2 + 1))
+                    .collect()
             })
             .collect();
         let refs: Vec<&[(u32, u64)]> = lists.iter().map(Vec::as_slice).collect();

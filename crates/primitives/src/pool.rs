@@ -87,10 +87,7 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync + Send,
 {
-    split_ranges(n, pieces)
-        .into_par_iter()
-        .map(body)
-        .collect()
+    split_ranges(n, pieces).into_par_iter().map(body).collect()
 }
 
 #[cfg(test)]

@@ -31,8 +31,9 @@ where
     // Parallel: reduce each chunk independently, then merge boundary runs
     // that straddle chunk edges.
     let pieces = (keys.len() / GRAIN).clamp(1, pool::num_threads() * 2);
-    let partials: Vec<(Vec<u32>, Vec<V>)> =
-        pool::par_map_ranges(keys.len(), pieces, |r| seq_reduce(&keys[r.clone()], &vals[r], &op));
+    let partials: Vec<(Vec<u32>, Vec<V>)> = pool::par_map_ranges(keys.len(), pieces, |r| {
+        seq_reduce(&keys[r.clone()], &vals[r], &op)
+    });
 
     let total: usize = partials.iter().map(|(k, _)| k.len()).sum();
     let mut out_keys = Vec::with_capacity(total);

@@ -230,7 +230,9 @@ mod tests {
         let mut state = 0x9e3779b97f4a7c15u64;
         let n = 200_000;
         let max_key = (1 << 21) - 1;
-        let mut v: Vec<u32> = (0..n).map(|_| (xorshift(&mut state) as u32) & max_key).collect();
+        let mut v: Vec<u32> = (0..n)
+            .map(|_| (xorshift(&mut state) as u32) & max_key)
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         sort_keys(&mut v, max_key);
@@ -244,7 +246,9 @@ mod tests {
         let mut state = 42u64;
         let n = 100_000;
         let max_key = (1 << 20) - 1; // 20 bits -> 3 passes
-        let mut v: Vec<u32> = (0..n).map(|_| (xorshift(&mut state) as u32) & max_key).collect();
+        let mut v: Vec<u32> = (0..n)
+            .map(|_| (xorshift(&mut state) as u32) & max_key)
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         sort_keys(&mut v, max_key);
@@ -256,7 +260,9 @@ mod tests {
         let mut state = 7u64;
         let n = 150_000;
         let max_key = (1 << 14) - 1;
-        let keys: Vec<u32> = (0..n).map(|_| (xorshift(&mut state) as u32) & max_key).collect();
+        let keys: Vec<u32> = (0..n)
+            .map(|_| (xorshift(&mut state) as u32) & max_key)
+            .collect();
         let vals: Vec<u64> = (0..n as u64).collect();
         let mut reference: Vec<(u32, u64)> =
             keys.iter().copied().zip(vals.iter().copied()).collect();
@@ -283,7 +289,13 @@ mod tests {
         let mut state = 99u64;
         let n = 80_000;
         let keys: Vec<u32> = (0..n)
-            .map(|_| if xorshift(&mut state) % 10 < 8 { 7 } else { (xorshift(&mut state) % 1000) as u32 })
+            .map(|_| {
+                if xorshift(&mut state) % 10 < 8 {
+                    7
+                } else {
+                    (xorshift(&mut state) % 1000) as u32
+                }
+            })
             .collect();
         let vals: Vec<u32> = (0..n as u32).collect();
         let mut reference: Vec<(u32, u32)> =

@@ -28,7 +28,10 @@ fn main() {
         result.levels
     );
 
-    println!("{:>5} {:>10} {:>12} {:>10} {:>12}", "level", "direction", "frontier", "unvisited", "micros");
+    println!(
+        "{:>5} {:>10} {:>12} {:>10} {:>12}",
+        "level", "direction", "frontier", "unvisited", "micros"
+    );
     for rec in &result.trace {
         println!(
             "{:>5} {:>10} {:>12} {:>10} {:>12}",

@@ -58,7 +58,10 @@ fn main() {
         .zip(&dj)
         .map(|(a, b)| if a.is_finite() { (a - b).abs() } else { 0.0 })
         .fold(0.0f32, f32::max);
-    assert!(max_err < 1e-3, "Bellman-Ford disagrees with Dijkstra by {max_err}");
+    assert!(
+        max_err < 1e-3,
+        "Bellman-Ford disagrees with Dijkstra by {max_err}"
+    );
     println!("verified against Dijkstra ✓ (max deviation {max_err:.2e})");
 
     // The contrast the paper draws: on this topology a forced pull-only

@@ -21,7 +21,15 @@ use std::time::Instant;
 fn main() {
     // soc-orkut-like: power-law degrees, a few hub users with thousands of
     // connections, almost everyone within 5 hops.
-    let g = chung_lu(1 << 15, 24, PowerLawParams { gamma: 2.3, offset: 10.0 }, 7);
+    let g = chung_lu(
+        1 << 15,
+        24,
+        PowerLawParams {
+            gamma: 2.3,
+            offset: 10.0,
+        },
+        7,
+    );
     let stats = GraphStats::compute(g.csr());
     println!(
         "social graph: {} users, {} follow edges, biggest hub {} connections",
@@ -75,7 +83,11 @@ fn main() {
     );
     let t = Instant::now();
     let triangles = triangle_count(&g);
-    println!("triangles: {} (masked SpGEMM, {:?})", triangles, t.elapsed());
+    println!(
+        "triangles: {} (masked SpGEMM, {:?})",
+        triangles,
+        t.elapsed()
+    );
 
     // Brokerage: betweenness from a small source batch.
     let sources: Vec<u32> = (0..8).map(|i| i * 1013 % g.n_vertices() as u32).collect();

@@ -50,7 +50,8 @@ pub mod prelude {
     pub use graphblas_algo::pagerank::{adaptive_pagerank, pagerank, PageRankOpts};
     pub use graphblas_algo::sssp::{sssp, SsspOpts};
     pub use graphblas_core::{
-        mxv, BoolOrAnd, Descriptor, Direction, Mask, MinPlus, PlusTimes, Vector,
+        mxv, resolve_direction, BoolOrAnd, Descriptor, Direction, DirectionPolicy, Mask, MinPlus,
+        PlusTimes, Vector,
     };
     pub use graphblas_matrix::{Coo, Csr, Graph, GraphStats, VertexId};
 }

@@ -72,7 +72,12 @@ fn all_engines_survive_isolated_source() {
     for engine in push_pull::baselines::all_engines() {
         let d = engine.bfs(&g, 0);
         assert_eq!(d[0], 0, "{}", engine.name());
-        assert_eq!(d.iter().filter(|&&x| x >= 0).count(), 1, "{}", engine.name());
+        assert_eq!(
+            d.iter().filter(|&&x| x >= 0).count(),
+            1,
+            "{}",
+            engine.name()
+        );
     }
 }
 
@@ -86,8 +91,14 @@ fn mxv_rejects_dimension_mismatches() {
     let ok_vec = Vector::<bool>::new_sparse(8, false);
     let wrong_bits = BitVec::new(3);
     let wrong_mask = Mask::new(&wrong_bits);
-    let r: Result<Vector<bool>, _> =
-        mxv(Some(&wrong_mask), BoolOrAnd, &g, &ok_vec, &Descriptor::new(), None);
+    let r: Result<Vector<bool>, _> = mxv(
+        Some(&wrong_mask),
+        BoolOrAnd,
+        &g,
+        &ok_vec,
+        &Descriptor::new(),
+        None,
+    );
     assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
 }
 

@@ -1,0 +1,81 @@
+//! Smoke test for the `push_pull` facade: the names promised by the README
+//! and the crate docs must be reachable through `push_pull::prelude::*`
+//! and do something sensible end-to-end.
+
+use push_pull::gen::with_uniform_weights;
+use push_pull::prelude::*;
+
+/// Every name the prelude promises, exercised in one small end-to-end run.
+#[test]
+fn prelude_exposes_the_advertised_surface() {
+    // A small scale-free graph through the `gen` re-export.
+    let g: Graph<bool> = push_pull::gen::rmat::rmat(8, 8, Default::default(), 7);
+    let n = g.n_vertices();
+    assert!(n > 0);
+
+    // bfs / BfsOpts / BfsResult.
+    let r: BfsResult = bfs(&g, 0);
+    assert!(r.reached() >= 1);
+    let r2 = bfs_with_opts(&g, 0, &BfsOpts::default(), None);
+    assert_eq!(r.reached(), r2.reached());
+
+    // pagerank (+ adaptive variant).
+    let pr = pagerank(&g, &PageRankOpts::default());
+    assert_eq!(pr.ranks.len(), n);
+    let total: f64 = pr.ranks.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6, "ranks sum to 1, got {total}");
+    let apr = adaptive_pagerank(&g, &PageRankOpts::default());
+    assert_eq!(apr.ranks.len(), n);
+
+    // sssp over uniform weights.
+    let gw = with_uniform_weights(&g, 23);
+    let sp = sssp(&gw, 0, &SsspOpts::default());
+    assert_eq!(sp.dist.len(), n);
+    assert_eq!(sp.dist[0], 0.0);
+
+    // mxv + Descriptor + Direction + Mask + Vector: one BFS step by hand.
+    let f: Vector<bool> = Vector::singleton(n, false, 0, true);
+    let desc = Descriptor::new().transpose(true);
+    let next: Vector<bool> = mxv(None, BoolOrAnd, &g, &f, &desc, None).expect("dims fit");
+    assert_eq!(next.dim(), n);
+
+    // The dispatcher agrees with the storage rule it documents.
+    assert_eq!(resolve_direction(&f, &desc), Direction::Push);
+
+    // The switching policy is reachable from the prelude too.
+    let mut policy = DirectionPolicy::hysteresis(0.01);
+    assert_eq!(policy.update(1, n), Direction::Push);
+}
+
+/// Coo/Csr/GraphStats/VertexId round-trip through the prelude.
+#[test]
+fn prelude_matrix_types_compose() {
+    let mut coo = Coo::new(4, 4);
+    let edges: [(VertexId, VertexId); 3] = [(0, 1), (1, 2), (2, 3)];
+    for (u, v) in edges {
+        coo.push(u, v, true);
+    }
+    coo.clean_undirected();
+    let g = Graph::from_coo(&coo);
+    let csr: &Csr<bool> = g.csr();
+    assert_eq!(csr.n_rows(), 4);
+
+    let stats = GraphStats::compute(g.csr());
+    assert_eq!(stats.vertices, 4);
+    assert_eq!(stats.pseudo_diameter, 3, "path graph end-to-end distance");
+
+    let r = bfs(&g, 0);
+    assert_eq!(r.depths, vec![0, 1, 2, 3]);
+}
+
+/// The quickstart from the crate-level docs, as a real test (the doctest
+/// also runs it; this keeps it covered even under `--tests`-only CI).
+#[test]
+fn quickstart_from_lib_docs() {
+    let g = push_pull::gen::rmat::rmat(10, 8, Default::default(), 42);
+    let result = bfs(&g, 0);
+    for (name, opts) in BfsOpts::ladder() {
+        let r = bfs_with_opts(&g, 0, &opts, None);
+        assert_eq!(r.reached(), result.reached(), "{name} changed the answer");
+    }
+}

@@ -128,7 +128,10 @@ fn smallworld_beta_sweep_keeps_bfs_correct_and_moves_the_crossover() {
     let (_, pulls_lattice, levels_lattice) = pull_levels_at[0];
     let (_, pulls_random, levels_random) = pull_levels_at[2];
     assert_eq!(pulls_lattice, 0, "pure lattice stays push-only");
-    assert!(pulls_random > 0, "heavily rewired graph goes wide enough to pull");
+    assert!(
+        pulls_random > 0,
+        "heavily rewired graph goes wide enough to pull"
+    );
     assert!(
         levels_random * 10 < levels_lattice,
         "shortcuts collapse the level count: {levels_random} vs {levels_lattice}"

@@ -13,8 +13,11 @@ use push_pull::core::Direction;
 use push_pull::matrix::{Coo, Graph};
 
 fn arb_directed(n: usize, max_edges: usize) -> impl Strategy<Value = Graph<bool>> {
-    (2..n, prop::collection::vec((0usize..n, 0usize..n), 0..max_edges)).prop_map(
-        move |(dim, edges)| {
+    (
+        2..n,
+        prop::collection::vec((0usize..n, 0usize..n), 0..max_edges),
+    )
+        .prop_map(move |(dim, edges)| {
             let mut coo = Coo::new(dim, dim);
             for (u, v) in edges {
                 if u < dim && v < dim && u != v {
@@ -23,13 +26,15 @@ fn arb_directed(n: usize, max_edges: usize) -> impl Strategy<Value = Graph<bool>
             }
             coo.dedup(|a, _| a);
             Graph::from_coo(&coo)
-        },
-    )
+        })
 }
 
 fn arb_undirected(n: usize, max_edges: usize) -> impl Strategy<Value = Graph<bool>> {
-    (2..n, prop::collection::vec((0usize..n, 0usize..n), 0..max_edges)).prop_map(
-        move |(dim, edges)| {
+    (
+        2..n,
+        prop::collection::vec((0usize..n, 0usize..n), 0..max_edges),
+    )
+        .prop_map(move |(dim, edges)| {
             let mut coo = Coo::new(dim, dim);
             for (u, v) in edges {
                 if u < dim && v < dim {
@@ -38,8 +43,7 @@ fn arb_undirected(n: usize, max_edges: usize) -> impl Strategy<Value = Graph<boo
             }
             coo.clean_undirected();
             Graph::from_coo(&coo)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -13,8 +13,11 @@ use push_pull::primitives::BitVec;
 
 /// Arbitrary directed Boolean graph with up to `n` vertices.
 fn arb_graph(n: usize, max_edges: usize) -> impl Strategy<Value = Graph<bool>> {
-    (2..n, prop::collection::vec((0usize..n, 0usize..n), 0..max_edges)).prop_map(
-        move |(dim, edges)| {
+    (
+        2..n,
+        prop::collection::vec((0usize..n, 0usize..n), 0..max_edges),
+    )
+        .prop_map(move |(dim, edges)| {
             let mut coo = Coo::new(dim, dim);
             for (u, v) in edges {
                 if u < dim && v < dim && u != v {
@@ -23,12 +26,15 @@ fn arb_graph(n: usize, max_edges: usize) -> impl Strategy<Value = Graph<bool>> {
             }
             coo.dedup(|a, _| a);
             Graph::from_coo(&coo)
-        },
-    )
+        })
 }
 
 fn sparse_bool_vector(dim: usize, ids: &[usize]) -> Vector<bool> {
-    let mut sorted: Vec<u32> = ids.iter().filter(|&&i| i < dim).map(|&i| i as u32).collect();
+    let mut sorted: Vec<u32> = ids
+        .iter()
+        .filter(|&&i| i < dim)
+        .map(|&i| i as u32)
+        .collect();
     sorted.sort_unstable();
     sorted.dedup();
     let k = sorted.len();

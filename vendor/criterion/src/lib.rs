@@ -1,0 +1,318 @@
+//! Minimal bench harness exposing the subset of the `criterion` API this
+//! workspace uses (`Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`,
+//! `Throughput`, `black_box`, `criterion_group!`, `criterion_main!`).
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` cannot be vendored. This shim actually measures: each
+//! benchmark is warmed up, then timed over enough iterations to fill the
+//! configured measurement window, and the median per-iteration time is
+//! printed. No statistics beyond that — it exists so `cargo bench` compiles
+//! and produces usable numbers offline; swap the real criterion back in by
+//! changing one line of `crates/bench/Cargo.toml`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_id.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation; recorded to compute elements/sec in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to the closure of `bench_function`.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly: warm-up phase, then timed samples until the
+    /// measurement window is spent.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        // At least one sample even if the warm-up already blew the budget.
+        let measure_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+            if measure_start.elapsed() >= self.measure || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn median_secs(&self) -> f64 {
+        let mut v = self.samples.clone();
+        v.sort_by(f64::total_cmp);
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        let mid = v.len() / 2;
+        if v.len() % 2 == 1 {
+            v[mid]
+        } else {
+            (v[mid - 1] + v[mid]) / 2.0
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Group of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measure = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.warm_up = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.parent.run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.parent
+            .run_one(&full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    /// Smoke mode: run every benchmark body once, no timed sampling. Like
+    /// real criterion, this is the default unless cargo bench's `--bench`
+    /// flag is present, so `cargo test --benches` stays fast.
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measure: Duration::from_millis(800),
+            smoke: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirror real criterion's mode detection: `cargo bench` passes
+    /// `--bench` to `harness = false` targets, `cargo test --benches`
+    /// does not — without it, each benchmark body runs exactly once as a
+    /// smoke test instead of being measured.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.smoke = !std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().id;
+        self.run_one(&name, None, &mut f);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let (warm_up, measure) = if self.smoke {
+            (Duration::ZERO, Duration::ZERO)
+        } else {
+            (self.warm_up, self.measure)
+        };
+        let mut b = Bencher {
+            warm_up,
+            measure,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("bench: {name:<60} smoke-tested (1 iteration)");
+            return;
+        }
+        let med = b.median_secs();
+        let extra = match throughput {
+            Some(Throughput::Elements(n)) if med > 0.0 => {
+                format!("  ({:.2} Melem/s)", n as f64 / med / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if med > 0.0 => {
+                format!("  ({:.2} MiB/s)", n as f64 / med / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench: {name:<60} median {:>12}  ({} samples){extra}",
+            fmt_time(med),
+            b.samples.len()
+        );
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a group of benchmark functions. Only the simple
+/// `criterion_group!(name, target, ...)` form is supported (the only form
+/// this workspace uses).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` runs bench binaries with `--test`;
+            // don't burn minutes measuring in that mode.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("kron").id, "kron");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            smoke: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,213 @@
+//! Sequential shim for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rayon` cannot be vendored. This crate keeps every `par_iter` /
+//! `into_par_iter` call site compiling unchanged and executes them
+//! sequentially. `ParIter` wraps a plain [`Iterator`] and re-exposes the
+//! rayon-specific adaptors (`with_min_len`, `flat_map_iter`) as no-ops or
+//! sequential equivalents; because it also implements [`Iterator`], all the
+//! std adaptors (`map`, `zip`, `filter`, `sum`, `collect`, ...) keep
+//! working. Swapping in the real rayon later is a one-line Cargo change —
+//! no call sites need to move.
+
+/// Number of worker threads. A sequential executor honestly has one lane,
+/// but callers use this to pick *chunk counts* for deterministic seeding, so
+/// report the machine's parallelism the way real rayon would.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Grain-size hint; meaningless sequentially.
+    #[must_use]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Grain-size hint; meaningless sequentially.
+    #[must_use]
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// rayon's `flat_map_iter`: flat-map with a serial inner iterator.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Keep the `ParIter` wrapper across `map` so rayon-only adaptors can
+    /// still be chained afterwards.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep the `ParIter` wrapper across `zip`.
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Keep the `ParIter` wrapper across `enumerate`.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Keep the `ParIter` wrapper across `filter`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// rayon's `map_init`: per-worker scratch state. One lane here, so the
+    /// init value is created once and threaded through every call.
+    pub fn map_init<INIT, S, F, U>(self, init: INIT, f: F) -> ParIter<MapInit<I, S, F>>
+    where
+        INIT: FnOnce() -> S,
+        F: FnMut(&mut S, I::Item) -> U,
+    {
+        ParIter(MapInit {
+            inner: self.0,
+            state: init(),
+            f,
+        })
+    }
+}
+
+/// Iterator produced by [`ParIter::map_init`].
+pub struct MapInit<I, S, F> {
+    inner: I,
+    state: S,
+    f: F,
+}
+
+impl<I: Iterator, S, F, U> Iterator for MapInit<I, S, F>
+where
+    F: FnMut(&mut S, I::Item) -> U,
+{
+    type Item = U;
+
+    fn next(&mut self) -> Option<U> {
+        let x = self.inner.next()?;
+        Some((self.f)(&mut self.state, x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+/// `IntoParallelIterator` — anything that can be iterated can be "parallel"
+/// iterated here.
+pub trait IntoParallelIterator {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `&collection -> par_iter()`, mirroring rayon's `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+{
+    type Iter = <&'a T as IntoIterator>::IntoIter;
+    type Item = <&'a T as IntoIterator>::Item;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `&mut collection -> par_iter_mut()`, mirroring rayon's
+/// `IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'a;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+where
+    &'a mut T: IntoIterator,
+{
+    type Iter = <&'a mut T as IntoIterator>::IntoIter;
+    type Item = <&'a mut T as IntoIterator>::Item;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_par_iter_sums() {
+        let v = vec![1u64, 2, 3, 4];
+        let s: u64 = v.par_iter().with_min_len(2).map(|&x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let out: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<u32> = vec![1u32, 2]
+            .into_par_iter()
+            .flat_map_iter(|x| 0..x)
+            .collect();
+        assert_eq!(out, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn zip_and_enumerate_chain() {
+        let a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        let out: Vec<(usize, i32)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .enumerate()
+            .map(|(i, (x, y))| (i, x + y))
+            .collect();
+        assert_eq!(out, vec![(0, 11), (1, 22), (2, 33)]);
+    }
+}
