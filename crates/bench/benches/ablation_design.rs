@@ -39,6 +39,7 @@ fn bench_merge_strategy(c: &mut Criterion) {
     for (name, strategy) in [
         ("radix_sort", MergeStrategy::SortBased),
         ("heap_merge", MergeStrategy::HeapMerge),
+        ("spa_merge", MergeStrategy::SpaMerge),
     ] {
         let desc = Descriptor::new()
             .transpose(true)

@@ -1,0 +1,96 @@
+//! Thread-scaling bench: pull (row, dense-input) and push (column,
+//! sparse-input) mxv at 1/2/4/8 lanes on the generator-suite stand-ins.
+//!
+//! The pool distributes a size-derived chunk list, so every lane count
+//! computes the identical result; this suite measures how much wall clock
+//! the extra lanes actually buy — the direct check of the PR's claim that
+//! parallelism is real. The workload is `study::scaling_inputs`, shared
+//! with the machine-readable companion artifact `results/BENCH_scaling.json`
+//! (`cargo run --release -p graphblas_bench --bin paper -- scaling`), so
+//! the bench and the artifact always measure the same regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphblas_bench::study::{scaling_inputs, ScalingInputs};
+use graphblas_core::mxv;
+use graphblas_core::ops::BoolOrAnd;
+use graphblas_core::vector::Vector;
+use graphblas_gen::powerlaw::{chung_lu, PowerLawParams};
+use graphblas_gen::rmat::{rmat, RmatParams};
+use graphblas_matrix::Graph;
+use std::hint::black_box;
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 3;
+
+fn graphs() -> Vec<(&'static str, Graph<bool>)> {
+    vec![
+        ("kron", rmat(13, 16, RmatParams::default(), 11)),
+        ("chung_lu", chung_lu(8192, 16, PowerLawParams::default(), 7)),
+    ]
+}
+
+fn bench_pull_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_pull_mxv");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, g) in graphs() {
+        let inputs = scaling_inputs(&g, SEED);
+        group.throughput(Throughput::Elements(inputs.pull_edges as u64));
+        for threads in THREAD_COUNTS {
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    rayon::with_num_threads(threads, || {
+                        let w: Vector<bool> = mxv(
+                            None,
+                            BoolOrAnd,
+                            &g,
+                            black_box(&inputs.dense_f),
+                            &inputs.desc_pull,
+                            None,
+                        )
+                        .unwrap();
+                        black_box(w)
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_push_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_push_mxv");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, g) in graphs() {
+        let inputs: ScalingInputs = scaling_inputs(&g, SEED);
+        group.throughput(Throughput::Elements(inputs.frontier_edges.max(1) as u64));
+        for threads in THREAD_COUNTS {
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    rayon::with_num_threads(threads, || {
+                        let w: Vector<bool> = mxv(
+                            None,
+                            BoolOrAnd,
+                            &g,
+                            black_box(&inputs.sparse_f),
+                            &inputs.desc_push,
+                            None,
+                        )
+                        .unwrap();
+                        black_box(w)
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pull_scaling, bench_push_scaling);
+criterion_main!(benches);

@@ -16,8 +16,10 @@
 
 use graphblas_algo::bfs::{bfs_with_opts, BfsOpts};
 use graphblas_bench::engines::figure7_lineup;
-use graphblas_bench::report::{f, Table};
-use graphblas_bench::study::{matvec_variant_sweep, per_level_study, random_sources, time_bfs};
+use graphblas_bench::report::{f, Json, Table};
+use graphblas_bench::study::{
+    matvec_variant_sweep, per_level_study, random_sources, thread_scaling_study, time_bfs,
+};
 use graphblas_bench::{geomean, median, mteps, time_ms};
 use graphblas_core::descriptor::Direction;
 use graphblas_gen::suite::{dataset, suite, Dataset};
@@ -71,6 +73,7 @@ fn main() {
         "fig6" => fig6(&cfg),
         "fig7" => fig7(&cfg),
         "heuristic" => heuristic(&cfg),
+        "scaling" => scaling(&cfg),
         "validate" => validate(&cfg),
         "all" => {
             table1(&cfg);
@@ -81,11 +84,12 @@ fn main() {
             fig6(&cfg);
             fig7(&cfg);
             heuristic(&cfg);
+            scaling(&cfg);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: \
-                 table1 table2 table3 fig2 fig5 fig6 fig7 heuristic validate all"
+                 table1 table2 table3 fig2 fig5 fig6 fig7 heuristic scaling validate all"
             );
             std::process::exit(2);
         }
@@ -520,6 +524,96 @@ fn heuristic(cfg: &Config) {
          i04 and the meshes (whose optimum is push-only)."
     );
     let _ = t.write_csv(&cfg.out, "heuristic_alpha_sweep");
+}
+
+/// Thread-scaling study: pull and push matvec throughput at 1/2/4/8 lanes
+/// over the generator suite, printed as a table and emitted as the
+/// machine-readable `BENCH_scaling.json` so the perf trajectory can be
+/// tracked across commits. Results are bit-identical at every lane count
+/// (size-derived chunking); only throughput moves.
+fn scaling(cfg: &Config) {
+    let thread_counts = [1usize, 2, 4, 8];
+    let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("[scaling] machine parallelism: {machine}");
+
+    let mut t = Table::new(
+        "Thread scaling — mxv throughput (MTEPS) and speedup vs 1 thread",
+        &[
+            "Dataset",
+            "Threads",
+            "pull ms",
+            "pull MTEPS",
+            "pull x",
+            "push ms",
+            "push MTEPS",
+            "push x",
+        ],
+    );
+    let mut dataset_objs: Vec<Json> = Vec::new();
+    for Dataset { name, graph, .. } in suite(cfg.shrink, cfg.seed) {
+        if let Some(only) = &cfg.dataset {
+            if only != name {
+                continue;
+            }
+        }
+        eprintln!(
+            "[scaling] {name}: {} vertices, {} edges",
+            graph.n_vertices(),
+            graph.n_edges()
+        );
+        let samples = thread_scaling_study(&graph, &thread_counts, 3, cfg.seed);
+        let base = samples[0];
+        let mut sample_objs: Vec<Json> = Vec::new();
+        for s in &samples {
+            let pull_x = base.pull_ms / s.pull_ms.max(1e-12);
+            let push_x = base.push_ms / s.push_ms.max(1e-12);
+            t.row(vec![
+                name.to_string(),
+                s.threads.to_string(),
+                f(s.pull_ms),
+                f(s.pull_mteps),
+                format!("{pull_x:.2}x"),
+                f(s.push_ms),
+                f(s.push_mteps),
+                format!("{push_x:.2}x"),
+            ]);
+            sample_objs.push(Json::Obj(vec![
+                ("threads", Json::Int(s.threads as u64)),
+                ("pull_ms", Json::Num(s.pull_ms)),
+                ("pull_mteps", Json::Num(s.pull_mteps)),
+                ("pull_speedup", Json::Num(pull_x)),
+                ("push_ms", Json::Num(s.push_ms)),
+                ("push_mteps", Json::Num(s.push_mteps)),
+                ("push_speedup", Json::Num(push_x)),
+            ]));
+        }
+        dataset_objs.push(Json::Obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("vertices", Json::Int(graph.n_vertices() as u64)),
+            ("edges", Json::Int(graph.n_edges() as u64)),
+            ("samples", Json::Arr(sample_objs)),
+        ]));
+    }
+    t.print();
+    println!(
+        "speedups depend on the machine: lanes beyond the physical core count\n\
+         add scheduling overhead, not throughput."
+    );
+    let _ = t.write_csv(&cfg.out, "scaling_threads");
+    let doc = Json::Obj(vec![
+        ("machine_parallelism", Json::Int(machine as u64)),
+        (
+            "thread_counts",
+            Json::Arr(thread_counts.iter().map(|&t| Json::Int(t as u64)).collect()),
+        ),
+        ("shrink", Json::Int(u64::from(cfg.shrink))),
+        ("seed", Json::Int(cfg.seed)),
+        ("datasets", Json::Arr(dataset_objs)),
+    ]);
+    match doc.write_file(&cfg.out, "BENCH_scaling.json") {
+        Ok(p) => eprintln!("[scaling] wrote {}", p.display()),
+        Err(e) => eprintln!("[scaling] could not write BENCH_scaling.json: {e}"),
+    }
 }
 
 /// Cross-validation gate: every engine and every BFS optimization

@@ -69,6 +69,99 @@ impl Table {
     }
 }
 
+/// Minimal JSON value for machine-readable bench artifacts
+/// (`BENCH_scaling.json` and friends). No serializer crate is available
+/// offline; this covers exactly the shapes the bench suite emits.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A number (non-finite values serialize as `null`).
+    Num(f64),
+    /// An integer, kept exact (no float round-trip).
+    Int(u64),
+    /// A string (escaped minimally: quotes and backslashes).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Render with two-space indentation.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| out.push_str(&"  ".repeat(d));
+        match self {
+            Json::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(x) => out.push_str(&x.to_string()),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        // RFC 8259: all other control characters must be
+                        // \u-escaped or strict parsers reject the document.
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, depth + 1);
+                    out.push_str(&format!("\"{k}\": "));
+                    v.write(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Write to `dir/<file_name>` (creating `dir`); returns the path.
+    pub fn write_file(&self, dir: &Path, file_name: &str) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(file_name);
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.render())?;
+        Ok(path)
+    }
+}
+
 /// Format a float with a sensible width for tables.
 #[must_use]
 pub fn f(x: f64) -> String {
@@ -105,6 +198,26 @@ mod tests {
     fn row_width_enforced() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn json_renders_and_writes() {
+        let doc = Json::Obj(vec![
+            ("name", Json::Str("kron \"half\"".into())),
+            ("threads", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("speedup", Json::Num(1.5)),
+            ("bad", Json::Num(f64::NAN)),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = doc.render();
+        assert!(text.contains("\"name\": \"kron \\\"half\\\"\""));
+        assert!(text.contains("\"speedup\": 1.5"));
+        assert!(text.contains("\"bad\": null"));
+        assert!(text.contains("\"empty\": []"));
+        let dir = std::env::temp_dir().join("pp_report_json_test");
+        let path = doc.write_file(&dir, "t.json").expect("writes");
+        let back = std::fs::read_to_string(path).expect("reads");
+        assert_eq!(back.trim_end(), text);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
 use graphblas_core::mxv;
 use graphblas_core::ops::BoolOrAnd;
-use graphblas_core::vector::Vector;
+use graphblas_core::vector::{DenseVector, Vector};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::{AccessCounters, CounterSnapshot};
 use graphblas_primitives::BitVec;
@@ -238,6 +238,117 @@ pub fn per_level_study(g: &Graph<bool>, source: VertexId, repeats: usize) -> Vec
     out
 }
 
+/// One thread-count sample of the scaling study: median kernel times and
+/// edge throughputs for the pull (row, dense input) and push (column,
+/// sparse input) matvec at a given lane count.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingSample {
+    /// Lane count the kernels ran with.
+    pub threads: usize,
+    /// Median wall time of the unmasked pull matvec (dense input), ms.
+    pub pull_ms: f64,
+    /// Median wall time of the unmasked push matvec (sparse frontier), ms.
+    pub push_ms: f64,
+    /// Pull edge throughput, millions of traversed edges per second.
+    pub pull_mteps: f64,
+    /// Push edge throughput, MTEPS.
+    pub push_mteps: f64,
+}
+
+/// The fixed workload both the thread-scaling study and the
+/// `scaling_threads` criterion bench measure — one definition so the table,
+/// the JSON artifact, and the bench can never drift onto different regimes.
+pub struct ScalingInputs {
+    /// Full dense input for the pull (row) kernel: touches every edge.
+    pub dense_f: Vector<bool>,
+    /// Random sparse frontier of `n / 20` vertices — a mid-BFS regime.
+    pub sparse_f: Vector<bool>,
+    /// Edges the push kernel expands (sum of frontier out-degrees).
+    pub frontier_edges: usize,
+    /// Edges the pull kernel touches (`nnz(A)`).
+    pub pull_edges: usize,
+    /// Row-kernel descriptor (transposed, early-exit off: pure throughput).
+    pub desc_pull: Descriptor,
+    /// Column-kernel descriptor (transposed).
+    pub desc_push: Descriptor,
+}
+
+/// Build the scaling workload for `g` (deterministic in `seed`).
+#[must_use]
+pub fn scaling_inputs(g: &Graph<bool>, seed: u64) -> ScalingInputs {
+    let n = g.n_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dense_f = Vector::Dense(DenseVector::from_values(vec![true; n], false));
+    let ids = random_ids(n, (n / 20).max(1), &mut rng);
+    let frontier_edges: usize = ids.iter().map(|&v| g.csr_t().degree(v as usize)).sum();
+    let sparse_f = Vector::from_sparse(n, false, ids.clone(), vec![true; ids.len()]);
+    ScalingInputs {
+        dense_f,
+        sparse_f,
+        frontier_edges,
+        pull_edges: g.n_edges(),
+        desc_pull: Descriptor::new()
+            .transpose(true)
+            .force(Direction::Pull)
+            .early_exit(false),
+        desc_push: Descriptor::new().transpose(true).force(Direction::Push),
+    }
+}
+
+/// Measure pull and push matvec throughput at each lane count in
+/// `thread_counts` (via `rayon::with_num_threads`, the same override
+/// `PUSH_PULL_THREADS` sets process-wide).
+///
+/// The workload is [`scaling_inputs`]. Because chunk layouts are
+/// size-derived, every lane count computes the identical result; only the
+/// wall clock moves.
+#[must_use]
+pub fn thread_scaling_study(
+    g: &Graph<bool>,
+    thread_counts: &[usize],
+    repeats: usize,
+    seed: u64,
+) -> Vec<ScalingSample> {
+    let ScalingInputs {
+        dense_f,
+        sparse_f,
+        frontier_edges,
+        pull_edges,
+        desc_pull,
+        desc_push,
+    } = scaling_inputs(g, seed);
+
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            rayon::with_num_threads(threads, || {
+                let time_median = |f: &dyn Fn()| -> f64 {
+                    f(); // warm-up (also first-touch of pool workers)
+                    let times: Vec<f64> = (0..repeats.max(1)).map(|_| time_ms(f).1).collect();
+                    median(&times)
+                };
+                let pull_ms = time_median(&|| {
+                    let w: Vector<bool> =
+                        mxv(None, BoolOrAnd, g, &dense_f, &desc_pull, None).expect("dims");
+                    std::hint::black_box(w);
+                });
+                let push_ms = time_median(&|| {
+                    let w: Vector<bool> =
+                        mxv(None, BoolOrAnd, g, &sparse_f, &desc_push, None).expect("dims");
+                    std::hint::black_box(w);
+                });
+                ScalingSample {
+                    threads,
+                    pull_ms,
+                    push_ms,
+                    pull_mteps: crate::mteps(pull_edges, pull_ms),
+                    push_mteps: crate::mteps(frontier_edges, push_ms),
+                }
+            })
+        })
+        .collect()
+}
+
 /// Time a full BFS under given options, returning (ms, edges traversed).
 #[must_use]
 pub fn time_bfs(g: &Graph<bool>, sources: &[VertexId], opts: &BfsOpts) -> (f64, usize) {
@@ -323,6 +434,19 @@ mod tests {
         assert_eq!(frontier_sum, reached);
         // Unvisited is strictly decreasing until the last level.
         assert!(levels.windows(2).all(|w| w[0].unvisited >= w[1].unvisited));
+    }
+
+    #[test]
+    fn scaling_study_reports_each_thread_count() {
+        let g = rmat(9, 8, RmatParams::default(), 5);
+        let samples = thread_scaling_study(&g, &[1, 2], 1, 42);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].threads, 1);
+        assert_eq!(samples[1].threads, 2);
+        for s in &samples {
+            assert!(s.pull_ms >= 0.0 && s.push_ms >= 0.0);
+            assert!(s.pull_mteps >= 0.0 && s.push_mteps >= 0.0);
+        }
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub enum MergeStrategy {
     /// traversals where duplicate products are all equal); the kernel
     /// falls back to [`MergeStrategy::SortBased`] otherwise.
     BitmaskCull,
+    /// Per-worker sparse accumulators (Gilbert–Moler–Schreiber SPA, §3.2):
+    /// the frontier is cut into expansion-balanced chunks, each chunk
+    /// scatters its products into a private SPA (`O(1)` per product, no
+    /// sort), and the per-chunk sorted harvests are combined by a
+    /// deterministic k-way merge in chunk order — the CPU shared-memory
+    /// analogue of the paper's sort-based GPU merge. `O(nnz(m_f⁺) +
+    /// nnz(w') log k)` for `k` chunks, at the cost of an `O(M)`-sized
+    /// accumulator per worker chunk.
+    SpaMerge,
 }
 
 /// Per-call options for `mxv` and friends.

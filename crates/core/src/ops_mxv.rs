@@ -21,7 +21,7 @@ use crate::ops::{Monoid, Scalar, Semiring};
 use crate::vector::{DenseVector, SparseVector, Vector};
 use graphblas_matrix::{Csr, Graph};
 use graphblas_primitives::counters::AccessCounters;
-use graphblas_primitives::{gather, merge, pool, scan, segreduce, sort, AtomicBitVec};
+use graphblas_primitives::{gather, merge, pool, scan, segreduce, sort, AtomicBitVec, Spa};
 use rayon::prelude::*;
 
 /// Row grain for parallel row-kernel loops.
@@ -49,11 +49,12 @@ where
     assert_eq!(op.n_cols(), v.dim(), "operand columns must match input dim");
     let add = s.add_monoid();
     let identity = add.identity();
-    let vals: Vec<Y> = (0..op.n_rows())
-        .into_par_iter()
-        .with_min_len(ROW_GRAIN)
-        .map(|i| reduce_row(s, op, v, i, identity, false, counters))
-        .collect();
+    // Row-range chunking with direct per-chunk output slices: each worker
+    // writes its rows straight into the dense output, no reassembly copy.
+    let mut vals = vec![identity; op.n_rows()];
+    pool::par_fill_with(&mut vals, ROW_GRAIN, |i| {
+        reduce_row(s, op, v, i, identity, false, counters)
+    });
     DenseVector::from_values(vals, identity)
 }
 
@@ -100,17 +101,14 @@ where
         if let Some(c) = counters {
             c.add_mask(op.n_rows() as u64);
         }
-        let vals: Vec<Y> = (0..op.n_rows())
-            .into_par_iter()
-            .with_min_len(ROW_GRAIN)
-            .map(|i| {
-                if mask.allows(i) {
-                    reduce_row(s, op, v, i, identity, early_exit, counters)
-                } else {
-                    identity
-                }
-            })
-            .collect();
+        let mut vals = vec![identity; op.n_rows()];
+        pool::par_fill_with(&mut vals, ROW_GRAIN, |i| {
+            if mask.allows(i) {
+                reduce_row(s, op, v, i, identity, early_exit, counters)
+            } else {
+                identity
+            }
+        });
         DenseVector::from_values(vals, identity)
     }
 }
@@ -266,10 +264,7 @@ where
             // to be the same constant; fall back to sorting otherwise.
             match s.product_hint() {
                 Some(hint) => {
-                    let lengths: Vec<usize> =
-                        v.ids().iter().map(|&k| op_t.degree(k as usize)).collect();
-                    let offsets = scan::exclusive_scan_offsets(&lengths);
-                    let total = *offsets.last().expect("non-empty offsets");
+                    let (offsets, total) = expansion_offsets(op_t, v);
                     if let Some(c) = counters {
                         c.add_vector(total as u64);
                         c.add_matrix(total as u64);
@@ -287,6 +282,13 @@ where
                     (keys, vals)
                 }
                 None => sort_based(counters),
+            }
+        }
+        MergeStrategy::SpaMerge => {
+            if v.nnz() == 0 {
+                (Vec::new(), Vec::new())
+            } else {
+                spa_merge_kernel(s, op_t, v, counters)
             }
         }
         MergeStrategy::HeapMerge => {
@@ -337,6 +339,106 @@ where
     SparseVector::from_sorted(ids, vals)
 }
 
+/// The expansion preamble every column-kernel arm shares: scatter offsets
+/// over the frontier's selected columns (CSR-style, trailing total) and
+/// the expanded product count.
+fn expansion_offsets<A, X>(op_t: &Csr<A>, v: &SparseVector<X>) -> (Vec<usize>, usize)
+where
+    A: Scalar,
+    X: Scalar,
+{
+    let lengths: Vec<usize> = v.ids().iter().map(|&k| op_t.degree(k as usize)).collect();
+    let offsets = scan::exclusive_scan_offsets(&lengths);
+    let total = *offsets.last().expect("non-empty offsets");
+    (offsets, total)
+}
+
+/// Per-worker SPA accumulation with a deterministic merge — the
+/// [`MergeStrategy::SpaMerge`] arm of the column kernel.
+///
+/// The frontier is cut into expansion-balanced chunks (boundaries derived
+/// from the scanned neighbor-list lengths, never from the thread count, so
+/// results are identical at every lane count). Each chunk scatters its
+/// products into a private [`Spa`] in frontier order; the per-chunk sorted
+/// harvests are then combined by [`merge::multiway_merge_reduce`], whose
+/// tie-breaking by list order makes the whole reduction group operands
+/// exactly as a left-to-right walk of each chunk — deterministic for any
+/// associative ⊕.
+fn spa_merge_kernel<A, X, Y, S>(
+    s: S,
+    op_t: &Csr<A>,
+    v: &SparseVector<X>,
+    counters: Option<&AccessCounters>,
+) -> (Vec<u32>, Vec<Y>)
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    /// Expanded products each chunk (and its private SPA) should own.
+    const SPA_GRAIN: usize = 8192;
+    /// Ceiling on private SPAs alive at once — each is `O(M)` memory.
+    const MAX_SPAS: usize = 16;
+
+    let add = s.add_monoid();
+    let identity = add.identity();
+    let ids = v.ids();
+    let xs = v.vals();
+    let (offsets, total) = expansion_offsets(op_t, v);
+    if let Some(c) = counters {
+        c.add_matrix(total as u64);
+        // One SPA scatter per product plus the harvest.
+        c.add_vector(2 * total as u64);
+    }
+
+    // Expansion-balanced chunk boundaries over frontier segments.
+    let pieces = (total / SPA_GRAIN).clamp(1, MAX_SPAS);
+    let n_seg = offsets.len() - 1;
+    let mut bounds = vec![0usize];
+    for j in 1..pieces {
+        let target = total * j / pieces;
+        let idx = offsets[..=n_seg]
+            .partition_point(|&o| o < target)
+            .min(n_seg);
+        if idx > *bounds.last().expect("non-empty bounds") {
+            bounds.push(idx);
+        }
+    }
+    // Guard against a duplicate trailing bound: an empty (n_seg, n_seg)
+    // chunk would still allocate and drain a full O(M) SPA for zero work.
+    if *bounds.last().expect("non-empty bounds") != n_seg {
+        bounds.push(n_seg);
+    }
+
+    let seg_ranges: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+    let parts: Vec<Vec<(u32, Y)>> = seg_ranges
+        .into_par_iter()
+        .map(|(s0, s1)| {
+            let mut spa = Spa::new(op_t.n_rows(), identity);
+            for seg in s0..s1 {
+                let src = ids[seg] as usize;
+                let x = xs[seg];
+                let cols = op_t.row(src);
+                let avals = op_t.row_values(src);
+                for (idx, &j) in cols.iter().enumerate() {
+                    spa.accumulate(j, s.mult(avals[idx], x), |a, b| add.op(a, b));
+                }
+            }
+            let (keys, vals) = spa.drain_sorted();
+            keys.into_iter().zip(vals).collect()
+        })
+        .collect();
+
+    if let Some(c) = counters {
+        let merged_in: usize = parts.iter().map(Vec::len).sum();
+        c.add_sort((merged_in as f64 * (parts.len().max(2) as f64).log2()) as u64);
+    }
+    let refs: Vec<&[(u32, Y)]> = parts.iter().map(Vec::as_slice).collect();
+    let merged = merge::multiway_merge_reduce(&refs, |a, b| add.op(a, b));
+    merged.into_iter().unzip()
+}
+
 /// Expand the selected columns into a flat (row-index, product) pair list.
 fn expand_pairs<A, X, Y, S>(
     s: S,
@@ -350,9 +452,7 @@ where
     Y: Scalar,
     S: Semiring<A, X, Y>,
 {
-    let lengths: Vec<usize> = v.ids().iter().map(|&k| op_t.degree(k as usize)).collect();
-    let offsets = scan::exclusive_scan_offsets(&lengths);
-    let total = *offsets.last().expect("non-empty offsets");
+    let (offsets, total) = expansion_offsets(op_t, v);
     if let Some(c) = counters {
         c.add_matrix(total as u64);
     }
@@ -386,9 +486,7 @@ where
     A: Scalar,
     X: Scalar,
 {
-    let lengths: Vec<usize> = v.ids().iter().map(|&k| op_t.degree(k as usize)).collect();
-    let offsets = scan::exclusive_scan_offsets(&lengths);
-    let total = *offsets.last().expect("non-empty offsets");
+    let (offsets, total) = expansion_offsets(op_t, v);
     if let Some(c) = counters {
         c.add_matrix(total as u64);
     }
@@ -884,6 +982,96 @@ mod tests {
         let a: Vec<_> = sorted.iter_explicit().collect();
         let b: Vec<_> = heaped.iter_explicit().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spa_merge_matches_sort_based() {
+        let g = fig3_graph();
+        let f = frontier_bcd();
+        let visited = visited_abcd();
+        let mask = Mask::complement(&visited);
+        let run = |strategy: MergeStrategy, masked: bool| -> Vec<(u32, bool)> {
+            let out: Vector<bool> = mxv(
+                masked.then_some(&mask),
+                BoolOrAnd,
+                &g,
+                &f,
+                &desc_bfs().force(Direction::Push).merge_strategy(strategy),
+                None,
+            )
+            .unwrap();
+            out.iter_explicit().collect()
+        };
+        for masked in [false, true] {
+            assert_eq!(
+                run(MergeStrategy::SpaMerge, masked),
+                run(MergeStrategy::SortBased, masked),
+                "masked = {masked}"
+            );
+        }
+    }
+
+    #[test]
+    fn spa_merge_matches_sort_based_on_weighted_min_plus() {
+        // Collisions under a non-trivial ⊕ (min): 0 and 1 both reach 2.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0f64);
+        coo.push(0, 2, 5.0);
+        coo.push(1, 2, 1.0);
+        let g = Graph::from_coo(&coo);
+        let d = Vector::from_sparse(3, f64::INFINITY, vec![0, 1], vec![0.0, 2.0]);
+        let desc = Descriptor::new().transpose(true).force(Direction::Push);
+        let run = |strategy: MergeStrategy| -> Vec<(u32, f64)> {
+            let out: Vector<f64> =
+                mxv(None, MinPlus, &g, &d, &desc.merge_strategy(strategy), None).unwrap();
+            out.iter_explicit().collect()
+        };
+        assert_eq!(run(MergeStrategy::SpaMerge), run(MergeStrategy::SortBased));
+    }
+
+    #[test]
+    fn spa_merge_single_heavy_segment() {
+        // One hub whose expansion exceeds the per-chunk grain: the balanced
+        // boundaries collapse to a single chunk (no empty trailing chunk)
+        // and the result still matches the sort-based path.
+        let n = 20_000;
+        let mut coo = Coo::new(n, n);
+        for c in 1..n as u32 {
+            coo.push(0, c, true);
+        }
+        let g = Graph::from_coo(&coo);
+        let f = Vector::singleton(n, false, 0, true);
+        let run = |strategy: MergeStrategy| -> usize {
+            let out: Vector<bool> = mxv(
+                None,
+                BoolOrAnd,
+                &g,
+                &f,
+                &desc_bfs().force(Direction::Push).merge_strategy(strategy),
+                None,
+            )
+            .unwrap();
+            out.nnz()
+        };
+        assert_eq!(run(MergeStrategy::SpaMerge), run(MergeStrategy::SortBased));
+    }
+
+    #[test]
+    fn spa_merge_empty_frontier() {
+        let g = fig3_graph();
+        let f = Vector::new_sparse(8, false);
+        let out: Vector<bool> = mxv(
+            None,
+            BoolOrAnd,
+            &g,
+            &f,
+            &desc_bfs()
+                .force(Direction::Push)
+                .merge_strategy(MergeStrategy::SpaMerge),
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.nnz(), 0);
     }
 
     #[test]

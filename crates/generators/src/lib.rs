@@ -39,6 +39,15 @@ use graphblas_matrix::{Coo, Csr, Graph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Number of per-chunk RNG streams the sampling generators draw from.
+///
+/// A fixed constant — deliberately *not* the thread count — so a given
+/// `(generator, seed)` pair produces the same graph whatever
+/// `PUSH_PULL_THREADS` says: the worker pool distributes these chunks by
+/// index stealing, and the stream layout never moves. 64 chunks keeps
+/// every realistic lane count busy.
+pub const RNG_CHUNKS: usize = 64;
+
 /// Finish a raw edge list into an undirected Boolean graph: §7.1 cleaning
 /// then CSR conversion with the transpose shared.
 #[must_use]

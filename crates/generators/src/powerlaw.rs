@@ -71,7 +71,9 @@ pub fn chung_lu(n: usize, edge_factor: usize, params: PowerLawParams, seed: u64)
         lo as u32
     };
 
-    let chunks = rayon::current_num_threads().max(1) * 4;
+    // Fixed chunk count so the RNG streams — and the generated graph —
+    // are identical at every thread count (see `rmat` for the rationale).
+    let chunks = crate::RNG_CHUNKS;
     let per_chunk = m.div_ceil(chunks);
     let edges: Vec<(u32, u32)> = (0..chunks)
         .into_par_iter()

@@ -49,8 +49,11 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Gr
     assert!(abc < 1.0 + 1e-9, "quadrant probabilities exceed 1");
 
     // Sample edges in parallel chunks, each chunk with its own
-    // deterministic RNG stream.
-    let chunks = rayon::current_num_threads().max(1) * 4;
+    // deterministic RNG stream. The chunk count is a fixed constant —
+    // *not* the thread count — so the sampled edge list (and therefore
+    // every downstream result) is identical at every PUSH_PULL_THREADS
+    // setting; the pool distributes the chunks by index stealing.
+    let chunks = crate::RNG_CHUNKS;
     let per_chunk = m.div_ceil(chunks);
     let edges: Vec<(u32, u32)> = (0..chunks)
         .into_par_iter()

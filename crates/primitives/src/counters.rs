@@ -10,6 +10,12 @@
 //! Counting is coarse-grained (one bulk add per row/segment processed, never
 //! per element in a hot loop) so enabling it does not distort the timed
 //! benches that run with counting disabled.
+//!
+//! The counters are `AtomicU64`-backed (relaxed ordering — these are pure
+//! tallies with no synchronization role), so instrumented kernels stay
+//! exact when the worker pool runs them on many lanes concurrently: the
+//! cost model feeding `DirectionPolicy` reports identical totals at every
+//! thread count, which `tests/thread_scaling.rs` pins.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -130,8 +136,15 @@ mod tests {
     #[test]
     fn concurrent_adds_do_not_lose_updates() {
         use rayon::prelude::*;
-        let c = AccessCounters::new();
-        (0..10_000u64).into_par_iter().for_each(|_| c.add_matrix(1));
-        assert_eq!(c.snapshot().matrix, 10_000);
+        // Force real lanes regardless of the machine/env so the adds
+        // genuinely race; atomics must not drop any.
+        rayon::with_num_threads(8, || {
+            let c = AccessCounters::new();
+            (0..100_000u64)
+                .into_par_iter()
+                .with_min_len(64)
+                .for_each(|_| c.add_matrix(1));
+            assert_eq!(c.snapshot().matrix, 100_000);
+        });
     }
 }

@@ -3,15 +3,28 @@
 //! All data-parallel loops in the workspace go through these helpers rather
 //! than calling rayon ad hoc, so the sequential/parallel cutover policy is
 //! in one place. Kernels in this workspace are bandwidth-bound; below a few
-//! thousand elements the rayon fork/join overhead dominates, so every helper
+//! thousand elements the fork/join overhead dominates, so every helper
 //! takes (or derives) a grain size and falls back to the sequential path for
 //! small inputs.
+//!
+//! **Chunk counts derive from the problem size only, never from the thread
+//! count** (capped at [`MAX_CHUNKS`]). The worker pool distributes a fixed
+//! chunk list by index stealing, so more threads drain the same chunks
+//! faster — and every reduction grouping (including floating-point
+//! parenthesization) is identical at 1, 2, or 64 threads. This is what
+//! makes algorithm output bit-identical across `PUSH_PULL_THREADS`
+//! settings, which the determinism suite asserts.
 
 use rayon::prelude::*;
 use std::ops::Range;
 
 /// Default minimum number of elements each spawned task should own.
 pub const DEFAULT_GRAIN: usize = 4096;
+
+/// Upper bound on chunks per parallel region. Plenty for productive
+/// stealing at any realistic lane count while keeping per-chunk overhead
+/// negligible; independent of the thread count by design (see module doc).
+pub const MAX_CHUNKS: usize = 128;
 
 /// Number of worker threads rayon will use.
 #[must_use]
@@ -76,8 +89,25 @@ where
         body(0..n);
         return;
     }
-    let pieces = (n / grain.max(1)).clamp(1, num_threads() * 4);
+    let pieces = (n / grain.max(1)).clamp(1, MAX_CHUNKS);
     split_ranges(n, pieces).into_par_iter().for_each(body);
+}
+
+/// Fill `out[i] = body(i)` for every index, in parallel over contiguous
+/// chunks when `out` is large enough to amortize the fork/join cost.
+///
+/// Each chunk writes its own disjoint output slice directly — no per-chunk
+/// temporary vectors, no reassembly copy — which is how the row-based
+/// (pull) matvec kernel materializes its dense output.
+pub fn par_fill_with<T, F>(out: &mut [T], grain: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    out.par_iter_mut()
+        .with_min_len(grain.max(1))
+        .enumerate()
+        .for_each(|(i, slot)| *slot = body(i));
 }
 
 /// Map each contiguous chunk of `0..n` through `body` and collect the
@@ -85,7 +115,7 @@ where
 pub fn par_map_ranges<T, F>(n: usize, pieces: usize, body: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(Range<usize>) -> T + Sync + Send,
+    F: Fn(Range<usize>) -> T + Sync + Send + Clone,
 {
     split_ranges(n, pieces).into_par_iter().map(body).collect()
 }
@@ -138,6 +168,19 @@ mod tests {
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_fill_with_writes_every_slot() {
+        let mut out = vec![0usize; 50_000];
+        rayon::with_num_threads(4, || {
+            par_fill_with(&mut out, 256, |i| i * 3);
+        });
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i * 3));
+        // Small input (sequential path) behaves identically.
+        let mut small = vec![0usize; 7];
+        par_fill_with(&mut small, 256, |i| i + 1);
+        assert_eq!(small, vec![1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub fn inclusive_scan_in_place(data: &mut [usize]) -> usize {
 
 fn exclusive_scan_parallel(data: &mut [usize]) -> usize {
     let n = data.len();
-    let pieces = pool::num_threads() * 4;
+    // Size-derived piece count (not thread count) so chunk boundaries are
+    // identical at every lane count; see `pool` module doc.
+    let pieces = (n / (SCAN_GRAIN / 4)).clamp(1, pool::MAX_CHUNKS);
     let ranges = pool::split_ranges(n, pieces);
 
     // Phase 1: per-chunk totals.

@@ -29,8 +29,10 @@ where
     }
 
     // Parallel: reduce each chunk independently, then merge boundary runs
-    // that straddle chunk edges.
-    let pieces = (keys.len() / GRAIN).clamp(1, pool::num_threads() * 2);
+    // that straddle chunk edges. The piece count is size-derived (never
+    // thread-derived) so the reduction tree — and any floating-point
+    // grouping — is identical at every thread count.
+    let pieces = (keys.len() / GRAIN).clamp(1, pool::MAX_CHUNKS);
     let partials: Vec<(Vec<u32>, Vec<V>)> = pool::par_map_ranges(keys.len(), pieces, |r| {
         seq_reduce(&keys[r.clone()], &vals[r], &op)
     });

@@ -178,7 +178,9 @@ fn digit(k: u32, shift: usize) -> usize {
 }
 
 fn chunk_count(n: usize) -> usize {
-    (n / SMALL_SORT).clamp(1, pool::num_threads() * 2)
+    // Size-derived (not thread-derived) so the counting/scatter layout is
+    // identical at every lane count; see `pool` module doc.
+    (n / SMALL_SORT).clamp(1, pool::MAX_CHUNKS)
 }
 
 /// Raw pointer wrapper asserting cross-thread send safety for disjoint writes.

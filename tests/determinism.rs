@@ -105,9 +105,9 @@ fn batched_bfs_identical_across_runs() {
 
 #[test]
 fn generators_are_scheduling_independent() {
-    // Generators draw per-chunk RNG streams; the chunk count depends on the
-    // thread count but is fixed at runtime — two runs in one process must
-    // agree exactly.
+    // Generators draw per-chunk RNG streams from a fixed chunk layout
+    // (`graphblas_gen::RNG_CHUNKS`), independent of the thread count — two
+    // runs must agree exactly whatever the pool is doing.
     let a = rmat(11, 16, RmatParams::default(), 7);
     let b = rmat(11, 16, RmatParams::default(), 7);
     assert_eq!(a.csr().row_ptr(), b.csr().row_ptr());

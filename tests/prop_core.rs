@@ -58,7 +58,12 @@ proptest! {
         complement in any::<bool>(),
         transpose in any::<bool>(),
         structure_only in any::<bool>(),
-        heap_merge in any::<bool>(),
+        strategy in prop::sample::select(vec![
+            MergeStrategy::SortBased,
+            MergeStrategy::HeapMerge,
+            MergeStrategy::BitmaskCull,
+            MergeStrategy::SpaMerge,
+        ]),
         early_exit in any::<bool>(),
     ) {
         let n = g.n_vertices();
@@ -74,7 +79,7 @@ proptest! {
             .transpose(transpose)
             .structure_only(structure_only)
             .early_exit(early_exit)
-            .merge_strategy(if heap_merge { MergeStrategy::HeapMerge } else { MergeStrategy::SortBased });
+            .merge_strategy(strategy);
 
         let push: Vector<bool> =
             mxv(Some(&mask), BoolOrAnd, &g, &f, &base.force(Direction::Push), None).unwrap();
@@ -92,6 +97,52 @@ proptest! {
         // Masked result = unmasked result filtered by the mask.
         let filtered = filter_by_mask(&push_u, &mask);
         prop_assert_eq!(explicit_set(&push), explicit_set(&filtered));
+    }
+
+    /// Parallel kernels ≡ sequential kernels on arbitrary graphs: the same
+    /// mxv run at 1 and at 4 lanes must agree entry-for-entry, masked and
+    /// unmasked, push and pull, under every merge strategy.
+    #[test]
+    fn parallel_equals_sequential_kernels(
+        g in arb_graph(60, 500),
+        f_ids in prop::collection::vec(0usize..60, 0..30),
+        m_ids in prop::collection::vec(0usize..60, 0..30),
+        transpose in any::<bool>(),
+        strategy in prop::sample::select(vec![
+            MergeStrategy::SortBased,
+            MergeStrategy::HeapMerge,
+            MergeStrategy::BitmaskCull,
+            MergeStrategy::SpaMerge,
+        ]),
+    ) {
+        let n = g.n_vertices();
+        let f = sparse_bool_vector(n, &f_ids);
+        let mut bits = BitVec::new(n);
+        for &i in &m_ids {
+            if i < n {
+                bits.set(i);
+            }
+        }
+        let mask = Mask::complement(&bits);
+        for dir in [Direction::Push, Direction::Pull] {
+            let desc = Descriptor::new()
+                .transpose(transpose)
+                .force(dir)
+                .merge_strategy(strategy);
+            let seq: Vector<bool> = rayon::with_num_threads(1, || {
+                mxv(Some(&mask), BoolOrAnd, &g, &f, &desc, None).unwrap()
+            });
+            let par: Vector<bool> = rayon::with_num_threads(4, || {
+                mxv(Some(&mask), BoolOrAnd, &g, &f, &desc, None).unwrap()
+            });
+            prop_assert_eq!(
+                explicit_set(&seq),
+                explicit_set(&par),
+                "dir {:?} strategy {:?}",
+                dir,
+                strategy
+            );
+        }
     }
 
     /// Boolean mxv against a brute-force dense reference.

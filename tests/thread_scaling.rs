@@ -1,0 +1,219 @@
+//! Thread-count determinism: the worker pool distributes a chunk list
+//! whose boundaries derive from the problem size only, so every kernel and
+//! every algorithm must produce **bit-identical** output at 1, 2, and 8
+//! threads. These tests sweep lane counts in-process through
+//! `rayon::with_num_threads` (the same override `PUSH_PULL_THREADS` sets
+//! process-wide) and pin that property.
+
+use push_pull::algo::bfs::{bfs_with_opts, BfsOpts};
+use push_pull::algo::bfs_parents::bfs_parents;
+use push_pull::algo::cc::connected_components;
+use push_pull::algo::pagerank::{pagerank, PageRankOpts};
+use push_pull::algo::sssp::{sssp, SsspOpts};
+use push_pull::core::descriptor::{Descriptor, Direction, MergeStrategy};
+use push_pull::core::ops::{BoolOrAnd, MinPlus, PlusTimes};
+use push_pull::core::{mxv, Mask, Vector};
+use push_pull::gen::powerlaw::{chung_lu, PowerLawParams};
+use push_pull::gen::rmat::{rmat, RmatParams};
+use push_pull::gen::with_uniform_weights;
+use push_pull::primitives::counters::AccessCounters;
+use push_pull::primitives::BitVec;
+
+const LANES: [usize; 3] = [1, 2, 8];
+
+/// Run `f` at every lane count and assert all results equal the 1-lane one.
+fn identical_across_lanes<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let reference = rayon::with_num_threads(1, &f);
+    for lanes in LANES {
+        let got = rayon::with_num_threads(lanes, &f);
+        assert_eq!(got, reference, "diverged at {lanes} threads");
+    }
+}
+
+fn test_graph() -> push_pull::matrix::Graph<bool> {
+    rmat(12, 16, RmatParams::default(), 11)
+}
+
+/// A mid-traversal frontier and visited set on the test graph.
+fn frontier_and_visited(n: usize) -> (Vector<bool>, BitVec) {
+    let ids: Vec<u32> = (0..n as u32).step_by(5).collect();
+    let k = ids.len();
+    let f = Vector::from_sparse(n, false, ids, vec![true; k]);
+    let mut bits = BitVec::new(n);
+    for i in (0..n).step_by(3) {
+        bits.set(i);
+    }
+    (f, bits)
+}
+
+#[test]
+fn pull_mxv_identical_across_thread_counts() {
+    let g = test_graph();
+    let n = g.n_vertices();
+    let (mut f, bits) = frontier_and_visited(n);
+    f.make_dense();
+    for transpose in [false, true] {
+        for masked in [false, true] {
+            for early_exit in [false, true] {
+                let desc = Descriptor::new()
+                    .transpose(transpose)
+                    .force(Direction::Pull)
+                    .early_exit(early_exit);
+                identical_across_lanes(|| {
+                    let mask = Mask::complement(&bits);
+                    let w: Vector<bool> =
+                        mxv(masked.then_some(&mask), BoolOrAnd, &g, &f, &desc, None).unwrap();
+                    w.iter_explicit().collect::<Vec<_>>()
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn push_mxv_identical_across_thread_counts() {
+    let g = test_graph();
+    let n = g.n_vertices();
+    let (f, bits) = frontier_and_visited(n);
+    for transpose in [false, true] {
+        for masked in [false, true] {
+            for strategy in [
+                MergeStrategy::SortBased,
+                MergeStrategy::HeapMerge,
+                MergeStrategy::BitmaskCull,
+                MergeStrategy::SpaMerge,
+            ] {
+                let desc = Descriptor::new()
+                    .transpose(transpose)
+                    .force(Direction::Push)
+                    .merge_strategy(strategy);
+                identical_across_lanes(|| {
+                    let mask = Mask::complement(&bits);
+                    let w: Vector<bool> =
+                        mxv(masked.then_some(&mask), BoolOrAnd, &g, &f, &desc, None).unwrap();
+                    w.iter_explicit().collect::<Vec<_>>()
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_mxv_bitwise_identical_across_thread_counts() {
+    // Floating-point reductions are the sharp edge: chunk boundaries fix
+    // the grouping, so even f32 min-plus and f64 plus-times must agree
+    // bit-for-bit at every lane count.
+    let gb = rmat(11, 8, RmatParams::default(), 17);
+    let g = with_uniform_weights(&gb, 23);
+    let n = g.n_vertices();
+    let ids: Vec<u32> = (0..n as u32).step_by(4).collect();
+    let vals: Vec<f32> = ids.iter().map(|&i| (i % 17) as f32).collect();
+    let d = Vector::from_sparse(n, f32::INFINITY, ids, vals);
+    for dir in [Direction::Push, Direction::Pull] {
+        let desc = Descriptor::new().transpose(true).force(dir);
+        identical_across_lanes(|| {
+            let w: Vector<f32> = mxv(None, MinPlus, &g, &d, &desc, None).unwrap();
+            w.iter_explicit()
+                .map(|(i, x)| (i, x.to_bits()))
+                .collect::<Vec<_>>()
+        });
+    }
+}
+
+#[test]
+fn bfs_ladder_identical_across_thread_counts() {
+    let g = test_graph();
+    for (name, opts) in BfsOpts::ladder() {
+        identical_across_lanes(|| bfs_with_opts(&g, 3, &opts, None).depths);
+        let _ = name;
+    }
+}
+
+#[test]
+fn algorithms_identical_across_thread_counts() {
+    let g = chung_lu(4096, 8, PowerLawParams::default(), 13);
+    identical_across_lanes(|| bfs_parents(&g, 0, 0.01).parent);
+    identical_across_lanes(|| connected_components(&g, 0.01).labels);
+
+    let gw = with_uniform_weights(&rmat(10, 8, RmatParams::default(), 17), 23);
+    identical_across_lanes(|| {
+        sssp(&gw, 0, &SsspOpts::default())
+            .dist
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>()
+    });
+
+    identical_across_lanes(|| {
+        pagerank(&g, &PageRankOpts::default())
+            .ranks
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn generated_graphs_identical_across_thread_counts() {
+    // RNG chunk streams are laid out by a fixed constant, so the sampled
+    // graph cannot depend on the lane count.
+    identical_across_lanes(|| {
+        let g = rmat(11, 16, RmatParams::default(), 7);
+        (g.csr().row_ptr().to_vec(), g.csr().col_ind().to_vec())
+    });
+}
+
+#[test]
+fn access_counters_identical_across_thread_counts() {
+    // The cost model feeding DirectionPolicy counts bulk accesses per
+    // row/segment; concurrency must not change the totals.
+    let g = test_graph();
+    let n = g.n_vertices();
+    let (f, bits) = frontier_and_visited(n);
+    for dir in [Direction::Push, Direction::Pull] {
+        let desc = Descriptor::new().transpose(true).force(dir);
+        identical_across_lanes(|| {
+            let mask = Mask::complement(&bits);
+            let c = AccessCounters::new();
+            let input = match dir {
+                Direction::Push => f.clone(),
+                Direction::Pull => {
+                    let mut d = f.clone();
+                    d.make_dense();
+                    d
+                }
+            };
+            let _: Vector<bool> = mxv(Some(&mask), BoolOrAnd, &g, &input, &desc, Some(&c)).unwrap();
+            c.snapshot()
+        });
+    }
+}
+
+#[test]
+fn pagerank_uses_plus_times_and_stays_deterministic() {
+    // Guard against a future "optimization" racing the f64 ⊕ = + reduce:
+    // dense pull PageRank exercises PlusTimes through the row kernel.
+    let g = test_graph();
+    let t = push_pull::algo::pagerank::transition_matrix(&g);
+    let n = g.n_vertices();
+    let x = Vector::Dense(push_pull::core::DenseVector::from_values(
+        vec![1.0 / n as f64; n],
+        0.0,
+    ));
+    let desc = Descriptor::new().transpose(true).force(Direction::Pull);
+    identical_across_lanes(|| {
+        let w: Vector<f64> = mxv(None, PlusTimes, &t, &x, &desc, None).unwrap();
+        w.iter_explicit()
+            .map(|(i, v)| (i, v.to_bits()))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn current_num_threads_tracks_override() {
+    for lanes in LANES {
+        rayon::with_num_threads(lanes, || {
+            assert_eq!(rayon::current_num_threads(), lanes);
+        });
+    }
+}

@@ -1,0 +1,657 @@
+//! The parallel-iterator layer: splittable sources, lazy adaptors, and
+//! chunked terminal operations.
+//!
+//! Real rayon drives a `Producer`/`Consumer` plumbing; this shim keeps the
+//! same *call-site* surface with a much smaller core. A [`Splittable`] is a
+//! source that can be cut at an index into two independent halves; the
+//! adaptors (`map`, `filter`, `zip`, `enumerate`, `flat_map_iter`,
+//! `map_init`) wrap a splittable and stay splittable. A terminal operation
+//! splits the pipeline into an ordered chunk list — sized from the data
+//! (`min_len` grain, capped at [`MAX_CHUNKS`]) and **never** from the
+//! thread count, so chunk boundaries (and with them any reduction
+//! grouping) are identical at every lane count — and the pool drains the
+//! chunks by atomic index stealing. Per-chunk results are reassembled in
+//! chunk order, so `collect` preserves the sequential order exactly.
+//!
+//! Non-length-preserving adaptors (`filter`, `flat_map_iter`) split over
+//! the *underlying* domain; `zip` and `enumerate` therefore require their
+//! inputs to be length-exact (ranges, slices, vectors, and `map`s
+//! thereof), which mirrors rayon's `IndexedParallelIterator` constraint.
+
+use crate::pool;
+
+/// Upper bound on chunks per region. High enough that the largest lane
+/// count the shim will realistically see (dozens) still steals productively,
+/// low enough that per-chunk bookkeeping stays negligible.
+const MAX_CHUNKS: usize = 128;
+
+/// A source that can be cut at an index into two independent halves.
+pub trait Splittable: Sized + Send {
+    /// Element type produced by the sequential side.
+    type Item: Send;
+    /// Sequential iterator over one chunk.
+    type Seq: Iterator<Item = Self::Item>;
+    /// Size of the *split domain* (item count for exact sources; the
+    /// underlying domain for `filter`/`flat_map_iter` pipelines).
+    fn split_len(&self) -> usize;
+    /// Cut into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Convert one chunk into a sequential iterator.
+    fn into_seq(self) -> Self::Seq;
+}
+
+/// Recursively halve `src` into exactly `k` ordered, near-equal chunks.
+fn split_into<S: Splittable>(src: S, k: usize, out: &mut Vec<S>) {
+    let len = src.split_len();
+    if k <= 1 || len <= 1 {
+        out.push(src);
+        return;
+    }
+    let left_k = k.div_ceil(2);
+    let cut = ((len * left_k) / k).clamp(1, len - 1);
+    let (left, right) = src.split_at(cut);
+    split_into(left, left_k, out);
+    split_into(right, k - left_k, out);
+}
+
+// ---------------------------------------------------------------------------
+// ParIter and its terminal operations
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: a splittable pipeline plus grain-size hints.
+pub struct ParIter<S> {
+    source: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Splittable> ParIter<S> {
+    pub(crate) fn new(source: S) -> Self {
+        ParIter {
+            source,
+            min_len: 1,
+            max_len: usize::MAX,
+        }
+    }
+
+    /// Minimum elements per chunk (rayon's grain-size hint). Honored
+    /// exactly: with `n` elements at most `n / min_len` chunks are cut.
+    #[must_use]
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Maximum elements per chunk; raises the chunk count when it would
+    /// otherwise leave chunks larger than `max`.
+    #[must_use]
+    pub fn with_max_len(mut self, max: usize) -> Self {
+        self.max_len = max.max(1);
+        self
+    }
+
+    /// Split the pipeline into the ordered chunk list a terminal op runs.
+    /// The count depends only on the data and the grain hints — never on
+    /// the lane count — so results are lane-count-independent.
+    fn chunks(self) -> Vec<S> {
+        let len = self.source.split_len();
+        let by_min = len.div_ceil(self.min_len).max(1);
+        let mut k = by_min.min(MAX_CHUNKS);
+        if self.max_len != usize::MAX {
+            k = k.max(len.div_ceil(self.max_len)).min(len.max(1));
+        }
+        let mut out = Vec::with_capacity(k);
+        split_into(self.source, k, &mut out);
+        out
+    }
+
+    /// Run `per_chunk` over every chunk on the pool; results in chunk order.
+    fn drive<R, G>(self, per_chunk: G) -> Vec<R>
+    where
+        R: Send,
+        G: Fn(S) -> R + Sync,
+    {
+        pool::run_chunks(self.chunks(), per_chunk)
+    }
+
+    // -- adaptors ----------------------------------------------------------
+
+    /// Map every element through `f`.
+    pub fn map<U, F>(self, f: F) -> ParIter<Map<S, F>>
+    where
+        U: Send,
+        F: Fn(S::Item) -> U + Clone + Send,
+    {
+        ParIter {
+            source: Map {
+                base: self.source,
+                f,
+            },
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
+    }
+
+    /// Keep elements satisfying `pred`. Splits over the underlying domain.
+    pub fn filter<P>(self, pred: P) -> ParIter<Filter<S, P>>
+    where
+        P: Fn(&S::Item) -> bool + Clone + Send,
+    {
+        ParIter {
+            source: Filter {
+                base: self.source,
+                pred,
+            },
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
+    }
+
+    /// Pair elements with another length-exact parallel iterator.
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<Zip<S, J::Source>> {
+        ParIter {
+            source: Zip {
+                a: self.source,
+                b: other.into_par_iter().source,
+            },
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
+    }
+
+    /// Attach positions, preserving the sequential numbering.
+    pub fn enumerate(self) -> ParIter<Enumerate<S>> {
+        ParIter {
+            source: Enumerate {
+                base: self.source,
+                offset: 0,
+            },
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
+    }
+
+    /// rayon's `flat_map_iter`: flat-map with a serial inner iterator.
+    /// Splits over the outer domain.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<FlatMapIter<S, F>>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(S::Item) -> U + Clone + Send,
+    {
+        ParIter {
+            source: FlatMapIter {
+                base: self.source,
+                f,
+            },
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
+    }
+
+    /// rayon's `map_init`: `init` builds one scratch state per chunk and
+    /// `f` maps each element with mutable access to it.
+    pub fn map_init<INIT, T, F, U>(self, init: INIT, f: F) -> ParIter<MapInit<S, INIT, F>>
+    where
+        INIT: Fn() -> T + Clone + Send,
+        F: Fn(&mut T, S::Item) -> U + Clone + Send,
+        U: Send,
+    {
+        ParIter {
+            source: MapInit {
+                base: self.source,
+                init,
+                f,
+            },
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
+    }
+
+    // -- terminals ---------------------------------------------------------
+
+    /// Consume every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync + Send,
+    {
+        self.drive(|chunk| chunk.into_seq().for_each(&f));
+    }
+
+    /// Collect into `C`, preserving the sequential element order.
+    pub fn collect<C: FromIterator<S::Item>>(self) -> C {
+        let parts: Vec<Vec<S::Item>> = self.drive(|chunk| chunk.into_seq().collect());
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sum all elements (per-chunk partial sums, combined in chunk order).
+    pub fn sum<T>(self) -> T
+    where
+        T: Send + std::iter::Sum<S::Item> + std::iter::Sum<T>,
+    {
+        self.drive(|chunk| chunk.into_seq().sum::<T>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Number of elements.
+    pub fn count(self) -> usize {
+        self.drive(|chunk| chunk.into_seq().count())
+            .into_iter()
+            .sum()
+    }
+
+    /// Fold each chunk from `identity`, then combine the per-chunk results
+    /// with `op` in chunk order (rayon's `reduce` with an identity).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
+    where
+        ID: Fn() -> S::Item + Sync + Send,
+        OP: Fn(S::Item, S::Item) -> S::Item + Sync + Send,
+    {
+        self.drive(|chunk| chunk.into_seq().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+macro_rules! range_splittable {
+    ($($t:ty),*) => {$(
+        impl Splittable for std::ops::Range<$t> {
+            type Item = $t;
+            type Seq = std::ops::Range<$t>;
+            fn split_len(&self) -> usize {
+                // Reversed ranges are empty (std semantics); the guard also
+                // keeps signed instantiations from casting a negative
+                // difference into a huge usize.
+                if self.end <= self.start {
+                    0
+                } else {
+                    (self.end - self.start) as usize
+                }
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + index as $t;
+                (self.start..mid, mid..self.end)
+            }
+            fn into_seq(self) -> Self::Seq {
+                self
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Source = std::ops::Range<$t>;
+            fn into_par_iter(self) -> ParIter<Self::Source> {
+                ParIter::new(self)
+            }
+        }
+    )*};
+}
+range_splittable!(u32, u64, usize, i32, i64);
+
+/// Shared-slice source (`par_iter`).
+pub struct SliceSplit<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Splittable for SliceSplit<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+    fn split_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(index);
+        (SliceSplit(l), SliceSplit(r))
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter()
+    }
+}
+
+/// Mutable-slice source (`par_iter_mut`).
+pub struct SliceMutSplit<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Splittable for SliceMutSplit<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+    fn split_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(index);
+        (SliceMutSplit(l), SliceMutSplit(r))
+    }
+    fn into_seq(self) -> Self::Seq {
+        let slice: &'a mut [T] = self.0;
+        slice.iter_mut()
+    }
+}
+
+/// Owning vector source (`Vec::into_par_iter`).
+pub struct VecSplit<T>(Vec<T>);
+
+impl<T: Send> Splittable for VecSplit<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+    fn split_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let right = self.0.split_off(index);
+        (self, VecSplit(right))
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.0.into_iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------
+
+/// Splittable produced by [`ParIter::map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, U> Splittable for Map<S, F>
+where
+    S: Splittable,
+    U: Send,
+    F: Fn(S::Item) -> U + Clone + Send,
+{
+    type Item = U;
+    type Seq = std::iter::Map<S::Seq, F>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// Splittable produced by [`ParIter::filter`].
+pub struct Filter<S, P> {
+    base: S,
+    pred: P,
+}
+
+impl<S, P> Splittable for Filter<S, P>
+where
+    S: Splittable,
+    P: Fn(&S::Item) -> bool + Clone + Send,
+{
+    type Item = S::Item;
+    type Seq = std::iter::Filter<S::Seq, P>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Filter {
+                base: l,
+                pred: self.pred.clone(),
+            },
+            Filter {
+                base: r,
+                pred: self.pred,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().filter(self.pred)
+    }
+}
+
+/// Splittable produced by [`ParIter::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Splittable, B: Splittable> Splittable for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+    fn split_len(&self) -> usize {
+        self.a.split_len().min(self.b.split_len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Splittable produced by [`ParIter::enumerate`].
+pub struct Enumerate<S> {
+    base: S,
+    offset: usize,
+}
+
+impl<S: Splittable> Splittable for Enumerate<S> {
+    type Item = (usize, S::Item);
+    type Seq = std::iter::Zip<std::ops::Range<usize>, S::Seq>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        let n = self.base.split_len();
+        (self.offset..self.offset + n).zip(self.base.into_seq())
+    }
+}
+
+/// Splittable produced by [`ParIter::flat_map_iter`].
+pub struct FlatMapIter<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, U> Splittable for FlatMapIter<S, F>
+where
+    S: Splittable,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(S::Item) -> U + Clone + Send,
+{
+    type Item = U::Item;
+    type Seq = std::iter::FlatMap<S::Seq, U, F>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            FlatMapIter {
+                base: l,
+                f: self.f.clone(),
+            },
+            FlatMapIter { base: r, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().flat_map(self.f)
+    }
+}
+
+/// Splittable produced by [`ParIter::map_init`]; `init` runs once per
+/// chunk (rayon runs it once per split, same contract: per-worker scratch).
+pub struct MapInit<S, INIT, F> {
+    base: S,
+    init: INIT,
+    f: F,
+}
+
+impl<S, INIT, T, F, U> Splittable for MapInit<S, INIT, F>
+where
+    S: Splittable,
+    INIT: Fn() -> T + Clone + Send,
+    F: Fn(&mut T, S::Item) -> U + Clone + Send,
+    U: Send,
+{
+    type Item = U;
+    type Seq = MapInitSeq<S::Seq, T, F>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            MapInit {
+                base: l,
+                init: self.init.clone(),
+                f: self.f.clone(),
+            },
+            MapInit {
+                base: r,
+                init: self.init,
+                f: self.f,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        MapInitSeq {
+            inner: self.base.into_seq(),
+            state: (self.init)(),
+            f: self.f,
+        }
+    }
+}
+
+/// Sequential side of [`MapInit`]: the chunk's scratch state threaded
+/// through every element.
+pub struct MapInitSeq<I, T, F> {
+    inner: I,
+    state: T,
+    f: F,
+}
+
+impl<I: Iterator, T, F, U> Iterator for MapInitSeq<I, T, F>
+where
+    F: FnMut(&mut T, I::Item) -> U,
+{
+    type Item = U;
+
+    fn next(&mut self) -> Option<U> {
+        let x = self.inner.next()?;
+        Some((self.f)(&mut self.state, x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// By-value conversion into a parallel iterator (ranges, vectors, and
+/// parallel iterators themselves, mirroring rayon).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Splittable backing the iterator.
+    type Source: Splittable<Item = Self::Item>;
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Source>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Source = VecSplit<T>;
+    fn into_par_iter(self) -> ParIter<Self::Source> {
+        ParIter::new(VecSplit(self))
+    }
+}
+
+impl<S: Splittable> IntoParallelIterator for ParIter<S> {
+    type Item = S::Item;
+    type Source = S;
+    fn into_par_iter(self) -> ParIter<S> {
+        self
+    }
+}
+
+/// `&collection -> par_iter()`, mirroring rayon's `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a shared reference).
+    type Item: Send + 'a;
+    /// Splittable backing the iterator.
+    type Source: Splittable<Item = Self::Item>;
+    /// Parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<Self::Source>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Source = SliceSplit<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Source> {
+        ParIter::new(SliceSplit(self))
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Source = SliceSplit<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Source> {
+        ParIter::new(SliceSplit(self))
+    }
+}
+
+/// `&mut collection -> par_iter_mut()`, mirroring rayon's
+/// `IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type (a mutable reference).
+    type Item: Send + 'a;
+    /// Splittable backing the iterator.
+    type Source: Splittable<Item = Self::Item>;
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Source>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Source = SliceMutSplit<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Source> {
+        ParIter::new(SliceMutSplit(self))
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Source = SliceMutSplit<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Source> {
+        ParIter::new(SliceMutSplit(self))
+    }
+}

@@ -1,169 +1,49 @@
-//! Sequential shim for the subset of the `rayon` API this workspace uses.
+//! Multi-threaded shim for the subset of the `rayon` API this workspace
+//! uses — a real executor, not a sequential stand-in.
 //!
 //! The build environment has no network access to crates.io, so the real
 //! `rayon` cannot be vendored. This crate keeps every `par_iter` /
-//! `into_par_iter` call site compiling unchanged and executes them
-//! sequentially. `ParIter` wraps a plain [`Iterator`] and re-exposes the
-//! rayon-specific adaptors (`with_min_len`, `flat_map_iter`) as no-ops or
-//! sequential equivalents; because it also implements [`Iterator`], all the
-//! std adaptors (`map`, `zip`, `filter`, `sum`, `collect`, ...) keep
-//! working. Swapping in the real rayon later is a one-line Cargo change —
-//! no call sites need to move.
+//! `into_par_iter` call site compiling unchanged and executes them on a
+//! persistent `std::thread` worker pool: each terminal operation pre-splits
+//! its source into an ordered chunk list and the calling thread plus the
+//! pool workers claim chunks through one atomic index (see [`mod@iter`] and
+//! the pool module). Panics inside chunks propagate to the caller; nested
+//! parallel regions run inline.
+//!
+//! Two properties the workspace leans on:
+//!
+//! * **Lane-count-independent results.** Chunk boundaries derive from the
+//!   problem size and the `with_min_len` grain only — never from the
+//!   thread count — so every reduction groups its operands identically at
+//!   1, 2, or 64 threads, and `collect` preserves sequential order. The
+//!   determinism suite asserts bit-identical algorithm output across
+//!   thread counts.
+//! * **Configurable lanes.** `PUSH_PULL_THREADS` (then
+//!   `RAYON_NUM_THREADS`) overrides the machine parallelism;
+//!   [`with_num_threads`] scopes an override to the current thread, which
+//!   is how the scaling bench and the test suite sweep thread counts
+//!   inside one process. [`current_num_threads`] reports the resolved
+//!   value, exactly as the pool will use it.
+//!
+//! Swapping in the real rayon later is a one-line Cargo change; no call
+//! sites need to move (`with_num_threads` callers would move to rayon's
+//! `ThreadPoolBuilder` scopes).
 
-/// Number of worker threads. A sequential executor honestly has one lane,
-/// but callers use this to pick *chunk counts* for deterministic seeding, so
-/// report the machine's parallelism the way real rayon would.
+mod iter;
+mod pool;
+
+pub use iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, Splittable,
+};
+pub use pool::with_num_threads;
+
+/// Number of lanes parallel regions started by this thread will use:
+/// the [`with_num_threads`] override if inside one, else
+/// `PUSH_PULL_THREADS` / `RAYON_NUM_THREADS`, else the machine's
+/// available parallelism.
+#[must_use]
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Sequential stand-in for a rayon parallel iterator.
-pub struct ParIter<I>(I);
-
-impl<I: Iterator> ParIter<I> {
-    /// Grain-size hint; meaningless sequentially.
-    #[must_use]
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    /// Grain-size hint; meaningless sequentially.
-    #[must_use]
-    pub fn with_max_len(self, _max: usize) -> Self {
-        self
-    }
-
-    /// rayon's `flat_map_iter`: flat-map with a serial inner iterator.
-    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
-    where
-        U: IntoIterator,
-        F: FnMut(I::Item) -> U,
-    {
-        ParIter(self.0.flat_map(f))
-    }
-
-    /// Keep the `ParIter` wrapper across `map` so rayon-only adaptors can
-    /// still be chained afterwards.
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    /// Keep the `ParIter` wrapper across `zip`.
-    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
-        ParIter(self.0.zip(other.into_par_iter().0))
-    }
-
-    /// Keep the `ParIter` wrapper across `enumerate`.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    /// Keep the `ParIter` wrapper across `filter`.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
-    }
-
-    /// rayon's `map_init`: per-worker scratch state. One lane here, so the
-    /// init value is created once and threaded through every call.
-    pub fn map_init<INIT, S, F, U>(self, init: INIT, f: F) -> ParIter<MapInit<I, S, F>>
-    where
-        INIT: FnOnce() -> S,
-        F: FnMut(&mut S, I::Item) -> U,
-    {
-        ParIter(MapInit {
-            inner: self.0,
-            state: init(),
-            f,
-        })
-    }
-}
-
-/// Iterator produced by [`ParIter::map_init`].
-pub struct MapInit<I, S, F> {
-    inner: I,
-    state: S,
-    f: F,
-}
-
-impl<I: Iterator, S, F, U> Iterator for MapInit<I, S, F>
-where
-    F: FnMut(&mut S, I::Item) -> U,
-{
-    type Item = U;
-
-    fn next(&mut self) -> Option<U> {
-        let x = self.inner.next()?;
-        Some((self.f)(&mut self.state, x))
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.inner.size_hint()
-    }
-}
-
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        self.0.next()
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
-}
-
-/// `IntoParallelIterator` — anything that can be iterated can be "parallel"
-/// iterated here.
-pub trait IntoParallelIterator {
-    type Iter: Iterator<Item = Self::Item>;
-    type Item;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
-    type Item = T::Item;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
-
-/// `&collection -> par_iter()`, mirroring rayon's `IntoParallelRefIterator`.
-pub trait IntoParallelRefIterator<'a> {
-    type Iter: Iterator<Item = Self::Item>;
-    type Item: 'a;
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
-}
-
-impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
-where
-    &'a T: IntoIterator,
-{
-    type Iter = <&'a T as IntoIterator>::IntoIter;
-    type Item = <&'a T as IntoIterator>::Item;
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
-
-/// `&mut collection -> par_iter_mut()`, mirroring rayon's
-/// `IntoParallelRefMutIterator`.
-pub trait IntoParallelRefMutIterator<'a> {
-    type Iter: Iterator<Item = Self::Item>;
-    type Item: 'a;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
-}
-
-impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
-where
-    &'a mut T: IntoIterator,
-{
-    type Iter = <&'a mut T as IntoIterator>::IntoIter;
-    type Item = <&'a mut T as IntoIterator>::Item;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
+    pool::effective_lanes()
 }
 
 pub mod prelude {
@@ -175,6 +55,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::with_num_threads;
 
     #[test]
     fn slice_par_iter_sums() {
@@ -185,7 +66,7 @@ mod tests {
 
     #[test]
     fn range_into_par_iter_collects() {
-        let out: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        let out: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(out, vec![0, 1, 4, 9, 16]);
     }
 
@@ -209,5 +90,74 @@ mod tests {
             .map(|(i, (x, y))| (i, x + y))
             .collect();
         assert_eq!(out, vec![(0, 11), (1, 22), (2, 33)]);
+    }
+
+    #[test]
+    fn collect_order_is_sequential_at_every_thread_count() {
+        let expect: Vec<usize> = (0..100_000).map(|i| i * 3).collect();
+        for lanes in [1, 2, 4, 8] {
+            let got: Vec<usize> = with_num_threads(lanes, || {
+                (0..100_000usize).into_par_iter().map(|i| i * 3).collect()
+            });
+            assert_eq!(got, expect, "lanes = {lanes}");
+        }
+    }
+
+    #[test]
+    fn filter_preserves_order_and_content() {
+        let got: Vec<u32> = with_num_threads(4, || {
+            (0..50_000u32)
+                .into_par_iter()
+                .filter(|x| x % 7 == 0)
+                .collect()
+        });
+        let expect: Vec<u32> = (0..50_000).filter(|x| x % 7 == 0).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        with_num_threads(4, || {
+            v.par_iter_mut().with_min_len(64).for_each(|x| *x *= 2);
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+
+    #[test]
+    fn map_init_state_is_per_chunk_scratch() {
+        // Scratch contents must never leak into results: a buffer reused
+        // across elements gives the same answer as a fresh computation.
+        let got: Vec<usize> = with_num_threads(4, || {
+            (0..10_000usize)
+                .into_par_iter()
+                .with_min_len(128)
+                .map_init(Vec::new, |buf: &mut Vec<usize>, i| {
+                    buf.clear();
+                    buf.extend(0..i % 5);
+                    i + buf.len()
+                })
+                .collect()
+        });
+        let expect: Vec<usize> = (0..10_000).map(|i| i + i % 5).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn current_num_threads_reports_override() {
+        with_num_threads(5, || assert_eq!(super::current_num_threads(), 5));
+        with_num_threads(1, || assert_eq!(super::current_num_threads(), 1));
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn reduce_combines_in_chunk_order() {
+        let s = with_num_threads(4, || {
+            (0..1_000u64)
+                .into_par_iter()
+                .map(|x| x * 2)
+                .reduce(|| 0, |a, b| a + b)
+        });
+        assert_eq!(s, 999 * 1000);
     }
 }

@@ -1,0 +1,434 @@
+//! The execution core: a persistent `std::thread` worker pool draining
+//! chunked parallel regions by atomic chunk-index stealing.
+//!
+//! A *region* is one terminal parallel operation (`for_each`, `collect`,
+//! `sum`, ...). The iterator layer splits the source into an ordered list
+//! of chunks — always derived from the *problem size*, never the thread
+//! count, so results (including floating-point reduction groupings) are
+//! identical at every lane count — and hands them to [`run_chunks`]. The
+//! calling thread and every pool worker then race on a single atomic
+//! index: `fetch_add(1)` claims the next unprocessed chunk, which is how
+//! stealing works here (no per-worker deques are needed when chunks are
+//! pre-split and sized for cache residency, see `MAX_CHUNKS` in the
+//! iterator layer).
+//!
+//! * Workers are spawned lazily, live for the process, and serve every
+//!   region from every thread (concurrent callers enqueue concurrent
+//!   regions; each caller participates in its own region and blocks on a
+//!   per-region condvar until completion).
+//! * A panic inside a chunk is caught, the remaining chunks still run
+//!   (claims are never abandoned), and the first payload is re-thrown on
+//!   the calling thread once the region completes — matching rayon's
+//!   panic-propagation contract closely enough for `should_panic` tests.
+//! * Nested parallel regions (a chunk body that itself calls `par_iter`)
+//!   execute inline on the current thread: the outer region already owns
+//!   all lanes, and flattening nested parallelism is deadlock-free by
+//!   construction.
+//!
+//! Lane count resolution order: [`with_num_threads`] thread-local
+//! override → `PUSH_PULL_THREADS` → `RAYON_NUM_THREADS` →
+//! `std::thread::available_parallelism()`.
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+thread_local! {
+    /// Lane-count override installed by [`with_num_threads`].
+    static LANE_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True while this thread is executing a chunk body; nested regions
+    /// started under it run inline.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lane count from the environment (cached: the variables are read once
+/// per process; tests use [`with_num_threads`] instead of mutating the
+/// environment, which would race across test threads).
+fn env_lanes() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        for var in ["PUSH_PULL_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(s) = std::env::var(var) {
+                if let Ok(n) = s.trim().parse::<usize>() {
+                    return n.max(1);
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Number of lanes parallel regions started by this thread will use.
+pub(crate) fn effective_lanes() -> usize {
+    LANE_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(env_lanes)
+        .max(1)
+}
+
+/// Run `f` with parallel regions on this thread using exactly `n` lanes
+/// (`n = 1` forces sequential execution). The override is thread-local
+/// and restored on exit, including on panic — this is how the test suite
+/// and the scaling bench compare thread counts inside one process.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LANE_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(LANE_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// True while the current thread is inside a chunk body (used by the
+/// iterator layer to flatten nested parallelism).
+pub(crate) fn in_region() -> bool {
+    IN_REGION.with(Cell::get)
+}
+
+/// One enqueued parallel region, type-erased for the worker loop.
+trait Task: Send + Sync {
+    /// Reserve a worker-participation slot. `false` when the region's lane
+    /// budget is already met or no chunks remain to claim — the caller
+    /// must then leave the region alone (and must not call [`Task::leave`]).
+    fn try_join(&self) -> bool;
+    /// Release a slot taken by a successful [`Task::try_join`].
+    fn leave(&self);
+    /// Claim and execute one chunk; `false` when every chunk is claimed.
+    fn run_one(&self) -> bool;
+}
+
+/// The concrete region: pre-split chunks, a slot per output, the shared
+/// chunk closure, and completion plumbing.
+struct Region<S, R, F> {
+    /// Chunk `i` is taken exactly once by whichever thread claims `i`.
+    chunks: Vec<UnsafeCell<Option<S>>>,
+    /// Output slot `i`, owned by the calling thread's stack.
+    outs: *mut Option<R>,
+    /// The per-chunk closure, owned by the calling thread's stack.
+    f: *const F,
+    /// Next chunk index to claim — the work-stealing cursor.
+    next: AtomicUsize,
+    /// Chunks finished (claimed *and* executed).
+    completed: AtomicUsize,
+    /// Pool workers the region may use *beyond the caller* (lanes − 1).
+    /// The pool is process-global and only ever grows, so a region started
+    /// under a small `with_num_threads` override must itself turn surplus
+    /// workers away or it would silently run at full machine width.
+    worker_budget: usize,
+    /// Workers currently holding a participation slot.
+    joined: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload from any chunk.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: chunk slots are claimed at most once via `next.fetch_add`, so no
+// two threads access the same `UnsafeCell` concurrently. `outs` and `f`
+// point into the calling thread's stack frame, which outlives the region:
+// the caller blocks on `done_cv` until `completed == chunks.len()`, and
+// neither pointer is dereferenced after a failed claim.
+unsafe impl<S: Send, R: Send, F: Sync> Send for Region<S, R, F> {}
+unsafe impl<S: Send, R: Send, F: Sync> Sync for Region<S, R, F> {}
+
+impl<S, R, F> Task for Region<S, R, F>
+where
+    S: Send,
+    R: Send,
+    F: Fn(S) -> R + Sync,
+{
+    fn try_join(&self) -> bool {
+        // Budget slots only free at exhaustion (a participant's chunk loop
+        // ends only when every chunk is claimed), so a full region stays
+        // full — waiting workers need no wake-up for it.
+        if self.next.load(Ordering::Relaxed) >= self.chunks.len() {
+            return false;
+        }
+        let mut joined = self.joined.load(Ordering::Relaxed);
+        loop {
+            if joined >= self.worker_budget {
+                return false;
+            }
+            match self.joined.compare_exchange_weak(
+                joined,
+                joined + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => joined = seen,
+            }
+        }
+    }
+
+    fn leave(&self) {
+        self.joined.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn run_one(&self) -> bool {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i >= self.chunks.len() {
+            return false;
+        }
+        // SAFETY: index `i` was claimed exactly once (see Send/Sync note).
+        let chunk = unsafe { (*self.chunks[i].get()).take() }.expect("chunk claimed once");
+        let outer = IN_REGION.with(|c| c.replace(true));
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: `f` outlives the region (caller blocks on done_cv).
+            unsafe { (*self.f)(chunk) }
+        }));
+        IN_REGION.with(|c| c.set(outer));
+        match result {
+            // SAFETY: slot `i` is written only by the claimant of chunk `i`
+            // and read by the caller only after completion.
+            Ok(r) => unsafe { *self.outs.add(i) = Some(r) },
+            Err(payload) => {
+                let mut slot = self.panic.lock().expect("panic slot");
+                slot.get_or_insert(payload);
+            }
+        }
+        if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.chunks.len() {
+            *self.done.lock().expect("done flag") = true;
+            self.done_cv.notify_all();
+        }
+        true
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Arc<dyn Task>>,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+/// Grow the pool to at least `target` persistent workers.
+fn ensure_workers(target: usize) {
+    let p = pool();
+    let mut state = p.state.lock().expect("pool state");
+    while state.spawned < target {
+        let id = state.spawned;
+        std::thread::Builder::new()
+            .name(format!("push-pull-worker-{id}"))
+            .spawn(worker_loop)
+            .expect("spawn pool worker");
+        state.spawned += 1;
+    }
+}
+
+fn worker_loop() {
+    let p = pool();
+    loop {
+        // Join the first region that both has unclaimed chunks and lane
+        // budget left; a budget-full region at the queue front must not
+        // starve regions behind it.
+        let job: Arc<dyn Task> = {
+            let mut state = p.state.lock().expect("pool state");
+            'wait: loop {
+                for job in &state.queue {
+                    if job.try_join() {
+                        break 'wait job.clone();
+                    }
+                }
+                state = p.work_cv.wait(state).expect("pool state");
+            }
+        };
+        while job.run_one() {}
+        job.leave();
+        // Every chunk of this region is claimed; retire it from the queue
+        // so later workers move on to the next region.
+        let mut state = p.state.lock().expect("pool state");
+        state.queue.retain(|t| !Arc::ptr_eq(t, &job));
+    }
+}
+
+/// Execute `f` over `chunks`, in parallel when the current lane count
+/// allows, returning the per-chunk results in chunk order.
+///
+/// The sequential path (one lane, one chunk, or a nested region) applies
+/// `f` to the same chunk list in the same order, so reduction groupings —
+/// and therefore results — are identical at every lane count.
+pub(crate) fn run_chunks<'env, S, R, F>(chunks: Vec<S>, f: F) -> Vec<R>
+where
+    S: Send + 'env,
+    R: Send + 'env,
+    F: Fn(S) -> R + Sync + 'env,
+{
+    let lanes = effective_lanes();
+    if chunks.len() <= 1 || lanes <= 1 || in_region() {
+        return chunks.into_iter().map(f).collect();
+    }
+
+    let n = chunks.len();
+    let mut outs: Vec<Option<R>> = Vec::with_capacity(n);
+    outs.resize_with(n, || None);
+    let region = Arc::new(Region {
+        chunks: chunks
+            .into_iter()
+            .map(|c| UnsafeCell::new(Some(c)))
+            .collect(),
+        outs: outs.as_mut_ptr(),
+        f: &f,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        worker_budget: lanes - 1,
+        joined: AtomicUsize::new(0),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    ensure_workers(lanes - 1);
+    let task: Arc<dyn Task + 'env> = region.clone();
+    // SAFETY: lifetime erasure only; the region's borrowed pointers are
+    // dereferenced exclusively while chunks remain claimable, and this
+    // function does not return until every chunk has completed. A worker
+    // may hold the Arc past that point, but then only touches owned
+    // fields (atomics, emptied chunk slots).
+    let task: Arc<dyn Task> =
+        unsafe { std::mem::transmute::<Arc<dyn Task + 'env>, Arc<dyn Task + 'static>>(task) };
+    let p = pool();
+    {
+        let mut state = p.state.lock().expect("pool state");
+        state.queue.push_back(task.clone());
+    }
+    p.work_cv.notify_all();
+
+    // Participate: the caller is a lane too.
+    while region.run_one() {}
+
+    // Wait for chunks claimed by workers to finish.
+    {
+        let mut done = region.done.lock().expect("done flag");
+        while !*done {
+            done = region.done_cv.wait(done).expect("done flag");
+        }
+    }
+    // Retire the region if no worker already did.
+    {
+        let mut state = p.state.lock().expect("pool state");
+        state.queue.retain(|t| !Arc::ptr_eq(t, &task));
+    }
+    if let Some(payload) = region.panic.lock().expect("panic slot").take() {
+        panic::resume_unwind(payload);
+    }
+    outs.into_iter()
+        .map(|o| o.expect("completed chunk wrote its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_chunks_preserves_order() {
+        let chunks: Vec<usize> = (0..64).collect();
+        let out = with_num_threads(4, || run_chunks(chunks, |c| c * 2));
+        assert_eq!(out, (0..64).map(|c| c * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let chunks: Vec<u64> = (0..40).collect();
+        let seq = with_num_threads(1, || run_chunks(chunks.clone(), |c| c * c));
+        let par = with_num_threads(8, || run_chunks(chunks, |c| c * c));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn threads_actually_execute_concurrently() {
+        // With 4 lanes, chunks run on more than one thread id.
+        let chunks: Vec<usize> = (0..256).collect();
+        let ids = with_num_threads(4, || {
+            run_chunks(chunks, |_| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                std::thread::current().id()
+            })
+        });
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "expected multiple worker threads, saw {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let result = panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                run_chunks((0..32).collect::<Vec<usize>>(), |c| {
+                    assert!(c != 17, "boom at chunk 17");
+                    c
+                })
+            })
+        });
+        assert!(result.is_err(), "panic must cross the region boundary");
+        // The pool must remain usable after a panicked region.
+        let ok = with_num_threads(4, || run_chunks(vec![1usize, 2, 3], |c| c + 1));
+        assert_eq!(ok, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        let out = with_num_threads(4, || {
+            run_chunks((0..8).collect::<Vec<usize>>(), |outer| {
+                // Nested region: must not deadlock, must stay correct.
+                let inner: Vec<usize> = run_chunks((0..4).collect::<Vec<usize>>(), |i| i * 10);
+                outer + inner.iter().sum::<usize>()
+            })
+        });
+        assert_eq!(out, (0..8).map(|o| o + 60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_budget_bounds_participation() {
+        // Grow the pool well past two workers first: a later 2-lane region
+        // must still execute on at most 2 distinct threads (caller + one
+        // worker), not on every worker the process ever spawned.
+        with_num_threads(8, || {
+            let _ = run_chunks((0..64).collect::<Vec<usize>>(), |c| c);
+        });
+        let ids = with_num_threads(2, || {
+            run_chunks((0..128).collect::<Vec<usize>>(), |_| {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                std::thread::current().id()
+            })
+        });
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(
+            distinct.len() <= 2,
+            "2-lane region ran on {} threads",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn override_nests_and_restores() {
+        with_num_threads(3, || {
+            assert_eq!(effective_lanes(), 3);
+            with_num_threads(1, || assert_eq!(effective_lanes(), 1));
+            assert_eq!(effective_lanes(), 3);
+        });
+    }
+}
