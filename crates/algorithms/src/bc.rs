@@ -1,93 +1,207 @@
-//! Batched betweenness centrality (Brandes), the "batched BC" of §1/§5.6.
+//! Batched betweenness centrality (Brandes), the "batched BC" of §1/§5.6 —
+//! the whole source batch advances through [`mxv_batch`] at once.
 //!
 //! Brandes' algorithm is two traversals per source: a forward BFS counting
-//! shortest paths σ, and a backward sweep accumulating dependencies δ. Both
-//! are masked matvecs:
+//! shortest paths σ, and a backward sweep accumulating dependencies δ.
+//! Both phases are *batched* masked matvecs over the plus-second semiring:
 //!
-//! * forward — `σ_{l+1} = (Aᵀ σ_l) .∗ ¬visited` over plus-second: the
-//!   frontier is sparse, output sparsity is the unvisited set, exactly the
-//!   BFS pattern with counts instead of Booleans;
-//! * backward — each level `l` pulls `(1 + δ_w)/σ_w` from its level-`l+1`
-//!   children through `A`, masked by level-`l` membership (output sparsity
-//!   known: only that level updates), then scales by `σ_v`.
+//! * forward — `Σ'(s, :) = (Aᵀ Σ(s, :)) .∗ ¬visited(s, :)` for every live
+//!   source in one [`mxv_batch`] call: the multi-source BFS pattern with
+//!   counts instead of Booleans, each source carrying its own
+//!   [`DirectionPolicy`] hysteresis state (one source can pull through its
+//!   supervertex level while another still pushes a thin wave);
+//! * backward — level by level from the deepest, each live source's row
+//!   pulls `(1 + δ_w)/σ_w` from its level-`l+1` children through `A`,
+//!   masked by level-`l` membership (output sparsity known a priori), then
+//!   scales by `σ_v`.
+//!
+//! Per-source work — values and access counters — is bit-identical to `k`
+//! independent single-source runs: both kernel faces reduce each output
+//! vertex's contributions in ascending neighbor order, so even the f64
+//! accumulations agree bit-for-bit across direction choices and batch
+//! sizes (`tests/thread_scaling.rs` additionally pins lane-count
+//! invariance).
 
 use graphblas_core::descriptor::Descriptor;
 use graphblas_core::mask::Mask;
-use graphblas_core::mxv;
 use graphblas_core::ops::PlusSecond;
-use graphblas_core::vector::Vector;
+use graphblas_core::ops_mxv_batch::mxv_batch;
+use graphblas_core::vector::{MultiVector, Vector};
+use graphblas_core::DirectionPolicy;
 use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
 
 /// Betweenness scores from a batch of sources (unnormalized, directed
 /// counting; for undirected BC halve the scores).
 #[must_use]
 pub fn betweenness(g: &Graph<bool>, sources: &[VertexId]) -> Vec<f64> {
-    let n = g.n_vertices();
-    let mut bc = vec![0.0f64; n];
-    for &s in sources {
-        accumulate_source(g, s, &mut bc);
-    }
-    bc
+    betweenness_with_counters(g, sources, None)
 }
 
-fn accumulate_source(g: &Graph<bool>, source: VertexId, bc: &mut [f64]) {
+/// [`betweenness`] with access counters — per-source push/pull switch
+/// decisions of both sweeps land in `push_steps`/`pull_steps`.
+#[must_use]
+pub fn betweenness_with_counters(
+    g: &Graph<bool>,
+    sources: &[VertexId],
+    counters: Option<&AccessCounters>,
+) -> Vec<f64> {
     let n = g.n_vertices();
-    assert!((source as usize) < n);
+    let mut bc = vec![0.0f64; n];
+    if sources.is_empty() {
+        return bc;
+    }
+    let k = sources.len();
+    for &s in sources {
+        assert!((s as usize) < n, "source out of range");
+    }
     let desc_fwd = Descriptor::new().transpose(true);
     let desc_bwd = Descriptor::new(); // children direction: A, not Aᵀ
 
-    // Forward phase: per-level sparse (ids, σ) frontiers.
-    let mut visited = BitVec::new(n);
-    visited.set(source as usize);
-    let mut sigma = vec![0.0f64; n];
-    sigma[source as usize] = 1.0;
-    let mut levels: Vec<Vector<f64>> = vec![Vector::singleton(n, 0.0, source, 1.0)];
-    loop {
-        let frontier = levels.last().expect("non-empty");
-        let mask = Mask::complement(&visited);
-        let next: Vector<f64> =
-            mxv(Some(&mask), PlusSecond, g, frontier, &desc_fwd, None).expect("dims verified");
-        if next.nnz() == 0 {
-            break;
-        }
-        for (i, s) in next.iter_explicit() {
-            visited.set(i as usize);
-            sigma[i as usize] = s;
-        }
-        levels.push(next);
-    }
+    // ---- Forward phase: batched per-level σ frontiers. ----
+    let mut visited: Vec<BitVec> = sources
+        .iter()
+        .map(|&s| {
+            let mut b = BitVec::new(n);
+            b.set(s as usize);
+            b
+        })
+        .collect();
+    let mut sigma: Vec<Vec<f64>> = sources
+        .iter()
+        .map(|&s| {
+            let mut sg = vec![0.0f64; n];
+            sg[s as usize] = 1.0;
+            sg
+        })
+        .collect();
+    let mut levels: Vec<Vec<Vector<f64>>> = sources
+        .iter()
+        .map(|&s| vec![Vector::singleton(n, 0.0, s, 1.0)])
+        .collect();
+    let mut policies: Vec<DirectionPolicy> =
+        (0..k).map(|_| DirectionPolicy::hysteresis(0.01)).collect();
 
-    // Backward phase: δ accumulation level by level.
-    let mut delta = vec![0.0f64; n];
-    for l in (0..levels.len().saturating_sub(1)).rev() {
-        // Weights from the deeper level: (1 + δ_w) / σ_w.
-        let deeper = &levels[l + 1];
-        let ids: Vec<VertexId> = deeper.iter_explicit().map(|(i, _)| i).collect();
-        let vals: Vec<f64> = ids
+    let mut alive: Vec<usize> = (0..k).collect();
+    while !alive.is_empty() {
+        // Move each live source's last level into the batch (mxv_batch
+        // only borrows it); restored below — no O(n) clone per source per
+        // level on the hot path.
+        let batch = MultiVector::from_rows(
+            alive
+                .iter()
+                .map(|&s| levels[s].pop().expect("non-empty"))
+                .collect(),
+        );
+        let masks: Vec<Mask<'_>> = alive
             .iter()
-            .map(|&w| (1.0 + delta[w as usize]) / sigma[w as usize])
+            .map(|&s| Mask::complement(&visited[s]))
             .collect();
-        let weights = Vector::from_sparse(n, 0.0, ids, vals);
-        // Level-l membership mask: only vertices of this level update.
-        let mut level_bits = BitVec::new(n);
-        for (i, _) in levels[l].iter_explicit() {
-            level_bits.set(i as usize);
+        let mut live_policies: Vec<DirectionPolicy> =
+            alive.iter().map(|&s| policies[s].clone()).collect();
+        let next: MultiVector<f64> = mxv_batch(
+            Some(&masks),
+            PlusSecond,
+            g,
+            &batch,
+            &desc_fwd,
+            Some(&mut live_policies),
+            counters,
+        )
+        .expect("dims verified");
+        for (row, &s) in batch.into_rows().into_iter().zip(&alive) {
+            levels[s].push(row);
         }
-        let mask = Mask::new(&level_bits);
+        for (p, &s) in live_policies.iter().zip(&alive) {
+            policies[s] = p.clone();
+        }
+
+        let mut still_alive = Vec::with_capacity(alive.len());
+        for (row, &s) in next.into_rows().into_iter().zip(&alive) {
+            let mut found = false;
+            for (i, sg) in row.iter_explicit() {
+                visited[s].set(i as usize);
+                sigma[s][i as usize] = sg;
+                found = true;
+            }
+            if found {
+                levels[s].push(row);
+                still_alive.push(s);
+            }
+        }
+        alive = still_alive;
+    }
+
+    // ---- Backward phase: batched δ accumulation, deepest level first. ----
+    let mut delta: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0f64; n]).collect();
+    let mut bwd_policies: Vec<DirectionPolicy> =
+        (0..k).map(|_| DirectionPolicy::hysteresis(0.01)).collect();
+    let max_levels = levels.iter().map(Vec::len).max().expect("k > 0");
+    for l in (0..max_levels.saturating_sub(1)).rev() {
+        // Sources deep enough to have a level l+1 participate this step.
+        let active: Vec<usize> = (0..k).filter(|&s| levels[s].len() > l + 1).collect();
+        if active.is_empty() {
+            continue;
+        }
+        // Weights from each source's deeper level: (1 + δ_w) / σ_w.
+        let rows: Vec<Vector<f64>> = active
+            .iter()
+            .map(|&s| {
+                let deeper = &levels[s][l + 1];
+                let ids: Vec<VertexId> = deeper.iter_explicit().map(|(i, _)| i).collect();
+                let vals: Vec<f64> = ids
+                    .iter()
+                    .map(|&w| (1.0 + delta[s][w as usize]) / sigma[s][w as usize])
+                    .collect();
+                Vector::from_sparse(n, 0.0, ids, vals)
+            })
+            .collect();
+        // Level-l membership masks: only that level's vertices update.
+        let level_bits: Vec<BitVec> = active
+            .iter()
+            .map(|&s| {
+                let mut bits = BitVec::new(n);
+                for (i, _) in levels[s][l].iter_explicit() {
+                    bits.set(i as usize);
+                }
+                bits
+            })
+            .collect();
+        let masks: Vec<Mask<'_>> = level_bits.iter().map(Mask::new).collect();
+        let mut live_policies: Vec<DirectionPolicy> =
+            active.iter().map(|&s| bwd_policies[s].clone()).collect();
         // Pull from children through A (row v of A lists v's children).
-        let contrib: Vector<f64> =
-            mxv(Some(&mask), PlusSecond, g, &weights, &desc_bwd, None).expect("dims verified");
-        for (v, c) in contrib.iter_explicit() {
-            delta[v as usize] += sigma[v as usize] * c;
+        let contrib: MultiVector<f64> = mxv_batch(
+            Some(&masks),
+            PlusSecond,
+            g,
+            &MultiVector::from_rows(rows),
+            &desc_bwd,
+            Some(&mut live_policies),
+            counters,
+        )
+        .expect("dims verified");
+        for (p, &s) in live_policies.iter().zip(&active) {
+            bwd_policies[s] = p.clone();
+        }
+        for (row, &s) in contrib.rows().iter().zip(&active) {
+            for (v, c) in row.iter_explicit() {
+                delta[s][v as usize] += sigma[s][v as usize] * c;
+            }
         }
     }
 
-    for v in 0..n {
-        if v != source as usize {
-            bc[v] += delta[v];
+    // Accumulate per-source dependencies in source order (the same
+    // grouping as k sequential runs).
+    for (s_idx, &s) in sources.iter().enumerate() {
+        for v in 0..n {
+            if v != s as usize {
+                bc[v] += delta[s_idx][v];
+            }
         }
     }
+    bc
 }
 
 /// Serial Brandes oracle (exact, queue-based).
@@ -193,5 +307,42 @@ mod tests {
         let g = chung_lu(500, 8, PowerLawParams::default(), 11);
         let sources: Vec<u32> = vec![1, 2, 3];
         assert_close(&betweenness(&g, &sources), &brandes_oracle(&g, &sources));
+    }
+
+    #[test]
+    fn batch_bitwise_equals_sum_of_single_source_runs() {
+        // The batched sweeps must not change a single bit relative to
+        // running each source alone — the f64 accumulation grouping is
+        // per-source and ascending-neighbor-ordered in both shapes.
+        let g = chung_lu(400, 10, PowerLawParams::default(), 29);
+        let sources: Vec<u32> = vec![0, 7, 44, 300];
+        let batch = betweenness(&g, &sources);
+        let mut summed = vec![0.0f64; g.n_vertices()];
+        for &s in &sources {
+            for (v, x) in betweenness(&g, &[s]).into_iter().enumerate() {
+                summed[v] += x;
+            }
+        }
+        let a: Vec<u64> = batch.iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u64> = summed.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counters_expose_direction_switches() {
+        let g = chung_lu(600, 12, PowerLawParams::default(), 5);
+        let sources: Vec<u32> = vec![1, 2, 3, 4];
+        let c = AccessCounters::new();
+        let bc = betweenness_with_counters(&g, &sources, Some(&c));
+        assert_close(&bc, &brandes_oracle(&g, &sources));
+        let snap = c.snapshot();
+        assert!(snap.push_steps > 0, "thin early frontiers push");
+        assert!(snap.pull_steps > 0, "supervertex levels pull");
+    }
+
+    #[test]
+    fn empty_source_batch_is_all_zeros() {
+        let g = erdos_renyi(50, 200, 3);
+        assert_eq!(betweenness(&g, &[]), vec![0.0; 50]);
     }
 }

@@ -12,8 +12,11 @@
 //! * [`cc`] — connected components by min-label propagation.
 //! * [`mis`] — Luby's maximal independent set (masked candidate updates).
 //! * [`tricount`] — triangle counting via masked SpGEMM `C⟨L⟩ = L·L`.
-//! * [`bc`] — batched Brandes betweenness centrality (masked forward
-//!   sweeps, level-masked backward accumulation).
+//! * [`msbfs`] — multi-source BFS on the batched `mxv_batch` kernels: one
+//!   masked multi-vector matvec per level, direction switched per source.
+//! * [`bc`] — batched Brandes betweenness centrality riding the same
+//!   batched kernels (masked forward σ sweeps, level-masked backward δ
+//!   accumulation, per-source push/pull switching in both phases).
 
 pub mod bc;
 pub mod bfs;

@@ -1,20 +1,52 @@
-//! Multi-source (batched) BFS — frontiers from `k` sources advanced
-//! simultaneously as a sparse `k × n` Boolean matrix, each step one masked
-//! SpGEMM: `F' = (F · A) .∗ ¬V`.
+//! Multi-source (batched) BFS — `k` frontiers advanced simultaneously as a
+//! [`MultiVector`], each step one **batched masked matvec**:
+//! `F'(s, :) = (Aᵀ F(s, :)) .∗ ¬V(s, :)` for every live source `s`, in a
+//! single [`mxv_batch`] call.
 //!
-//! This is the matrix-level face of the paper's thesis: where single-source
-//! BFS is a masked mat*vec*, the batched traversal is a masked mat*mat*
-//! with the per-source visited matrix `V` as the mask complement. The
-//! batched betweenness-centrality workload of §1 is the canonical consumer
-//! (Brandes forward sweeps for a whole source batch at once), and it
-//! exercises `mxm`'s masking machinery the same way BFS exercises `mxv`'s.
+//! This is the batched face of the paper's thesis: each source's row keeps
+//! its own sparse/dense storage and its own §6.3 [`DirectionPolicy`]
+//! hysteresis state, so within one batch step some sources run the
+//! column-based push kernel while others run the row-based masked pull
+//! kernel — the per-source direction switching that GraphBLAST observes
+//! generalizes to multi-vector operands. The kernels execute over a flat
+//! `(source, chunk)` work grid, so the pool's lanes stay busy even when
+//! one source's frontier is a thin wave and another's is mid-supervertex.
+//! The batched betweenness-centrality workload of §1 is the canonical
+//! consumer ([`crate::bc`] runs its Brandes forward sweeps through exactly
+//! this path); `tests/prop_core.rs` pins that a batch is bit-identical —
+//! depths *and* access counters — to `k` independent single-source runs.
 
+use graphblas_core::descriptor::{Descriptor, Direction};
+use graphblas_core::mask::Mask;
+use graphblas_core::ops::BoolStructure;
+use graphblas_core::ops_mxv_batch::mxv_batch;
+use graphblas_core::vector::{MultiVector, Vector};
+use graphblas_core::DirectionPolicy;
 use graphblas_matrix::{Csr, Graph, VertexId};
+use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
-use rayon::prelude::*;
 
 /// Depth label for unreached (source, vertex) pairs.
 pub const UNREACHED: i32 = -1;
+
+/// Options for a batched traversal.
+#[derive(Clone, Copy, Debug)]
+pub struct MsBfsOpts {
+    /// The §6.3 switch ratio (α = β) each source's policy runs under.
+    pub switch_threshold: f64,
+    /// Pin every source to one direction (ablation arms). `None` lets each
+    /// source's hysteresis policy switch independently.
+    pub force: Option<Direction>,
+}
+
+impl Default for MsBfsOpts {
+    fn default() -> Self {
+        Self {
+            switch_threshold: 0.01,
+            force: None,
+        }
+    }
+}
 
 /// Result of a batched BFS.
 #[derive(Clone, Debug)]
@@ -25,9 +57,22 @@ pub struct MsBfsResult {
     pub levels: usize,
 }
 
-/// Batched BFS from `sources` (duplicates allowed).
+/// Batched BFS from `sources` (duplicates allowed) with default options.
 #[must_use]
 pub fn multi_source_bfs(g: &Graph<bool>, sources: &[VertexId]) -> MsBfsResult {
+    multi_source_bfs_with_opts(g, sources, &MsBfsOpts::default(), None)
+}
+
+/// Batched BFS with explicit options and optional access counters — the
+/// counters record, besides the usual traffic, each source's per-level
+/// push/pull decision (`push_steps`/`pull_steps`).
+#[must_use]
+pub fn multi_source_bfs_with_opts(
+    g: &Graph<bool>,
+    sources: &[VertexId],
+    opts: &MsBfsOpts,
+    counters: Option<&AccessCounters>,
+) -> MsBfsResult {
     let n = g.n_vertices();
     let k = sources.len();
     assert!(k > 0, "need at least one source");
@@ -35,8 +80,12 @@ pub fn multi_source_bfs(g: &Graph<bool>, sources: &[VertexId]) -> MsBfsResult {
         assert!((s as usize) < n, "source out of range");
     }
 
-    // Frontier rows and per-source visited bitmaps.
-    let mut frontier: Vec<Vec<VertexId>> = sources.iter().map(|&s| vec![s]).collect();
+    // Per-source traversal state: frontier row, visited bitmap, depths,
+    // and an independent direction policy.
+    let mut frontiers: Vec<Vector<bool>> = sources
+        .iter()
+        .map(|&s| Vector::singleton(n, false, s, true))
+        .collect();
     let mut visited: Vec<BitVec> = sources
         .iter()
         .map(|&s| {
@@ -53,44 +102,71 @@ pub fn multi_source_bfs(g: &Graph<bool>, sources: &[VertexId]) -> MsBfsResult {
             d
         })
         .collect();
+    let mut policies: Vec<DirectionPolicy> = (0..k)
+        .map(|_| match opts.force {
+            Some(d) => DirectionPolicy::fixed(d),
+            None => DirectionPolicy::hysteresis(opts.switch_threshold),
+        })
+        .collect();
 
-    let a = g.csr();
+    // Algorithm 1's descriptor: multiply by Aᵀ; direction stays Auto so
+    // each row follows its own policy (a forced run pins the descriptor).
+    let desc = match opts.force {
+        Some(d) => Descriptor::new().transpose(true).force(d),
+        None => Descriptor::new().transpose(true),
+    };
+
+    let mut alive: Vec<usize> = (0..k).collect();
     let mut level = 0usize;
-    loop {
+    while !alive.is_empty() {
         level += 1;
-        // One SpGEMM row product per source, masked by ¬visited[s]:
-        // row s of F' = union of children of frontier[s], minus visited.
-        // Rows are independent ⇒ embarrassingly parallel over the batch.
-        let next: Vec<Vec<VertexId>> = frontier
-            .par_iter()
-            .zip(visited.par_iter())
-            .map(|(row, vis)| {
-                let mut out: Vec<VertexId> = Vec::new();
-                let mut seen = BitVec::new(n);
-                for &u in row {
-                    for &c in a.row(u as usize) {
-                        if !vis.get(c as usize) && seen.set(c as usize) {
-                            out.push(c);
-                        }
-                    }
-                }
-                out.sort_unstable();
-                out
-            })
+        // Assemble the live sub-batch by moving rows out of the state
+        // (restored or replaced below), with one mask and one policy per
+        // live source.
+        let batch = MultiVector::from_rows(
+            alive
+                .iter()
+                .map(|&r| std::mem::replace(&mut frontiers[r], Vector::new_sparse(n, false)))
+                .collect(),
+        );
+        let masks: Vec<Mask<'_>> = alive
+            .iter()
+            .map(|&r| Mask::complement(&visited[r]))
             .collect();
+        let mut live_policies: Vec<DirectionPolicy> =
+            alive.iter().map(|&r| policies[r].clone()).collect();
 
-        let mut any = false;
-        for (s, row) in next.iter().enumerate() {
-            for &v in row {
-                visited[s].set(v as usize);
-                depths[s][v as usize] = level as i32;
+        let next: MultiVector<bool> = mxv_batch(
+            Some(&masks),
+            BoolStructure,
+            g,
+            &batch,
+            &desc,
+            Some(&mut live_policies),
+            counters,
+        )
+        .expect("dims verified");
+
+        for (p, &r) in live_policies.iter().zip(&alive) {
+            policies[r] = p.clone();
+        }
+
+        // GrB_assign per live source: record depths, fold the discoveries
+        // into the visited set, retire sources whose frontier emptied.
+        let mut still_alive = Vec::with_capacity(alive.len());
+        for (row, &r) in next.into_rows().into_iter().zip(&alive) {
+            let mut found = false;
+            for (v, _) in row.iter_explicit() {
+                depths[r][v as usize] = level as i32;
+                visited[r].set(v as usize);
+                found = true;
             }
-            any |= !row.is_empty();
+            if found {
+                frontiers[r] = row;
+                still_alive.push(r);
+            }
         }
-        if !any {
-            break;
-        }
-        frontier = next;
+        alive = still_alive;
     }
 
     MsBfsResult {
@@ -169,5 +245,46 @@ mod tests {
         let g = rmat(9, 8, RmatParams::default(), 7);
         let r = multi_source_bfs(&g, &[42]);
         assert_eq!(r.depths[0], bfs_serial(&g, 42));
+    }
+
+    #[test]
+    fn forced_directions_match_auto() {
+        let g = rmat(9, 10, RmatParams::default(), 4);
+        let sources = [0u32, 3, 250];
+        let auto = multi_source_bfs(&g, &sources);
+        for dir in [Direction::Push, Direction::Pull] {
+            let opts = MsBfsOpts {
+                force: Some(dir),
+                ..MsBfsOpts::default()
+            };
+            let forced = multi_source_bfs_with_opts(&g, &sources, &opts, None);
+            assert_eq!(forced.depths, auto.depths, "{dir:?}");
+            assert_eq!(forced.levels, auto.levels, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn batch_counters_equal_sum_of_single_source_runs() {
+        // The equivalence contract at the algorithm level: a k-batch costs
+        // exactly what k independent runs cost (depths AND counters), and
+        // its per-source direction decisions are visible.
+        let g = rmat(10, 16, RmatParams::default(), 19);
+        let sources = [0u32, 5, 123];
+        let opts = MsBfsOpts::default();
+        let batch_c = AccessCounters::new();
+        let batch = multi_source_bfs_with_opts(&g, &sources, &opts, Some(&batch_c));
+
+        let single_c = AccessCounters::new();
+        for (s, &src) in sources.iter().enumerate() {
+            let r = multi_source_bfs_with_opts(&g, &[src], &opts, Some(&single_c));
+            assert_eq!(r.depths[0], batch.depths[s], "source {src}");
+        }
+        assert_eq!(batch_c.snapshot(), single_c.snapshot());
+        let snap = batch_c.snapshot();
+        assert!(snap.push_steps > 0, "early thin frontiers push");
+        assert!(
+            snap.pull_steps > 0,
+            "the scale-free supervertex phase must pull"
+        );
     }
 }

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1` `table2` `table3` `fig2` `fig5` `fig6` `fig7`
-//! `heuristic` `all`. CSVs land in `--out` (default `results/`).
+//! `heuristic` `scaling` `batched` `validate` `all`. CSVs land in `--out`
+//! (default `results/`).
 //!
 //! `--shrink N` divides every dataset's vertex count by 2^N (default 6;
 //! 0 regenerates paper-scale graphs). `--sources N` sets the number of BFS
@@ -18,7 +19,8 @@ use graphblas_algo::bfs::{bfs_with_opts, BfsOpts};
 use graphblas_bench::engines::figure7_lineup;
 use graphblas_bench::report::{f, Json, Table};
 use graphblas_bench::study::{
-    matvec_variant_sweep, per_level_study, random_sources, thread_scaling_study, time_bfs,
+    batched_study, matvec_variant_sweep, per_level_study, random_sources, thread_scaling_study,
+    time_bfs,
 };
 use graphblas_bench::{geomean, median, mteps, time_ms};
 use graphblas_core::descriptor::Direction;
@@ -74,6 +76,7 @@ fn main() {
         "fig7" => fig7(&cfg),
         "heuristic" => heuristic(&cfg),
         "scaling" => scaling(&cfg),
+        "batched" => batched(&cfg),
         "validate" => validate(&cfg),
         "all" => {
             table1(&cfg);
@@ -85,11 +88,12 @@ fn main() {
             fig7(&cfg);
             heuristic(&cfg);
             scaling(&cfg);
+            batched(&cfg);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: \
-                 table1 table2 table3 fig2 fig5 fig6 fig7 heuristic scaling validate all"
+                 table1 table2 table3 fig2 fig5 fig6 fig7 heuristic scaling batched validate all"
             );
             std::process::exit(2);
         }
@@ -613,6 +617,98 @@ fn scaling(cfg: &Config) {
     match doc.write_file(&cfg.out, "BENCH_scaling.json") {
         Ok(p) => eprintln!("[scaling] wrote {}", p.display()),
         Err(e) => eprintln!("[scaling] could not write BENCH_scaling.json: {e}"),
+    }
+}
+
+/// Batched-frontier study: multi-source BFS (and batched BC) through the
+/// `mxv_batch` kernels at increasing batch sizes, against `k` sequential
+/// single-source runs of the same machinery, with each batch's per-source
+/// push/pull switch decisions from the access counters. Emits the
+/// machine-readable `BENCH_batched.json` companion artifact.
+fn batched(cfg: &Config) {
+    let ks = [1usize, 4, 16];
+    let mut t = Table::new(
+        "Batched frontiers — k-source msbfs vs k × 1-source, per-source switching",
+        &[
+            "Dataset",
+            "k",
+            "batch ms",
+            "k×1 ms",
+            "batch x",
+            "levels",
+            "push steps",
+            "pull steps",
+            "BC ms",
+        ],
+    );
+    let mut dataset_objs: Vec<Json> = Vec::new();
+    for Dataset { name, graph, .. } in suite(cfg.shrink, cfg.seed) {
+        if let Some(only) = &cfg.dataset {
+            if only != name {
+                continue;
+            }
+        }
+        eprintln!(
+            "[batched] {name}: {} vertices, {} edges",
+            graph.n_vertices(),
+            graph.n_edges()
+        );
+        let samples = batched_study(&graph, &ks, 3, cfg.seed);
+        let mut sample_objs: Vec<Json> = Vec::new();
+        for s in &samples {
+            let speedup = s.sequential_ms / s.batched_ms.max(1e-12);
+            t.row(vec![
+                name.to_string(),
+                s.k.to_string(),
+                f(s.batched_ms),
+                f(s.sequential_ms),
+                format!("{speedup:.2}x"),
+                s.levels.to_string(),
+                s.push_steps.to_string(),
+                s.pull_steps.to_string(),
+                f(s.bc_ms),
+            ]);
+            sample_objs.push(Json::Obj(vec![
+                ("k", Json::Int(s.k as u64)),
+                ("batched_ms", Json::Num(s.batched_ms)),
+                ("sequential_ms", Json::Num(s.sequential_ms)),
+                ("batch_speedup", Json::Num(speedup)),
+                ("levels", Json::Int(s.levels as u64)),
+                ("push_steps", Json::Int(s.push_steps)),
+                ("pull_steps", Json::Int(s.pull_steps)),
+                ("matrix_accesses", Json::Int(s.accesses.matrix)),
+                ("vector_accesses", Json::Int(s.accesses.vector)),
+                ("mask_accesses", Json::Int(s.accesses.mask)),
+                ("sort_accesses", Json::Int(s.accesses.sort)),
+                ("bc_ms", Json::Num(s.bc_ms)),
+            ]));
+        }
+        dataset_objs.push(Json::Obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("vertices", Json::Int(graph.n_vertices() as u64)),
+            ("edges", Json::Int(graph.n_edges() as u64)),
+            ("samples", Json::Arr(sample_objs)),
+        ]));
+    }
+    t.print();
+    println!(
+        "batch results are bit-identical to the k×1 runs (pinned by tests); the\n\
+         push/pull step counts show each source switching direction independently\n\
+         inside one batch step."
+    );
+    let _ = t.write_csv(&cfg.out, "batched_frontiers");
+    let doc = Json::Obj(vec![
+        (
+            "batch_sizes",
+            Json::Arr(ks.iter().map(|&k| Json::Int(k as u64)).collect()),
+        ),
+        ("shrink", Json::Int(u64::from(cfg.shrink))),
+        ("seed", Json::Int(cfg.seed)),
+        ("datasets", Json::Arr(dataset_objs)),
+    ]);
+    match doc.write_file(&cfg.out, "BENCH_batched.json") {
+        Ok(p) => eprintln!("[batched] wrote {}", p.display()),
+        Err(e) => eprintln!("[batched] could not write BENCH_batched.json: {e}"),
     }
 }
 

@@ -349,6 +349,86 @@ pub fn thread_scaling_study(
         .collect()
 }
 
+/// One batch-size sample of the batched-traversal study: wall time of one
+/// `k`-source batched BFS vs `k` independent single-source runs through
+/// the same kernels, plus the batch's access profile and its per-source
+/// push/pull switch decisions.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchedSample {
+    /// Sources in the batch.
+    pub k: usize,
+    /// Median wall time of the batched run, ms.
+    pub batched_ms: f64,
+    /// Median wall time of `k` sequential single-source runs, ms.
+    pub sequential_ms: f64,
+    /// Levels the batch executed (max over sources).
+    pub levels: usize,
+    /// Matvec steps the batch resolved to push (column kernel).
+    pub push_steps: u64,
+    /// Matvec steps the batch resolved to pull (row kernel).
+    pub pull_steps: u64,
+    /// Full access profile of one counted batched run.
+    pub accesses: CounterSnapshot,
+    /// Median wall time of batched Brandes BC on the same sources, ms.
+    pub bc_ms: f64,
+}
+
+/// The batched-frontier study: for each batch size in `ks`, run the
+/// multi-source BFS (and batched BC) from `k` random sources, once counted
+/// and `repeats` times timed, against `k` sequential single-source runs of
+/// the *same* batched machinery — so the delta is pure batching (shared
+/// `(source, chunk)` grid occupancy), not a kernel change. Because batch
+/// results are bit-identical to the sequential runs, only wall clock and
+/// lane occupancy can differ.
+#[must_use]
+pub fn batched_study(
+    g: &Graph<bool>,
+    ks: &[usize],
+    repeats: usize,
+    seed: u64,
+) -> Vec<BatchedSample> {
+    use graphblas_algo::bc::betweenness;
+    use graphblas_algo::msbfs::{multi_source_bfs_with_opts, MsBfsOpts};
+
+    let opts = MsBfsOpts::default();
+    ks.iter()
+        .map(|&k| {
+            let sources = random_sources(g, k.max(1), seed ^ (k as u64).wrapping_mul(0x9e37));
+            // Counted pass (once), then timed passes without counters.
+            let c = AccessCounters::new();
+            let counted = multi_source_bfs_with_opts(g, &sources, &opts, Some(&c));
+            let snapshot = c.snapshot();
+
+            let time_median = |f: &dyn Fn()| -> f64 {
+                let times: Vec<f64> = (0..repeats.max(1)).map(|_| time_ms(f).1).collect();
+                median(&times)
+            };
+            let batched_ms = time_median(&|| {
+                std::hint::black_box(multi_source_bfs_with_opts(g, &sources, &opts, None));
+            });
+            let sequential_ms = time_median(&|| {
+                for &s in &sources {
+                    std::hint::black_box(multi_source_bfs_with_opts(g, &[s], &opts, None));
+                }
+            });
+            let bc_ms = time_median(&|| {
+                std::hint::black_box(betweenness(g, &sources));
+            });
+
+            BatchedSample {
+                k: sources.len(),
+                batched_ms,
+                sequential_ms,
+                levels: counted.levels,
+                push_steps: snapshot.push_steps,
+                pull_steps: snapshot.pull_steps,
+                accesses: snapshot,
+                bc_ms,
+            }
+        })
+        .collect()
+}
+
 /// Time a full BFS under given options, returning (ms, edges traversed).
 #[must_use]
 pub fn time_bfs(g: &Graph<bool>, sources: &[VertexId], opts: &BfsOpts) -> (f64, usize) {
@@ -446,6 +526,24 @@ mod tests {
         for s in &samples {
             assert!(s.pull_ms >= 0.0 && s.push_ms >= 0.0);
             assert!(s.pull_mteps >= 0.0 && s.push_mteps >= 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_study_reports_each_k() {
+        let g = rmat(9, 8, RmatParams::default(), 5);
+        let samples = batched_study(&g, &[1, 4], 1, 42);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].k, 1);
+        assert_eq!(samples[1].k, 4);
+        for s in &samples {
+            assert!(s.batched_ms >= 0.0 && s.sequential_ms >= 0.0 && s.bc_ms >= 0.0);
+            assert!(s.levels > 0);
+            assert_eq!(
+                s.push_steps + s.pull_steps,
+                s.accesses.push_steps + s.accesses.pull_steps
+            );
+            assert!(s.push_steps + s.pull_steps > 0, "every level is a decision");
         }
     }
 

@@ -17,16 +17,18 @@ pub enum Direction {
     Pull,
 }
 
-/// How `mxv` picks its kernel.
+/// How `mxv` (and, row by row, `mxv_batch`) picks its kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum DirectionChoice {
     /// Follow the input vector's storage: sparse → push, dense → pull.
     /// This is Optimization 1 — the storage itself is steered by
-    /// [`crate::Vector::convert`].
+    /// [`crate::Vector::convert`]. The batched dispatcher applies the same
+    /// rule per row (or per-row `DirectionPolicy` state when supplied).
     #[default]
     Auto,
     /// Always use the given kernel, converting the input if needed
     /// (used by the per-iteration studies of Figs. 5–6 and the baselines).
+    /// In a batch this forces *every* row.
     Force(Direction),
 }
 

@@ -23,6 +23,12 @@
 //!    visited vector in place of the frontier (Gunrock's trick, §5.4).
 //! 5. **Structure-only** — column kernel sorts keys instead of (key, value)
 //!    pairs when the semiring ignores matrix values (§5.5).
+//!
+//! [`ops_mxv_batch`] generalizes the direction machinery to `k × n`
+//! frontier *batches* ([`vector::MultiVector`]): [`ops_mxv_batch::mxv_batch`]
+//! resolves a direction per row and runs the batched row/column kernels
+//! over a flat `(source, chunk)` grid — the multi-source BFS and batched
+//! Brandes BC workload the paper's §1 motivates.
 
 pub mod descriptor;
 pub mod error;
@@ -31,6 +37,7 @@ pub mod matrix_ops;
 pub mod mxm;
 pub mod ops;
 pub mod ops_mxv;
+pub mod ops_mxv_batch;
 pub mod vector;
 pub mod vector_ops;
 
@@ -41,4 +48,5 @@ pub use ops::{BoolOrAnd, MinPlus, Monoid, PlusTimes, Scalar, Semiring, SemiringN
 pub use ops_mxv::{
     col_masked_mxv, col_mxv, mxv, resolve_direction, row_masked_mxv, row_mxv, DirectionPolicy,
 };
-pub use vector::{ConvertState, DenseVector, SparseVector, Vector};
+pub use ops_mxv_batch::{col_masked_mxv_batch, mxv_batch, row_masked_mxv_batch};
+pub use vector::{ConvertState, DenseVector, MultiVector, SparseVector, Vector};

@@ -10,6 +10,7 @@
 
 use crate::ops::{Monoid, Scalar, Semiring};
 use graphblas_matrix::Csr;
+use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::Spa;
 use rayon::prelude::*;
 
@@ -20,8 +21,22 @@ use rayon::prelude::*;
 /// With a mask whose rows are short, the per-row cost drops from
 /// "all reachable columns" to "mask row length" probes — the matrix-level
 /// analog of Table 1's `O(dM) → O(d·nnz(m))`.
+///
+/// `counters` charges the same categories as the matvec kernels, making
+/// the SpGEMM face of batching measurable alongside `mxv`/`mxv_batch`:
+/// `matrix` counts the expanded `(A-entry, B-entry)` products examined,
+/// `mask` the per-product mask-row probes, and `vector` the SPA scatters
+/// plus harvests. Counting is bulk per row, never per element in the hot
+/// loop, so instrumented runs stay exact and cheap under concurrency.
 #[must_use]
-pub fn mxm<A, B, Y, S, M>(mask: Option<&Csr<M>>, s: S, a: &Csr<A>, b: &Csr<B>, y_zero: Y) -> Csr<Y>
+pub fn mxm<A, B, Y, S, M>(
+    mask: Option<&Csr<M>>,
+    s: S,
+    a: &Csr<A>,
+    b: &Csr<B>,
+    y_zero: Y,
+    counters: Option<&AccessCounters>,
+) -> Csr<Y>
 where
     A: Scalar,
     B: Scalar,
@@ -44,8 +59,8 @@ where
         .map_init(
             || Spa::new(b.n_cols(), identity),
             |spa, i| match mask {
-                Some(m) => masked_row(s, add, a, b, m, i, spa),
-                None => unmasked_row(s, add, a, b, i, spa),
+                Some(m) => masked_row(s, add, a, b, m, i, spa, counters),
+                None => unmasked_row(s, add, a, b, i, spa, counters),
             },
         )
         .collect();
@@ -67,6 +82,7 @@ where
     Csr::from_parts(a.n_rows(), b.n_cols(), row_ptr, col_ind, values)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn unmasked_row<A, B, Y, S, Add>(
     s: S,
     add: Add,
@@ -74,6 +90,7 @@ fn unmasked_row<A, B, Y, S, Add>(
     b: &Csr<B>,
     i: usize,
     spa: &mut Spa<Y>,
+    counters: Option<&AccessCounters>,
 ) -> (Vec<u32>, Vec<Y>)
 where
     A: Scalar,
@@ -83,13 +100,20 @@ where
     Add: Monoid<Y>,
 {
     let identity = add.identity();
+    let mut examined = 0u64;
     for (idx, &k) in a.row(i).iter().enumerate() {
         let av = a.row_values(i)[idx];
         let k = k as usize;
+        examined += b.row(k).len() as u64;
         for (jdx, &j) in b.row(k).iter().enumerate() {
             let prod = s.mult(av, b.row_values(k)[jdx]);
             spa.accumulate(j, prod, |x, y| add.op(x, y));
         }
+    }
+    if let Some(c) = counters {
+        c.add_matrix(examined);
+        // One SPA scatter per product plus the harvest.
+        c.add_vector(2 * examined);
     }
     let (ids, vals) = spa.drain_sorted();
     // Drop identity-valued entries (implicit zeros).
@@ -104,6 +128,7 @@ where
     (out_ids, out_vals)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn masked_row<A, B, Y, S, Add, M>(
     s: S,
     add: Add,
@@ -112,6 +137,7 @@ fn masked_row<A, B, Y, S, Add, M>(
     mask: &Csr<M>,
     i: usize,
     spa: &mut Spa<Y>,
+    counters: Option<&AccessCounters>,
 ) -> (Vec<u32>, Vec<Y>)
 where
     A: Scalar,
@@ -129,15 +155,26 @@ where
     // Accumulate products, but only into columns the mask row allows.
     // `allowed` is sorted, so membership is a binary search; for the short
     // mask rows of triangle counting this beats accumulating everything.
+    let mut examined = 0u64;
+    let mut kept = 0u64;
     for (idx, &k) in a.row(i).iter().enumerate() {
         let av = a.row_values(i)[idx];
         let k = k as usize;
+        examined += b.row(k).len() as u64;
         for (jdx, &j) in b.row(k).iter().enumerate() {
             if allowed.binary_search(&j).is_ok() {
                 let prod = s.mult(av, b.row_values(k)[jdx]);
                 spa.accumulate(j, prod, |x, y| add.op(x, y));
+                kept += 1;
             }
         }
+    }
+    if let Some(c) = counters {
+        c.add_matrix(examined);
+        // Every examined product probes the mask row; only the survivors
+        // touch the SPA (scatter + harvest).
+        c.add_mask(examined);
+        c.add_vector(2 * kept);
     }
     let (ids, vals) = spa.drain_sorted();
     let mut out_ids = Vec::with_capacity(ids.len());
@@ -183,7 +220,7 @@ mod tests {
     fn small_dense_product() {
         let a = dense_to_csr(&[&[1.0, 2.0], &[0.0, 3.0]]);
         let b = dense_to_csr(&[&[4.0, 0.0], &[1.0, 5.0]]);
-        let c = mxm(None::<&Csr<f64>>, PlusTimes, &a, &b, 0.0);
+        let c = mxm(None::<&Csr<f64>>, PlusTimes, &a, &b, 0.0, None);
         assert_eq!(csr_to_dense(&c), vec![vec![6.0, 10.0], vec![3.0, 15.0]]);
     }
 
@@ -191,7 +228,7 @@ mod tests {
     fn product_with_empty_rows() {
         let a = dense_to_csr(&[&[0.0, 0.0], &[1.0, 0.0]]);
         let b = dense_to_csr(&[&[0.0, 2.0], &[0.0, 0.0]]);
-        let c = mxm(None::<&Csr<f64>>, PlusTimes, &a, &b, 0.0);
+        let c = mxm(None::<&Csr<f64>>, PlusTimes, &a, &b, 0.0, None);
         assert_eq!(csr_to_dense(&c), vec![vec![0.0, 0.0], vec![0.0, 2.0]]);
         assert_eq!(c.nnz(), 1);
     }
@@ -202,7 +239,7 @@ mod tests {
         let b = dense_to_csr(&[&[1.0, 1.0], &[1.0, 1.0]]);
         // Mask allows only the diagonal.
         let mask = dense_to_csr(&[&[1.0, 0.0], &[0.0, 1.0]]);
-        let c = mxm(Some(&mask), PlusTimes, &a, &b, 0.0);
+        let c = mxm(Some(&mask), PlusTimes, &a, &b, 0.0, None);
         assert_eq!(csr_to_dense(&c), vec![vec![2.0, 0.0], vec![0.0, 2.0]]);
     }
 
@@ -225,8 +262,8 @@ mod tests {
             &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0],
             &[0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
         ]);
-        let masked = mxm(Some(&mask), PlusTimes, &a, &a, 0.0);
-        let full = mxm(None::<&Csr<f64>>, PlusTimes, &a, &a, 0.0);
+        let masked = mxm(Some(&mask), PlusTimes, &a, &a, 0.0, None);
+        let full = mxm(None::<&Csr<f64>>, PlusTimes, &a, &a, 0.0, None);
         let fd = csr_to_dense(&full);
         let md = csr_to_dense(&masked);
         for i in 0..6 {
@@ -236,6 +273,41 @@ mod tests {
                 assert_eq!(md[i][j], expect, "at ({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn counters_measure_expansion_and_mask_probes() {
+        let a = dense_to_csr(&[
+            &[0.0, 1.0, 1.0, 0.0],
+            &[1.0, 0.0, 1.0, 1.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[1.0, 0.0, 1.0, 0.0],
+        ]);
+        // Expected expansion: Σ_i Σ_{k ∈ A(i,:)} |B(k,:)|.
+        let expected: u64 = (0..4)
+            .flat_map(|i| a.row(i).iter().map(|&k| a.row(k as usize).len() as u64))
+            .sum();
+        let unmasked = AccessCounters::new();
+        let _ = mxm(None::<&Csr<f64>>, PlusTimes, &a, &a, 0.0, Some(&unmasked));
+        let u = unmasked.snapshot();
+        assert_eq!(u.matrix, expected);
+        assert_eq!(u.vector, 2 * expected, "scatter + harvest per product");
+        assert_eq!(u.mask, 0);
+
+        // Diagonal mask: same expansion, every product probes the mask,
+        // and far fewer products reach the SPA.
+        let mask = dense_to_csr(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        let masked = AccessCounters::new();
+        let _ = mxm(Some(&mask), PlusTimes, &a, &a, 0.0, Some(&masked));
+        let m = masked.snapshot();
+        assert_eq!(m.matrix, expected, "a mask cannot reduce expansion work");
+        assert_eq!(m.mask, expected, "every product probes the mask");
+        assert!(m.vector < u.vector, "mask culls SPA traffic");
     }
 
     #[test]
@@ -257,7 +329,7 @@ mod tests {
             }
         }
         let l = Csr::from_coo(&lcoo);
-        let c = mxm(Some(&l), PlusTimes, &l, &l, 0.0);
+        let c = mxm(Some(&l), PlusTimes, &l, &l, 0.0, None);
         let total: f64 = c.values().iter().sum();
         assert_eq!(total, 1.0, "exactly one triangle");
     }

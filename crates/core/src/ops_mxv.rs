@@ -24,8 +24,17 @@ use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::{gather, merge, pool, scan, segreduce, sort, AtomicBitVec, Spa};
 use rayon::prelude::*;
 
-/// Row grain for parallel row-kernel loops.
-const ROW_GRAIN: usize = 512;
+/// Row grain for parallel row-kernel loops (shared with the batched row
+/// kernel so single-source and batched chunking agree).
+pub(crate) const ROW_GRAIN: usize = 512;
+
+/// Expanded products each column-kernel SPA chunk should own (shared with
+/// the batched column kernel, which must produce identical chunk bounds).
+pub(crate) const SPA_GRAIN: usize = 8192;
+
+/// Ceiling on private SPAs alive at once per source — each is `O(M)`
+/// memory.
+pub(crate) const MAX_SPAS: usize = 16;
 
 // ---------------------------------------------------------------------------
 // Row-based (pull) kernels
@@ -113,9 +122,11 @@ where
     }
 }
 
-/// Reduce one operand row against a dense input vector.
+/// Reduce one operand row against a dense input vector. Shared with the
+/// batched row kernel, so per-row work and counter bookkeeping are
+/// identical between single-source and batched pulls.
 #[inline]
-fn reduce_row<A, X, Y, S>(
+pub(crate) fn reduce_row<A, X, Y, S>(
     s: S,
     op: &Csr<A>,
     v: &DenseVector<X>,
@@ -317,9 +328,21 @@ where
         }
     };
 
-    // Mask filter (lines 17–24 of Algorithm 3) and identity drop. Entries
-    // whose reduced value equals the ⊕ identity are implicit zeros and are
-    // not materialized.
+    filter_col_output(&mut ids, &mut vals, mask, identity, counters);
+    SparseVector::from_sorted(ids, vals)
+}
+
+/// Mask filter (lines 17–24 of Algorithm 3) and identity drop, in place.
+/// Entries whose reduced value equals the ⊕ identity are implicit zeros
+/// and are not materialized. Shared with the batched column kernel so the
+/// per-source mask bookkeeping is identical.
+pub(crate) fn filter_col_output<Y: Scalar>(
+    ids: &mut Vec<u32>,
+    vals: &mut Vec<Y>,
+    mask: Option<&Mask<'_>>,
+    identity: Y,
+    counters: Option<&AccessCounters>,
+) {
     if let Some(c) = counters {
         if mask.is_some() {
             c.add_mask(ids.len() as u64);
@@ -336,13 +359,12 @@ where
     }
     ids.truncate(write);
     vals.truncate(write);
-    SparseVector::from_sorted(ids, vals)
 }
 
 /// The expansion preamble every column-kernel arm shares: scatter offsets
 /// over the frontier's selected columns (CSR-style, trailing total) and
 /// the expanded product count.
-fn expansion_offsets<A, X>(op_t: &Csr<A>, v: &SparseVector<X>) -> (Vec<usize>, usize)
+pub(crate) fn expansion_offsets<A, X>(op_t: &Csr<A>, v: &SparseVector<X>) -> (Vec<usize>, usize)
 where
     A: Scalar,
     X: Scalar,
@@ -376,15 +398,6 @@ where
     Y: Scalar,
     S: Semiring<A, X, Y>,
 {
-    /// Expanded products each chunk (and its private SPA) should own.
-    const SPA_GRAIN: usize = 8192;
-    /// Ceiling on private SPAs alive at once — each is `O(M)` memory.
-    const MAX_SPAS: usize = 16;
-
-    let add = s.add_monoid();
-    let identity = add.identity();
-    let ids = v.ids();
-    let xs = v.vals();
     let (offsets, total) = expansion_offsets(op_t, v);
     if let Some(c) = counters {
         c.add_matrix(total as u64);
@@ -392,7 +405,19 @@ where
         c.add_vector(2 * total as u64);
     }
 
-    // Expansion-balanced chunk boundaries over frontier segments.
+    let seg_ranges = spa_chunk_ranges(&offsets, total);
+    let parts: Vec<Vec<(u32, Y)>> = seg_ranges
+        .into_par_iter()
+        .map(|(s0, s1)| spa_harvest_chunk(s, op_t, v, s0, s1))
+        .collect();
+    spa_merge_parts(s.add_monoid(), &parts, counters)
+}
+
+/// Expansion-balanced chunk boundaries over frontier segments: each chunk
+/// owns ≈ [`SPA_GRAIN`] expanded products, at most [`MAX_SPAS`] chunks.
+/// Shared with the batched column kernel so a batch row's chunking is
+/// bit-identical to its single-source run.
+pub(crate) fn spa_chunk_ranges(offsets: &[usize], total: usize) -> Vec<(usize, usize)> {
     let pieces = (total / SPA_GRAIN).clamp(1, MAX_SPAS);
     let n_seg = offsets.len() - 1;
     let mut bounds = vec![0usize];
@@ -410,26 +435,53 @@ where
     if *bounds.last().expect("non-empty bounds") != n_seg {
         bounds.push(n_seg);
     }
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
 
-    let seg_ranges: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
-    let parts: Vec<Vec<(u32, Y)>> = seg_ranges
-        .into_par_iter()
-        .map(|(s0, s1)| {
-            let mut spa = Spa::new(op_t.n_rows(), identity);
-            for seg in s0..s1 {
-                let src = ids[seg] as usize;
-                let x = xs[seg];
-                let cols = op_t.row(src);
-                let avals = op_t.row_values(src);
-                for (idx, &j) in cols.iter().enumerate() {
-                    spa.accumulate(j, s.mult(avals[idx], x), |a, b| add.op(a, b));
-                }
-            }
-            let (keys, vals) = spa.drain_sorted();
-            keys.into_iter().zip(vals).collect()
-        })
-        .collect();
+/// Scatter one chunk of frontier segments `[s0, s1)` into a private SPA
+/// and harvest the sorted (row, value) pairs.
+pub(crate) fn spa_harvest_chunk<A, X, Y, S>(
+    s: S,
+    op_t: &Csr<A>,
+    v: &SparseVector<X>,
+    s0: usize,
+    s1: usize,
+) -> Vec<(u32, Y)>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    let add = s.add_monoid();
+    let identity = add.identity();
+    let ids = v.ids();
+    let xs = v.vals();
+    let mut spa = Spa::new(op_t.n_rows(), identity);
+    for seg in s0..s1 {
+        let src = ids[seg] as usize;
+        let x = xs[seg];
+        let cols = op_t.row(src);
+        let avals = op_t.row_values(src);
+        for (idx, &j) in cols.iter().enumerate() {
+            spa.accumulate(j, s.mult(avals[idx], x), |a, b| add.op(a, b));
+        }
+    }
+    let (keys, vals) = spa.drain_sorted();
+    keys.into_iter().zip(vals).collect()
+}
 
+/// Combine per-chunk sorted harvests by the deterministic k-way merge in
+/// chunk order, charging the merge's sort traffic.
+pub(crate) fn spa_merge_parts<Y, M>(
+    add: M,
+    parts: &[Vec<(u32, Y)>],
+    counters: Option<&AccessCounters>,
+) -> (Vec<u32>, Vec<Y>)
+where
+    Y: Scalar,
+    M: Monoid<Y>,
+{
     if let Some(c) = counters {
         let merged_in: usize = parts.iter().map(Vec::len).sum();
         c.add_sort((merged_in as f64 * (parts.len().max(2) as f64).log2()) as u64);
@@ -714,7 +766,14 @@ where
     }
 
     let identity = s.add_monoid().identity();
-    match resolve_direction(v, desc) {
+    let dir = resolve_direction(v, desc);
+    if let Some(c) = counters {
+        match dir {
+            Direction::Push => c.add_push_step(),
+            Direction::Pull => c.add_pull_step(),
+        }
+    }
+    match dir {
         Direction::Push => {
             let sparse_input;
             let sv = match v.as_sparse() {
@@ -819,12 +878,12 @@ where
     mxv(mask, s, graph, v, &flipped, counters)
 }
 
-struct SendPtr<T>(*mut T);
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {
     #[inline]
-    fn get(&self) -> *mut T {
+    pub(crate) fn get(&self) -> *mut T {
         self.0
     }
 }

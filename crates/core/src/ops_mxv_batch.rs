@@ -1,0 +1,545 @@
+//! Batched (multi-vector) matvec kernels: the paper's push/pull machinery
+//! applied to a `k × n` frontier batch, one direction decision per row.
+//!
+//! GraphBLAST (Yang et al.) observes that direction optimization
+//! generalizes from SpMV/SpMSpV to multi-vector operands, and Besta et
+//! al.'s push-pull analysis shows the density tradeoff holds independently
+//! per source: in a batched traversal one source can sit mid-supervertex
+//! (dense frontier → row-based pull) while another is still a thin wave
+//! (sparse frontier → column-based push). [`mxv_batch`] is therefore
+//! `GrB_mxv` over a [`MultiVector`]: it resolves a [`Direction`] *per
+//! row* (from a per-source [`DirectionPolicy`], or from each row's storage,
+//! or forced by the descriptor), then runs
+//!
+//! * [`row_masked_mxv_batch`] — the pull face: every pull row's
+//!   (active-listed) output rows flattened into one `(source, chunk)`
+//!   grid ([`pool::grid_chunks`]) the worker pool drains by index
+//!   stealing, so lanes stay busy even when one source's frontier is tiny;
+//! * [`col_masked_mxv_batch`] — the push face: every push row's frontier
+//!   cut into expansion-balanced SPA chunks (the same boundaries as the
+//!   single-source [`crate::MergeStrategy::SpaMerge`] kernel), all chunks drained
+//!   from one flat grid, then combined per source by the deterministic
+//!   k-way merge in chunk order.
+//!
+//! **Equivalence contract** (pinned by `tests/prop_core.rs`): a batched
+//! call produces bit-identical values *and access counters* to `k`
+//! independent single-source [`mxv`](crate::mxv) calls — push rows match
+//! the [`crate::MergeStrategy::SpaMerge`] column kernel, pull rows match the row
+//! kernel — because the per-row work, chunk boundaries, and counter
+//! bookkeeping are shared code, and chunk layouts derive from sizes only
+//! (never the lane count), so results are also identical at every thread
+//! count.
+
+use crate::descriptor::{Descriptor, Direction, DirectionChoice};
+use crate::error::{GrbError, GrbResult};
+use crate::mask::Mask;
+use crate::ops::{Monoid, Scalar, Semiring};
+use crate::ops_mxv::{
+    expansion_offsets, filter_col_output, reduce_row, spa_chunk_ranges, spa_harvest_chunk,
+    spa_merge_parts, DirectionPolicy, SendPtr, ROW_GRAIN,
+};
+use crate::vector::{DenseVector, MultiVector, SparseVector, Vector};
+use graphblas_matrix::{Csr, Graph};
+use graphblas_primitives::counters::AccessCounters;
+use graphblas_primitives::pool;
+use rayon::prelude::*;
+
+/// Batched row-based (pull) masked matvec: one dense input and one mask
+/// per source, outputs computed over a flat `(source, row-chunk)` grid.
+///
+/// Per-source semantics and counter bookkeeping are identical to
+/// [`crate::ops_mxv::row_masked_mxv`] (with an active list when the mask
+/// carries one) / [`crate::ops_mxv::row_mxv`] (when `masks` is `None`).
+pub fn row_masked_mxv_batch<A, X, Y, S>(
+    s: S,
+    op: &Csr<A>,
+    vs: &[&DenseVector<X>],
+    masks: Option<&[Mask<'_>]>,
+    early_exit: bool,
+    counters: Option<&AccessCounters>,
+) -> Vec<DenseVector<Y>>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    if let Some(ms) = masks {
+        assert_eq!(ms.len(), vs.len(), "one mask per batch row");
+        for m in ms {
+            assert_eq!(m.dim(), op.n_rows(), "mask must cover output dim");
+        }
+    }
+    for v in vs {
+        assert_eq!(op.n_cols(), v.dim(), "operand columns must match input dim");
+    }
+    let add = s.add_monoid();
+    let identity = add.identity();
+    let n = op.n_rows();
+
+    // Per-source work extents: the mask's active list when present (the
+    // §3.2 amortized unvisited list), otherwise all rows.
+    let lens: Vec<usize> = match masks {
+        Some(ms) => ms
+            .iter()
+            .map(|m| m.active_list().map_or(n, <[u32]>::len))
+            .collect(),
+        None => vec![n; vs.len()],
+    };
+    if let (Some(c), Some(_)) = (counters, masks) {
+        for &len in &lens {
+            c.add_mask(len as u64);
+        }
+    }
+
+    let mut outs: Vec<Vec<Y>> = vs.iter().map(|_| vec![identity; n]).collect();
+    let ptrs: Vec<SendPtr<Y>> = outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())).collect();
+
+    let grid = pool::grid_chunks(&lens, ROW_GRAIN);
+    grid.into_par_iter().for_each(|(j, range)| {
+        let v = vs[j];
+        let mask = masks.map(|ms| &ms[j]);
+        for idx in range {
+            // Resolve the output row this grid index names.
+            let (i, allowed) = match mask {
+                Some(m) => match m.active_list() {
+                    Some(active) => {
+                        let i = active[idx] as usize;
+                        debug_assert!(m.allows(i), "active list disagrees with mask");
+                        (i, true)
+                    }
+                    None => (idx, m.allows(idx)),
+                },
+                None => (idx, true),
+            };
+            if allowed {
+                let y = reduce_row(s, op, v, i, identity, early_exit, counters);
+                // SAFETY: within a source, grid indices (and the unique
+                // active-list rows they map to) are disjoint; across
+                // sources the output buffers are distinct.
+                unsafe { *ptrs[j].get().add(i) = y };
+            }
+        }
+    });
+
+    outs.into_iter()
+        .map(|vals| DenseVector::from_values(vals, identity))
+        .collect()
+}
+
+/// Batched column-based (push) masked matvec: one sparse frontier and
+/// (optionally) one mask per source, expanded over a flat
+/// `(source, SPA-chunk)` grid and recombined per source by the
+/// deterministic chunk-order merge.
+///
+/// Per-source semantics and counter bookkeeping are identical to the
+/// single-source column kernel under [`crate::MergeStrategy::SpaMerge`] — the
+/// CPU-parallel merge arm — including the final mask filter of
+/// Algorithm 3 (a mask never reduces push work, Fig. 4d).
+pub fn col_masked_mxv_batch<A, X, Y, S>(
+    s: S,
+    op_t: &Csr<A>,
+    vs: &[&SparseVector<X>],
+    masks: Option<&[Mask<'_>]>,
+    counters: Option<&AccessCounters>,
+) -> Vec<SparseVector<Y>>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    if let Some(ms) = masks {
+        assert_eq!(ms.len(), vs.len(), "one mask per batch row");
+        for m in ms {
+            assert_eq!(m.dim(), op_t.n_rows(), "mask must cover output dim");
+        }
+    }
+    let add = s.add_monoid();
+    let identity = add.identity();
+
+    // Expansion preamble per source, then one flat chunk grid. Chunk
+    // boundaries come from `spa_chunk_ranges`, so each source's chunking
+    // is bit-identical to its single-source SpaMerge run.
+    let mut items: Vec<(usize, usize, usize)> = Vec::new();
+    let mut chunk_counts = vec![0usize; vs.len()];
+    for (j, v) in vs.iter().enumerate() {
+        if let Some(c) = counters {
+            c.add_vector(v.nnz() as u64);
+        }
+        if v.nnz() == 0 {
+            continue;
+        }
+        let (offsets, total) = expansion_offsets(op_t, v);
+        if let Some(c) = counters {
+            c.add_matrix(total as u64);
+            // One SPA scatter per product plus the harvest.
+            c.add_vector(2 * total as u64);
+        }
+        let ranges = spa_chunk_ranges(&offsets, total);
+        chunk_counts[j] = ranges.len();
+        items.extend(ranges.into_iter().map(|(s0, s1)| (j, s0, s1)));
+    }
+
+    // The (source, chunk) grid: every chunk is an independent SPA harvest,
+    // drained from one flat list so lanes stay busy even when one
+    // source's frontier is tiny.
+    let harvests: Vec<Vec<(u32, Y)>> = items
+        .into_par_iter()
+        .map(|(j, s0, s1)| spa_harvest_chunk(s, op_t, vs[j], s0, s1))
+        .collect();
+
+    // Per-source recombination: merge that source's chunk harvests in
+    // chunk order, then apply the Algorithm 3 mask filter + identity drop.
+    let mut starts = Vec::with_capacity(vs.len() + 1);
+    starts.push(0usize);
+    for &count in &chunk_counts {
+        starts.push(starts.last().expect("non-empty") + count);
+    }
+    (0..vs.len())
+        .into_par_iter()
+        .map(|j| {
+            if vs[j].nnz() == 0 {
+                return SparseVector::from_sorted(Vec::new(), Vec::new());
+            }
+            let parts = &harvests[starts[j]..starts[j + 1]];
+            let (mut ids, mut vals) = spa_merge_parts(add, parts, counters);
+            let mask = masks.map(|ms| &ms[j]);
+            filter_col_output(&mut ids, &mut vals, mask, identity, counters);
+            SparseVector::from_sorted(ids, vals)
+        })
+        .collect()
+}
+
+/// GrB_mxv over a `k × n` batch: `W(r, :) = op(A) · input(r, :)` with an
+/// optional per-row mask, each row's kernel chosen independently.
+///
+/// Direction resolution per row `r`:
+///
+/// * `desc.direction == Force(d)` — every row runs `d` (ablation arms);
+/// * `policies == Some(ps)` — `ps[r].update(nnz(row r), n)` decides, so
+///   each source carries its own §6.3 hysteresis (or two-phase, or
+///   memoryless) state across iterations;
+/// * otherwise — each row's *storage* decides, the same
+///   [`resolve_direction`](crate::resolve_direction) rule as `mxv`.
+///
+/// Every resolved decision is recorded in the counters
+/// (`push_steps`/`pull_steps`), making per-source switch behaviour
+/// observable. Output rows adopt the kernel's natural storage: push rows
+/// come back sparse, pull rows dense — so a direction-optimized batched
+/// loop hands each source the representation its next iteration wants.
+pub fn mxv_batch<A, X, Y, S>(
+    masks: Option<&[Mask<'_>]>,
+    s: S,
+    graph: &Graph<A>,
+    input: &MultiVector<X>,
+    desc: &Descriptor,
+    mut policies: Option<&mut [DirectionPolicy]>,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<MultiVector<Y>>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    let (operand, operand_t) = if desc.transpose {
+        (graph.csr_t(), graph.csr())
+    } else {
+        (graph.csr(), graph.csr_t())
+    };
+    let k = input.k();
+    if operand.n_cols() != input.dim() {
+        return Err(GrbError::DimensionMismatch {
+            context: "mxv_batch input batch",
+            expected: operand.n_cols(),
+            actual: input.dim(),
+        });
+    }
+    if let Some(ms) = masks {
+        if ms.len() != k {
+            return Err(GrbError::DimensionMismatch {
+                context: "mxv_batch mask count",
+                expected: k,
+                actual: ms.len(),
+            });
+        }
+        for m in ms {
+            if m.dim() != operand.n_rows() {
+                return Err(GrbError::DimensionMismatch {
+                    context: "mxv_batch mask",
+                    expected: operand.n_rows(),
+                    actual: m.dim(),
+                });
+            }
+        }
+    }
+    if let Some(ps) = policies.as_deref() {
+        if ps.len() != k {
+            return Err(GrbError::DimensionMismatch {
+                context: "mxv_batch policies",
+                expected: k,
+                actual: ps.len(),
+            });
+        }
+    }
+
+    // Per-row direction resolution.
+    let n = input.dim();
+    let dirs: Vec<Direction> = (0..k)
+        .map(|r| match desc.direction {
+            DirectionChoice::Force(d) => d,
+            DirectionChoice::Auto => match policies.as_deref_mut() {
+                Some(ps) => ps[r].update(input.row(r).nnz(), n),
+                None => {
+                    if input.row(r).is_sparse() {
+                        Direction::Push
+                    } else {
+                        Direction::Pull
+                    }
+                }
+            },
+        })
+        .collect();
+    if let Some(c) = counters {
+        for d in &dirs {
+            match d {
+                Direction::Push => c.add_push_step(),
+                Direction::Pull => c.add_pull_step(),
+            }
+        }
+    }
+    let push_rows: Vec<usize> = (0..k).filter(|&r| dirs[r] == Direction::Push).collect();
+    let pull_rows: Vec<usize> = (0..k).filter(|&r| dirs[r] == Direction::Pull).collect();
+
+    let identity = s.add_monoid().identity();
+    let mut out_rows: Vec<Option<Vector<Y>>> = (0..k).map(|_| None).collect();
+
+    // Push face: sparse inputs (converting dense rows as `mxv` does),
+    // masks subset in row order.
+    if !push_rows.is_empty() {
+        let owned: Vec<Option<SparseVector<X>>> = push_rows
+            .iter()
+            .map(|&r| match input.row(r).as_sparse() {
+                Some(_) => None,
+                None => Some(input.row(r).to_sparse()),
+            })
+            .collect();
+        let svs: Vec<&SparseVector<X>> = push_rows
+            .iter()
+            .zip(&owned)
+            .map(|(&r, o)| {
+                o.as_ref()
+                    .unwrap_or_else(|| input.row(r).as_sparse().expect("sparse by construction"))
+            })
+            .collect();
+        let sub_masks: Option<Vec<Mask<'_>>> =
+            masks.map(|ms| push_rows.iter().map(|&r| ms[r]).collect());
+        let outs = col_masked_mxv_batch(s, operand_t, &svs, sub_masks.as_deref(), counters);
+        for (&r, sv) in push_rows.iter().zip(outs) {
+            let (ids, vals) = (sv.ids().to_vec(), sv.vals().to_vec());
+            out_rows[r] = Some(Vector::from_sparse(operand.n_rows(), identity, ids, vals));
+        }
+    }
+
+    // Pull face: dense inputs; early-exit only applies to masked pulls,
+    // exactly as in the single-source dispatch.
+    if !pull_rows.is_empty() {
+        let owned: Vec<Option<DenseVector<X>>> = pull_rows
+            .iter()
+            .map(|&r| match input.row(r).as_dense() {
+                Some(_) => None,
+                None => Some(input.row(r).to_dense()),
+            })
+            .collect();
+        let dvs: Vec<&DenseVector<X>> = pull_rows
+            .iter()
+            .zip(&owned)
+            .map(|(&r, o)| {
+                o.as_ref()
+                    .unwrap_or_else(|| input.row(r).as_dense().expect("dense by construction"))
+            })
+            .collect();
+        let sub_masks: Option<Vec<Mask<'_>>> =
+            masks.map(|ms| pull_rows.iter().map(|&r| ms[r]).collect());
+        let early_exit = masks.is_some() && desc.early_exit;
+        let outs =
+            row_masked_mxv_batch(s, operand, &dvs, sub_masks.as_deref(), early_exit, counters);
+        for (&r, dv) in pull_rows.iter().zip(outs) {
+            out_rows[r] = Some(Vector::Dense(dv));
+        }
+    }
+
+    Ok(MultiVector::from_rows(
+        out_rows
+            .into_iter()
+            .map(|r| r.expect("every row dispatched"))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::MergeStrategy;
+    use crate::ops::{BoolOrAnd, PlusSecond};
+    use crate::{mxv, resolve_direction};
+    use graphblas_matrix::Coo;
+    use graphblas_primitives::BitVec;
+
+    fn diamond() -> Graph<bool> {
+        // 0 → {1, 2} → 3, plus 4 isolated.
+        let mut coo = Coo::new(5, 5);
+        for &(u, v) in &[(0u32, 1u32), (0, 2), (1, 3), (2, 3)] {
+            coo.push(u, v, true);
+        }
+        Graph::from_coo(&coo)
+    }
+
+    fn desc_bfs() -> Descriptor {
+        Descriptor::new().transpose(true)
+    }
+
+    fn explicit(v: &Vector<bool>) -> Vec<u32> {
+        v.iter_explicit().map(|(i, _)| i).collect()
+    }
+
+    #[test]
+    fn batch_matches_per_row_mxv_both_directions() {
+        let g = diamond();
+        let batch = MultiVector::singletons(5, false, &[(0, true), (1, true), (4, true)]);
+        let bits: Vec<BitVec> = (0..3).map(|_| BitVec::new(5)).collect();
+        let masks: Vec<Mask<'_>> = bits.iter().map(Mask::complement).collect();
+        for dir in [Direction::Push, Direction::Pull] {
+            let desc = desc_bfs().force(dir);
+            let out: MultiVector<bool> =
+                mxv_batch(Some(&masks), BoolOrAnd, &g, &batch, &desc, None, None).unwrap();
+            for (r, mask) in masks.iter().enumerate() {
+                let single: Vector<bool> = mxv(
+                    Some(mask),
+                    BoolOrAnd,
+                    &g,
+                    batch.row(r),
+                    &desc.merge_strategy(MergeStrategy::SpaMerge),
+                    None,
+                )
+                .unwrap();
+                assert_eq!(explicit(out.row(r)), explicit(&single), "{dir:?} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_row_policies_switch_independently() {
+        let g = diamond();
+        // Row 0: dense-ish frontier (3 of 5 > threshold, rising) → pull.
+        // Row 1: singleton (1/5 < threshold with high bar) → push.
+        let rows = vec![
+            Vector::from_sparse(5, false, vec![0, 1, 2], vec![true; 3]),
+            Vector::singleton(5, false, 4, true),
+        ];
+        let batch = MultiVector::from_rows(rows);
+        let mut policies = vec![DirectionPolicy::hysteresis(0.25); 2];
+        let c = AccessCounters::new();
+        let out: MultiVector<bool> = mxv_batch(
+            None,
+            BoolOrAnd,
+            &g,
+            &batch,
+            &desc_bfs(),
+            Some(&mut policies),
+            Some(&c),
+        )
+        .unwrap();
+        assert_eq!(policies[0].current(), Direction::Pull);
+        assert_eq!(policies[1].current(), Direction::Push);
+        let snap = c.snapshot();
+        assert_eq!(snap.pull_steps, 1, "one row pulled");
+        assert_eq!(snap.push_steps, 1, "one row pushed");
+        // Output storage follows the per-row kernel.
+        assert!(!out.row(0).is_sparse());
+        assert!(out.row(1).is_sparse());
+    }
+
+    #[test]
+    fn storage_dispatch_mirrors_resolve_direction() {
+        let g = diamond();
+        let mut dense_row = Vector::singleton(5, false, 0, true);
+        dense_row.make_dense();
+        let sparse_row = Vector::singleton(5, false, 1, true);
+        assert_eq!(
+            resolve_direction(&dense_row, &desc_bfs()),
+            Direction::Pull,
+            "sanity: same rule as mxv"
+        );
+        let batch = MultiVector::from_rows(vec![dense_row, sparse_row]);
+        let c = AccessCounters::new();
+        let _: MultiVector<bool> =
+            mxv_batch(None, BoolOrAnd, &g, &batch, &desc_bfs(), None, Some(&c)).unwrap();
+        let snap = c.snapshot();
+        assert_eq!((snap.pull_steps, snap.push_steps), (1, 1));
+    }
+
+    #[test]
+    fn weighted_batch_matches_single_runs() {
+        // PlusSecond over f64: σ-style accumulation, the BC forward step.
+        let mut coo = Coo::new(4, 4);
+        for &(u, v) in &[(0u32, 2u32), (1, 2), (0, 3), (2, 3)] {
+            coo.push(u, v, true);
+        }
+        let g = Graph::from_coo(&coo);
+        let rows = vec![
+            Vector::from_sparse(4, 0.0f64, vec![0, 1], vec![1.0, 2.0]),
+            Vector::from_sparse(4, 0.0f64, vec![2], vec![5.0]),
+        ];
+        let batch = MultiVector::from_rows(rows);
+        let desc = desc_bfs().force(Direction::Push);
+        let out: MultiVector<f64> =
+            mxv_batch(None, PlusSecond, &g, &batch, &desc, None, None).unwrap();
+        assert_eq!(out.row(0).get(2), 3.0, "σ(2) = 1 + 2");
+        assert_eq!(out.row(0).get(3), 1.0);
+        assert_eq!(out.row(1).get(3), 5.0);
+    }
+
+    #[test]
+    fn batch_dimension_mismatches_reported() {
+        let g = diamond();
+        let wrong = MultiVector::<bool>::new_sparse(2, 4, false);
+        let r: GrbResult<MultiVector<bool>> =
+            mxv_batch(None, BoolOrAnd, &g, &wrong, &desc_bfs(), None, None);
+        assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
+
+        let ok = MultiVector::<bool>::new_sparse(2, 5, false);
+        let bits = BitVec::new(5);
+        let one_mask = [Mask::new(&bits)];
+        let r: GrbResult<MultiVector<bool>> =
+            mxv_batch(Some(&one_mask), BoolOrAnd, &g, &ok, &desc_bfs(), None, None);
+        assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
+
+        let mut short_policies = vec![DirectionPolicy::hysteresis(0.01)];
+        let r: GrbResult<MultiVector<bool>> = mxv_batch(
+            None,
+            BoolOrAnd,
+            &g,
+            &ok,
+            &desc_bfs(),
+            Some(&mut short_policies),
+            None,
+        );
+        assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_rows_cost_nothing_and_stay_empty() {
+        let g = diamond();
+        let batch = MultiVector::<bool>::new_sparse(3, 5, false);
+        let c = AccessCounters::new();
+        let desc = desc_bfs().force(Direction::Push);
+        let out: MultiVector<bool> =
+            mxv_batch(None, BoolOrAnd, &g, &batch, &desc, None, Some(&c)).unwrap();
+        assert_eq!(out.nnz(), 0);
+        let snap = c.snapshot();
+        assert_eq!(snap.matrix, 0, "no expansion for empty frontiers");
+        assert_eq!(snap.sort, 0);
+    }
+}

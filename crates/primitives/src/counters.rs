@@ -20,6 +20,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tallies of memory accesses by category, shared across worker threads.
+///
+/// Besides the four Table 1 access classes, the dispatchers record each
+/// resolved kernel direction ([`AccessCounters::add_push_step`] /
+/// [`AccessCounters::add_pull_step`]), so a traversal's push/pull switch
+/// decisions — per source, in the batched kernels — are visible in the
+/// same snapshot as the traffic they caused.
 #[derive(Debug, Default)]
 pub struct AccessCounters {
     /// Reads of matrix storage (row pointers, column indices, values).
@@ -30,6 +36,10 @@ pub struct AccessCounters {
     pub mask: AtomicU64,
     /// Elements moved through sort passes (the multiway-merge cost).
     pub sort: AtomicU64,
+    /// Matvec steps resolved to the column-based (push) kernel.
+    pub push_steps: AtomicU64,
+    /// Matvec steps resolved to the row-based (pull) kernel.
+    pub pull_steps: AtomicU64,
 }
 
 impl AccessCounters {
@@ -59,7 +69,20 @@ impl AccessCounters {
         self.sort.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Sum of all categories.
+    /// Record one matvec step resolved to the column-based (push) kernel.
+    #[inline]
+    pub fn add_push_step(&self) {
+        self.push_steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one matvec step resolved to the row-based (pull) kernel.
+    #[inline]
+    pub fn add_pull_step(&self) {
+        self.pull_steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum of all access categories (direction steps are decisions, not
+    /// accesses, and are excluded).
     #[must_use]
     pub fn total(&self) -> u64 {
         self.matrix.load(Ordering::Relaxed)
@@ -68,7 +91,7 @@ impl AccessCounters {
             + self.sort.load(Ordering::Relaxed)
     }
 
-    /// Snapshot as plain integers `(matrix, vector, mask, sort)`.
+    /// Snapshot as plain integers.
     #[must_use]
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -76,6 +99,8 @@ impl AccessCounters {
             vector: self.vector.load(Ordering::Relaxed),
             mask: self.mask.load(Ordering::Relaxed),
             sort: self.sort.load(Ordering::Relaxed),
+            push_steps: self.push_steps.load(Ordering::Relaxed),
+            pull_steps: self.pull_steps.load(Ordering::Relaxed),
         }
     }
 
@@ -85,6 +110,8 @@ impl AccessCounters {
         self.vector.store(0, Ordering::Relaxed);
         self.mask.store(0, Ordering::Relaxed);
         self.sort.store(0, Ordering::Relaxed);
+        self.push_steps.store(0, Ordering::Relaxed);
+        self.pull_steps.store(0, Ordering::Relaxed);
     }
 }
 
@@ -95,10 +122,15 @@ pub struct CounterSnapshot {
     pub vector: u64,
     pub mask: u64,
     pub sort: u64,
+    /// Steps the dispatcher resolved to push (column kernel).
+    pub push_steps: u64,
+    /// Steps the dispatcher resolved to pull (row kernel).
+    pub pull_steps: u64,
 }
 
 impl CounterSnapshot {
-    /// Sum of all categories.
+    /// Sum of all access categories (direction steps excluded, as in
+    /// [`AccessCounters::total`]).
     #[must_use]
     pub fn total(&self) -> u64 {
         self.matrix + self.vector + self.mask + self.sort
@@ -117,6 +149,9 @@ mod tests {
         c.add_vector(2);
         c.add_mask(3);
         c.add_sort(7);
+        c.add_push_step();
+        c.add_push_step();
+        c.add_pull_step();
         let s = c.snapshot();
         assert_eq!(
             s,
@@ -124,13 +159,16 @@ mod tests {
                 matrix: 15,
                 vector: 2,
                 mask: 3,
-                sort: 7
+                sort: 7,
+                push_steps: 2,
+                pull_steps: 1
             }
         );
-        assert_eq!(s.total(), 27);
+        assert_eq!(s.total(), 27, "direction steps are not accesses");
         assert_eq!(c.total(), 27);
         c.reset();
         assert_eq!(c.total(), 0);
+        assert_eq!(c.snapshot().push_steps, 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use push_pull::algo::bfs::{bfs, bfs_with_opts, BfsOpts};
 use push_pull::algo::cc::{cc_oracle, connected_components};
+use push_pull::algo::msbfs::{multi_source_bfs, multi_source_bfs_with_opts, MsBfsOpts, UNREACHED};
 use push_pull::algo::pagerank::{pagerank, PageRankOpts};
 use push_pull::algo::sssp::{sssp, SsspOpts};
 use push_pull::algo::tricount::triangle_count;
@@ -220,6 +221,81 @@ fn csr_rejects_malformed_parts() {
         Csr::from_parts(1, 2, vec![0, 2], vec![0], vec![true])
     });
     assert!(bad.is_err());
+}
+
+#[test]
+fn msbfs_duplicate_sources_get_identical_rows() {
+    let g = star(64);
+    let sources = [3u32, 3, 3, 0];
+    let r = multi_source_bfs(&g, &sources);
+    assert_eq!(r.depths[0], r.depths[1]);
+    assert_eq!(r.depths[1], r.depths[2]);
+    assert_eq!(r.depths[0], bfs_serial(&g, 3));
+    assert_eq!(r.depths[3], bfs_serial(&g, 0));
+}
+
+#[test]
+fn msbfs_k1_degenerates_to_single_source_bfs() {
+    let g = star(200);
+    for src in [0u32, 1, 199] {
+        let batch = multi_source_bfs(&g, &[src]);
+        let single = bfs(&g, src);
+        assert_eq!(batch.depths[0], single.depths, "source {src}");
+        assert_eq!(batch.levels, single.levels, "source {src}");
+    }
+}
+
+#[test]
+fn msbfs_isolated_and_out_of_component_vertices() {
+    // Two components {1,2} and {4,5,6}; 0 and 3 isolated. Sources across
+    // all three situations in one batch.
+    let mut coo = Coo::new(8, 8);
+    for &(u, v) in &[(1u32, 2u32), (4, 5), (5, 6)] {
+        coo.push(u, v, true);
+    }
+    coo.clean_undirected();
+    let g = Graph::from_coo(&coo);
+    let sources = [0u32, 1, 4];
+    let r = multi_source_bfs(&g, &sources);
+    // Isolated source: only itself, depth 0, nothing else reached.
+    assert_eq!(r.depths[0][0], 0);
+    assert_eq!(r.depths[0].iter().filter(|&&d| d >= 0).count(), 1);
+    // Component sources: the other component and the isolates stay
+    // UNREACHED in that source's row.
+    assert_eq!(&r.depths[1][1..3], &[0, 1]);
+    for v in [0usize, 3, 4, 5, 6, 7] {
+        assert_eq!(r.depths[1][v], UNREACHED, "vertex {v} outside component");
+    }
+    assert_eq!(r.depths[2][4], 0);
+    assert_eq!(r.depths[2][5], 1);
+    assert_eq!(r.depths[2][6], 2);
+    assert_eq!(r.depths[2][1], UNREACHED);
+}
+
+#[test]
+fn msbfs_empty_frontier_round_terminates_batch() {
+    // Directed chain 0→1→2 plus a sink source: the sink's frontier
+    // empties in round one while the chain keeps going; the batch must
+    // retire the dead source and still finish the live one, under every
+    // forced direction.
+    let mut coo = Coo::new(4, 4);
+    coo.push(0, 1, true);
+    coo.push(1, 2, true);
+    let g = Graph::from_coo(&coo);
+    for force in [None, Some(Direction::Push), Some(Direction::Pull)] {
+        let opts = MsBfsOpts {
+            force,
+            ..MsBfsOpts::default()
+        };
+        let r = multi_source_bfs_with_opts(&g, &[2, 0], &opts, None);
+        assert_eq!(
+            r.depths[0],
+            vec![UNREACHED, UNREACHED, 0, UNREACHED],
+            "{force:?}"
+        );
+        assert_eq!(r.depths[1], vec![0, 1, 2, UNREACHED], "{force:?}");
+        assert_eq!(r.levels, 3, "{force:?}: two live rounds + the empty one");
+    }
 }
 
 #[test]

@@ -4,11 +4,16 @@
 //! under every optimization configuration.
 
 use proptest::prelude::*;
+use push_pull::algo::msbfs::multi_source_bfs_with_opts;
+use push_pull::algo::msbfs::MsBfsOpts;
 use push_pull::core::descriptor::{Descriptor, Direction, MergeStrategy};
 use push_pull::core::ops::{BoolOrAnd, MinPlus};
 use push_pull::core::vector_ops::{ewise_add, ewise_mult, filter_by_mask};
-use push_pull::core::{mxv, Mask, Vector};
+use push_pull::core::{mxv, mxv_batch, DirectionPolicy, Mask, MultiVector, Vector};
+use push_pull::gen::erdos::erdos_renyi;
+use push_pull::gen::powerlaw::{chung_lu, PowerLawParams};
 use push_pull::matrix::{Coo, Graph};
+use push_pull::primitives::counters::AccessCounters;
 use push_pull::primitives::BitVec;
 
 /// Arbitrary directed Boolean graph with up to `n` vertices.
@@ -143,6 +148,127 @@ proptest! {
                 strategy
             );
         }
+    }
+
+    /// The batched-kernel equivalence contract on random Erdős–Rényi and
+    /// power-law graphs: one `mxv_batch` call is bit-identical — explicit
+    /// sets *and* access counters (including the per-row push/pull step
+    /// decisions) — to `k` independent single-source `mxv` runs, each
+    /// forced to the direction the batch resolved for that row (push rows
+    /// take the SpaMerge column kernel, the batch's merge arm).
+    #[test]
+    fn batched_kernel_equals_k_single_source_runs(
+        seed in 0u64..2000,
+        power_law in any::<bool>(),
+        n_raw in 30usize..120,
+        rows_ids in prop::collection::vec(prop::collection::vec(0usize..120, 0..25), 1..6),
+        m_ids in prop::collection::vec(prop::collection::vec(0usize..120, 0..40), 1..6),
+        complement in any::<bool>(),
+        masked in any::<bool>(),
+        dir_bits in 0u32..64,
+    ) {
+        let g = if power_law {
+            chung_lu(n_raw, 6, PowerLawParams::default(), seed)
+        } else {
+            erdos_renyi(n_raw, n_raw * 4, seed)
+        };
+        let n = g.n_vertices();
+        let k = rows_ids.len();
+        let rows: Vec<Vector<bool>> =
+            rows_ids.iter().map(|ids| sparse_bool_vector(n, ids)).collect();
+        let batch = MultiVector::from_rows(rows.clone());
+        // Per-row directions from the proptest bits, realized as fixed
+        // per-row policies under an Auto descriptor.
+        let dirs: Vec<Direction> = (0..k)
+            .map(|r| if dir_bits >> r & 1 == 1 { Direction::Pull } else { Direction::Push })
+            .collect();
+        let mut policies: Vec<DirectionPolicy> =
+            dirs.iter().map(|&d| DirectionPolicy::fixed(d)).collect();
+        let bits: Vec<BitVec> = (0..k)
+            .map(|r| {
+                let mut b = BitVec::new(n);
+                for &i in &m_ids[r % m_ids.len()] {
+                    if i < n {
+                        b.set(i);
+                    }
+                }
+                b
+            })
+            .collect();
+        let masks: Vec<Mask<'_>> = bits
+            .iter()
+            .map(|b| if complement { Mask::complement(b) } else { Mask::new(b) })
+            .collect();
+        let desc = Descriptor::new().transpose(true);
+
+        let batch_counters = AccessCounters::new();
+        let out: MultiVector<bool> = mxv_batch(
+            masked.then_some(masks.as_slice()),
+            BoolOrAnd,
+            &g,
+            &batch,
+            &desc,
+            Some(&mut policies),
+            Some(&batch_counters),
+        )
+        .unwrap();
+
+        let single_counters = AccessCounters::new();
+        for r in 0..k {
+            let single_desc = desc
+                .force(dirs[r])
+                .merge_strategy(MergeStrategy::SpaMerge);
+            let single: Vector<bool> = mxv(
+                masked.then_some(&masks[r]),
+                BoolOrAnd,
+                &g,
+                &rows[r],
+                &single_desc,
+                Some(&single_counters),
+            )
+            .unwrap();
+            prop_assert_eq!(
+                explicit_set(out.row(r)),
+                explicit_set(&single),
+                "row {} dir {:?}",
+                r,
+                dirs[r]
+            );
+        }
+        prop_assert_eq!(batch_counters.snapshot(), single_counters.snapshot());
+    }
+
+    /// The algorithm-level equivalence contract on random graphs: a
+    /// k-source batched BFS produces the same depths and the same access
+    /// counters as k single-source runs of the same machinery.
+    #[test]
+    fn batched_bfs_equals_k_single_source_runs(
+        seed in 0u64..2000,
+        power_law in any::<bool>(),
+        n_raw in 30usize..120,
+        source_picks in prop::collection::vec(0usize..120, 1..5),
+    ) {
+        let g = if power_law {
+            chung_lu(n_raw, 6, PowerLawParams::default(), seed)
+        } else {
+            erdos_renyi(n_raw, n_raw * 3, seed)
+        };
+        let n = g.n_vertices();
+        let sources: Vec<u32> = source_picks.iter().map(|&s| (s % n) as u32).collect();
+        let opts = MsBfsOpts::default();
+        let batch_counters = AccessCounters::new();
+        let batch = multi_source_bfs_with_opts(&g, &sources, &opts, Some(&batch_counters));
+        let single_counters = AccessCounters::new();
+        for (r, &s) in sources.iter().enumerate() {
+            let single = multi_source_bfs_with_opts(&g, &[s], &opts, Some(&single_counters));
+            prop_assert_eq!(&batch.depths[r], &single.depths[0], "source {}", s);
+            // Serial oracle agreement per source.
+            prop_assert_eq!(
+                &single.depths[0],
+                &push_pull::baselines::textbook::bfs_serial(&g, s)
+            );
+        }
+        prop_assert_eq!(batch_counters.snapshot(), single_counters.snapshot());
     }
 
     /// Boolean mxv against a brute-force dense reference.

@@ -5,14 +5,16 @@
 //! `rayon::with_num_threads` (the same override `PUSH_PULL_THREADS` sets
 //! process-wide) and pin that property.
 
+use push_pull::algo::bc::betweenness;
 use push_pull::algo::bfs::{bfs_with_opts, BfsOpts};
 use push_pull::algo::bfs_parents::bfs_parents;
 use push_pull::algo::cc::connected_components;
+use push_pull::algo::msbfs::multi_source_bfs;
 use push_pull::algo::pagerank::{pagerank, PageRankOpts};
 use push_pull::algo::sssp::{sssp, SsspOpts};
 use push_pull::core::descriptor::{Descriptor, Direction, MergeStrategy};
 use push_pull::core::ops::{BoolOrAnd, MinPlus, PlusTimes};
-use push_pull::core::{mxv, Mask, Vector};
+use push_pull::core::{mxv, mxv_batch, DirectionPolicy, Mask, MultiVector, Vector};
 use push_pull::gen::powerlaw::{chung_lu, PowerLawParams};
 use push_pull::gen::rmat::{rmat, RmatParams};
 use push_pull::gen::with_uniform_weights;
@@ -147,6 +149,84 @@ fn algorithms_identical_across_thread_counts() {
     identical_across_lanes(|| {
         pagerank(&g, &PageRankOpts::default())
             .ranks
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn batched_kernels_identical_across_thread_counts() {
+    // The batched (source, chunk) grids — pull row chunks and push SPA
+    // chunks — are size-derived, so a whole batch (values and counters,
+    // including per-row direction decisions) is bit-identical at every
+    // lane count, forced and policy-driven alike.
+    let g = test_graph();
+    let n = g.n_vertices();
+    let rows: Vec<Vector<bool>> = (0..4)
+        .map(|r| {
+            let ids: Vec<u32> = (r as u32..n as u32).step_by(3 + r).collect();
+            let k = ids.len();
+            Vector::from_sparse(n, false, ids, vec![true; k])
+        })
+        .collect();
+    let bits: Vec<BitVec> = (0..4)
+        .map(|r| {
+            let mut b = BitVec::new(n);
+            for i in (r..n).step_by(2 + r) {
+                b.set(i);
+            }
+            b
+        })
+        .collect();
+    for masked in [false, true] {
+        for forced in [None, Some(Direction::Push), Some(Direction::Pull)] {
+            let desc = match forced {
+                Some(d) => Descriptor::new().transpose(true).force(d),
+                None => Descriptor::new().transpose(true),
+            };
+            identical_across_lanes(|| {
+                let batch = MultiVector::from_rows(rows.clone());
+                let masks: Vec<Mask<'_>> = bits.iter().map(Mask::complement).collect();
+                let mut policies = vec![DirectionPolicy::hysteresis(0.01); 4];
+                let c = AccessCounters::new();
+                let out: MultiVector<bool> = mxv_batch(
+                    masked.then_some(masks.as_slice()),
+                    BoolOrAnd,
+                    &g,
+                    &batch,
+                    &desc,
+                    Some(&mut policies),
+                    Some(&c),
+                )
+                .unwrap();
+                let sets: Vec<Vec<(u32, bool)>> = out
+                    .rows()
+                    .iter()
+                    .map(|r| r.iter_explicit().collect())
+                    .collect();
+                (sets, c.snapshot())
+            });
+        }
+    }
+}
+
+#[test]
+fn multi_source_bfs_identical_across_thread_counts() {
+    let g = test_graph();
+    let sources = [0u32, 7, 7, 1234];
+    identical_across_lanes(|| multi_source_bfs(&g, &sources).depths);
+}
+
+#[test]
+fn betweenness_identical_across_thread_counts() {
+    // The f64 σ/δ accumulations go through the batched kernels whose
+    // reduction grouping is ascending-neighbor order regardless of chunk
+    // assignment — bit-for-bit at every lane count.
+    let g = chung_lu(1024, 8, PowerLawParams::default(), 21);
+    let sources = [0u32, 5, 99];
+    identical_across_lanes(|| {
+        betweenness(&g, &sources)
             .iter()
             .map(|x| x.to_bits())
             .collect::<Vec<_>>()
