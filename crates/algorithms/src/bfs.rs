@@ -26,13 +26,22 @@
 //!   the push kernel key-only sorts (§5.5).
 //!
 //! [`BfsOpts::ladder`] reproduces Table 2's cumulative configurations.
+//!
+//! By default each level runs as a **fused pipeline**
+//! ([`graphblas_core::fused::FusedMxv`]): the masked matvec, the depth
+//! `apply`, and the `assign` into the depth array execute as one kernel
+//! pass with no intermediate frontier-product vector. [`BfsOpts::fused`]
+//! toggles back to the separate-operation composition; the two are
+//! bit-identical in results *and* access counters (pinned by
+//! `tests/fused_pipelines.rs`), fusion just skips the intermediate writes
+//! (`fused_saved_writes` in the counters).
 
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
 use graphblas_core::ops::{BoolOrAnd, BoolStructure, Semiring};
 use graphblas_core::vector::Vector;
 use graphblas_core::vector_ops::filter_by_mask;
-use graphblas_core::{mxv, DirectionPolicy};
+use graphblas_core::{mxv, DirectionPolicy, FusedMxv};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -62,6 +71,11 @@ pub struct BfsOpts {
     pub force: Option<Direction>,
     /// Record per-iteration telemetry (adds two timer reads per level).
     pub record_trace: bool,
+    /// Run each level as one fused mxv·apply·assign pass (default) instead
+    /// of the separate-operation composition. Orthogonal to the five paper
+    /// optimizations: results and access counters are bit-identical either
+    /// way.
+    pub fused: bool,
 }
 
 impl Default for BfsOpts {
@@ -75,6 +89,7 @@ impl Default for BfsOpts {
             switch_threshold: 0.01,
             force: None,
             record_trace: false,
+            fused: true,
         }
     }
 }
@@ -93,7 +108,15 @@ impl BfsOpts {
             switch_threshold: 0.01,
             force: None,
             record_trace: false,
+            fused: true,
         }
+    }
+
+    /// Builder: toggle the fused pipeline (see [`BfsOpts::fused`]).
+    #[must_use]
+    pub fn fused(mut self, on: bool) -> Self {
+        self.fused = on;
+        self
     }
 
     /// Table 2's cumulative optimization ladder, in paper order. Each row
@@ -276,45 +299,87 @@ where
         // With operand reuse the frontier is not an operand this level, so
         // its storage is left alone — the "free conversion" of §5.4.
 
-        // Optimization 2: kernel-level mask with amortized active list.
-        let w: Vector<bool> = if opts.masking {
-            if dir == Direction::Pull && unvisited_stale {
-                // (Re-assigned after the matvec; compaction only needs to
-                // happen on the first pull after new discoveries.)
-                unvisited.retain(|&v| !visited.get(v as usize));
-            }
-            let mask = if dir == Direction::Pull {
+        // Optimization 2's amortized active list: compaction only needs to
+        // happen on the first pull after new discoveries.
+        if opts.masking && dir == Direction::Pull && unvisited_stale {
+            unvisited.retain(|&v| !visited.get(v as usize));
+        }
+        // Optimization 2's kernel mask (¬visited, with the amortized
+        // active list on pull) and the §5.4 operand choice — with reuse,
+        // the pull input is the dense visited vector (Aᵀv .∗ ¬v; f ⊂ v
+        // makes it equivalent) — shared by both execution forms below.
+        let mask = opts.masking.then(|| {
+            if dir == Direction::Pull {
                 Mask::complement(&visited).with_active_list(&unvisited)
             } else {
                 Mask::complement(&visited)
-            };
-            let input = if use_reuse {
-                // Aᵀv .∗ ¬v — f ⊂ v makes this equivalent (§5.4).
-                &visited_vec
-            } else {
-                &f
-            };
-            mxv(Some(&mask), semiring, g, input, &desc, counters).expect("dims verified")
-        } else {
-            let input = if use_reuse { &visited_vec } else { &f };
-            let raw: Vector<bool> =
-                mxv(None, semiring, g, input, &desc, counters).expect("dims verified");
-            filter_by_mask(&raw, &Mask::complement(&visited))
-        };
-
-        // GrB_assign + GrB_reduce: record depths, update the visited set.
-        let mut new_count = 0usize;
-        {
-            let vd = visited_vec.as_dense_mut().expect("dense by construction");
-            for (i, _) in w.iter_explicit() {
-                let i = i as usize;
-                debug_assert!(!visited.get(i), "mask let a visited vertex through");
-                depths[i] = level as i32;
-                visited.set(i);
-                vd.set(i, true);
-                new_count += 1;
             }
-        }
+        });
+        let input = if use_reuse { &visited_vec } else { &f };
+
+        let new_count = if opts.fused {
+            // One fused pass: masked mxv, the depth apply, and the assign
+            // into `depths` execute inside the kernel — no intermediate
+            // frontier-product vector is materialized.
+            let mut pipe = FusedMxv::new(semiring, g, input)
+                .descriptor(desc)
+                .counters(counters);
+            if let Some(m) = mask.as_ref() {
+                pipe = pipe.mask(m);
+            }
+            let depth = level as i32;
+            let staged = pipe.apply(move |_reached: bool| depth);
+            let out = if opts.masking {
+                // The mask guarantees unvisited outputs: always assign.
+                staged.assign_into(&mut depths, |_, d| Some(d))
+            } else {
+                // Masking off: the Table 2 post-filter becomes the assign's
+                // update rule — only unreached slots accept a depth.
+                staged.assign_into(&mut depths, |old, d| (old == UNREACHED).then_some(d))
+            }
+            .expect("dims verified");
+            let vd = visited_vec.as_dense_mut().expect("dense by construction");
+            for &i in &out.touched {
+                debug_assert!(!visited.get(i as usize), "assigned a visited vertex");
+                visited.set(i as usize);
+                vd.set(i as usize, true);
+            }
+            let count = out.touched.len();
+            if count > 0 {
+                f = Vector::from_sparse(n, false, out.touched, vec![true; count]);
+            }
+            count
+        } else {
+            // Unfused composition: separate mxv, (optional) filter, and
+            // assign loop — kept both as the Table 2 reference shape and as
+            // the equivalence oracle the fused path is tested against.
+            let w: Vector<bool> = match mask.as_ref() {
+                Some(m) => {
+                    mxv(Some(m), semiring, g, input, &desc, counters).expect("dims verified")
+                }
+                None => {
+                    let raw: Vector<bool> =
+                        mxv(None, semiring, g, input, &desc, counters).expect("dims verified");
+                    filter_by_mask(&raw, &Mask::complement(&visited))
+                }
+            };
+
+            // GrB_assign + GrB_reduce: record depths, update the visited set.
+            let mut count = 0usize;
+            {
+                let vd = visited_vec.as_dense_mut().expect("dense by construction");
+                for (i, _) in w.iter_explicit() {
+                    let i = i as usize;
+                    debug_assert!(!visited.get(i), "mask let a visited vertex through");
+                    depths[i] = level as i32;
+                    visited.set(i);
+                    vd.set(i, true);
+                    count += 1;
+                }
+            }
+            f = w;
+            count
+        };
         unvisited_count -= new_count;
         unvisited_stale = new_count > 0;
 
@@ -330,7 +395,6 @@ where
         if new_count == 0 {
             break;
         }
-        f = w;
         frontier_nnz = new_count;
     }
 

@@ -6,20 +6,55 @@
 //! In GraphBLAS form the frontier carries vertex ids and the semiring is
 //! (min, second): a child reduces the ids of its frontier parents with
 //! `min`, making the tree deterministic in both directions (a plain
-//! "any parent" formulation would let push and pull disagree). Early-exit
-//! cannot fire here — `min`'s annihilator is vertex id 0 — which is the
-//! paper's point that Optimization 3 is semiring-specific (§5.6).
+//! "any parent" formulation would let push and pull disagree). The
+//! *unfused* early-exit of Optimization 3 cannot fire here — `min`'s
+//! annihilator is vertex id 0 — the paper's point that Optimization 3 is
+//! semiring-specific (§5.6).
+//!
+//! The **fused** pipeline recovers the exit the semiring forbids: because
+//! the frontier carries each vertex's *own id* as its value and neighbor
+//! lists are scanned ascending, the first explicit parent a pull row hits
+//! *is* the minimum one, so
+//! [`first_hit_exit`](graphblas_core::fused::FusedMxv::first_hit_exit)
+//! stops the row there — same tree bit-for-bit, strictly less matrix
+//! traffic. This per-row exit is expressible only in the fused form: the
+//! standalone kernel cannot know the input's values encode its indices.
 
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
 use graphblas_core::ops::MinSecond;
 use graphblas_core::vector::Vector;
-use graphblas_core::{mxv, DirectionPolicy};
+use graphblas_core::{mxv, DirectionPolicy, FusedMxv};
 use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
 
 /// Parent label for unreached vertices.
 pub const NO_PARENT: u32 = u32::MAX;
+
+/// Options for parent BFS.
+#[derive(Clone, Copy, Debug)]
+pub struct ParentBfsOpts {
+    /// The §6.3 hysteresis switch ratio (α = β). Paper default 0.01.
+    pub switch_threshold: f64,
+    /// Run each level as one fused mxv·assign pass (default) instead of
+    /// the separate-operation composition. Bit-identical either way.
+    pub fused: bool,
+    /// Fused pull rows stop at the first frontier parent (the minimum one,
+    /// by the ascending-scan argument in the module doc). Only meaningful
+    /// with `fused`; identical parents either way, less matrix traffic.
+    pub first_hit_exit: bool,
+}
+
+impl Default for ParentBfsOpts {
+    fn default() -> Self {
+        Self {
+            switch_threshold: 0.01,
+            fused: true,
+            first_hit_exit: true,
+        }
+    }
+}
 
 /// Result of a parent BFS.
 #[derive(Clone, Debug)]
@@ -31,9 +66,25 @@ pub struct ParentBfsResult {
     pub levels: usize,
 }
 
-/// Direction-optimized parent BFS (min-parent tie-breaking).
+/// Direction-optimized parent BFS (min-parent tie-breaking) with default
+/// options except the given switch threshold.
 #[must_use]
 pub fn bfs_parents(g: &Graph<bool>, source: VertexId, switch_threshold: f64) -> ParentBfsResult {
+    let opts = ParentBfsOpts {
+        switch_threshold,
+        ..ParentBfsOpts::default()
+    };
+    bfs_parents_with_opts(g, source, &opts, None)
+}
+
+/// Parent BFS with explicit options and optional access counters.
+#[must_use]
+pub fn bfs_parents_with_opts(
+    g: &Graph<bool>,
+    source: VertexId,
+    opts: &ParentBfsOpts,
+    counters: Option<&AccessCounters>,
+) -> ParentBfsResult {
     let n = g.n_vertices();
     assert!((source as usize) < n, "source out of range");
     let mut parent = vec![NO_PARENT; n];
@@ -41,9 +92,10 @@ pub fn bfs_parents(g: &Graph<bool>, source: VertexId, switch_threshold: f64) -> 
     let mut visited = BitVec::new(n);
     visited.set(source as usize);
 
-    // Frontier carries each frontier vertex's own id as its value.
+    // Frontier carries each frontier vertex's own id as its value — the
+    // invariant the fused first-hit exit relies on.
     let mut f: Vector<u32> = Vector::singleton(n, NO_PARENT, source, source);
-    let mut policy = DirectionPolicy::hysteresis(switch_threshold);
+    let mut policy = DirectionPolicy::hysteresis(opts.switch_threshold);
     let mut levels = 0usize;
     let base = Descriptor::new().transpose(true);
 
@@ -57,22 +109,39 @@ pub fn bfs_parents(g: &Graph<bool>, source: VertexId, switch_threshold: f64) -> 
         }
 
         let mask = Mask::complement(&visited);
-        let w: Vector<u32> =
-            mxv(Some(&mask), MinSecond, g, &f, &desc, None).expect("dims verified");
-        let mut discovered = 0usize;
-        for (v, p) in w.iter_explicit() {
-            debug_assert!(!visited.get(v as usize));
-            parent[v as usize] = p;
+        let discovered: Vec<u32> = if opts.fused {
+            // min-parent reduce, identity apply, and the parent-array
+            // assign as one kernel pass; the mask guarantees unvisited
+            // outputs, so the update rule always writes.
+            let out = FusedMxv::new(MinSecond, g, &f)
+                .mask(&mask)
+                .descriptor(desc)
+                .counters(counters)
+                .first_hit_exit(opts.first_hit_exit)
+                .apply(|p: u32| p)
+                .assign_into(&mut parent, |_, p| Some(p))
+                .expect("dims verified");
+            out.touched
+        } else {
+            let w: Vector<u32> =
+                mxv(Some(&mask), MinSecond, g, &f, &desc, counters).expect("dims verified");
+            let mut ids = Vec::new();
+            for (v, p) in w.iter_explicit() {
+                debug_assert!(!visited.get(v as usize));
+                parent[v as usize] = p;
+                ids.push(v);
+            }
+            ids
+        };
+        for &v in &discovered {
             visited.set(v as usize);
-            discovered += 1;
         }
-        if discovered == 0 {
+        if discovered.is_empty() {
             break;
         }
         // Next frontier: the discovered vertices, carrying their own ids.
-        let ids: Vec<u32> = w.iter_explicit().map(|(v, _)| v).collect();
-        let vals = ids.clone();
-        f = Vector::from_sparse(n, NO_PARENT, ids, vals);
+        let vals = discovered.clone();
+        f = Vector::from_sparse(n, NO_PARENT, discovered, vals);
     }
 
     ParentBfsResult { parent, levels }
@@ -171,5 +240,47 @@ mod tests {
         let r = bfs_parents(&g, 0, 0.01);
         assert_eq!(r.parent[2], NO_PARENT);
         assert!(verify_parents(&g, 0, &r.parent));
+    }
+
+    #[test]
+    fn fused_first_hit_and_unfused_agree_everywhere() {
+        let g = rmat(10, 16, RmatParams::default(), 14);
+        for threshold in [0.0, 0.01, 2.0] {
+            let run = |fused: bool, first_hit: bool| {
+                let opts = ParentBfsOpts {
+                    switch_threshold: threshold,
+                    fused,
+                    first_hit_exit: first_hit,
+                };
+                bfs_parents_with_opts(&g, 7, &opts, None).parent
+            };
+            let reference = run(false, false);
+            assert_eq!(run(true, false), reference, "fused, t={threshold}");
+            assert_eq!(run(true, true), reference, "first-hit, t={threshold}");
+        }
+    }
+
+    #[test]
+    fn first_hit_exit_cuts_pull_matrix_traffic() {
+        // Pull-heavy run (threshold 0 switches immediately): first-hit
+        // rows stop at their first frontier parent.
+        let g = rmat(11, 24, RmatParams::default(), 5);
+        let run = |first_hit: bool| {
+            let c = AccessCounters::new();
+            let opts = ParentBfsOpts {
+                switch_threshold: 0.0,
+                fused: true,
+                first_hit_exit: first_hit,
+            };
+            let r = bfs_parents_with_opts(&g, 0, &opts, Some(&c));
+            (r.parent, c.snapshot().matrix)
+        };
+        let (p_full, m_full) = run(false);
+        let (p_hit, m_hit) = run(true);
+        assert_eq!(p_hit, p_full, "identical trees");
+        assert!(
+            m_hit < m_full,
+            "first-hit must reduce matrix accesses: {m_hit} vs {m_full}"
+        );
     }
 }

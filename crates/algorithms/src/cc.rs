@@ -6,12 +6,19 @@
 //! minimum label across edges. The *delta* set (vertices whose label
 //! changed) is the frontier: small deltas run the column kernel, large
 //! deltas the row kernel, with the same hysteresis switch BFS uses.
+//!
+//! By default each round runs as a fused pipeline
+//! ([`graphblas_core::fused::FusedMxv`]): the matvec's candidate labels
+//! flow straight into the `labels` array through a write-if-smaller update
+//! rule — the relaxation `labels ← min(labels, candidates)` is the fused
+//! `assign`, and the candidate vector is never materialized.
 
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::ops::MinSecond;
 use graphblas_core::vector::{DenseVector, Vector};
-use graphblas_core::{mxv, DirectionPolicy};
+use graphblas_core::{mxv, DirectionPolicy, FusedMxv};
 use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::counters::AccessCounters;
 
 /// Result of a components run.
 #[derive(Clone, Debug)]
@@ -31,9 +38,44 @@ pub fn component_count(labels: &[u32]) -> usize {
     sorted.len()
 }
 
-/// Label-propagation connected components (undirected graphs).
+/// Options for connected components.
+#[derive(Clone, Copy, Debug)]
+pub struct CcOpts {
+    /// The §6.3 hysteresis switch ratio on the delta set. Paper default
+    /// 0.01.
+    pub switch_threshold: f64,
+    /// Run each round as one fused mxv·assign pass (default) instead of
+    /// materializing the candidate vector. Bit-identical either way.
+    pub fused: bool,
+}
+
+impl Default for CcOpts {
+    fn default() -> Self {
+        Self {
+            switch_threshold: 0.01,
+            fused: true,
+        }
+    }
+}
+
+/// Label-propagation connected components (undirected graphs) with default
+/// options except the given switch threshold.
 #[must_use]
 pub fn connected_components(g: &Graph<bool>, switch_threshold: f64) -> CcResult {
+    let opts = CcOpts {
+        switch_threshold,
+        ..CcOpts::default()
+    };
+    connected_components_with_opts(g, &opts, None)
+}
+
+/// Connected components with explicit options and optional access counters.
+#[must_use]
+pub fn connected_components_with_opts(
+    g: &Graph<bool>,
+    opts: &CcOpts,
+    counters: Option<&AccessCounters>,
+) -> CcResult {
     let n = g.n_vertices();
     let mut labels: Vec<u32> = (0..n as u32).collect();
     // Initially every vertex is "changed".
@@ -41,7 +83,7 @@ pub fn connected_components(g: &Graph<bool>, switch_threshold: f64) -> CcResult 
     let mut rounds = 0usize;
     // Same hysteresis rule as BFS (§6.3), on the delta set; dense start
     // means the policy begins in pull.
-    let mut policy = DirectionPolicy::hysteresis_from(Direction::Pull, switch_threshold);
+    let mut policy = DirectionPolicy::hysteresis_from(Direction::Pull, opts.switch_threshold);
     let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
     let desc_pull = Descriptor::new().transpose(true).force(Direction::Pull);
 
@@ -49,28 +91,49 @@ pub fn connected_components(g: &Graph<bool>, switch_threshold: f64) -> CcResult 
         rounds += 1;
         let dir = policy.update(delta.nnz(), n);
 
-        let candidates: Vector<u32> = if dir == Direction::Pull {
-            // Row-based over the full label vector (min is idempotent, so
-            // relaxing against all labels is sound — operand reuse again).
-            let full = Vector::Dense(DenseVector::from_values(labels.clone(), u32::MAX));
-            mxv(None, MinSecond, g, &full, &desc_pull, None).expect("dims verified")
-        } else {
-            mxv(None, MinSecond, g, &delta, &desc_push, None).expect("dims verified")
-        };
-
-        let mut ids = Vec::new();
-        let mut vals = Vec::new();
-        for (i, c) in candidates.iter_explicit() {
-            if c < labels[i as usize] {
-                labels[i as usize] = c;
-                ids.push(i);
-                vals.push(c);
+        // Pull rounds relax against the *full* label vector (min is
+        // idempotent, so the superset of the delta is sound — operand
+        // reuse again); push rounds expand only the delta set.
+        let touched: Vec<u32> = if opts.fused {
+            // labels ← min(labels, candidates) as the fused update rule;
+            // the candidate vector never exists.
+            let out = if dir == Direction::Pull {
+                let full = Vector::Dense(DenseVector::from_values(labels.clone(), u32::MAX));
+                FusedMxv::new(MinSecond, g, &full)
+                    .descriptor(desc_pull)
+                    .counters(counters)
+                    .apply(|l: u32| l)
+                    .assign_into(&mut labels, |old, new| (new < old).then_some(new))
+            } else {
+                FusedMxv::new(MinSecond, g, &delta)
+                    .descriptor(desc_push)
+                    .counters(counters)
+                    .apply(|l: u32| l)
+                    .assign_into(&mut labels, |old, new| (new < old).then_some(new))
             }
-        }
-        if ids.is_empty() {
+            .expect("dims verified");
+            out.touched
+        } else {
+            let candidates: Vector<u32> = if dir == Direction::Pull {
+                let full = Vector::Dense(DenseVector::from_values(labels.clone(), u32::MAX));
+                mxv(None, MinSecond, g, &full, &desc_pull, counters).expect("dims verified")
+            } else {
+                mxv(None, MinSecond, g, &delta, &desc_push, counters).expect("dims verified")
+            };
+            let mut ids = Vec::new();
+            for (i, c) in candidates.iter_explicit() {
+                if c < labels[i as usize] {
+                    labels[i as usize] = c;
+                    ids.push(i);
+                }
+            }
+            ids
+        };
+        if touched.is_empty() {
             break;
         }
-        delta = Vector::from_sparse(n, u32::MAX, ids, vals);
+        let vals: Vec<u32> = touched.iter().map(|&i| labels[i as usize]).collect();
+        delta = Vector::from_sparse(n, u32::MAX, touched, vals);
     }
 
     CcResult { labels, rounds }

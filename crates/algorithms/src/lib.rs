@@ -17,6 +17,13 @@
 //! * [`bc`] — batched Brandes betweenness centrality riding the same
 //!   batched kernels (masked forward σ sweeps, level-masked backward δ
 //!   accumulation, per-source push/pull switching in both phases).
+//!
+//! BFS, parent BFS ([`mod@bfs_parents`]), CC, SSSP, and PageRank all run their
+//! per-iteration `mxv · apply · assign` chain as a **fused pipeline**
+//! (`graphblas_core::fused::FusedMxv`) by default — no intermediate vector
+//! per step, bit-identical results and counters to the unfused
+//! composition (each keeps a `fused: false` opt as the tested oracle).
+//! Parent BFS additionally uses the fused-only first-hit pull exit.
 
 pub mod bc;
 pub mod bfs;
@@ -30,4 +37,4 @@ pub mod sssp;
 pub mod tricount;
 
 pub use bfs::{bfs, bfs_with_opts, BfsOpts, BfsResult, IterRecord};
-pub use bfs_parents::{bfs_parents, ParentBfsResult};
+pub use bfs_parents::{bfs_parents, bfs_parents_with_opts, ParentBfsOpts, ParentBfsResult};

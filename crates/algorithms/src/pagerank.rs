@@ -14,7 +14,9 @@ use graphblas_core::mask::Mask;
 use graphblas_core::mxv;
 use graphblas_core::ops::PlusTimes;
 use graphblas_core::vector::{DenseVector, Vector};
+use graphblas_core::FusedMxv;
 use graphblas_matrix::{Csr, Graph, VertexId};
+use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
 
 /// PageRank options.
@@ -28,6 +30,13 @@ pub struct PageRankOpts {
     pub entry_tol: f64,
     /// Iteration cap.
     pub max_iters: usize,
+    /// Run each iteration as one fused mxv·apply·assign pass (default):
+    /// the teleport/damping/dangling update (`GrB_apply`) and the write
+    /// into the next rank vector fuse into the masked row kernel, so the
+    /// per-iteration inflow vector is never materialized. Bit-identical
+    /// either way (the fused pipeline assigns every allowed row, matching
+    /// how the unfused loop reads its dense intermediate).
+    pub fused: bool,
 }
 
 impl Default for PageRankOpts {
@@ -37,6 +46,7 @@ impl Default for PageRankOpts {
             tol: 1e-7,
             entry_tol: 1e-9,
             max_iters: 200,
+            fused: true,
         }
     }
 }
@@ -74,17 +84,24 @@ pub fn transition_matrix(g: &Graph<bool>) -> Graph<f64> {
 /// Standard power-iteration PageRank (dense row-based matvec per step).
 #[must_use]
 pub fn pagerank(g: &Graph<bool>, opts: &PageRankOpts) -> PageRankResult {
-    pagerank_inner(g, opts, false)
+    pagerank_with_counters(g, opts, false, None)
 }
 
 /// Adaptive PageRank: converged entries are frozen and masked out of the
 /// matvec (Kamvar et al. 2004, via the paper's masking formalism).
 #[must_use]
 pub fn adaptive_pagerank(g: &Graph<bool>, opts: &PageRankOpts) -> PageRankResult {
-    pagerank_inner(g, opts, true)
+    pagerank_with_counters(g, opts, true, None)
 }
 
-fn pagerank_inner(g: &Graph<bool>, opts: &PageRankOpts, adaptive: bool) -> PageRankResult {
+/// PageRank (standard or adaptive) with optional access counters.
+#[must_use]
+pub fn pagerank_with_counters(
+    g: &Graph<bool>,
+    opts: &PageRankOpts,
+    adaptive: bool,
+    counters: Option<&AccessCounters>,
+) -> PageRankResult {
     let n = g.n_vertices();
     assert!(n > 0, "empty graph");
     let t = transition_matrix(g);
@@ -111,30 +128,76 @@ fn pagerank_inner(g: &Graph<bool>, opts: &PageRankOpts, adaptive: bool) -> PageR
             / n as f64;
 
         let r_vec = Vector::Dense(DenseVector::from_values(ranks.clone(), 0.0));
-        let contrib: Vector<f64> = if adaptive {
-            let mask = Mask::new(&active).with_active_list(&active_list);
-            row_updates += active_list.len();
-            mxv(Some(&mask), PlusTimes, &t, &r_vec, &desc, None).expect("dims verified")
-        } else {
-            row_updates += n;
-            mxv(None, PlusTimes, &t, &r_vec, &desc, None).expect("dims verified")
-        };
-
         let mut l1 = 0.0f64;
         let mut next = ranks.clone();
-        let update = |i: usize, next: &mut Vec<f64>, l1: &mut f64| {
-            let inflow = contrib.get(i as u32);
-            let new = teleport + opts.damping * (inflow + dangling);
-            *l1 += (new - next[i]).abs();
-            next[i] = new;
-        };
-        if adaptive {
-            for &i in &active_list {
-                update(i as usize, &mut next, &mut l1);
+        if opts.fused {
+            // Fused: the rank update (GrB_apply) and the write into `next`
+            // happen inside the masked row kernel; the inflow vector is
+            // never materialized. `keep_identity` assigns every allowed
+            // row — zero-inflow vertices still receive teleport + dangling
+            // mass, exactly as the unfused loop reads them from its dense
+            // intermediate.
+            let damping = opts.damping;
+            let rank_update = move |inflow: f64| teleport + damping * (inflow + dangling);
+            // The assigned set is known a priori (the active list, or
+            // every row), so skip collecting the touched index list.
+            if adaptive {
+                let mask = Mask::new(&active).with_active_list(&active_list);
+                row_updates += active_list.len();
+                FusedMxv::new(PlusTimes, &t, &r_vec)
+                    .mask(&mask)
+                    .descriptor(desc)
+                    .counters(counters)
+                    .keep_identity(true)
+                    .collect_touched(false)
+                    .apply(rank_update)
+                    .assign_into(&mut next, |_, z| Some(z))
+            } else {
+                row_updates += n;
+                FusedMxv::new(PlusTimes, &t, &r_vec)
+                    .descriptor(desc)
+                    .counters(counters)
+                    .keep_identity(true)
+                    .collect_touched(false)
+                    .apply(rank_update)
+                    .assign_into(&mut next, |_, z| Some(z))
+            }
+            .expect("dims verified");
+            // L1 drift over that same set, in the unfused loop's index
+            // order so the f64 sum groups identically.
+            if adaptive {
+                for &i in &active_list {
+                    l1 += (next[i as usize] - ranks[i as usize]).abs();
+                }
+            } else {
+                for i in 0..n {
+                    l1 += (next[i] - ranks[i]).abs();
+                }
             }
         } else {
-            for i in 0..n {
-                update(i, &mut next, &mut l1);
+            let contrib: Vector<f64> = if adaptive {
+                let mask = Mask::new(&active).with_active_list(&active_list);
+                row_updates += active_list.len();
+                mxv(Some(&mask), PlusTimes, &t, &r_vec, &desc, counters).expect("dims verified")
+            } else {
+                row_updates += n;
+                mxv(None, PlusTimes, &t, &r_vec, &desc, counters).expect("dims verified")
+            };
+
+            let update = |i: usize, next: &mut Vec<f64>, l1: &mut f64| {
+                let inflow = contrib.get(i as u32);
+                let new = teleport + opts.damping * (inflow + dangling);
+                *l1 += (new - next[i]).abs();
+                next[i] = new;
+            };
+            if adaptive {
+                for &i in &active_list {
+                    update(i as usize, &mut next, &mut l1);
+                }
+            } else {
+                for i in 0..n {
+                    update(i, &mut next, &mut l1);
+                }
             }
         }
 

@@ -16,8 +16,9 @@
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::ops::MinPlus;
 use graphblas_core::vector::Vector;
-use graphblas_core::{mxv, DirectionPolicy};
+use graphblas_core::{mxv, DirectionPolicy, FusedMxv};
 use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::counters::AccessCounters;
 
 /// Options for the SSSP solver.
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +29,11 @@ pub struct SsspOpts {
     pub change_of_direction: bool,
     /// Safety cap on rounds (≥ diameter suffices; default |V|).
     pub max_rounds: Option<usize>,
+    /// Run each round as one fused mxv·assign pass (default): the
+    /// relaxation `dist ← min(dist, candidates)` becomes the fused update
+    /// rule and the candidate vector is never materialized. Bit-identical
+    /// either way.
+    pub fused: bool,
 }
 
 impl Default for SsspOpts {
@@ -36,6 +42,7 @@ impl Default for SsspOpts {
             switch_threshold: 0.01,
             change_of_direction: true,
             max_rounds: None,
+            fused: true,
         }
     }
 }
@@ -54,6 +61,17 @@ pub struct SsspResult {
 /// Bellman-Ford from `source` on a non-negatively weighted graph.
 #[must_use]
 pub fn sssp(g: &Graph<f32>, source: VertexId, opts: &SsspOpts) -> SsspResult {
+    sssp_with_counters(g, source, opts, None)
+}
+
+/// [`sssp`] with optional access counters.
+#[must_use]
+pub fn sssp_with_counters(
+    g: &Graph<f32>,
+    source: VertexId,
+    opts: &SsspOpts,
+    counters: Option<&AccessCounters>,
+) -> SsspResult {
     let n = g.n_vertices();
     assert!((source as usize) < n, "source out of range");
     let max_rounds = opts.max_rounds.unwrap_or(n.max(1));
@@ -77,34 +95,60 @@ pub fn sssp(g: &Graph<f32>, source: VertexId, opts: &SsspOpts) -> SsspResult {
     while rounds < max_rounds {
         rounds += 1;
         let dir = policy.update(delta.nnz(), n);
-
-        let candidates: Vector<f32> = if dir == Direction::Pull {
+        if dir == Direction::Pull {
             pull_rounds += 1;
-            // Row-based over the full distance vector (superset of delta —
-            // idempotent min makes the extra relaxations harmless).
-            let full = Vector::Dense(graphblas_core::DenseVector::from_values(
-                dist.clone(),
-                f32::INFINITY,
-            ));
-            mxv(None, MinPlus, g, &full, &desc_pull, None).expect("dims verified")
-        } else {
-            mxv(None, MinPlus, g, &delta, &desc_push, None).expect("dims verified")
-        };
-
-        // dist ← min(dist, candidates); next delta = strict improvements.
-        let mut ids = Vec::new();
-        let mut vals = Vec::new();
-        for (i, c) in candidates.iter_explicit() {
-            if c < dist[i as usize] {
-                dist[i as usize] = c;
-                ids.push(i);
-                vals.push(c);
-            }
         }
-        if ids.is_empty() {
+
+        // Pull rounds relax against the full distance vector (superset of
+        // the delta — idempotent min makes the extra relaxations
+        // harmless); push rounds expand only the delta set.
+        let touched: Vec<u32> = if opts.fused {
+            // dist ← min(dist, candidates) as the fused update rule; the
+            // candidate vector never exists.
+            let out = if dir == Direction::Pull {
+                let full = Vector::Dense(graphblas_core::DenseVector::from_values(
+                    dist.clone(),
+                    f32::INFINITY,
+                ));
+                FusedMxv::new(MinPlus, g, &full)
+                    .descriptor(desc_pull)
+                    .counters(counters)
+                    .apply(|d: f32| d)
+                    .assign_into(&mut dist, |old, new| (new < old).then_some(new))
+            } else {
+                FusedMxv::new(MinPlus, g, &delta)
+                    .descriptor(desc_push)
+                    .counters(counters)
+                    .apply(|d: f32| d)
+                    .assign_into(&mut dist, |old, new| (new < old).then_some(new))
+            }
+            .expect("dims verified");
+            out.touched
+        } else {
+            let candidates: Vector<f32> = if dir == Direction::Pull {
+                let full = Vector::Dense(graphblas_core::DenseVector::from_values(
+                    dist.clone(),
+                    f32::INFINITY,
+                ));
+                mxv(None, MinPlus, g, &full, &desc_pull, counters).expect("dims verified")
+            } else {
+                mxv(None, MinPlus, g, &delta, &desc_push, counters).expect("dims verified")
+            };
+            // dist ← min(dist, candidates); next delta = strict improvements.
+            let mut ids = Vec::new();
+            for (i, c) in candidates.iter_explicit() {
+                if c < dist[i as usize] {
+                    dist[i as usize] = c;
+                    ids.push(i);
+                }
+            }
+            ids
+        };
+        if touched.is_empty() {
             break;
         }
-        delta = Vector::from_sparse(n, f32::INFINITY, ids, vals);
+        let vals: Vec<f32> = touched.iter().map(|&i| dist[i as usize]).collect();
+        delta = Vector::from_sparse(n, f32::INFINITY, touched, vals);
     }
 
     SsspResult {

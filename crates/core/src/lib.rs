@@ -29,9 +29,19 @@
 //! resolves a direction per row and runs the batched row/column kernels
 //! over a flat `(source, chunk)` grid — the multi-source BFS and batched
 //! Brandes BC workload the paper's §1 motivates.
+//!
+//! [`fused`] adds the kernel-fusion layer on top of the same dispatch: the
+//! lazy [`fused::FusedMxv`] builder compiles a masked `mxv` + elementwise
+//! `apply` + `assign` chain into a single pass over either kernel face, so
+//! iterative algorithms update their long-lived state (depths, parents,
+//! labels, distances, ranks) without materializing an intermediate vector
+//! per step — GraphBLAST's co-equal optimization next to masking.
+
+#![warn(missing_docs)]
 
 pub mod descriptor;
 pub mod error;
+pub mod fused;
 pub mod mask;
 pub mod matrix_ops;
 pub mod mxm;
@@ -43,6 +53,7 @@ pub mod vector_ops;
 
 pub use descriptor::{Descriptor, Direction, DirectionChoice, MergeStrategy};
 pub use error::GrbError;
+pub use fused::{FusedMxv, FusedOutput, FusedPipeline};
 pub use mask::Mask;
 pub use ops::{BoolOrAnd, MinPlus, Monoid, PlusTimes, Scalar, Semiring, SemiringNum};
 pub use ops_mxv::{

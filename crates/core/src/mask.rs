@@ -44,8 +44,14 @@ impl<'a> Mask<'a> {
     /// Attach a sorted list of exactly the allowed indices. The masked row
     /// kernel then iterates this list instead of scanning all `M` rows.
     ///
-    /// Correctness contract (debug-asserted per entry on use): every listed
-    /// index must satisfy [`Mask::allows`].
+    /// Correctness contract (debug-asserted on use): the list must be
+    /// **strictly ascending** — so in particular duplicate-free — and
+    /// every listed index must satisfy [`Mask::allows`]. Uniqueness is
+    /// load-bearing, not just tidiness: the row kernels (and the fused
+    /// pipeline's `assign_into`, which writes caller state) partition the
+    /// list across parallel workers and write each listed row's output
+    /// slot without synchronization, which is only race-free when no row
+    /// appears twice.
     #[must_use]
     pub fn with_active_list(mut self, list: &'a [VertexId]) -> Self {
         self.active_list = Some(list);

@@ -226,6 +226,32 @@ where
     Y: Scalar,
     S: Semiring<A, X, Y>,
 {
+    let (ids, vals) = col_kernel_parts(s, op_t, v, mask, desc, counters);
+    SparseVector::from_sorted(ids, vals)
+}
+
+/// The column kernel up to (but not including) output materialization:
+/// expansion, merge under the descriptor's [`MergeStrategy`], mask filter,
+/// and identity drop, returning the raw sorted `(ids, vals)` pair lists.
+///
+/// [`col_kernel`] wraps this into a [`SparseVector`]; the fused pipeline
+/// ([`crate::fused::FusedMxv`]) consumes the parts directly so the applied/
+/// assigned chain never materializes an intermediate vector. Counter
+/// bookkeeping is identical either way.
+pub(crate) fn col_kernel_parts<A, X, Y, S>(
+    s: S,
+    op_t: &Csr<A>,
+    v: &SparseVector<X>,
+    mask: Option<&Mask<'_>>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> (Vec<u32>, Vec<Y>)
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
     let add = s.add_monoid();
     let identity = add.identity();
     if let Some(c) = counters {
@@ -329,7 +355,7 @@ where
     };
 
     filter_col_output(&mut ids, &mut vals, mask, identity, counters);
-    SparseVector::from_sorted(ids, vals)
+    (ids, vals)
 }
 
 /// Mask filter (lines 17–24 of Algorithm 3) and identity drop, in place.
@@ -467,8 +493,7 @@ where
             spa.accumulate(j, s.mult(avals[idx], x), |a, b| add.op(a, b));
         }
     }
-    let (keys, vals) = spa.drain_sorted();
-    keys.into_iter().zip(vals).collect()
+    spa.drain_sorted_pairs()
 }
 
 /// Combine per-chunk sorted harvests by the deterministic k-way merge in

@@ -228,6 +228,26 @@ where
 /// observable. Output rows adopt the kernel's natural storage: push rows
 /// come back sparse, pull rows dense — so a direction-optimized batched
 /// loop hands each source the representation its next iteration wants.
+///
+/// ```
+/// use graphblas_core::{mxv_batch, BoolOrAnd, Descriptor, MultiVector};
+/// use graphblas_matrix::{Coo, Graph};
+///
+/// // Diamond 0 → {1, 2} → 3: one BFS step for two sources at once.
+/// let mut coo = Coo::new(4, 4);
+/// for &(u, v) in &[(0u32, 1u32), (0, 2), (1, 3), (2, 3)] {
+///     coo.push(u, v, true);
+/// }
+/// let g = Graph::from_coo(&coo);
+/// let batch = MultiVector::singletons(4, false, &[(0, true), (1, true)]);
+/// let desc = Descriptor::new().transpose(true);
+///
+/// let next: MultiVector<bool> =
+///     mxv_batch(None, BoolOrAnd, &g, &batch, &desc, None, None).unwrap();
+/// let frontier = |r: usize| next.row(r).iter_explicit().map(|(i, _)| i).collect::<Vec<_>>();
+/// assert_eq!(frontier(0), vec![1, 2], "source 0 reaches 1 and 2");
+/// assert_eq!(frontier(1), vec![3], "source 1 reaches 3");
+/// ```
 pub fn mxv_batch<A, X, Y, S>(
     masks: Option<&[Mask<'_>]>,
     s: S,

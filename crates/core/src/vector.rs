@@ -133,6 +133,32 @@ impl<T: Scalar> DenseVector<T> {
 }
 
 /// Storage-adaptive vector: the GraphBLAS object user code holds.
+///
+/// Storage *is* the direction signal (§6.3): `mxv` runs the column (push)
+/// kernel on sparse inputs and the row (pull) kernel on dense ones, and
+/// [`Vector::convert`] is the hysteresis rule that moves between them.
+///
+/// ```
+/// use graphblas_core::{ConvertState, Vector};
+///
+/// // A frontier of 3 explicit vertices in a 100-vertex graph.
+/// let mut f = Vector::from_sparse(100, false, vec![2, 5, 9], vec![true; 3]);
+/// assert!(f.is_sparse());
+/// assert_eq!(f.nnz(), 3);
+/// assert!(f.get(5) && !f.get(6));
+///
+/// // Storage conversions preserve the explicit set exactly.
+/// f.make_dense();
+/// assert!(!f.is_sparse());
+/// assert_eq!(f.iter_explicit().collect::<Vec<_>>(),
+///            vec![(2, true), (5, true), (9, true)]);
+///
+/// // The §6.3 switch: 3% > 1% and rising ⇒ densify.
+/// let mut state = ConvertState::new();
+/// let mut growing = Vector::from_sparse(100, false, (0..3).collect(), vec![true; 3]);
+/// assert!(growing.convert(&mut state, 0.01));
+/// assert!(!growing.is_sparse());
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub enum Vector<T> {
     /// Sorted-list storage; `mxv` runs the column (push) kernel on it.

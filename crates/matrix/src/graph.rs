@@ -15,6 +15,28 @@ use crate::{Coo, Csr, VertexId};
 use std::sync::Arc;
 
 /// A graph held as both `A` and `Aᵀ` in CSR form.
+///
+/// ```
+/// use graphblas_matrix::{Coo, Graph};
+///
+/// // Directed triangle 0 → 1 → 2 → 0.
+/// let mut coo = Coo::new(3, 3);
+/// coo.push(0, 1, true);
+/// coo.push(1, 2, true);
+/// coo.push(2, 0, true);
+/// let g = Graph::from_coo(&coo);
+///
+/// assert_eq!(g.n_vertices(), 3);
+/// assert_eq!(g.children(0), &[1]); // row of A
+/// assert_eq!(g.parents(0), &[2]);  // row of Aᵀ — no transpose computed
+/// assert!(!g.is_symmetric());
+///
+/// // Symmetrized, the two orientations share one CSR allocation.
+/// coo.clean_undirected();
+/// let und = Graph::from_coo(&coo);
+/// assert!(und.is_symmetric());
+/// assert_eq!(und.children(1), und.parents(1));
+/// ```
 #[derive(Clone, Debug)]
 pub struct Graph<V> {
     a: Arc<Csr<V>>,

@@ -5,7 +5,11 @@
 //! of `Aᵀ`, i.e. CSC of `A`, giving parents / incoming edges). Row-based
 //! matvec walks rows of the operand; column-based matvec fetches columns,
 //! which are rows of the transpose (§3). [`Graph`] bundles both orientations
-//! so the runtime direction switch never has to transpose on the fly.
+//! so the runtime direction switch never *computes* a transpose on the fly —
+//! a `Descriptor::transpose` request is satisfied by swapping which of the
+//! two prebuilt CSRs plays the `operand`/`operand_t` role (see the operand
+//! resolution at the top of `graphblas_core`'s `mxv` and `mxv_batch`
+//! dispatchers), so honoring the flag costs a pointer swap, not a rebuild.
 //!
 //! * [`coo`] — triplet builder with the paper's §7.1 dataset cleaning
 //!   (self-loop removal, duplicate removal, symmetrization).
@@ -13,6 +17,8 @@
 //! * [`graph`] — the dual-orientation [`Graph`] handle.
 //! * [`mmio`] — Matrix Market I/O so real datasets can be dropped in.
 //! * [`stats`] — the Table 3 columns: |V|, |E|, max degree, pseudo-diameter.
+
+#![warn(missing_docs)]
 
 pub mod coo;
 pub mod csr;

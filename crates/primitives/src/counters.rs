@@ -40,6 +40,12 @@ pub struct AccessCounters {
     pub push_steps: AtomicU64,
     /// Matvec steps resolved to the row-based (pull) kernel.
     pub pull_steps: AtomicU64,
+    /// Intermediate-vector slot writes a fused mxv·apply·assign pipeline
+    /// avoided materializing: the full dense output buffer for a fused
+    /// pull step, the filtered entry list for a fused push step. Zero on
+    /// unfused runs; excluded from [`AccessCounters::total`] because it
+    /// records work *not* done.
+    pub fused_saved_writes: AtomicU64,
 }
 
 impl AccessCounters {
@@ -49,21 +55,25 @@ impl AccessCounters {
         Self::default()
     }
 
+    /// Record `n` reads of matrix storage.
     #[inline]
     pub fn add_matrix(&self, n: u64) {
         self.matrix.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` reads/writes of the input and output vectors.
     #[inline]
     pub fn add_vector(&self, n: u64) {
         self.vector.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` reads of the mask.
     #[inline]
     pub fn add_mask(&self, n: u64) {
         self.mask.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` elements moved through sort passes.
     #[inline]
     pub fn add_sort(&self, n: u64) {
         self.sort.fetch_add(n, Ordering::Relaxed);
@@ -79,6 +89,12 @@ impl AccessCounters {
     #[inline]
     pub fn add_pull_step(&self) {
         self.pull_steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` intermediate-vector writes a fused pipeline avoided.
+    #[inline]
+    pub fn add_fused_saved_writes(&self, n: u64) {
+        self.fused_saved_writes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Sum of all access categories (direction steps are decisions, not
@@ -101,6 +117,7 @@ impl AccessCounters {
             sort: self.sort.load(Ordering::Relaxed),
             push_steps: self.push_steps.load(Ordering::Relaxed),
             pull_steps: self.pull_steps.load(Ordering::Relaxed),
+            fused_saved_writes: self.fused_saved_writes.load(Ordering::Relaxed),
         }
     }
 
@@ -112,20 +129,28 @@ impl AccessCounters {
         self.sort.store(0, Ordering::Relaxed);
         self.push_steps.store(0, Ordering::Relaxed);
         self.pull_steps.store(0, Ordering::Relaxed);
+        self.fused_saved_writes.store(0, Ordering::Relaxed);
     }
 }
 
 /// Plain-integer snapshot of [`AccessCounters`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CounterSnapshot {
+    /// Reads of matrix storage (row pointers, column indices, values).
     pub matrix: u64,
+    /// Reads/writes of the input and output vectors.
     pub vector: u64,
+    /// Reads of the mask.
     pub mask: u64,
+    /// Elements moved through sort passes (the multiway-merge cost).
     pub sort: u64,
     /// Steps the dispatcher resolved to push (column kernel).
     pub push_steps: u64,
     /// Steps the dispatcher resolved to pull (row kernel).
     pub pull_steps: u64,
+    /// Intermediate writes avoided by fused pipelines (not an access; see
+    /// [`AccessCounters::fused_saved_writes`]).
+    pub fused_saved_writes: u64,
 }
 
 impl CounterSnapshot {
@@ -134,6 +159,19 @@ impl CounterSnapshot {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.matrix + self.vector + self.mask + self.sort
+    }
+
+    /// This snapshot with `fused_saved_writes` zeroed — the Table 1 access
+    /// categories plus direction steps only. Fused and unfused runs of the
+    /// same computation must agree on this projection (the equivalence
+    /// contract `tests/fused_pipelines.rs` pins); `fused_saved_writes`
+    /// itself differs by construction.
+    #[must_use]
+    pub fn accesses_only(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            fused_saved_writes: 0,
+            ..*self
+        }
     }
 }
 
@@ -152,6 +190,7 @@ mod tests {
         c.add_push_step();
         c.add_push_step();
         c.add_pull_step();
+        c.add_fused_saved_writes(9);
         let s = c.snapshot();
         assert_eq!(
             s,
@@ -161,14 +200,18 @@ mod tests {
                 mask: 3,
                 sort: 7,
                 push_steps: 2,
-                pull_steps: 1
+                pull_steps: 1,
+                fused_saved_writes: 9,
             }
         );
-        assert_eq!(s.total(), 27, "direction steps are not accesses");
+        assert_eq!(s.total(), 27, "steps and saved writes are not accesses");
         assert_eq!(c.total(), 27);
+        assert_eq!(s.accesses_only().fused_saved_writes, 0);
+        assert_eq!(s.accesses_only().matrix, 15);
         c.reset();
         assert_eq!(c.total(), 0);
         assert_eq!(c.snapshot().push_steps, 0);
+        assert_eq!(c.snapshot().fused_saved_writes, 0);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //!   cost model directly instead of inferring it from wall clock.
 //! * [`pool`] — grain-controlled parallel-for helpers.
 
+#![warn(missing_docs)]
+
 pub mod bitvec;
 pub mod counters;
 pub mod gather;

@@ -73,6 +73,20 @@ where
     }
 }
 
+/// The standard size-derived chunk list over `0..n`: one chunk per `grain`
+/// items, at most [`MAX_CHUNKS`], never empty ranges. This is the shared
+/// chunking rule of [`par_for_ranges`] and the fused-pipeline pull kernel —
+/// boundaries depend on `n` and `grain` only, never on the lane count, so
+/// per-chunk results recombined in list order are deterministic.
+#[must_use]
+pub fn index_chunks(n: usize, grain: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let pieces = (n / grain.max(1)).clamp(1, MAX_CHUNKS);
+    split_ranges(n, pieces)
+}
+
 /// Run `body` once per contiguous chunk of `0..n`, in parallel.
 ///
 /// Chunking (rather than per-index work items) lets the body keep per-chunk
@@ -89,8 +103,7 @@ where
         body(0..n);
         return;
     }
-    let pieces = (n / grain.max(1)).clamp(1, MAX_CHUNKS);
-    split_ranges(n, pieces).into_par_iter().for_each(body);
+    index_chunks(n, grain).into_par_iter().for_each(body);
 }
 
 /// Fill `out[i] = body(i)` for every index, in parallel over contiguous

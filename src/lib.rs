@@ -32,7 +32,7 @@
 //! |---|---|
 //! | [`primitives`] | scan, radix sort, gather, segmented reduce, SPA, bit vectors, access counters |
 //! | [`matrix`] | COO/CSR storage, the dual-orientation [`matrix::Graph`], Matrix Market I/O, stats |
-//! | [`core`] | semirings, vectors + §6.3 convert heuristic, masks, descriptors, the four matvec kernels, `mxv`/`vxm`/`mxm`, batched `mxv_batch` over `MultiVector` frontiers |
+//! | [`core`] | semirings, vectors + §6.3 convert heuristic, masks, descriptors, the four matvec kernels, `mxv`/`vxm`/`mxm`, batched `mxv_batch` over `MultiVector` frontiers, fused `FusedMxv` pipelines |
 //! | [`algo`] | BFS (Algorithm 1 + Table 2 ladder), SSSP, PageRank (+adaptive), CC, MIS, triangle counting, multi-source BFS, batched BC |
 //! | [`gen`] | R-MAT/Kronecker, Chung-Lu power-law, RGG, road meshes, the Table 3 dataset suite |
 //! | [`baselines`] | reimplemented comparators: SuiteSparse-like, CuSha-like, Ligra-like, Gunrock-like, push baseline, serial oracle |
@@ -48,12 +48,13 @@ pub use graphblas_primitives as primitives;
 pub mod prelude {
     pub use graphblas_algo::bc::betweenness;
     pub use graphblas_algo::bfs::{bfs, bfs_with_opts, BfsOpts, BfsResult};
+    pub use graphblas_algo::bfs_parents::{bfs_parents, bfs_parents_with_opts, ParentBfsOpts};
     pub use graphblas_algo::msbfs::{multi_source_bfs, MsBfsOpts, MsBfsResult};
     pub use graphblas_algo::pagerank::{adaptive_pagerank, pagerank, PageRankOpts};
     pub use graphblas_algo::sssp::{sssp, SsspOpts};
     pub use graphblas_core::{
-        mxv, mxv_batch, resolve_direction, BoolOrAnd, Descriptor, Direction, DirectionPolicy, Mask,
-        MinPlus, MultiVector, PlusTimes, Vector,
+        mxv, mxv_batch, resolve_direction, BoolOrAnd, Descriptor, Direction, DirectionPolicy,
+        FusedMxv, FusedOutput, Mask, MinPlus, MultiVector, PlusTimes, Vector,
     };
     pub use graphblas_matrix::{Coo, Csr, Graph, GraphStats, VertexId};
 }

@@ -2,8 +2,10 @@
 //! shapes (stars, supervertices, disconnected dust), boundary masks, and
 //! the error paths of the public API.
 
-use push_pull::algo::bfs::{bfs, bfs_with_opts, BfsOpts};
-use push_pull::algo::cc::{cc_oracle, connected_components};
+use push_pull::algo::bfs::{bfs, bfs_with_opts, BfsOpts, UNREACHED as UNREACHED_BFS};
+use push_pull::algo::cc::{
+    cc_oracle, connected_components, connected_components_with_opts, CcOpts,
+};
 use push_pull::algo::msbfs::{multi_source_bfs, multi_source_bfs_with_opts, MsBfsOpts, UNREACHED};
 use push_pull::algo::pagerank::{pagerank, PageRankOpts};
 use push_pull::algo::sssp::{sssp, SsspOpts};
@@ -11,9 +13,10 @@ use push_pull::algo::tricount::triangle_count;
 use push_pull::baselines::textbook::bfs_serial;
 use push_pull::core::descriptor::{Descriptor, Direction};
 use push_pull::core::error::GrbError;
-use push_pull::core::ops::BoolOrAnd;
-use push_pull::core::{mxv, Mask, Vector};
+use push_pull::core::ops::{BoolOrAnd, MinSecond};
+use push_pull::core::{mxv, FusedMxv, Mask, Vector};
 use push_pull::matrix::{Coo, Csr, Graph};
+use push_pull::primitives::counters::AccessCounters;
 use push_pull::primitives::BitVec;
 
 fn edgeless(n: usize) -> Graph<bool> {
@@ -309,4 +312,143 @@ fn self_loops_removed_before_traversal_cannot_resurface() {
     assert_eq!(g.n_edges(), 2);
     let r = bfs(&g, 0);
     assert_eq!(r.depths, vec![0, 1, -1, -1]);
+}
+
+// ---------------------------------------------------------------------------
+// Fused-pipeline edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fused_empty_frontier_assigns_nothing() {
+    // A fused chain over an empty frontier must touch no state, charge no
+    // matrix traffic, and save no writes on the push face.
+    let g = star(16);
+    let f = Vector::<bool>::new_sparse(16, false);
+    let c = AccessCounters::new();
+    let mut state = vec![-1i32; 16];
+    let out = FusedMxv::new(BoolOrAnd, &g, &f)
+        .descriptor(Descriptor::new().transpose(true).force(Direction::Push))
+        .counters(Some(&c))
+        .apply(|_: bool| 7i32)
+        .assign_into(&mut state, |_, z| Some(z))
+        .expect("dims fine");
+    assert!(out.touched.is_empty());
+    assert!(state.iter().all(|&x| x == -1));
+    assert_eq!(c.snapshot().matrix, 0);
+    assert_eq!(c.snapshot().fused_saved_writes, 0);
+}
+
+#[test]
+fn fused_full_mask_blocks_every_assignment() {
+    // A mask allowing nothing: the pull face still charges its mask scan,
+    // but no state slot may change and touched stays empty.
+    let g = star(32);
+    let mut f = Vector::from_sparse(32, false, vec![0], vec![true]);
+    f.make_dense();
+    let all = {
+        let mut b = BitVec::new(32);
+        for i in 0..32 {
+            b.set(i);
+        }
+        b
+    };
+    let mask = Mask::complement(&all); // complement of everything = nothing
+    let c = AccessCounters::new();
+    let mut state = vec![-1i32; 32];
+    let out = FusedMxv::new(BoolOrAnd, &g, &f)
+        .mask(&mask)
+        .descriptor(Descriptor::new().transpose(true).force(Direction::Pull))
+        .counters(Some(&c))
+        .apply(|_: bool| 1i32)
+        .assign_into(&mut state, |_, z| Some(z))
+        .expect("dims fine");
+    assert!(out.touched.is_empty());
+    assert!(state.iter().all(|&x| x == -1));
+    assert_eq!(c.snapshot().mask, 32, "full-row mask scan still charged");
+    assert_eq!(c.snapshot().matrix, 0, "no allowed row touches the matrix");
+}
+
+#[test]
+fn fused_first_hit_exit_on_star_graph_stops_at_one_parent() {
+    // Star center pulled while every leaf is in the frontier: the full
+    // reduction scans all n−1 parents, first-hit stops at leaf 1 — and
+    // both give the identical min parent.
+    let n = 4096;
+    let g = star(n);
+    let ids: Vec<u32> = (1..n as u32).collect();
+    let mut f = Vector::from_sparse(n, u32::MAX, ids.clone(), ids);
+    f.make_dense();
+    let visited = {
+        let mut b = BitVec::new(n);
+        for i in 1..n {
+            b.set(i);
+        }
+        b
+    };
+    let mask = Mask::complement(&visited);
+    let run = |first_hit: bool| {
+        let c = AccessCounters::new();
+        let mut parent = vec![u32::MAX; n];
+        let out = FusedMxv::new(MinSecond, &g, &f)
+            .mask(&mask)
+            .descriptor(Descriptor::new().transpose(true).force(Direction::Pull))
+            .counters(Some(&c))
+            .first_hit_exit(first_hit)
+            .apply(|p: u32| p)
+            .assign_into(&mut parent, |_, p| Some(p))
+            .expect("dims fine");
+        (out.touched, parent[0], c.snapshot().matrix)
+    };
+    let (t_full, p_full, m_full) = run(false);
+    let (t_hit, p_hit, m_hit) = run(true);
+    assert_eq!(t_full, vec![0]);
+    assert_eq!(t_hit, t_full);
+    assert_eq!(p_hit, p_full);
+    assert_eq!(p_hit, 1, "minimum-id parent of the center");
+    assert_eq!(m_full, (n - 1) as u64, "full reduction scans every parent");
+    assert_eq!(m_hit, 1, "first-hit stops immediately");
+}
+
+#[test]
+fn fused_algorithms_survive_self_loops() {
+    // Self-loops kept in a *directed* graph (clean_undirected would drop
+    // them): a fused traversal must not rediscover a vertex through its
+    // own loop, and fused ≡ unfused throughout.
+    let mut coo = Coo::new(5, 5);
+    for &(u, v) in &[(0u32, 0u32), (0, 1), (1, 1), (1, 2), (3, 3)] {
+        coo.push(u, v, true);
+    }
+    let g = Graph::from_coo(&coo);
+    for dir in [None, Some(Direction::Push), Some(Direction::Pull)] {
+        let base = BfsOpts {
+            force: dir,
+            ..BfsOpts::default()
+        };
+        let fused = bfs_with_opts(&g, 0, &base.fused(true), None);
+        let unfused = bfs_with_opts(&g, 0, &base.fused(false), None);
+        assert_eq!(fused.depths, unfused.depths, "{dir:?}");
+        assert_eq!(fused.depths, vec![0, 1, 2, UNREACHED_BFS, UNREACHED_BFS]);
+    }
+    let fused_cc = connected_components_with_opts(&g, &CcOpts::default(), None);
+    let unfused_cc = connected_components_with_opts(
+        &g,
+        &CcOpts {
+            fused: false,
+            ..CcOpts::default()
+        },
+        None,
+    );
+    assert_eq!(fused_cc.labels, unfused_cc.labels);
+}
+
+#[test]
+fn fused_state_slice_dimension_mismatch_is_an_error() {
+    let g = star(8);
+    let f = Vector::from_sparse(8, false, vec![0], vec![true]);
+    let mut short = vec![0i32; 4];
+    let r = FusedMxv::new(BoolOrAnd, &g, &f)
+        .descriptor(Descriptor::new().transpose(true))
+        .apply(|_: bool| 1i32)
+        .assign_into(&mut short, |_, z| Some(z));
+    assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
 }

@@ -14,7 +14,7 @@ use push_pull::algo::pagerank::{pagerank, PageRankOpts};
 use push_pull::algo::sssp::{sssp, SsspOpts};
 use push_pull::core::descriptor::{Descriptor, Direction, MergeStrategy};
 use push_pull::core::ops::{BoolOrAnd, MinPlus, PlusTimes};
-use push_pull::core::{mxv, mxv_batch, DirectionPolicy, Mask, MultiVector, Vector};
+use push_pull::core::{mxv, mxv_batch, DirectionPolicy, FusedMxv, Mask, MultiVector, Vector};
 use push_pull::gen::powerlaw::{chung_lu, PowerLawParams};
 use push_pull::gen::rmat::{rmat, RmatParams};
 use push_pull::gen::with_uniform_weights;
@@ -296,4 +296,74 @@ fn current_num_threads_tracks_override() {
             assert_eq!(rayon::current_num_threads(), lanes);
         });
     }
+}
+
+#[test]
+fn fused_pipeline_identical_across_thread_counts() {
+    // The fused mxv·apply·assign kernel must write identical state and
+    // return the identical touched list at every lane count, on both
+    // faces, masked and unmasked, with and without the first-hit exit.
+    let g = test_graph();
+    let n = g.n_vertices();
+    let (f, bits) = frontier_and_visited(n);
+    let mut dense_f = f.clone();
+    dense_f.make_dense();
+    for (input, dir) in [(&f, Direction::Push), (&dense_f, Direction::Pull)] {
+        for masked in [false, true] {
+            for first_hit in [false, true] {
+                if first_hit && dir == Direction::Push {
+                    continue; // push ignores the flag
+                }
+                let desc = Descriptor::new().transpose(true).force(dir);
+                identical_across_lanes(|| {
+                    let mask = Mask::complement(&bits);
+                    let c = AccessCounters::new();
+                    let mut state = vec![-1i32; n];
+                    let mut pipe = FusedMxv::new(BoolOrAnd, &g, input)
+                        .descriptor(desc)
+                        .counters(Some(&c))
+                        .first_hit_exit(first_hit);
+                    if masked {
+                        pipe = pipe.mask(&mask);
+                    }
+                    let out = pipe
+                        .apply(|_: bool| 1i32)
+                        .assign_into(&mut state, |old, z| (old == -1).then_some(z))
+                        .unwrap();
+                    (out.touched, state, c.snapshot())
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_algorithms_with_counters_identical_across_thread_counts() {
+    // Fused parent BFS (production config: first-hit on) and fused
+    // adaptive PageRank, state + counters, at 1/2/8 lanes.
+    let g = test_graph();
+    identical_across_lanes(|| {
+        let c = AccessCounters::new();
+        let r = push_pull::algo::bfs_parents::bfs_parents_with_opts(
+            &g,
+            3,
+            &push_pull::algo::bfs_parents::ParentBfsOpts::default(),
+            Some(&c),
+        );
+        (r.parent, r.levels, c.snapshot())
+    });
+    identical_across_lanes(|| {
+        let c = AccessCounters::new();
+        let r = push_pull::algo::pagerank::pagerank_with_counters(
+            &g,
+            &PageRankOpts::default(),
+            true,
+            Some(&c),
+        );
+        (
+            r.ranks.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            r.iters,
+            c.snapshot(),
+        )
+    });
 }
