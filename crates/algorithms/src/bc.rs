@@ -27,10 +27,19 @@ use graphblas_core::mask::Mask;
 use graphblas_core::ops::PlusSecond;
 use graphblas_core::ops_mxv_batch::mxv_batch;
 use graphblas_core::vector::{MultiVector, Vector};
-use graphblas_core::DirectionPolicy;
+use graphblas_core::{DirectionPolicy, FormatPolicy};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
+
+/// Options for batched betweenness centrality.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BcOpts {
+    /// Matrix storage-format policy both sweeps' batched matvecs run
+    /// under (default auto; `FormatPolicy::fixed(Csr)` is the tested
+    /// oracle). Scores and access counters are format-invariant.
+    pub format: FormatPolicy,
+}
 
 /// Betweenness scores from a batch of sources (unnormalized, directed
 /// counting; for undirected BC halve the scores).
@@ -47,6 +56,17 @@ pub fn betweenness_with_counters(
     sources: &[VertexId],
     counters: Option<&AccessCounters>,
 ) -> Vec<f64> {
+    betweenness_with_opts(g, sources, &BcOpts::default(), counters)
+}
+
+/// [`betweenness`] with explicit options and optional access counters.
+#[must_use]
+pub fn betweenness_with_opts(
+    g: &Graph<bool>,
+    sources: &[VertexId],
+    opts: &BcOpts,
+    counters: Option<&AccessCounters>,
+) -> Vec<f64> {
     let n = g.n_vertices();
     let mut bc = vec![0.0f64; n];
     if sources.is_empty() {
@@ -56,8 +76,13 @@ pub fn betweenness_with_counters(
     for &s in sources {
         assert!((s as usize) < n, "source out of range");
     }
-    let desc_fwd = Descriptor::new().transpose(true);
-    let desc_bwd = Descriptor::new(); // children direction: A, not Aᵀ
+    let base_fwd = Descriptor::new().transpose(true);
+    let base_bwd = Descriptor::new(); // children direction: A, not Aᵀ
+                                      // One format policy per sweep (the sweeps iterate opposite
+                                      // orientations, so their occupancy statistics differ on directed
+                                      // graphs).
+    let mut fpol_fwd = opts.format;
+    let mut fpol_bwd = opts.format;
 
     // ---- Forward phase: batched per-level σ frontiers. ----
     let mut visited: Vec<BitVec> = sources
@@ -100,6 +125,7 @@ pub fn betweenness_with_counters(
             .collect();
         let mut live_policies: Vec<DirectionPolicy> =
             alive.iter().map(|&s| policies[s].clone()).collect();
+        let desc_fwd = base_fwd.force_format(fpol_fwd.update_batch(g, true, counters));
         let next: MultiVector<f64> = mxv_batch(
             Some(&masks),
             PlusSecond,
@@ -172,6 +198,7 @@ pub fn betweenness_with_counters(
         let mut live_policies: Vec<DirectionPolicy> =
             active.iter().map(|&s| bwd_policies[s].clone()).collect();
         // Pull from children through A (row v of A lists v's children).
+        let desc_bwd = base_bwd.force_format(fpol_bwd.update_batch(g, false, counters));
         let contrib: MultiVector<f64> = mxv_batch(
             Some(&masks),
             PlusSecond,

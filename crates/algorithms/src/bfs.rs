@@ -41,7 +41,7 @@ use graphblas_core::mask::Mask;
 use graphblas_core::ops::{BoolOrAnd, BoolStructure, Semiring};
 use graphblas_core::vector::Vector;
 use graphblas_core::vector_ops::filter_by_mask;
-use graphblas_core::{mxv, DirectionPolicy, FusedMxv};
+use graphblas_core::{mxv, DirectionPolicy, FormatPolicy, FusedMxv};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -76,6 +76,11 @@ pub struct BfsOpts {
     /// optimizations: results and access counters are bit-identical either
     /// way.
     pub fused: bool,
+    /// Matrix storage-format policy the per-level planner runs under
+    /// (default [`FormatPolicy::auto`]; `FormatPolicy::fixed(Csr)` is the
+    /// tested oracle). Formats never change results or access counters —
+    /// only wall clock and the `format_switches` tally.
+    pub format: FormatPolicy,
 }
 
 impl Default for BfsOpts {
@@ -90,6 +95,7 @@ impl Default for BfsOpts {
             force: None,
             record_trace: false,
             fused: true,
+            format: FormatPolicy::auto(),
         }
     }
 }
@@ -109,6 +115,7 @@ impl BfsOpts {
             force: None,
             record_trace: false,
             fused: true,
+            format: FormatPolicy::auto(),
         }
     }
 
@@ -142,6 +149,13 @@ impl BfsOpts {
     #[must_use]
     pub fn forced(mut self, d: Direction) -> Self {
         self.force = Some(d);
+        self
+    }
+
+    /// Builder: set the storage-format policy (see [`BfsOpts::format`]).
+    #[must_use]
+    pub fn format(mut self, p: FormatPolicy) -> Self {
+        self.format = p;
         self
     }
 
@@ -267,6 +281,8 @@ where
         None if opts.change_of_direction => DirectionPolicy::hysteresis(opts.switch_threshold),
         None => DirectionPolicy::fixed(Direction::Push),
     };
+    // The format half of the per-level plan, beside the direction policy.
+    let mut fpol = opts.format;
     let mut level = 0usize;
     let mut trace = Vec::new();
 
@@ -282,9 +298,11 @@ where
         let t0 = opts.record_trace.then(Instant::now);
         level += 1;
 
-        // Optimization 1: pick this level's direction.
+        // Optimization 1: pick this level's direction; the format policy
+        // picks the matrix store the level's kernel face runs over.
         let dir = policy.update(frontier_nnz, n);
-        let desc = base_desc.force(dir);
+        let fmt = fpol.update(g, true, dir, counters);
+        let desc = base_desc.force(dir).force_format(fmt);
 
         // Storage follows direction (the convert() of §6.3). With operand
         // reuse the pull input is the dense visited vector, so the frontier

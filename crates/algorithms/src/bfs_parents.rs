@@ -24,7 +24,7 @@ use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
 use graphblas_core::ops::MinSecond;
 use graphblas_core::vector::Vector;
-use graphblas_core::{mxv, DirectionPolicy, FusedMxv};
+use graphblas_core::{mxv, DirectionPolicy, FormatPolicy, FusedMxv};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -44,6 +44,9 @@ pub struct ParentBfsOpts {
     /// by the ascending-scan argument in the module doc). Only meaningful
     /// with `fused`; identical parents either way, less matrix traffic.
     pub first_hit_exit: bool,
+    /// Matrix storage-format policy (default auto; see
+    /// [`graphblas_core::plan`]). Format-invariant results and counters.
+    pub format: FormatPolicy,
 }
 
 impl Default for ParentBfsOpts {
@@ -52,6 +55,7 @@ impl Default for ParentBfsOpts {
             switch_threshold: 0.01,
             fused: true,
             first_hit_exit: true,
+            format: FormatPolicy::auto(),
         }
     }
 }
@@ -96,13 +100,16 @@ pub fn bfs_parents_with_opts(
     // invariant the fused first-hit exit relies on.
     let mut f: Vector<u32> = Vector::singleton(n, NO_PARENT, source, source);
     let mut policy = DirectionPolicy::hysteresis(opts.switch_threshold);
+    let mut fpol = opts.format;
     let mut levels = 0usize;
     let base = Descriptor::new().transpose(true);
 
     loop {
         levels += 1;
         let dir = policy.update(f.nnz(), n);
-        let desc = base.force(dir);
+        let desc = base
+            .force(dir)
+            .force_format(fpol.update(g, true, dir, counters));
         match dir {
             Direction::Pull => f.make_dense(),
             Direction::Push => f.make_sparse(),
@@ -251,6 +258,7 @@ mod tests {
                     switch_threshold: threshold,
                     fused,
                     first_hit_exit: first_hit,
+                    ..ParentBfsOpts::default()
                 };
                 bfs_parents_with_opts(&g, 7, &opts, None).parent
             };
@@ -271,6 +279,7 @@ mod tests {
                 switch_threshold: 0.0,
                 fused: true,
                 first_hit_exit: first_hit,
+                ..ParentBfsOpts::default()
             };
             let r = bfs_parents_with_opts(&g, 0, &opts, Some(&c));
             (r.parent, c.snapshot().matrix)

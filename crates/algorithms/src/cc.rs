@@ -16,7 +16,7 @@
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::ops::MinSecond;
 use graphblas_core::vector::{DenseVector, Vector};
-use graphblas_core::{mxv, DirectionPolicy, FusedMxv};
+use graphblas_core::{mxv, DirectionPolicy, FormatPolicy, FusedMxv};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 
@@ -47,6 +47,9 @@ pub struct CcOpts {
     /// Run each round as one fused mxv·assign pass (default) instead of
     /// materializing the candidate vector. Bit-identical either way.
     pub fused: bool,
+    /// Matrix storage-format policy (default auto; see
+    /// [`graphblas_core::plan`]). Format-invariant results and counters.
+    pub format: FormatPolicy,
 }
 
 impl Default for CcOpts {
@@ -54,6 +57,7 @@ impl Default for CcOpts {
         Self {
             switch_threshold: 0.01,
             fused: true,
+            format: FormatPolicy::auto(),
         }
     }
 }
@@ -84,12 +88,16 @@ pub fn connected_components_with_opts(
     // Same hysteresis rule as BFS (§6.3), on the delta set; dense start
     // means the policy begins in pull.
     let mut policy = DirectionPolicy::hysteresis_from(Direction::Pull, opts.switch_threshold);
-    let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
-    let desc_pull = Descriptor::new().transpose(true).force(Direction::Pull);
+    let mut fpol = opts.format;
+    let base_push = Descriptor::new().transpose(true).force(Direction::Push);
+    let base_pull = Descriptor::new().transpose(true).force(Direction::Pull);
 
     loop {
         rounds += 1;
         let dir = policy.update(delta.nnz(), n);
+        let fmt = fpol.update(g, true, dir, counters);
+        let desc_push = base_push.force_format(fmt);
+        let desc_pull = base_pull.force_format(fmt);
 
         // Pull rounds relax against the *full* label vector (min is
         // idempotent, so the superset of the delta is sound — operand

@@ -21,7 +21,7 @@ use graphblas_core::mask::Mask;
 use graphblas_core::ops::BoolStructure;
 use graphblas_core::ops_mxv_batch::mxv_batch;
 use graphblas_core::vector::{MultiVector, Vector};
-use graphblas_core::DirectionPolicy;
+use graphblas_core::{DirectionPolicy, FormatPolicy};
 use graphblas_matrix::{Csr, Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -37,6 +37,9 @@ pub struct MsBfsOpts {
     /// Pin every source to one direction (ablation arms). `None` lets each
     /// source's hysteresis policy switch independently.
     pub force: Option<Direction>,
+    /// Matrix storage-format policy for the batch (one format per batch
+    /// step, per-row directions stay independent; default auto).
+    pub format: FormatPolicy,
 }
 
 impl Default for MsBfsOpts {
@@ -44,6 +47,7 @@ impl Default for MsBfsOpts {
         Self {
             switch_threshold: 0.01,
             force: None,
+            format: FormatPolicy::auto(),
         }
     }
 }
@@ -111,15 +115,17 @@ pub fn multi_source_bfs_with_opts(
 
     // Algorithm 1's descriptor: multiply by Aᵀ; direction stays Auto so
     // each row follows its own policy (a forced run pins the descriptor).
-    let desc = match opts.force {
+    let base_desc = match opts.force {
         Some(d) => Descriptor::new().transpose(true).force(d),
         None => Descriptor::new().transpose(true),
     };
+    let mut fpol = opts.format;
 
     let mut alive: Vec<usize> = (0..k).collect();
     let mut level = 0usize;
     while !alive.is_empty() {
         level += 1;
+        let desc = base_desc.force_format(fpol.update_batch(g, true, counters));
         // Assemble the live sub-batch by moving rows out of the state
         // (restored or replaced below), with one mask and one policy per
         // live source.

@@ -14,7 +14,7 @@ use graphblas_core::mask::Mask;
 use graphblas_core::mxv;
 use graphblas_core::ops::PlusTimes;
 use graphblas_core::vector::{DenseVector, Vector};
-use graphblas_core::FusedMxv;
+use graphblas_core::{FormatPolicy, FusedMxv};
 use graphblas_matrix::{Csr, Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -37,6 +37,9 @@ pub struct PageRankOpts {
     /// either way (the fused pipeline assigns every allowed row, matching
     /// how the unfused loop reads its dense intermediate).
     pub fused: bool,
+    /// Matrix storage-format policy (default auto; see
+    /// [`graphblas_core::plan`]). Format-invariant ranks and counters.
+    pub format: FormatPolicy,
 }
 
 impl Default for PageRankOpts {
@@ -47,6 +50,7 @@ impl Default for PageRankOpts {
             entry_tol: 1e-9,
             max_iters: 200,
             fused: true,
+            format: FormatPolicy::auto(),
         }
     }
 }
@@ -116,10 +120,12 @@ pub fn pagerank_with_counters(
     let mut active_list: Vec<VertexId> = (0..n as VertexId).collect();
     let mut iters = 0usize;
     let mut row_updates = 0usize;
-    let desc = Descriptor::new().transpose(true).force(Direction::Pull);
+    let mut fpol = opts.format;
+    let base_desc = Descriptor::new().transpose(true).force(Direction::Pull);
 
     while iters < opts.max_iters {
         iters += 1;
+        let desc = base_desc.force_format(fpol.update(&t, true, Direction::Pull, counters));
         // Dangling mass: vertices with no out-edges leak rank; spread it.
         let dangling: f64 = (0..n)
             .filter(|&u| a.degree(u) == 0)

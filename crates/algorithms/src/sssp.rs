@@ -16,7 +16,7 @@
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::ops::MinPlus;
 use graphblas_core::vector::Vector;
-use graphblas_core::{mxv, DirectionPolicy, FusedMxv};
+use graphblas_core::{mxv, DirectionPolicy, FormatPolicy, FusedMxv};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 
@@ -34,6 +34,9 @@ pub struct SsspOpts {
     /// rule and the candidate vector is never materialized. Bit-identical
     /// either way.
     pub fused: bool,
+    /// Matrix storage-format policy (default auto; see
+    /// [`graphblas_core::plan`]). Format-invariant results and counters.
+    pub format: FormatPolicy,
 }
 
 impl Default for SsspOpts {
@@ -43,6 +46,7 @@ impl Default for SsspOpts {
             change_of_direction: true,
             max_rounds: None,
             fused: true,
+            format: FormatPolicy::auto(),
         }
     }
 }
@@ -89,8 +93,9 @@ pub fn sssp_with_counters(
     };
     let mut rounds = 0usize;
     let mut pull_rounds = 0usize;
-    let desc_push = Descriptor::new().transpose(true).force(Direction::Push);
-    let desc_pull = Descriptor::new().transpose(true).force(Direction::Pull);
+    let mut fpol = opts.format;
+    let base_push = Descriptor::new().transpose(true).force(Direction::Push);
+    let base_pull = Descriptor::new().transpose(true).force(Direction::Pull);
 
     while rounds < max_rounds {
         rounds += 1;
@@ -98,6 +103,9 @@ pub fn sssp_with_counters(
         if dir == Direction::Pull {
             pull_rounds += 1;
         }
+        let fmt = fpol.update(g, true, dir, counters);
+        let desc_push = base_push.force_format(fmt);
+        let desc_pull = base_pull.force_format(fmt);
 
         // Pull rounds relax against the full distance vector (superset of
         // the delta — idempotent min makes the extra relaxations

@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Experiments: `table1` `table2` `table3` `fig2` `fig5` `fig6` `fig7`
-//! `heuristic` `scaling` `batched` `validate` `all`. CSVs land in `--out`
-//! (default `results/`).
+//! `heuristic` `scaling` `batched` `formats` `validate` `all`. CSVs land
+//! in `--out` (default `results/`).
 //!
 //! `--shrink N` divides every dataset's vertex count by 2^N (default 6;
 //! 0 regenerates paper-scale graphs). `--sources N` sets the number of BFS
@@ -19,8 +19,8 @@ use graphblas_algo::bfs::{bfs_with_opts, BfsOpts};
 use graphblas_bench::engines::figure7_lineup;
 use graphblas_bench::report::{f, Json, Table};
 use graphblas_bench::study::{
-    batched_study, matvec_variant_sweep, per_level_study, random_sources, thread_scaling_study,
-    time_bfs,
+    batched_study, formats_study, matvec_variant_sweep, per_level_study, random_sources,
+    thread_scaling_study, time_bfs,
 };
 use graphblas_bench::{geomean, median, mteps, time_ms};
 use graphblas_core::descriptor::Direction;
@@ -77,6 +77,7 @@ fn main() {
         "heuristic" => heuristic(&cfg),
         "scaling" => scaling(&cfg),
         "batched" => batched(&cfg),
+        "formats" => formats(&cfg),
         "validate" => validate(&cfg),
         "all" => {
             table1(&cfg);
@@ -89,11 +90,13 @@ fn main() {
             heuristic(&cfg);
             scaling(&cfg);
             batched(&cfg);
+            formats(&cfg);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: \
-                 table1 table2 table3 fig2 fig5 fig6 fig7 heuristic scaling batched validate all"
+                 table1 table2 table3 fig2 fig5 fig6 fig7 heuristic scaling batched formats \
+                 validate all"
             );
             std::process::exit(2);
         }
@@ -709,6 +712,105 @@ fn batched(cfg: &Config) {
     match doc.write_file(&cfg.out, "BENCH_batched.json") {
         Ok(p) => eprintln!("[batched] wrote {}", p.display()),
         Err(e) => eprintln!("[batched] could not write BENCH_batched.json: {e}"),
+    }
+}
+
+/// Storage-format study: the fixed-format arms (CSR oracle / bitmap /
+/// hypersparse DCSR) against the auto planner over the generator suite,
+/// with the hypersparse batched-frontier microbench where DCSR's
+/// compressed row list beats CSR's O(n) `row_ptr` scan. Emits the
+/// machine-readable `BENCH_formats.json` companion artifact. Results are
+/// asserted bit-identical across formats before timing.
+fn formats(cfg: &Config) {
+    let mut t = Table::new(
+        "Storage formats — per-format matvec/BFS and the hypersparse microbench",
+        &[
+            "Dataset",
+            "Format",
+            "pull ms",
+            "push ms",
+            "BFS ms",
+            "hyper-batch ms",
+            "hyper x vs csr",
+        ],
+    );
+    let mut dataset_objs: Vec<Json> = Vec::new();
+    for Dataset { name, graph, .. } in suite(cfg.shrink, cfg.seed) {
+        if let Some(only) = &cfg.dataset {
+            if only != name {
+                continue;
+            }
+        }
+        eprintln!(
+            "[formats] {name}: {} vertices, {} edges",
+            graph.n_vertices(),
+            graph.n_edges()
+        );
+        let study = formats_study(&graph, 3, cfg.seed);
+        let csr_hyper = study.arms[0].hyper_batch_ms;
+        let mut arm_objs: Vec<Json> = Vec::new();
+        for a in &study.arms {
+            let hyper_x = csr_hyper / a.hyper_batch_ms.max(1e-12);
+            t.row(vec![
+                name.to_string(),
+                a.format.to_string(),
+                f(a.pull_ms),
+                f(a.push_ms),
+                f(a.bfs_ms),
+                f(a.hyper_batch_ms),
+                format!("{hyper_x:.2}x"),
+            ]);
+            arm_objs.push(Json::Obj(vec![
+                ("format", Json::Str(a.format.to_string())),
+                ("pull_ms", Json::Num(a.pull_ms)),
+                ("push_ms", Json::Num(a.push_ms)),
+                ("bfs_ms", Json::Num(a.bfs_ms)),
+                ("hyper_batch_ms", Json::Num(a.hyper_batch_ms)),
+                ("hyper_speedup_vs_csr", Json::Num(hyper_x)),
+            ]));
+        }
+        t.row(vec![
+            name.to_string(),
+            "auto".to_string(),
+            "—".into(),
+            "—".into(),
+            f(study.auto_bfs_ms),
+            "—".into(),
+            format!("{} switches", study.auto_format_switches),
+        ]);
+        dataset_objs.push(Json::Obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("vertices", Json::Int(graph.n_vertices() as u64)),
+            ("edges", Json::Int(graph.n_edges() as u64)),
+            ("hyper_n", Json::Int(study.hyper_n as u64)),
+            (
+                "hyper_nonempty_rows",
+                Json::Int(study.hyper_nonempty as u64),
+            ),
+            ("hyper_k", Json::Int(study.hyper_k as u64)),
+            ("auto_bfs_ms", Json::Num(study.auto_bfs_ms)),
+            (
+                "auto_format_switches",
+                Json::Int(study.auto_format_switches),
+            ),
+            ("arms", Json::Arr(arm_objs)),
+        ]));
+    }
+    t.print();
+    println!(
+        "formats are bit-identical in results and access counters (pinned by tests);\n\
+         only wall clock moves. Expect dcsr to beat csr on the hypersparse\n\
+         batched-frontier microbench and to trail slightly on dense workloads."
+    );
+    let _ = t.write_csv(&cfg.out, "formats_study");
+    let doc = Json::Obj(vec![
+        ("shrink", Json::Int(u64::from(cfg.shrink))),
+        ("seed", Json::Int(cfg.seed)),
+        ("datasets", Json::Arr(dataset_objs)),
+    ]);
+    match doc.write_file(&cfg.out, "BENCH_formats.json") {
+        Ok(p) => eprintln!("[formats] wrote {}", p.display()),
+        Err(e) => eprintln!("[formats] could not write BENCH_formats.json: {e}"),
     }
 }
 

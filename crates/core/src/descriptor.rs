@@ -8,6 +8,8 @@
 //! threshold (`α = β = 0.01`), early-exit, structure-only, and the multiway
 //! merge strategy of §6.2 (radix sort vs. heap merge).
 
+use graphblas_matrix::StorageFormat;
+
 /// Traversal direction ≡ matvec kernel family (§4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Direction {
@@ -30,6 +32,26 @@ pub enum DirectionChoice {
     /// (used by the per-iteration studies of Figs. 5–6 and the baselines).
     /// In a batch this forces *every* row.
     Force(Direction),
+}
+
+/// How `mxv` (and the batched/fused dispatchers) pick the matrix storage
+/// format the chosen kernel face runs over — the format half of an
+/// execution plan ([`crate::plan::ExecPlan`]), mirroring
+/// [`DirectionChoice`] for the direction half.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FormatChoice {
+    /// Let [`crate::plan::resolve_plan`] pick from the operand's static
+    /// shape: hypersparse operands (row occupancy below the planner's
+    /// threshold) run DCSR, dense pull phases run bitmap when it fits,
+    /// everything else CSR. Memoryless — iterative algorithms that want
+    /// the hysteresis variant drive a [`crate::plan::FormatPolicy`] and
+    /// force its choice here per iteration.
+    #[default]
+    Auto,
+    /// Always run the given format (the per-format study arms and the
+    /// `Fixed(Csr)` test oracle). An infeasible bitmap degrades to CSR —
+    /// see [`graphblas_matrix::Graph::effective_format`].
+    Force(StorageFormat),
 }
 
 /// How the column kernel resolves its multiway merge (§6.2 discussion).
@@ -78,6 +100,8 @@ pub struct Descriptor {
     pub structure_only: bool,
     /// Column-kernel merge implementation.
     pub merge_strategy: MergeStrategy,
+    /// Matrix storage-format selection policy.
+    pub format: FormatChoice,
 }
 
 impl Default for Descriptor {
@@ -89,6 +113,7 @@ impl Default for Descriptor {
             early_exit: true,
             structure_only: true,
             merge_strategy: MergeStrategy::SortBased,
+            format: FormatChoice::Auto,
         }
     }
 }
@@ -141,6 +166,20 @@ impl Descriptor {
         self.switch_threshold = t;
         self
     }
+
+    /// Builder: force a storage format.
+    #[must_use]
+    pub fn force_format(mut self, f: StorageFormat) -> Self {
+        self.format = FormatChoice::Force(f);
+        self
+    }
+
+    /// Builder: set the format-selection policy.
+    #[must_use]
+    pub fn format_choice(mut self, c: FormatChoice) -> Self {
+        self.format = c;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +194,7 @@ mod tests {
         assert!(d.structure_only);
         assert_eq!(d.direction, DirectionChoice::Auto);
         assert_eq!(d.merge_strategy, MergeStrategy::SortBased);
+        assert_eq!(d.format, FormatChoice::Auto);
         assert!(!d.transpose);
     }
 
@@ -166,12 +206,14 @@ mod tests {
             .early_exit(false)
             .structure_only(false)
             .merge_strategy(MergeStrategy::HeapMerge)
-            .switch_threshold(0.05);
+            .switch_threshold(0.05)
+            .force_format(StorageFormat::Dcsr);
         assert!(d.transpose);
         assert_eq!(d.direction, DirectionChoice::Force(Direction::Pull));
         assert!(!d.early_exit);
         assert!(!d.structure_only);
         assert_eq!(d.merge_strategy, MergeStrategy::HeapMerge);
         assert!((d.switch_threshold - 0.05).abs() < f64::EPSILON);
+        assert_eq!(d.format, FormatChoice::Force(StorageFormat::Dcsr));
     }
 }

@@ -47,9 +47,9 @@ use crate::descriptor::{Descriptor, Direction};
 use crate::error::{GrbError, GrbResult};
 use crate::mask::Mask;
 use crate::ops::{Monoid, Scalar, Semiring};
-use crate::ops_mxv::{col_kernel_parts, reduce_row, resolve_direction, SendPtr, ROW_GRAIN};
+use crate::ops_mxv::{col_kernel_parts, reduce_row, SendPtr, ROW_GRAIN};
 use crate::vector::{DenseVector, SparseVector, Vector};
-use graphblas_matrix::{Csr, Graph, VertexId};
+use graphblas_matrix::{Graph, RowAccess, StoreRef, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::pool;
 use rayon::prelude::*;
@@ -69,7 +69,7 @@ pub struct FusedOutput {
 /// [`assign_into`](FusedPipeline::assign_into); until then the builder just
 /// records operands, so constructing one is free and the kernel face (push
 /// or pull) is resolved at execution time by the same
-/// [`resolve_direction`] rule as
+/// [`resolve_direction`](crate::resolve_direction) rule as
 /// [`mxv`](crate::mxv) — the paper's Optimization 1 composes with fusion
 /// unchanged.
 ///
@@ -242,7 +242,7 @@ where
     /// always-write for BFS, write-if-smaller for CC/SSSP relaxations.
     ///
     /// Runs the push or pull kernel face per
-    /// [`resolve_direction`]; pull chunks write
+    /// [`resolve_direction`](crate::resolve_direction); pull chunks write
     /// `state` directly in parallel (rows are disjoint across chunks), push
     /// assigns from the merged harvest — neither face materializes an
     /// intermediate [`Vector`].
@@ -257,10 +257,12 @@ where
         U: Fn(Z, Z) -> Option<Z> + Sync + Send,
     {
         let FusedPipeline { base, apply, .. } = self;
-        let (operand, operand_t) = if base.desc.transpose {
-            (base.graph.csr_t(), base.graph.csr())
+        // Dims are validated on the baseline CSR; the executed face's
+        // store is served in the planned format below.
+        let operand = if base.desc.transpose {
+            base.graph.csr_t()
         } else {
-            (base.graph.csr(), base.graph.csr_t())
+            base.graph.csr()
         };
         if operand.n_cols() != base.input.dim() {
             return Err(GrbError::DimensionMismatch {
@@ -286,14 +288,16 @@ where
             });
         }
 
-        let dir = resolve_direction(base.input, &base.desc);
+        // Same planner as `mxv`: direction by the §6.3 storage rule,
+        // storage format by the shape rule (or the descriptor's forces).
+        let plan = crate::plan::resolve_plan(base.graph, base.input, &base.desc);
         if let Some(c) = base.counters {
-            match dir {
+            match plan.direction {
                 Direction::Push => c.add_push_step(),
                 Direction::Pull => c.add_pull_step(),
             }
         }
-        match dir {
+        match plan.direction {
             Direction::Push => {
                 let sparse_input;
                 let sv = match base.input.as_sparse() {
@@ -303,7 +307,11 @@ where
                         &sparse_input
                     }
                 };
-                Ok(fused_push(&base, operand_t, sv, &apply, &update, state))
+                Ok(match base.graph.store(!base.desc.transpose, plan.format) {
+                    StoreRef::Csr(m) => fused_push(&base, m, sv, &apply, &update, state),
+                    StoreRef::Bitmap(m) => fused_push(&base, m, sv, &apply, &update, state),
+                    StoreRef::Dcsr(m) => fused_push(&base, m, sv, &apply, &update, state),
+                })
             }
             Direction::Pull => {
                 let dense_input;
@@ -314,7 +322,11 @@ where
                         &dense_input
                     }
                 };
-                Ok(fused_pull(&base, operand, dv, &apply, &update, state))
+                Ok(match base.graph.store(base.desc.transpose, plan.format) {
+                    StoreRef::Csr(m) => fused_pull(&base, m, dv, &apply, &update, state),
+                    StoreRef::Bitmap(m) => fused_pull(&base, m, dv, &apply, &update, state),
+                    StoreRef::Dcsr(m) => fused_pull(&base, m, dv, &apply, &update, state),
+                })
             }
         }
     }
@@ -324,9 +336,9 @@ where
 /// (via [`col_kernel_parts`], so counters match the unfused kernel exactly),
 /// then apply + assign consume the harvested parts in one sequential pass —
 /// the sparse output vector is never built.
-fn fused_push<A, X, Y, Z, S, F, U>(
+fn fused_push<A, X, Y, Z, S, F, U, M>(
     base: &FusedMxv<'_, A, X, S>,
-    op_t: &Csr<A>,
+    op_t: &M,
     v: &SparseVector<X>,
     apply: &F,
     update: &U,
@@ -340,6 +352,7 @@ where
     S: Semiring<A, X, Y>,
     F: Fn(Y) -> Z,
     U: Fn(Z, Z) -> Option<Z>,
+    M: RowAccess<A>,
 {
     let (ids, vals): (Vec<u32>, Vec<Y>) =
         col_kernel_parts(base.s, op_t, v, base.mask, &base.desc, base.counters);
@@ -366,9 +379,9 @@ where
 /// unfused row kernel is never allocated. Chunk boundaries derive from the
 /// work-list size only ([`pool::index_chunks`]), so `touched` and every
 /// state write are identical at any lane count.
-fn fused_pull<A, X, Y, Z, S, F, U>(
+fn fused_pull<A, X, Y, Z, S, F, U, M>(
     base: &FusedMxv<'_, A, X, S>,
-    op: &Csr<A>,
+    op: &M,
     v: &DenseVector<X>,
     apply: &F,
     update: &U,
@@ -382,6 +395,7 @@ where
     S: Semiring<A, X, Y>,
     F: Fn(Y) -> Z + Sync + Send,
     U: Fn(Z, Z) -> Option<Z> + Sync + Send,
+    M: RowAccess<A>,
 {
     let s = base.s;
     let identity = s.add_monoid().identity();
@@ -410,7 +424,22 @@ where
     // Early-exit applies to masked pulls only, mirroring the `mxv`
     // dispatch; first-hit exit is the caller's stronger opt-in.
     let early_exit = base.mask.is_some() && base.desc.early_exit;
-    let work_len = active.map_or(n, <[u32]>::len);
+    // Unmasked, not keep-identity: a hypersparse store's empty rows reduce
+    // to the ⊕ identity and are skipped before apply/assign anyway, so
+    // scan only the non-empty rows and bulk-charge the skipped rows'
+    // bookkeeping (`examined + 1` = 1 vector touch each in `reduce_row`) —
+    // counter totals stay bit-identical to the full scan. `keep_identity`
+    // consumers (PageRank) assign identity rows too, so they keep the
+    // full scan.
+    let hyper = if base.mask.is_none() && !base.keep_identity {
+        op.nonempty_rows()
+    } else {
+        None
+    };
+    if let (Some(c), Some(rows)) = (base.counters, hyper) {
+        c.add_vector((n - rows.len()) as u64);
+    }
+    let work_len = active.or(hyper).map_or(n, <[u32]>::len);
     let out = SendPtr(state.as_mut_ptr());
     let parts: Vec<Vec<u32>> = pool::index_chunks(work_len, ROW_GRAIN)
         .into_par_iter()
@@ -427,7 +456,10 @@ where
                         (i, true)
                     }
                     (Some(m), None) => (idx, m.allows(idx)),
-                    (None, None) => (idx, true),
+                    (None, None) => match hyper {
+                        Some(rows) => (rows[idx] as usize, true),
+                        None => (idx, true),
+                    },
                 };
                 if !allowed {
                     continue;
@@ -467,9 +499,9 @@ where
 /// [`FusedMxv::first_hit_exit`] contract). Counter bookkeeping matches
 /// [`reduce_row`]: one matrix access per examined neighbor.
 #[inline]
-fn reduce_row_first_hit<A, X, Y, S>(
+fn reduce_row_first_hit<A, X, Y, S, M>(
     s: S,
-    op: &Csr<A>,
+    op: &M,
     v: &DenseVector<X>,
     i: usize,
     identity: Y,
@@ -480,6 +512,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     let add = s.add_monoid();
     let cols = op.row(i);

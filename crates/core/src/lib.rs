@@ -48,16 +48,19 @@ pub mod mxm;
 pub mod ops;
 pub mod ops_mxv;
 pub mod ops_mxv_batch;
+pub mod plan;
 pub mod vector;
 pub mod vector_ops;
 
-pub use descriptor::{Descriptor, Direction, DirectionChoice, MergeStrategy};
+pub use descriptor::{Descriptor, Direction, DirectionChoice, FormatChoice, MergeStrategy};
 pub use error::GrbError;
 pub use fused::{FusedMxv, FusedOutput, FusedPipeline};
+pub use graphblas_matrix::StorageFormat;
 pub use mask::Mask;
 pub use ops::{BoolOrAnd, MinPlus, Monoid, PlusTimes, Scalar, Semiring, SemiringNum};
 pub use ops_mxv::{
     col_masked_mxv, col_mxv, mxv, resolve_direction, row_masked_mxv, row_mxv, DirectionPolicy,
 };
 pub use ops_mxv_batch::{col_masked_mxv_batch, mxv_batch, row_masked_mxv_batch};
+pub use plan::{resolve_plan, ExecPlan, FormatPolicy};
 pub use vector::{ConvertState, DenseVector, MultiVector, SparseVector, Vector};

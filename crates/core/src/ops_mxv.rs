@@ -19,7 +19,7 @@ use crate::error::{GrbError, GrbResult};
 use crate::mask::Mask;
 use crate::ops::{Monoid, Scalar, Semiring};
 use crate::vector::{DenseVector, SparseVector, Vector};
-use graphblas_matrix::{Csr, Graph};
+use graphblas_matrix::{Graph, RowAccess, StoreRef};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::{gather, merge, pool, scan, segreduce, sort, AtomicBitVec, Spa};
 use rayon::prelude::*;
@@ -43,9 +43,9 @@ pub(crate) const MAX_SPAS: usize = 16;
 /// Row-based matvec without a mask: `w(i) = ⊕_j op(i,j) ⊗ v(j)` for every
 /// row. Touches every stored entry regardless of input sparsity — the
 /// `O(dM)` row of Table 1.
-pub fn row_mxv<A, X, Y, S>(
+pub fn row_mxv<A, X, Y, S, M>(
     s: S,
-    op: &Csr<A>,
+    op: &M,
     v: &DenseVector<X>,
     counters: Option<&AccessCounters>,
 ) -> DenseVector<Y>
@@ -54,25 +54,44 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     assert_eq!(op.n_cols(), v.dim(), "operand columns must match input dim");
     let add = s.add_monoid();
     let identity = add.identity();
-    // Row-range chunking with direct per-chunk output slices: each worker
-    // writes its rows straight into the dense output, no reassembly copy.
     let mut vals = vec![identity; op.n_rows()];
-    pool::par_fill_with(&mut vals, ROW_GRAIN, |i| {
-        reduce_row(s, op, v, i, identity, false, counters)
-    });
+    if let Some(rows) = op.nonempty_rows() {
+        // Hypersparse store: scan only the non-empty rows — the DCSR win.
+        // Empty rows contribute the ⊕ identity (already the fill) and
+        // their per-row bookkeeping (`reduce_row` charges `examined + 1`
+        // vector touches, i.e. exactly 1 for an empty row) is charged in
+        // bulk, so totals equal the full-scan CSR run bit-for-bit.
+        if let Some(c) = counters {
+            c.add_vector((op.n_rows() - rows.len()) as u64);
+        }
+        let out = SendPtr(vals.as_mut_ptr());
+        rows.par_iter().with_min_len(ROW_GRAIN).for_each(|&i| {
+            let y = reduce_row(s, op, v, i as usize, identity, false, counters);
+            // SAFETY: non-empty row ids are unique, so writes are disjoint.
+            unsafe { *out.get().add(i as usize) = y };
+        });
+    } else {
+        // Row-range chunking with direct per-chunk output slices: each
+        // worker writes its rows straight into the dense output, no
+        // reassembly copy.
+        pool::par_fill_with(&mut vals, ROW_GRAIN, |i| {
+            reduce_row(s, op, v, i, identity, false, counters)
+        });
+    }
     DenseVector::from_values(vals, identity)
 }
 
 /// Row-based **masked** matvec — Algorithm 2. Only rows the mask allows are
 /// computed; with `early_exit`, a row's reduction stops at the monoid's
 /// annihilator (the short-circuit OR of line 8). `O(d·nnz(m))`.
-pub fn row_masked_mxv<A, X, Y, S>(
+pub fn row_masked_mxv<A, X, Y, S, M>(
     s: S,
-    op: &Csr<A>,
+    op: &M,
     v: &DenseVector<X>,
     mask: &Mask<'_>,
     early_exit: bool,
@@ -83,6 +102,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     assert_eq!(op.n_cols(), v.dim(), "operand columns must match input dim");
     assert_eq!(op.n_rows(), mask.dim(), "mask must cover output dim");
@@ -126,9 +146,9 @@ where
 /// batched row kernel, so per-row work and counter bookkeeping are
 /// identical between single-source and batched pulls.
 #[inline]
-pub(crate) fn reduce_row<A, X, Y, S>(
+pub(crate) fn reduce_row<A, X, Y, S, M>(
     s: S,
-    op: &Csr<A>,
+    op: &M,
     v: &DenseVector<X>,
     i: usize,
     identity: Y,
@@ -140,6 +160,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     let add = s.add_monoid();
     let annihilator = add.annihilator();
@@ -174,9 +195,9 @@ where
 ///
 /// `op_t` must be the *transpose* of the logical operand: its rows are the
 /// operand's columns, which is how CSC access is realized (§3).
-pub fn col_mxv<A, X, Y, S>(
+pub fn col_mxv<A, X, Y, S, M>(
     s: S,
-    op_t: &Csr<A>,
+    op_t: &M,
     v: &SparseVector<X>,
     desc: &Descriptor,
     counters: Option<&AccessCounters>,
@@ -186,6 +207,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     col_kernel(s, op_t, v, None, desc, counters)
 }
@@ -194,9 +216,9 @@ where
 /// (lines 17–24). The mask does *not* reduce work here (Fig. 4d): the full
 /// expansion, sort, and reduction happen first; the mask only gates which
 /// entries reach the output.
-pub fn col_masked_mxv<A, X, Y, S>(
+pub fn col_masked_mxv<A, X, Y, S, M>(
     s: S,
-    op_t: &Csr<A>,
+    op_t: &M,
     v: &SparseVector<X>,
     mask: &Mask<'_>,
     desc: &Descriptor,
@@ -207,14 +229,15 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     assert_eq!(op_t.n_rows(), mask.dim(), "mask must cover output dim");
     col_kernel(s, op_t, v, Some(mask), desc, counters)
 }
 
-fn col_kernel<A, X, Y, S>(
+fn col_kernel<A, X, Y, S, M>(
     s: S,
-    op_t: &Csr<A>,
+    op_t: &M,
     v: &SparseVector<X>,
     mask: Option<&Mask<'_>>,
     desc: &Descriptor,
@@ -225,6 +248,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     let (ids, vals) = col_kernel_parts(s, op_t, v, mask, desc, counters);
     SparseVector::from_sorted(ids, vals)
@@ -238,9 +262,9 @@ where
 /// ([`crate::fused::FusedMxv`]) consumes the parts directly so the applied/
 /// assigned chain never materializes an intermediate vector. Counter
 /// bookkeeping is identical either way.
-pub(crate) fn col_kernel_parts<A, X, Y, S>(
+pub(crate) fn col_kernel_parts<A, X, Y, S, M>(
     s: S,
-    op_t: &Csr<A>,
+    op_t: &M,
     v: &SparseVector<X>,
     mask: Option<&Mask<'_>>,
     desc: &Descriptor,
@@ -251,6 +275,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     let add = s.add_monoid();
     let identity = add.identity();
@@ -390,10 +415,11 @@ pub(crate) fn filter_col_output<Y: Scalar>(
 /// The expansion preamble every column-kernel arm shares: scatter offsets
 /// over the frontier's selected columns (CSR-style, trailing total) and
 /// the expanded product count.
-pub(crate) fn expansion_offsets<A, X>(op_t: &Csr<A>, v: &SparseVector<X>) -> (Vec<usize>, usize)
+pub(crate) fn expansion_offsets<A, X, M>(op_t: &M, v: &SparseVector<X>) -> (Vec<usize>, usize)
 where
     A: Scalar,
     X: Scalar,
+    M: RowAccess<A>,
 {
     let lengths: Vec<usize> = v.ids().iter().map(|&k| op_t.degree(k as usize)).collect();
     let offsets = scan::exclusive_scan_offsets(&lengths);
@@ -412,9 +438,9 @@ where
 /// tie-breaking by list order makes the whole reduction group operands
 /// exactly as a left-to-right walk of each chunk — deterministic for any
 /// associative ⊕.
-fn spa_merge_kernel<A, X, Y, S>(
+fn spa_merge_kernel<A, X, Y, S, M>(
     s: S,
-    op_t: &Csr<A>,
+    op_t: &M,
     v: &SparseVector<X>,
     counters: Option<&AccessCounters>,
 ) -> (Vec<u32>, Vec<Y>)
@@ -423,6 +449,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     let (offsets, total) = expansion_offsets(op_t, v);
     if let Some(c) = counters {
@@ -466,9 +493,9 @@ pub(crate) fn spa_chunk_ranges(offsets: &[usize], total: usize) -> Vec<(usize, u
 
 /// Scatter one chunk of frontier segments `[s0, s1)` into a private SPA
 /// and harvest the sorted (row, value) pairs.
-pub(crate) fn spa_harvest_chunk<A, X, Y, S>(
+pub(crate) fn spa_harvest_chunk<A, X, Y, S, M>(
     s: S,
-    op_t: &Csr<A>,
+    op_t: &M,
     v: &SparseVector<X>,
     s0: usize,
     s1: usize,
@@ -478,6 +505,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     let add = s.add_monoid();
     let identity = add.identity();
@@ -517,9 +545,9 @@ where
 }
 
 /// Expand the selected columns into a flat (row-index, product) pair list.
-fn expand_pairs<A, X, Y, S>(
+fn expand_pairs<A, X, Y, S, M>(
     s: S,
-    op_t: &Csr<A>,
+    op_t: &M,
     v: &SparseVector<X>,
     counters: Option<&AccessCounters>,
 ) -> (Vec<u32>, Vec<Y>)
@@ -528,6 +556,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     let (offsets, total) = expansion_offsets(op_t, v);
     if let Some(c) = counters {
@@ -554,14 +583,15 @@ where
 
 /// Expand the selected columns into bare row indices (structure-only path:
 /// no matrix values, no products).
-fn expand_keys_only<A, X>(
-    op_t: &Csr<A>,
+fn expand_keys_only<A, X, M>(
+    op_t: &M,
     v: &SparseVector<X>,
     counters: Option<&AccessCounters>,
 ) -> Vec<u32>
 where
     A: Scalar,
     X: Scalar,
+    M: RowAccess<A>,
 {
     let (offsets, total) = expansion_offsets(op_t, v);
     if let Some(c) = counters {
@@ -767,11 +797,13 @@ where
     S: Semiring<A, X, Y>,
 {
     // Operand orientation: `operand` is what row-based iterates rows of;
-    // `operand_t` (its transpose) is what column-based iterates rows of.
-    let (operand, operand_t) = if desc.transpose {
-        (graph.csr_t(), graph.csr())
+    // its transpose is what column-based iterates rows of. Dims are
+    // validated on the baseline CSR; the kernel's store is served in the
+    // planned format below.
+    let operand = if desc.transpose {
+        graph.csr_t()
     } else {
-        (graph.csr(), graph.csr_t())
+        graph.csr()
     };
     if operand.n_cols() != v.dim() {
         return Err(GrbError::DimensionMismatch {
@@ -791,14 +823,19 @@ where
     }
 
     let identity = s.add_monoid().identity();
-    let dir = resolve_direction(v, desc);
+    // The execution plan: direction by the §6.3 storage rule (or force),
+    // storage format by the planner's shape rule (or force). The face's
+    // operand is then served in that format from the graph's cache, and
+    // the same generic kernel runs whichever backend comes out — formats
+    // change wall clock, never results or counters.
+    let plan = crate::plan::resolve_plan(graph, v, desc);
     if let Some(c) = counters {
-        match dir {
+        match plan.direction {
             Direction::Push => c.add_push_step(),
             Direction::Pull => c.add_pull_step(),
         }
     }
-    match dir {
+    match plan.direction {
         Direction::Push => {
             let sparse_input;
             let sv = match v.as_sparse() {
@@ -808,9 +845,10 @@ where
                     &sparse_input
                 }
             };
-            let out = match mask {
-                Some(m) => col_masked_mxv(s, operand_t, sv, m, desc, counters),
-                None => col_mxv(s, operand_t, sv, desc, counters),
+            let out = match graph.store(!desc.transpose, plan.format) {
+                StoreRef::Csr(m) => push_face(s, m, sv, mask, desc, counters),
+                StoreRef::Bitmap(m) => push_face(s, m, sv, mask, desc, counters),
+                StoreRef::Dcsr(m) => push_face(s, m, sv, mask, desc, counters),
             };
             let (ids, vals) = (out.ids().to_vec(), out.vals().to_vec());
             Ok(Vector::from_sparse(operand.n_rows(), identity, ids, vals))
@@ -824,12 +862,57 @@ where
                     &dense_input
                 }
             };
-            let out = match mask {
-                Some(m) => row_masked_mxv(s, operand, dv, m, desc.early_exit, counters),
-                None => row_mxv(s, operand, dv, counters),
+            let out = match graph.store(desc.transpose, plan.format) {
+                StoreRef::Csr(m) => pull_face(s, m, dv, mask, desc, counters),
+                StoreRef::Bitmap(m) => pull_face(s, m, dv, mask, desc, counters),
+                StoreRef::Dcsr(m) => pull_face(s, m, dv, mask, desc, counters),
             };
             Ok(Vector::Dense(out))
         }
+    }
+}
+
+/// The push face for one concrete store: masked or unmasked column kernel.
+fn push_face<A, X, Y, S, M>(
+    s: S,
+    op_t: &M,
+    sv: &SparseVector<X>,
+    mask: Option<&Mask<'_>>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> SparseVector<Y>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
+{
+    match mask {
+        Some(m) => col_masked_mxv(s, op_t, sv, m, desc, counters),
+        None => col_mxv(s, op_t, sv, desc, counters),
+    }
+}
+
+/// The pull face for one concrete store: masked or unmasked row kernel.
+fn pull_face<A, X, Y, S, M>(
+    s: S,
+    op: &M,
+    dv: &DenseVector<X>,
+    mask: Option<&Mask<'_>>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> DenseVector<Y>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
+{
+    match mask {
+        Some(m) => row_masked_mxv(s, op, dv, m, desc.early_exit, counters),
+        None => row_mxv(s, op, dv, counters),
     }
 }
 

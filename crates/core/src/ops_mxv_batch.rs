@@ -39,7 +39,7 @@ use crate::ops_mxv::{
     spa_merge_parts, DirectionPolicy, SendPtr, ROW_GRAIN,
 };
 use crate::vector::{DenseVector, MultiVector, SparseVector, Vector};
-use graphblas_matrix::{Csr, Graph};
+use graphblas_matrix::{Graph, RowAccess, StoreRef};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::pool;
 use rayon::prelude::*;
@@ -50,9 +50,9 @@ use rayon::prelude::*;
 /// Per-source semantics and counter bookkeeping are identical to
 /// [`crate::ops_mxv::row_masked_mxv`] (with an active list when the mask
 /// carries one) / [`crate::ops_mxv::row_mxv`] (when `masks` is `None`).
-pub fn row_masked_mxv_batch<A, X, Y, S>(
+pub fn row_masked_mxv_batch<A, X, Y, S, M>(
     s: S,
-    op: &Csr<A>,
+    op: &M,
     vs: &[&DenseVector<X>],
     masks: Option<&[Mask<'_>]>,
     early_exit: bool,
@@ -63,6 +63,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     if let Some(ms) = masks {
         assert_eq!(ms.len(), vs.len(), "one mask per batch row");
@@ -78,18 +79,30 @@ where
     let n = op.n_rows();
 
     // Per-source work extents: the mask's active list when present (the
-    // §3.2 amortized unvisited list), otherwise all rows.
+    // §3.2 amortized unvisited list); otherwise all rows — or, on a
+    // hypersparse store with no masks, just the non-empty rows, with the
+    // skipped empty rows' bookkeeping (`examined + 1` = 1 vector touch
+    // each in `reduce_row`) charged in bulk so counter totals stay
+    // bit-identical to the full-scan CSR run.
+    let hyper_rows = if masks.is_none() {
+        op.nonempty_rows()
+    } else {
+        None
+    };
     let lens: Vec<usize> = match masks {
         Some(ms) => ms
             .iter()
             .map(|m| m.active_list().map_or(n, <[u32]>::len))
             .collect(),
-        None => vec![n; vs.len()],
+        None => vec![hyper_rows.map_or(n, <[u32]>::len); vs.len()],
     };
     if let (Some(c), Some(_)) = (counters, masks) {
         for &len in &lens {
             c.add_mask(len as u64);
         }
+    }
+    if let (Some(c), Some(rows)) = (counters, hyper_rows) {
+        c.add_vector((vs.len() * (n - rows.len())) as u64);
     }
 
     let mut outs: Vec<Vec<Y>> = vs.iter().map(|_| vec![identity; n]).collect();
@@ -108,15 +121,23 @@ where
                         debug_assert!(m.allows(i), "active list disagrees with mask");
                         (i, true)
                     }
-                    None => (idx, m.allows(idx)),
+                    None => {
+                        // The hypersparse skip is unmasked-only: with a
+                        // mask present it would bypass `m.allows`.
+                        debug_assert!(hyper_rows.is_none(), "skip is gated on masks.is_none()");
+                        (idx, m.allows(idx))
+                    }
                 },
-                None => (idx, true),
+                None => match hyper_rows {
+                    Some(rows) => (rows[idx] as usize, true),
+                    None => (idx, true),
+                },
             };
             if allowed {
                 let y = reduce_row(s, op, v, i, identity, early_exit, counters);
                 // SAFETY: within a source, grid indices (and the unique
-                // active-list rows they map to) are disjoint; across
-                // sources the output buffers are distinct.
+                // active-list or non-empty rows they map to) are disjoint;
+                // across sources the output buffers are distinct.
                 unsafe { *ptrs[j].get().add(i) = y };
             }
         }
@@ -136,9 +157,9 @@ where
 /// single-source column kernel under [`crate::MergeStrategy::SpaMerge`] — the
 /// CPU-parallel merge arm — including the final mask filter of
 /// Algorithm 3 (a mask never reduces push work, Fig. 4d).
-pub fn col_masked_mxv_batch<A, X, Y, S>(
+pub fn col_masked_mxv_batch<A, X, Y, S, M>(
     s: S,
-    op_t: &Csr<A>,
+    op_t: &M,
     vs: &[&SparseVector<X>],
     masks: Option<&[Mask<'_>]>,
     counters: Option<&AccessCounters>,
@@ -148,6 +169,7 @@ where
     X: Scalar,
     Y: Scalar,
     S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
 {
     if let Some(ms) = masks {
         assert_eq!(ms.len(), vs.len(), "one mask per batch row");
@@ -263,10 +285,12 @@ where
     Y: Scalar,
     S: Semiring<A, X, Y>,
 {
-    let (operand, operand_t) = if desc.transpose {
-        (graph.csr_t(), graph.csr())
+    // Dims are validated on the baseline CSR; kernel stores come from the
+    // resolved format below.
+    let operand = if desc.transpose {
+        graph.csr_t()
     } else {
-        (graph.csr(), graph.csr_t())
+        graph.csr()
     };
     let k = input.k();
     if operand.n_cols() != input.dim() {
@@ -335,6 +359,12 @@ where
     let identity = s.add_monoid().identity();
     let mut out_rows: Vec<Option<Vector<Y>>> = (0..k).map(|_| None).collect();
 
+    // One storage format serves the whole batch call (per-row directions
+    // stay independent); the faces below fetch their operand in it. As in
+    // `mxv`, the format changes wall clock only — per-row work and
+    // counters are format-invariant.
+    let format = crate::plan::resolve_format_batch(graph, desc);
+
     // Push face: sparse inputs (converting dense rows as `mxv` does),
     // masks subset in row order.
     if !push_rows.is_empty() {
@@ -355,7 +385,11 @@ where
             .collect();
         let sub_masks: Option<Vec<Mask<'_>>> =
             masks.map(|ms| push_rows.iter().map(|&r| ms[r]).collect());
-        let outs = col_masked_mxv_batch(s, operand_t, &svs, sub_masks.as_deref(), counters);
+        let outs = match graph.store(!desc.transpose, format) {
+            StoreRef::Csr(m) => col_masked_mxv_batch(s, m, &svs, sub_masks.as_deref(), counters),
+            StoreRef::Bitmap(m) => col_masked_mxv_batch(s, m, &svs, sub_masks.as_deref(), counters),
+            StoreRef::Dcsr(m) => col_masked_mxv_batch(s, m, &svs, sub_masks.as_deref(), counters),
+        };
         for (&r, sv) in push_rows.iter().zip(outs) {
             let (ids, vals) = (sv.ids().to_vec(), sv.vals().to_vec());
             out_rows[r] = Some(Vector::from_sparse(operand.n_rows(), identity, ids, vals));
@@ -383,8 +417,17 @@ where
         let sub_masks: Option<Vec<Mask<'_>>> =
             masks.map(|ms| pull_rows.iter().map(|&r| ms[r]).collect());
         let early_exit = masks.is_some() && desc.early_exit;
-        let outs =
-            row_masked_mxv_batch(s, operand, &dvs, sub_masks.as_deref(), early_exit, counters);
+        let outs = match graph.store(desc.transpose, format) {
+            StoreRef::Csr(m) => {
+                row_masked_mxv_batch(s, m, &dvs, sub_masks.as_deref(), early_exit, counters)
+            }
+            StoreRef::Bitmap(m) => {
+                row_masked_mxv_batch(s, m, &dvs, sub_masks.as_deref(), early_exit, counters)
+            }
+            StoreRef::Dcsr(m) => {
+                row_masked_mxv_batch(s, m, &dvs, sub_masks.as_deref(), early_exit, counters)
+            }
+        };
         for (&r, dv) in pull_rows.iter().zip(outs) {
             out_rows[r] = Some(Vector::Dense(dv));
         }

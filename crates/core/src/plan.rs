@@ -1,0 +1,455 @@
+//! The execution planner: direction × storage format as one decision.
+//!
+//! The paper resolves *direction* from the input vector's storage (§6.3);
+//! SuiteSparse:GraphBLAS and GraphBLAST additionally resolve the *matrix
+//! format* per operation, and the nonblocking-GraphBLAS line of work
+//! argues this selection belongs in a planner rather than in each
+//! algorithm. [`resolve_plan`] generalizes
+//! [`resolve_direction`] accordingly: given the
+//! operands and a [`Descriptor`], it returns an [`ExecPlan`] naming both
+//! the kernel face (push/pull) and the storage backend (CSR / bitmap /
+//! hypersparse DCSR) that face should iterate.
+//!
+//! Two layers, mirroring the direction machinery exactly:
+//!
+//! * **Memoryless rule** — [`resolve_plan`] / [`auto_format`]: what `mxv`,
+//!   `mxv_batch`, and the fused pipeline apply per call when the
+//!   descriptor says [`FormatChoice::Auto`]. Pure function of the operand
+//!   matrix's static shape and the resolved direction.
+//! * **Stateful policy** — [`FormatPolicy`]: what iterative algorithms
+//!   thread through their loops (the format analogue of
+//!   [`DirectionPolicy`](crate::DirectionPolicy)), with a
+//!   `ConvertState`-style debounce so a direction flap cannot thrash
+//!   conversions, and with every adopted change charged to the
+//!   `format_switches` counter so plan behaviour is observable next to
+//!   `push_steps`/`pull_steps`.
+//!
+//! The selection rule (documented in `docs/ARCHITECTURE.md`):
+//!
+//! 1. operand row occupancy `< `[`HYPERSPARSE_OCCUPANCY`] ⇒ **DCSR** —
+//!    full scans then touch only the non-empty rows;
+//! 2. else, pull direction with average degree `≥ `[`BITMAP_MIN_DEGREE`]
+//!    and a feasible bitmap ⇒ **bitmap** — dense phases get O(1)
+//!    membership at tolerable memory;
+//! 3. else **CSR**.
+//!
+//! Formats never change results or access counters — the kernels are
+//! generic over [`graphblas_matrix::RowAccess`] and charge identically on
+//! every backend (`tests/prop_core.rs` pins values *and* counters against
+//! the `Fixed(Csr)` oracle) — so the planner is free to chase wall clock.
+
+use crate::descriptor::{Descriptor, Direction, FormatChoice};
+use crate::ops::Scalar;
+use crate::ops_mxv::resolve_direction;
+use crate::vector::Vector;
+use graphblas_matrix::{Graph, StorageFormat};
+use graphblas_primitives::counters::AccessCounters;
+
+/// Row-occupancy threshold below which an operand counts as hypersparse
+/// and the planner selects DCSR (1/8 of rows non-empty).
+pub const HYPERSPARSE_OCCUPANCY: f64 = 0.125;
+
+/// Average-degree threshold at or above which a pull-direction operand
+/// selects the bitmap store (when it fits).
+pub const BITMAP_MIN_DEGREE: f64 = 8.0;
+
+/// A resolved execution plan: which kernel face runs, over which storage
+/// backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecPlan {
+    /// The kernel face (push = column-based, pull = row-based).
+    pub direction: Direction,
+    /// The storage format the face's operand will be served in.
+    pub format: StorageFormat,
+}
+
+/// Which physical orientation the chosen kernel face iterates rows of:
+/// pull walks rows of the operand, push walks rows of its transpose.
+/// Returns the `transposed` flag for [`Graph::store`].
+#[must_use]
+pub fn operand_side(transpose: bool, direction: Direction) -> bool {
+    match direction {
+        Direction::Pull => transpose,
+        Direction::Push => !transpose,
+    }
+}
+
+/// The memoryless format rule for one orientation of a graph, given the
+/// resolved direction — the [`FormatChoice::Auto`] arm of
+/// [`resolve_plan`].
+#[must_use]
+pub fn auto_format<A: Scalar>(
+    graph: &Graph<A>,
+    transpose: bool,
+    direction: Direction,
+) -> StorageFormat {
+    let side = operand_side(transpose, direction);
+    // DCSR only pays off where a full scan happens — the pull face, whose
+    // unmasked kernels skip the empty rows. The push face looks up only
+    // frontier-selected rows, where CSR's O(1) `row_ptr` beats DCSR's
+    // per-row binary search, so hypersparsity never steers push off CSR.
+    if direction == Direction::Pull && graph.row_occupancy(side) < HYPERSPARSE_OCCUPANCY {
+        return StorageFormat::Dcsr;
+    }
+    let csr = if side { graph.csr_t() } else { graph.csr() };
+    if direction == Direction::Pull
+        && csr.avg_degree() >= BITMAP_MIN_DEGREE
+        && graph.effective_format(side, StorageFormat::Bitmap) == StorageFormat::Bitmap
+    {
+        return StorageFormat::Bitmap;
+    }
+    StorageFormat::Csr
+}
+
+/// The batched variant of [`auto_format`]: one format serves a whole
+/// `mxv_batch` call whose rows may split across both kernel faces, so
+/// only the direction-independent hypersparse rule applies (DCSR when
+/// *both* orientations are hypersparse, since push and pull rows iterate
+/// opposite orientations).
+#[must_use]
+pub fn auto_format_batch<A: Scalar>(graph: &Graph<A>, transpose: bool) -> StorageFormat {
+    let both_hypersparse = graph.row_occupancy(transpose) < HYPERSPARSE_OCCUPANCY
+        && graph.row_occupancy(!transpose) < HYPERSPARSE_OCCUPANCY;
+    if both_hypersparse {
+        StorageFormat::Dcsr
+    } else {
+        StorageFormat::Csr
+    }
+}
+
+/// Resolve the full execution plan for a `mxv`-shaped call: the direction
+/// by the storage rule [`resolve_direction`] implements (or the
+/// descriptor's force), the format by the descriptor's [`FormatChoice`]
+/// (with an infeasible bitmap degraded to CSR so the reported plan always
+/// matches what executes).
+#[must_use]
+pub fn resolve_plan<A: Scalar, X: Scalar>(
+    graph: &Graph<A>,
+    v: &Vector<X>,
+    desc: &Descriptor,
+) -> ExecPlan {
+    let direction = resolve_direction(v, desc);
+    let format = match desc.format {
+        FormatChoice::Force(f) => {
+            graph.effective_format(operand_side(desc.transpose, direction), f)
+        }
+        FormatChoice::Auto => auto_format(graph, desc.transpose, direction),
+    };
+    ExecPlan { direction, format }
+}
+
+/// Resolve the format for a batched call (`mxv_batch`), whose per-row
+/// directions are decided separately.
+#[must_use]
+pub fn resolve_format_batch<A: Scalar>(graph: &Graph<A>, desc: &Descriptor) -> StorageFormat {
+    match desc.format {
+        // Both faces may run; use the operand side for feasibility (the
+        // orientations of a graph share their shape, so the check agrees).
+        FormatChoice::Force(f) => graph.effective_format(desc.transpose, f),
+        FormatChoice::Auto => auto_format_batch(graph, desc.transpose),
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FormatMode {
+    Auto,
+    Fixed(StorageFormat),
+}
+
+/// The stateful format-selection policy iterative algorithms thread
+/// through their loops — the format analogue of
+/// [`DirectionPolicy`](crate::DirectionPolicy).
+///
+/// `update` is called once per iteration with the graph and this
+/// iteration's resolved direction; it returns the format to force into
+/// the descriptor and charges one `format_switches` counter tick whenever
+/// the returned format differs from the previous iteration's (every graph
+/// is born CSR, so the baseline before the first call is
+/// [`StorageFormat::Csr`]).
+///
+/// In `Auto` mode the policy wraps [`auto_format`] in a
+/// `ConvertState`-style debounce: moving away from the current format
+/// requires the memoryless rule to prefer the same new format on two
+/// consecutive updates. Matrix shape is static, but the *direction* input
+/// flaps at phase boundaries (push↔pull), and each format change an
+/// algorithm acts on costs a one-time conversion — the debounce keeps a
+/// single bounced iteration from paying it twice, exactly as §6.3's
+/// hysteresis keeps the frontier from thrashing sparse↔dense.
+#[derive(Clone, Copy, Debug)]
+pub struct FormatPolicy {
+    mode: FormatMode,
+    current: Option<StorageFormat>,
+    pending: Option<StorageFormat>,
+}
+
+impl Default for FormatPolicy {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl FormatPolicy {
+    /// The planner decides per iteration (the production default).
+    #[must_use]
+    pub fn auto() -> Self {
+        Self {
+            mode: FormatMode::Auto,
+            current: None,
+            pending: None,
+        }
+    }
+
+    /// Pin every iteration to one format. `Fixed(Csr)` is the tested
+    /// oracle every other policy must match bit-for-bit in values and
+    /// accesses.
+    #[must_use]
+    pub fn fixed(f: StorageFormat) -> Self {
+        Self {
+            mode: FormatMode::Fixed(f),
+            current: None,
+            pending: None,
+        }
+    }
+
+    /// The format the last `update` settled on (CSR before any update).
+    #[must_use]
+    pub fn current(&self) -> StorageFormat {
+        self.current.unwrap_or(StorageFormat::Csr)
+    }
+
+    fn adopt(
+        &mut self,
+        preferred: StorageFormat,
+        counters: Option<&AccessCounters>,
+    ) -> StorageFormat {
+        let next = match self.mode {
+            FormatMode::Fixed(_) => preferred,
+            FormatMode::Auto => match self.current {
+                None => preferred,
+                Some(cur) if preferred == cur => {
+                    self.pending = None;
+                    cur
+                }
+                Some(cur) => {
+                    if self.pending == Some(preferred) {
+                        // Second consecutive preference: switch.
+                        self.pending = None;
+                        preferred
+                    } else {
+                        self.pending = Some(preferred);
+                        cur
+                    }
+                }
+            },
+        };
+        if next != self.current() {
+            if let Some(c) = counters {
+                c.add_format_switch();
+            }
+        }
+        self.current = Some(next);
+        next
+    }
+
+    /// Feed one iteration's direction; returns the format to run it with
+    /// and charges `format_switches` on change.
+    pub fn update<A: Scalar>(
+        &mut self,
+        graph: &Graph<A>,
+        transpose: bool,
+        direction: Direction,
+        counters: Option<&AccessCounters>,
+    ) -> StorageFormat {
+        let preferred = match self.mode {
+            FormatMode::Fixed(f) => graph.effective_format(operand_side(transpose, direction), f),
+            FormatMode::Auto => auto_format(graph, transpose, direction),
+        };
+        self.adopt(preferred, counters)
+    }
+
+    /// Batched variant of [`FormatPolicy::update`] for `mxv_batch` loops,
+    /// whose rows resolve directions independently (see
+    /// [`auto_format_batch`]).
+    pub fn update_batch<A: Scalar>(
+        &mut self,
+        graph: &Graph<A>,
+        transpose: bool,
+        counters: Option<&AccessCounters>,
+    ) -> StorageFormat {
+        let preferred = match self.mode {
+            FormatMode::Fixed(f) => graph.effective_format(transpose, f),
+            FormatMode::Auto => auto_format_batch(graph, transpose),
+        };
+        self.adopt(preferred, counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_matrix::Coo;
+
+    /// Dense-ish 8-vertex clique fragment: occupancy 1.0, degree ≥ 8 via
+    /// self-contained construction — pull prefers bitmap, push CSR.
+    fn dense_graph() -> Graph<bool> {
+        let n = 16;
+        let mut coo = Coo::new(n, n);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    coo.push(u, v, true);
+                }
+            }
+        }
+        Graph::from_coo(&coo)
+    }
+
+    /// 3 non-empty rows embedded in 64 vertices: occupancy < 1/8.
+    fn hypersparse_graph() -> Graph<bool> {
+        let mut coo = Coo::new(64, 64);
+        for &(u, v) in &[(0u32, 40u32), (1, 41), (2, 42)] {
+            coo.push(u, v, true);
+            coo.push(v, u, true);
+        }
+        Graph::from_coo(&coo)
+    }
+
+    #[test]
+    fn auto_rule_picks_dcsr_for_hypersparse_pull_only() {
+        let g = hypersparse_graph();
+        assert_eq!(
+            auto_format(&g, true, Direction::Pull),
+            StorageFormat::Dcsr,
+            "pull full scans win from the compressed row list"
+        );
+        assert_eq!(
+            auto_format(&g, true, Direction::Push),
+            StorageFormat::Csr,
+            "push row lookups stay on O(1) CSR"
+        );
+        assert_eq!(auto_format_batch(&g, true), StorageFormat::Dcsr);
+    }
+
+    #[test]
+    fn auto_rule_picks_bitmap_only_for_dense_pull() {
+        let g = dense_graph();
+        assert_eq!(
+            auto_format(&g, true, Direction::Pull),
+            StorageFormat::Bitmap
+        );
+        assert_eq!(auto_format(&g, true, Direction::Push), StorageFormat::Csr);
+        assert_eq!(auto_format_batch(&g, true), StorageFormat::Csr);
+    }
+
+    #[test]
+    fn resolve_plan_combines_direction_and_format() {
+        let g = hypersparse_graph();
+        let sparse = Vector::singleton(64, false, 0, true);
+        let desc = Descriptor::new().transpose(true);
+        let plan = resolve_plan(&g, &sparse, &desc);
+        assert_eq!(plan.direction, Direction::Push);
+        assert_eq!(plan.format, StorageFormat::Csr);
+
+        let mut dense = sparse.clone();
+        dense.make_dense();
+        let plan = resolve_plan(&g, &dense, &desc);
+        assert_eq!(plan.direction, Direction::Pull);
+        assert_eq!(plan.format, StorageFormat::Dcsr);
+
+        // A forced format wins over the auto rule.
+        let forced = resolve_plan(&g, &dense, &desc.force_format(StorageFormat::Csr));
+        assert_eq!(forced.format, StorageFormat::Csr);
+    }
+
+    #[test]
+    fn operand_side_maps_face_to_orientation() {
+        // BFS (transpose = true): pull walks Aᵀ rows, push walks A rows.
+        assert!(operand_side(true, Direction::Pull));
+        assert!(!operand_side(true, Direction::Push));
+        assert!(!operand_side(false, Direction::Pull));
+        assert!(operand_side(false, Direction::Push));
+    }
+
+    #[test]
+    fn fixed_policy_charges_one_switch_and_holds() {
+        let g = hypersparse_graph();
+        let c = AccessCounters::new();
+        let mut p = FormatPolicy::fixed(StorageFormat::Dcsr);
+        assert_eq!(
+            p.update(&g, true, Direction::Push, Some(&c)),
+            StorageFormat::Dcsr
+        );
+        assert_eq!(c.snapshot().format_switches, 1, "Csr → Dcsr charged once");
+        for _ in 0..3 {
+            p.update(&g, true, Direction::Pull, Some(&c));
+        }
+        assert_eq!(c.snapshot().format_switches, 1, "no further switches");
+
+        let c2 = AccessCounters::new();
+        let mut oracle = FormatPolicy::fixed(StorageFormat::Csr);
+        oracle.update(&g, true, Direction::Push, Some(&c2));
+        assert_eq!(
+            c2.snapshot().format_switches,
+            0,
+            "Csr oracle never switches"
+        );
+    }
+
+    #[test]
+    fn auto_policy_debounces_direction_flaps() {
+        let g = dense_graph();
+        let c = AccessCounters::new();
+        let mut p = FormatPolicy::auto();
+        // First call adopts immediately (push on a dense graph → CSR).
+        assert_eq!(
+            p.update(&g, true, Direction::Push, Some(&c)),
+            StorageFormat::Csr
+        );
+        // One pull iteration prefers bitmap but the debounce holds CSR.
+        assert_eq!(
+            p.update(&g, true, Direction::Pull, Some(&c)),
+            StorageFormat::Csr
+        );
+        // Second consecutive pull: switch.
+        assert_eq!(
+            p.update(&g, true, Direction::Pull, Some(&c)),
+            StorageFormat::Bitmap
+        );
+        assert_eq!(c.snapshot().format_switches, 1);
+        // A single push bounce does not thrash back…
+        assert_eq!(
+            p.update(&g, true, Direction::Push, Some(&c)),
+            StorageFormat::Bitmap
+        );
+        // …but a sustained push phase does.
+        assert_eq!(
+            p.update(&g, true, Direction::Push, Some(&c)),
+            StorageFormat::Csr
+        );
+        assert_eq!(c.snapshot().format_switches, 2);
+        assert_eq!(p.current(), StorageFormat::Csr);
+    }
+
+    #[test]
+    fn infeasible_bitmap_degrades_to_csr_everywhere() {
+        // Shape too large for a bitmap: Force(Bitmap) must degrade
+        // identically in the plan and the policy.
+        let n = 1 << 15; // 2^30 bits > MAX_BITS
+        let mut coo = Coo::new(n, n);
+        for u in 0..64u32 {
+            coo.push(u, (u + 1) % 64, true);
+        }
+        let g = Graph::from_coo(&coo);
+        let desc = Descriptor::new()
+            .transpose(true)
+            .force_format(StorageFormat::Bitmap);
+        let mut dense = Vector::singleton(n, false, 0, true);
+        dense.make_dense();
+        assert_eq!(resolve_plan(&g, &dense, &desc).format, StorageFormat::Csr);
+        let mut p = FormatPolicy::fixed(StorageFormat::Bitmap);
+        assert_eq!(
+            p.update(&g, true, Direction::Pull, None),
+            StorageFormat::Csr
+        );
+    }
+}

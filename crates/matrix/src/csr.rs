@@ -2,13 +2,19 @@
 //!
 //! CSR of `A` is simultaneously CSC of `Aᵀ`: row `i` of the structure holds
 //! the out-neighbors of vertex `i` when it stores `A`, and the in-neighbors
-//! when it stores `Aᵀ`. The matvec kernels in `graphblas_core` only ever see
-//! a `Csr` plus a flag for which orientation it represents.
+//! when it stores `Aᵀ`. The matvec kernels in `graphblas_core` are generic
+//! over the [`crate::storage::RowAccess`] surface, so they run on a `Csr`,
+//! a [`crate::storage::BitmapStore`], or a hypersparse
+//! [`crate::storage::Dcsr`] interchangeably — `Csr` is the baseline format
+//! every graph is born in and the oracle the other formats are tested
+//! against; a flag at the dispatch layer says which orientation (`A` or
+//! `Aᵀ`) a given store represents.
 //!
 //! Column indices within each row are kept sorted — the paper's sparse
 //! vectors and matrix slices are "sorted lists of indices and values" (§3),
 //! which the multiway-merge analysis relies on.
 
+use crate::mmio::MmError;
 use crate::{Coo, VertexId};
 use graphblas_primitives::scan;
 use rayon::prelude::*;
@@ -26,8 +32,34 @@ pub struct Csr<V> {
 impl<V: Copy + Send + Sync> Csr<V> {
     /// Build from a COO. Duplicates must already be collapsed (use
     /// [`Coo::dedup`] or [`Coo::clean_undirected`]); this is debug-asserted.
+    /// Loaders handling untrusted input should use [`Csr::try_from_coo`],
+    /// which performs the duplicate check in release builds too.
     #[must_use]
     pub fn from_coo(coo: &Coo<V>) -> Self {
+        let me = Self::build_from_coo(coo);
+        debug_assert!(me.rows_strictly_sorted(), "duplicate entries in COO");
+        me
+    }
+
+    /// Checked [`Csr::from_coo`]: refuses a COO whose duplicates were not
+    /// collapsed instead of debug-asserting, so release-mode loaders (the
+    /// `mmio` path) cannot silently build a CSR whose rows carry repeated
+    /// columns — a structure the kernels' sorted-row invariants assume
+    /// away.
+    pub fn try_from_coo(coo: &Coo<V>) -> Result<Self, MmError> {
+        let me = Self::build_from_coo(coo);
+        for i in 0..me.n_rows {
+            if let Some(w) = me.row(i).windows(2).find(|w| w[0] >= w[1]) {
+                return Err(MmError::Parse(format!(
+                    "duplicate entry at ({i}, {}): collapse duplicates before building a CSR",
+                    w[0]
+                )));
+            }
+        }
+        Ok(me)
+    }
+
+    fn build_from_coo(coo: &Coo<V>) -> Self {
         let n_rows = coo.n_rows();
         let mut lengths = vec![0usize; n_rows];
         for &(r, _, _) in coo.entries() {
@@ -58,7 +90,6 @@ impl<V: Copy + Send + Sync> Csr<V> {
             values,
         };
         me.sort_rows();
-        debug_assert!(me.rows_strictly_sorted(), "duplicate entries in COO");
         me
     }
 
@@ -185,6 +216,14 @@ impl<V: Copy + Send + Sync> Csr<V> {
     #[must_use]
     pub fn degree(&self, i: usize) -> usize {
         self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Number of rows with at least one stored entry — the occupancy the
+    /// execution planner's hypersparse rule keys on. O(n) scan of
+    /// `row_ptr`; [`crate::Graph`] caches the result per orientation.
+    #[must_use]
+    pub fn count_nonempty_rows(&self) -> usize {
+        self.row_ptr.windows(2).filter(|w| w[0] < w[1]).count()
     }
 
     /// Explicit transpose. `Aᵀ` in CSR form (= CSC of `A`). Parallel
@@ -412,6 +451,38 @@ mod tests {
         let total = m.nnz();
         let small = m.select(|_, _, v| v < 10.0);
         assert_eq!(big.nnz() + small.nnz(), total);
+    }
+
+    #[test]
+    fn try_from_coo_accepts_clean_and_rejects_duplicates() {
+        let mut clean = Coo::new(3, 3);
+        clean.push(0, 1, 1.0f32);
+        clean.push(0, 2, 2.0);
+        let m = Csr::try_from_coo(&clean).expect("clean COO builds");
+        assert_eq!(m, Csr::from_coo(&clean));
+
+        let mut dup = Coo::new(3, 3);
+        dup.push(0, 1, 1.0f32);
+        dup.push(0, 1, 5.0);
+        let err = Csr::try_from_coo(&dup).expect_err("duplicate must be refused");
+        assert!(err.to_string().contains("duplicate entry at (0, 1)"));
+        // After collapsing, the same COO builds fine.
+        dup.dedup(|a, _| a);
+        assert!(Csr::try_from_coo(&dup).is_ok());
+    }
+
+    #[test]
+    fn count_nonempty_rows_ignores_gaps() {
+        let m = sample_csr();
+        assert_eq!(m.count_nonempty_rows(), 4);
+        let mut coo = Coo::new(5, 5);
+        coo.push(1, 2, 1.0f32);
+        coo.push(4, 0, 1.0);
+        assert_eq!(Csr::from_coo(&coo).count_nonempty_rows(), 2);
+        assert_eq!(
+            Csr::<f32>::from_coo(&Coo::new(3, 3)).count_nonempty_rows(),
+            0
+        );
     }
 
     #[test]

@@ -10,9 +10,50 @@
 //! For undirected (symmetric) graphs — all datasets in the paper's
 //! evaluation — the two orientations are identical and the CSR is shared
 //! via `Arc`, halving memory.
+//!
+//! Each orientation additionally carries a lazy cache of alternate storage
+//! formats ([`crate::storage::BitmapStore`], [`crate::storage::Dcsr`]):
+//! [`Graph::store`] serves any orientation in any format, converting on
+//! first request and reusing the cached store afterwards, which is what
+//! makes the execution planner's per-operation format switching cheap.
 
+use crate::storage::{BitmapStore, Dcsr, StorageFormat};
 use crate::{Coo, Csr, VertexId};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Lazily-built alternate-format representations of one orientation, plus
+/// the row-occupancy statistic the execution planner keys on. Shared via
+/// `Arc` so clones of a [`Graph`] (and its symmetric orientation aliases)
+/// convert at most once per format.
+#[derive(Debug)]
+struct FormatCache<V> {
+    bitmap: OnceLock<Option<Arc<BitmapStore<V>>>>,
+    dcsr: OnceLock<Arc<Dcsr<V>>>,
+    nonempty_rows: OnceLock<usize>,
+}
+
+impl<V> Default for FormatCache<V> {
+    fn default() -> Self {
+        Self {
+            bitmap: OnceLock::new(),
+            dcsr: OnceLock::new(),
+            nonempty_rows: OnceLock::new(),
+        }
+    }
+}
+
+/// A borrowed view of one orientation of a [`Graph`] in a concrete
+/// storage format — what the `mxv`/`mxv_batch`/fused dispatchers match on
+/// to monomorphize the generic kernels per backend.
+#[derive(Debug)]
+pub enum StoreRef<'a, V> {
+    /// The baseline CSR (always resident).
+    Csr(&'a Csr<V>),
+    /// The cached bitmap store.
+    Bitmap(&'a BitmapStore<V>),
+    /// The cached hypersparse DCSR store.
+    Dcsr(&'a Dcsr<V>),
+}
 
 /// A graph held as both `A` and `Aᵀ` in CSR form.
 ///
@@ -37,10 +78,23 @@ use std::sync::Arc;
 /// assert!(und.is_symmetric());
 /// assert_eq!(und.children(1), und.parents(1));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Graph<V> {
     a: Arc<Csr<V>>,
     at: Arc<Csr<V>>,
+    a_cache: Arc<FormatCache<V>>,
+    at_cache: Arc<FormatCache<V>>,
+}
+
+impl<V> Clone for Graph<V> {
+    fn clone(&self) -> Self {
+        Self {
+            a: Arc::clone(&self.a),
+            at: Arc::clone(&self.at),
+            a_cache: Arc::clone(&self.a_cache),
+            at_cache: Arc::clone(&self.at_cache),
+        }
+    }
 }
 
 impl<V: Copy + Send + Sync + PartialEq> Graph<V> {
@@ -49,8 +103,18 @@ impl<V: Copy + Send + Sync + PartialEq> Graph<V> {
     pub fn from_csr(a: Csr<V>) -> Self {
         let t = a.transpose();
         let a = Arc::new(a);
-        let at = if *a == t { Arc::clone(&a) } else { Arc::new(t) };
-        Self { a, at }
+        let a_cache = Arc::new(FormatCache::default());
+        let (at, at_cache) = if *a == t {
+            (Arc::clone(&a), Arc::clone(&a_cache))
+        } else {
+            (Arc::new(t), Arc::new(FormatCache::default()))
+        };
+        Self {
+            a,
+            at,
+            a_cache,
+            at_cache,
+        }
     }
 
     /// Build from a cleaned COO (see [`Coo::clean_undirected`]).
@@ -64,9 +128,12 @@ impl<V: Copy + Send + Sync + PartialEq> Graph<V> {
     #[must_use]
     pub fn from_symmetric_csr(a: Csr<V>) -> Self {
         let a = Arc::new(a);
+        let a_cache = Arc::new(FormatCache::default());
         Self {
             at: Arc::clone(&a),
+            at_cache: Arc::clone(&a_cache),
             a,
+            a_cache,
         }
     }
 
@@ -121,6 +188,78 @@ impl<V: Copy + Send + Sync + PartialEq> Graph<V> {
     pub fn parents(&self, v: VertexId) -> &[VertexId] {
         self.at.row(v as usize)
     }
+
+    fn side(&self, transposed: bool) -> (&Arc<Csr<V>>, &FormatCache<V>) {
+        if transposed {
+            (&self.at, &self.at_cache)
+        } else {
+            (&self.a, &self.a_cache)
+        }
+    }
+
+    /// One orientation of the graph in the requested storage format:
+    /// `transposed == false` is `A` (children / row-based over `A`),
+    /// `transposed == true` is `Aᵀ`. Alternate formats are built lazily on
+    /// first request and cached for the graph's lifetime, so an iterative
+    /// algorithm pays each conversion at most once. A bitmap request whose
+    /// `n_rows × n_cols` bitmap would not fit ([`BitmapStore::fits`])
+    /// degrades to the resident CSR — the same rule
+    /// [`Graph::effective_format`] reports, so the planner, the counters,
+    /// and the executed kernel always agree on the format.
+    #[must_use]
+    pub fn store(&self, transposed: bool, format: StorageFormat) -> StoreRef<'_, V> {
+        let (csr, cache) = self.side(transposed);
+        match format {
+            StorageFormat::Csr => StoreRef::Csr(csr),
+            StorageFormat::Bitmap => {
+                match cache
+                    .bitmap
+                    .get_or_init(|| BitmapStore::try_from_shared(Arc::clone(csr)).map(Arc::new))
+                {
+                    Some(b) => StoreRef::Bitmap(b),
+                    None => StoreRef::Csr(csr),
+                }
+            }
+            StorageFormat::Dcsr => {
+                StoreRef::Dcsr(cache.dcsr.get_or_init(|| Arc::new(Dcsr::from_csr(csr))))
+            }
+        }
+    }
+
+    /// The format [`Graph::store`] will actually serve for a request —
+    /// identical to the request except that an infeasible bitmap degrades
+    /// to [`StorageFormat::Csr`].
+    #[must_use]
+    pub fn effective_format(&self, transposed: bool, format: StorageFormat) -> StorageFormat {
+        let (csr, _) = self.side(transposed);
+        match format {
+            StorageFormat::Bitmap if !BitmapStore::<V>::fits(csr.n_rows(), csr.n_cols()) => {
+                StorageFormat::Csr
+            }
+            other => other,
+        }
+    }
+
+    /// Number of non-empty rows in one orientation (cached; the planner's
+    /// hypersparse-occupancy statistic).
+    #[must_use]
+    pub fn nonempty_rows(&self, transposed: bool) -> usize {
+        let (csr, cache) = self.side(transposed);
+        *cache
+            .nonempty_rows
+            .get_or_init(|| csr.count_nonempty_rows())
+    }
+
+    /// Fraction of rows in one orientation that hold at least one entry.
+    #[must_use]
+    pub fn row_occupancy(&self, transposed: bool) -> f64 {
+        let n = self.side(transposed).0.n_rows();
+        if n == 0 {
+            0.0
+        } else {
+            self.nonempty_rows(transposed) as f64 / n as f64
+        }
+    }
 }
 
 impl<V: Copy + Send + Sync + PartialEq> From<Csr<V>> for Graph<V> {
@@ -168,6 +307,78 @@ mod tests {
         assert!(g.is_symmetric());
         assert_eq!(g.children(1), g.parents(1));
         assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn store_serves_and_caches_every_format() {
+        let g = directed_graph();
+        for transposed in [false, true] {
+            let oracle = if transposed { g.csr_t() } else { g.csr() };
+            for format in StorageFormat::all() {
+                let store = g.store(transposed, format);
+                let rows: Vec<Vec<u32>> = (0..4)
+                    .map(|i| match &store {
+                        StoreRef::Csr(m) => m.row(i).to_vec(),
+                        StoreRef::Bitmap(m) => m.as_csr().row(i).to_vec(),
+                        StoreRef::Dcsr(m) => {
+                            use crate::storage::RowAccess;
+                            RowAccess::<bool>::row(*m, i).to_vec()
+                        }
+                    })
+                    .collect();
+                let expect: Vec<Vec<u32>> = (0..4).map(|i| oracle.row(i).to_vec()).collect();
+                assert_eq!(rows, expect, "{format} transposed={transposed}");
+                assert_eq!(
+                    g.effective_format(transposed, format),
+                    format,
+                    "4×4 all fit"
+                );
+            }
+        }
+        // Cached stores are shared across clones (conversion happens once).
+        let c = g.clone();
+        let (a, b) = (
+            g.store(false, StorageFormat::Dcsr),
+            c.store(false, StorageFormat::Dcsr),
+        );
+        match (a, b) {
+            (StoreRef::Dcsr(x), StoreRef::Dcsr(y)) => {
+                assert!(std::ptr::eq(x, y), "clone shares the format cache");
+            }
+            other => panic!("expected Dcsr stores, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn occupancy_statistics_cached_per_orientation() {
+        // 0->1 only: A has 1 non-empty row of 3; Aᵀ likewise.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, true);
+        let g = Graph::from_coo(&coo);
+        assert_eq!(g.nonempty_rows(false), 1);
+        assert_eq!(g.nonempty_rows(true), 1);
+        assert!((g.row_occupancy(false) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_graph_shares_format_cache() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, true);
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        assert!(g.is_symmetric());
+        match (
+            g.store(false, StorageFormat::Dcsr),
+            g.store(true, StorageFormat::Dcsr),
+        ) {
+            (StoreRef::Dcsr(x), StoreRef::Dcsr(y)) => {
+                assert!(
+                    std::ptr::eq(x, y),
+                    "one conversion serves both orientations"
+                );
+            }
+            other => panic!("expected Dcsr stores, got {other:?}"),
+        }
     }
 
     #[test]

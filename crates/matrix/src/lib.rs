@@ -14,7 +14,13 @@
 //! * [`coo`] — triplet builder with the paper's §7.1 dataset cleaning
 //!   (self-loop removal, duplicate removal, symmetrization).
 //! * [`csr`] — compressed sparse row storage with parallel construction.
-//! * [`graph`] — the dual-orientation [`Graph`] handle.
+//! * [`storage`] — the multi-format layer: [`storage::RowAccess`] (the
+//!   kernel-facing read surface), [`storage::BitmapStore`] and
+//!   [`storage::Dcsr`] alternate backends, and the [`Storage`] enum with
+//!   conversions. The execution planner in `graphblas_core::plan` picks a
+//!   [`StorageFormat`] per operation the way it picks a direction.
+//! * [`graph`] — the dual-orientation [`Graph`] handle with a lazy
+//!   per-orientation format cache ([`Graph::store`]).
 //! * [`mmio`] — Matrix Market I/O so real datasets can be dropped in.
 //! * [`stats`] — the Table 3 columns: |V|, |E|, max degree, pseudo-diameter.
 
@@ -25,11 +31,13 @@ pub mod csr;
 pub mod graph;
 pub mod mmio;
 pub mod stats;
+pub mod storage;
 
 pub use coo::Coo;
 pub use csr::Csr;
-pub use graph::Graph;
+pub use graph::{Graph, StoreRef};
 pub use stats::GraphStats;
+pub use storage::{BitmapStore, Dcsr, RowAccess, Storage, StorageFormat};
 
 /// Vertex index type. `u32` bounds graphs at ~4.29 B vertices, which covers
 /// every dataset in the paper (largest: road_usa, 23.9 M vertices) while

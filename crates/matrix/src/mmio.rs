@@ -7,10 +7,14 @@
 //! unchanged when available.
 //!
 //! Supported: `matrix coordinate {real|integer|pattern} {general|symmetric}`.
-//! Pattern entries read as value `1.0`; symmetric files are expanded to both
-//! triangles on read.
+//! [`read_coo`] reads pattern entries as value `1.0` for weighted callers;
+//! [`read_coo_pattern`] loads any supported file structure-only as
+//! `Coo<bool>` with no fabricated weights. Symmetric files are expanded to
+//! both triangles on read. [`read_csr`] / [`read_csr_pattern`] go straight
+//! to a CSR through the *checked* [`Csr::try_from_coo`], so duplicate
+//! entries in a file are refused even in release builds.
 
-use crate::{Coo, VertexId};
+use crate::{Coo, Csr, VertexId};
 use std::fmt;
 use std::io::{BufRead, Write};
 
@@ -44,8 +48,40 @@ fn parse_err(msg: impl Into<String>) -> MmError {
     MmError::Parse(msg.into())
 }
 
+/// How a parsed entry line's value tokens map into the element type: a
+/// pattern line has no value token, a real/integer line has one.
+enum ValueTokens<'a> {
+    Pattern,
+    One(&'a str),
+}
+
 /// Read a coordinate-format Matrix Market stream into a [`Coo<f64>`].
+/// Pattern entries read as `1.0` (kept for callers that feed weighted
+/// kernels); use [`read_coo_pattern`] to load a pattern file without
+/// fabricating weights.
 pub fn read_coo<R: BufRead>(reader: R) -> Result<Coo<f64>, MmError> {
+    read_coo_with(reader, |tokens| match tokens {
+        ValueTokens::Pattern => Ok(1.0),
+        ValueTokens::One(tok) => tok
+            .parse()
+            .map_err(|e| parse_err(format!("bad value: {e}"))),
+    })
+}
+
+/// Read any supported coordinate file as a *structure-only* [`Coo<bool>`]:
+/// pattern files load without fabricated weights, and real/integer files
+/// load with their values discarded (every stored entry becomes `true`).
+pub fn read_coo_pattern<R: BufRead>(reader: R) -> Result<Coo<bool>, MmError> {
+    read_coo_with(reader, |_| Ok(true))
+}
+
+/// Generic coordinate reader: header/size/symmetry handling shared, the
+/// element type decided by `value` (which sees the line's value tokens —
+/// [`ValueTokens::Pattern`] when the file is `pattern`).
+fn read_coo_with<R: BufRead, V: Copy, F>(reader: R, value: F) -> Result<Coo<V>, MmError>
+where
+    F: Fn(ValueTokens<'_>) -> Result<V, MmError>,
+{
     let mut lines = reader.lines();
     let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let fields: Vec<&str> = header.split_whitespace().collect();
@@ -109,13 +145,12 @@ pub fn read_coo<R: BufRead>(reader: R) -> Result<Coo<f64>, MmError> {
             .ok_or_else(|| parse_err("missing col index"))?
             .parse()
             .map_err(|e| parse_err(format!("bad col index: {e}")))?;
-        let v: f64 = if pattern {
-            1.0
+        let v: V = if pattern {
+            value(ValueTokens::Pattern)?
         } else {
-            it.next()
-                .ok_or_else(|| parse_err("missing value"))?
-                .parse()
-                .map_err(|e| parse_err(format!("bad value: {e}")))?
+            value(ValueTokens::One(
+                it.next().ok_or_else(|| parse_err("missing value"))?,
+            ))?
         };
         if r == 0 || c == 0 || r > n_rows || c > n_cols {
             return Err(parse_err(format!("entry ({r},{c}) out of 1-based bounds")));
@@ -139,12 +174,44 @@ pub fn read_coo_file(path: &std::path::Path) -> Result<Coo<f64>, MmError> {
     read_coo(std::io::BufReader::new(file))
 }
 
+/// Read a pattern-structure Matrix Market file from disk (see
+/// [`read_coo_pattern`]).
+pub fn read_coo_pattern_file(path: &std::path::Path) -> Result<Coo<bool>, MmError> {
+    let file = std::fs::File::open(path)?;
+    read_coo_pattern(std::io::BufReader::new(file))
+}
+
+/// Read a coordinate stream straight into a checked CSR: parsing via
+/// [`read_coo`], duplicate collapse *verified* (not debug-asserted) via
+/// [`Csr::try_from_coo`], so a malformed file — duplicate entries, a
+/// symmetric file listing both triangles — surfaces as an [`MmError`]
+/// instead of a silently corrupt CSR in release builds.
+pub fn read_csr<R: BufRead>(reader: R) -> Result<Csr<f64>, MmError> {
+    Csr::try_from_coo(&read_coo(reader)?)
+}
+
+/// Structure-only variant of [`read_csr`] (see [`read_coo_pattern`]).
+pub fn read_csr_pattern<R: BufRead>(reader: R) -> Result<Csr<bool>, MmError> {
+    Csr::try_from_coo(&read_coo_pattern(reader)?)
+}
+
 /// Write a COO as `matrix coordinate real general`.
 pub fn write_coo<W: Write>(mut writer: W, coo: &Coo<f64>) -> Result<(), MmError> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(writer, "{} {} {}", coo.n_rows(), coo.n_cols(), coo.nnz())?;
     for &(r, c, v) in coo.entries() {
         writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Write a structure-only COO as `matrix coordinate pattern general` —
+/// entry lines carry indices only, no fabricated weights.
+pub fn write_coo_pattern<W: Write, V: Copy>(mut writer: W, coo: &Coo<V>) -> Result<(), MmError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(writer, "{} {} {}", coo.n_rows(), coo.n_cols(), coo.nnz())?;
+    for &(r, c, _) in coo.entries() {
+        writeln!(writer, "{} {}", r + 1, c + 1)?;
     }
     Ok(())
 }
@@ -192,6 +259,52 @@ mod tests {
         let back = read_coo(Cursor::new(buf)).expect("reads");
         assert_eq!(back.n_rows(), 4);
         assert_eq!(back.entries(), coo.entries());
+    }
+
+    #[test]
+    fn pattern_reader_skips_fake_weights() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    3 3 2\n\
+                    1 2\n\
+                    3 1\n";
+        let coo = read_coo_pattern(Cursor::new(text)).expect("parses");
+        assert_eq!(coo.nnz(), 2);
+        assert!(coo.entries().contains(&(0, 1, true)));
+        // The same reader accepts weighted files structure-only.
+        let weighted = "%%MatrixMarket matrix coordinate real general\n1 2 1\n1 2 -3.5\n";
+        let coo = read_coo_pattern(Cursor::new(weighted)).expect("parses");
+        assert_eq!(coo.entries(), &[(0, 1, true)]);
+    }
+
+    #[test]
+    fn pattern_roundtrip_write_read() {
+        let mut coo = Coo::new(4, 5);
+        coo.push(0, 3, true);
+        coo.push(2, 1, true);
+        coo.push(3, 4, true);
+        let mut buf = Vec::new();
+        write_coo_pattern(&mut buf, &coo).expect("writes");
+        let text = String::from_utf8(buf.clone()).expect("utf8");
+        assert!(text.starts_with("%%MatrixMarket matrix coordinate pattern general"));
+        assert!(!text.contains("1.0"), "no fabricated weights on disk");
+        let back = read_coo_pattern(Cursor::new(buf)).expect("reads");
+        assert_eq!(back.n_rows(), 4);
+        assert_eq!(back.n_cols(), 5);
+        assert_eq!(back.entries(), coo.entries());
+    }
+
+    #[test]
+    fn read_csr_verifies_duplicates_in_release() {
+        let clean = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n2 1 2.0\n";
+        let m = read_csr(Cursor::new(clean)).expect("clean file loads");
+        assert_eq!(m.nnz(), 2);
+        // A file listing the same entry twice must be refused, not built.
+        let dup = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n1 2 2.0\n";
+        let err = read_csr(Cursor::new(dup)).expect_err("duplicates refused");
+        assert!(err.to_string().contains("duplicate entry"));
+        // Same check on the pattern route.
+        let dup_p = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n1 2\n";
+        assert!(read_csr_pattern(Cursor::new(dup_p)).is_err());
     }
 
     #[test]

@@ -1,0 +1,614 @@
+//! Multi-format sparse matrix storage: CSR, bitmap, and hypersparse DCSR
+//! behind one row-access abstraction.
+//!
+//! The paper's push/pull switch is a *data-structure* decision on the
+//! vector side (sparse list ↔ dense array, §6.3); SuiteSparse:GraphBLAS
+//! and GraphBLAST extend the same decision to the *matrix* side by keeping
+//! several storage formats and picking per operation. This module supplies
+//! the three formats the execution planner in `graphblas_core::plan`
+//! chooses between:
+//!
+//! * [`Csr`] — the baseline: dense `row_ptr` over all rows. O(1) row
+//!   lookup, `O(n)` pointer memory, every full-matrix scan walks all `n`
+//!   rows even when almost all are empty.
+//! * [`BitmapStore`] — CSR payload plus a dense row×col membership bitmap:
+//!   O(1) `has(i, j)` edge probes for dense phases, at `n_rows·n_cols`
+//!   bits of extra memory (only feasible below [`BitmapStore::MAX_BITS`]).
+//! * [`Dcsr`] — hypersparse doubly-compressed CSR: only non-empty rows
+//!   carry pointers, so full scans touch `O(nnz_rows)` rows, not `O(n)` —
+//!   the k-source batched-frontier regime where most of a scale-free
+//!   graph's embedding is empty rows.
+//!
+//! Every format implements [`RowAccess`], the exact surface the matvec /
+//! mxm kernels in `graphblas_core` consume (`row`, `row_values`, `degree`,
+//! dims). The kernels are generic over it, so **results and access
+//! counters are bit-identical across formats by construction** — formats
+//! change memory layout and wall clock, never the computation. The one
+//! format-aware hook is [`RowAccess::nonempty_rows`]: a store that tracks
+//! its non-empty rows lets the unmasked pull kernel skip empty rows while
+//! charging the identical counter totals in bulk.
+
+use crate::{Coo, Csr, VertexId};
+use graphblas_primitives::BitVec;
+
+/// The storage backends the execution planner selects between.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum StorageFormat {
+    /// Compressed sparse row — the baseline every graph is born in.
+    #[default]
+    Csr,
+    /// CSR payload + dense membership bitmap ([`BitmapStore`]).
+    Bitmap,
+    /// Doubly-compressed (hypersparse) CSR ([`Dcsr`]).
+    Dcsr,
+}
+
+impl StorageFormat {
+    /// Stable lowercase name for reports and JSON artifacts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageFormat::Csr => "csr",
+            StorageFormat::Bitmap => "bitmap",
+            StorageFormat::Dcsr => "dcsr",
+        }
+    }
+
+    /// All formats, in planner preference order for reports.
+    #[must_use]
+    pub fn all() -> [StorageFormat; 3] {
+        [
+            StorageFormat::Csr,
+            StorageFormat::Bitmap,
+            StorageFormat::Dcsr,
+        ]
+    }
+}
+
+impl std::fmt::Display for StorageFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The read surface the matvec/mxm kernels consume, implemented by every
+/// storage backend. Kernels in `graphblas_core` are generic over this
+/// trait, which is what makes results and counters format-independent:
+/// the same kernel code runs over every backend.
+pub trait RowAccess<V>: Sync {
+    /// Number of rows.
+    fn n_rows(&self) -> usize;
+    /// Number of columns.
+    fn n_cols(&self) -> usize;
+    /// Number of stored entries.
+    fn nnz(&self) -> usize;
+    /// Stored entries in row `i`.
+    fn degree(&self, i: usize) -> usize;
+    /// Column indices of row `i`, ascending.
+    fn row(&self, i: usize) -> &[VertexId];
+    /// Values of row `i`, aligned with [`RowAccess::row`].
+    fn row_values(&self, i: usize) -> &[V];
+    /// Average entries per row — the `d` of the Table 1 cost model.
+    fn avg_degree(&self) -> f64 {
+        if self.n_rows() == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.n_rows() as f64
+        }
+    }
+    /// Sorted ids of the non-empty rows, when the store tracks them
+    /// (hypersparse DCSR does; CSR and bitmap return `None`). Kernels may
+    /// use this to skip empty rows in full scans, provided they charge the
+    /// same counter totals the unskipped scan would.
+    fn nonempty_rows(&self) -> Option<&[VertexId]> {
+        None
+    }
+}
+
+impl<V: Copy + Send + Sync> RowAccess<V> for Csr<V> {
+    fn n_rows(&self) -> usize {
+        Csr::n_rows(self)
+    }
+    fn n_cols(&self) -> usize {
+        Csr::n_cols(self)
+    }
+    fn nnz(&self) -> usize {
+        Csr::nnz(self)
+    }
+    fn degree(&self, i: usize) -> usize {
+        Csr::degree(self, i)
+    }
+    fn row(&self, i: usize) -> &[VertexId] {
+        Csr::row(self, i)
+    }
+    fn row_values(&self, i: usize) -> &[V] {
+        Csr::row_values(self, i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap store
+// ---------------------------------------------------------------------------
+
+/// CSR payload plus a dense `n_rows × n_cols` membership bitmap.
+///
+/// The bitmap answers `has(i, j)` in O(1) — the probe dense algebra
+/// (masking by matrix pattern, triangle-style membership checks) wants
+/// when `nnz/n` is high — while the CSR-ordered payload keeps the row
+/// slices the matvec kernels iterate, so the kernels run unchanged.
+/// Memory: `nnz` payload + `n_rows·n_cols` bits; construction refuses
+/// shapes past [`BitmapStore::MAX_BITS`] (the planner only selects bitmap
+/// when it fits).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BitmapStore<V> {
+    // Shared, not copied: `Graph`'s format cache already holds the same
+    // CSR behind an `Arc`, so the bitmap store costs only the bitmap.
+    csr: std::sync::Arc<Csr<V>>,
+    bits: BitVec,
+}
+
+impl<V: Copy + Send + Sync> BitmapStore<V> {
+    /// Bitmap ceiling: shapes whose `n_rows · n_cols` exceeds this many
+    /// bits (32 MiB of bitmap) are refused — at that size the dense bitmap
+    /// stops being a cache-resident accelerator and becomes the workload.
+    pub const MAX_BITS: usize = 1 << 28;
+
+    /// Whether a `rows × cols` bitmap fits under [`BitmapStore::MAX_BITS`].
+    #[must_use]
+    pub fn fits(n_rows: usize, n_cols: usize) -> bool {
+        n_rows
+            .checked_mul(n_cols)
+            .is_some_and(|bits| bits <= Self::MAX_BITS)
+    }
+
+    /// Build from a shared CSR (payload is shared, never copied), or
+    /// `None` when the bitmap would not fit.
+    #[must_use]
+    pub fn try_from_shared(csr: std::sync::Arc<Csr<V>>) -> Option<Self> {
+        if !Self::fits(csr.n_rows(), csr.n_cols()) {
+            return None;
+        }
+        let n_cols = csr.n_cols();
+        let mut bits = BitVec::new(csr.n_rows() * n_cols);
+        for i in 0..csr.n_rows() {
+            for &j in csr.row(i) {
+                bits.set(i * n_cols + j as usize);
+            }
+        }
+        Some(Self { csr, bits })
+    }
+
+    /// Build from a borrowed CSR (clones the payload into a fresh `Arc`),
+    /// or `None` when the bitmap would not fit. Callers that already hold
+    /// an `Arc` should use [`BitmapStore::try_from_shared`].
+    #[must_use]
+    pub fn try_from_csr(csr: &Csr<V>) -> Option<Self> {
+        Self::try_from_shared(std::sync::Arc::new(csr.clone()))
+    }
+
+    /// O(1) membership: is `(i, j)` a stored entry?
+    #[inline]
+    #[must_use]
+    pub fn has(&self, i: usize, j: usize) -> bool {
+        self.bits.get(i * self.csr.n_cols() + j)
+    }
+
+    /// Value at `(i, j)`: an O(1) bitmap probe, then a binary search of
+    /// the (short) row only when the entry exists.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> Option<V> {
+        if !self.has(i, j) {
+            return None;
+        }
+        let pos = self
+            .csr
+            .row(i)
+            .binary_search(&(j as VertexId))
+            .expect("bitmap and payload agree");
+        Some(self.csr.row_values(i)[pos])
+    }
+
+    /// The CSR payload this store wraps.
+    #[must_use]
+    pub fn as_csr(&self) -> &Csr<V> {
+        &self.csr
+    }
+
+    /// Convert back to plain CSR (drops the bitmap).
+    #[must_use]
+    pub fn to_csr(&self) -> Csr<V> {
+        (*self.csr).clone()
+    }
+}
+
+impl<V: Copy + Send + Sync> RowAccess<V> for BitmapStore<V> {
+    fn n_rows(&self) -> usize {
+        self.csr.n_rows()
+    }
+    fn n_cols(&self) -> usize {
+        self.csr.n_cols()
+    }
+    fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+    fn degree(&self, i: usize) -> usize {
+        self.csr.degree(i)
+    }
+    fn row(&self, i: usize) -> &[VertexId] {
+        self.csr.row(i)
+    }
+    fn row_values(&self, i: usize) -> &[V] {
+        self.csr.row_values(i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hypersparse DCSR
+// ---------------------------------------------------------------------------
+
+/// Doubly-compressed sparse row: pointers exist only for non-empty rows.
+///
+/// `rows[p]` names the `p`-th non-empty row; `row_ptr[p]..row_ptr[p+1]`
+/// is its slice of `col_ind`/`values`. Looking up an arbitrary row costs
+/// a binary search over the non-empty list — O(log nnz_rows) instead of
+/// CSR's O(1) — but a full-matrix scan touches `nnz_rows` rows instead of
+/// `n`, which is the asymptotic win when the matrix is hypersparse
+/// (a k-source batch embedded in a large vertex space, a frontier slice
+/// of a scale-free graph).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dcsr<V> {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<VertexId>,
+    row_ptr: Vec<usize>,
+    col_ind: Vec<VertexId>,
+    values: Vec<V>,
+}
+
+impl<V: Copy + Send + Sync> Dcsr<V> {
+    /// Compress a CSR: one pass over `row_ptr`, dropping empty rows.
+    #[must_use]
+    pub fn from_csr(csr: &Csr<V>) -> Self {
+        let mut rows = Vec::new();
+        let mut row_ptr = vec![0usize];
+        for i in 0..csr.n_rows() {
+            if csr.degree(i) > 0 {
+                rows.push(i as VertexId);
+                row_ptr.push(row_ptr.last().expect("non-empty") + csr.degree(i));
+            }
+        }
+        Self {
+            n_rows: csr.n_rows(),
+            n_cols: csr.n_cols(),
+            rows,
+            row_ptr,
+            col_ind: csr.col_ind().to_vec(),
+            values: csr.values().to_vec(),
+        }
+    }
+
+    /// Expand back to plain CSR.
+    #[must_use]
+    pub fn to_csr(&self) -> Csr<V> {
+        let mut row_ptr = vec![0usize; self.n_rows + 1];
+        for (p, &i) in self.rows.iter().enumerate() {
+            row_ptr[i as usize + 1] = self.row_ptr[p + 1] - self.row_ptr[p];
+        }
+        for i in 0..self.n_rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr::from_parts(
+            self.n_rows,
+            self.n_cols,
+            row_ptr,
+            self.col_ind.clone(),
+            self.values.clone(),
+        )
+    }
+
+    /// Number of non-empty rows.
+    #[must_use]
+    pub fn n_nonempty(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Fraction of rows that are non-empty (`nnz_rows / n_rows`).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        if self.n_rows == 0 {
+            0.0
+        } else {
+            self.rows.len() as f64 / self.n_rows as f64
+        }
+    }
+
+    /// Position of row `i` in the compressed list, when non-empty.
+    #[inline]
+    fn find(&self, i: usize) -> Option<usize> {
+        self.rows.binary_search(&(i as VertexId)).ok()
+    }
+
+    /// Column indices of the `p`-th *non-empty* row (positional access —
+    /// no binary search; pair with [`Dcsr::nonempty_rows`]).
+    #[inline]
+    #[must_use]
+    pub fn compressed_row(&self, p: usize) -> &[VertexId] {
+        &self.col_ind[self.row_ptr[p]..self.row_ptr[p + 1]]
+    }
+
+    /// Values of the `p`-th non-empty row.
+    #[inline]
+    #[must_use]
+    pub fn compressed_row_values(&self, p: usize) -> &[V] {
+        &self.values[self.row_ptr[p]..self.row_ptr[p + 1]]
+    }
+}
+
+impl<V: Copy + Send + Sync> RowAccess<V> for Dcsr<V> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+    fn nnz(&self) -> usize {
+        self.col_ind.len()
+    }
+    fn degree(&self, i: usize) -> usize {
+        self.find(i)
+            .map_or(0, |p| self.row_ptr[p + 1] - self.row_ptr[p])
+    }
+    fn row(&self, i: usize) -> &[VertexId] {
+        self.find(i).map_or(&[], |p| self.compressed_row(p))
+    }
+    fn row_values(&self, i: usize) -> &[V] {
+        self.find(i).map_or(&[], |p| self.compressed_row_values(p))
+    }
+    fn nonempty_rows(&self) -> Option<&[VertexId]> {
+        Some(&self.rows)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage enum
+// ---------------------------------------------------------------------------
+
+/// A matrix in one of the three storage formats, with cheap conversions.
+///
+/// This is the owned object; [`crate::Graph`] caches one per requested
+/// format per orientation so iterative algorithms convert at most once.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Storage<V> {
+    /// Plain CSR.
+    Csr(Csr<V>),
+    /// CSR payload + membership bitmap.
+    Bitmap(BitmapStore<V>),
+    /// Hypersparse doubly-compressed rows.
+    Dcsr(Dcsr<V>),
+}
+
+impl<V: Copy + Send + Sync> Storage<V> {
+    /// Wrap a CSR in the requested format. A bitmap request that does not
+    /// fit ([`BitmapStore::fits`]) degrades to [`Storage::Csr`] — the same
+    /// fallback the planner applies, so requested and effective formats
+    /// only diverge on infeasible bitmaps.
+    #[must_use]
+    pub fn from_csr(csr: Csr<V>, format: StorageFormat) -> Self {
+        match format {
+            StorageFormat::Csr => Storage::Csr(csr),
+            StorageFormat::Bitmap => {
+                if BitmapStore::<V>::fits(csr.n_rows(), csr.n_cols()) {
+                    Storage::Bitmap(
+                        BitmapStore::try_from_shared(std::sync::Arc::new(csr))
+                            .expect("feasibility checked"),
+                    )
+                } else {
+                    Storage::Csr(csr)
+                }
+            }
+            StorageFormat::Dcsr => Storage::Dcsr(Dcsr::from_csr(&csr)),
+        }
+    }
+
+    /// Build straight from a deduplicated COO.
+    #[must_use]
+    pub fn from_coo(coo: &Coo<V>, format: StorageFormat) -> Self {
+        Self::from_csr(Csr::from_coo(coo), format)
+    }
+
+    /// The format this storage currently holds.
+    #[must_use]
+    pub fn format(&self) -> StorageFormat {
+        match self {
+            Storage::Csr(_) => StorageFormat::Csr,
+            Storage::Bitmap(_) => StorageFormat::Bitmap,
+            Storage::Dcsr(_) => StorageFormat::Dcsr,
+        }
+    }
+
+    /// Convert to the requested format (no-op when already there; bitmap
+    /// degrades to CSR when infeasible, as in [`Storage::from_csr`]).
+    #[must_use]
+    pub fn convert(self, format: StorageFormat) -> Self {
+        if self.format() == format {
+            return self;
+        }
+        Storage::from_csr(self.into_csr(), format)
+    }
+
+    /// Unwrap to plain CSR, converting if needed.
+    #[must_use]
+    pub fn into_csr(self) -> Csr<V> {
+        match self {
+            Storage::Csr(c) => c,
+            Storage::Bitmap(b) => b.to_csr(),
+            Storage::Dcsr(d) => d.to_csr(),
+        }
+    }
+}
+
+impl<V: Copy + Send + Sync> RowAccess<V> for Storage<V> {
+    fn n_rows(&self) -> usize {
+        match self {
+            Storage::Csr(c) => RowAccess::<V>::n_rows(c),
+            Storage::Bitmap(b) => b.n_rows(),
+            Storage::Dcsr(d) => RowAccess::<V>::n_rows(d),
+        }
+    }
+    fn n_cols(&self) -> usize {
+        match self {
+            Storage::Csr(c) => RowAccess::<V>::n_cols(c),
+            Storage::Bitmap(b) => b.n_cols(),
+            Storage::Dcsr(d) => RowAccess::<V>::n_cols(d),
+        }
+    }
+    fn nnz(&self) -> usize {
+        match self {
+            Storage::Csr(c) => RowAccess::<V>::nnz(c),
+            Storage::Bitmap(b) => RowAccess::<V>::nnz(b),
+            Storage::Dcsr(d) => RowAccess::<V>::nnz(d),
+        }
+    }
+    fn degree(&self, i: usize) -> usize {
+        match self {
+            Storage::Csr(c) => RowAccess::<V>::degree(c, i),
+            Storage::Bitmap(b) => RowAccess::<V>::degree(b, i),
+            Storage::Dcsr(d) => RowAccess::<V>::degree(d, i),
+        }
+    }
+    fn row(&self, i: usize) -> &[VertexId] {
+        match self {
+            Storage::Csr(c) => RowAccess::<V>::row(c, i),
+            Storage::Bitmap(b) => RowAccess::<V>::row(b, i),
+            Storage::Dcsr(d) => RowAccess::<V>::row(d, i),
+        }
+    }
+    fn row_values(&self, i: usize) -> &[V] {
+        match self {
+            Storage::Csr(c) => RowAccess::<V>::row_values(c, i),
+            Storage::Bitmap(b) => RowAccess::<V>::row_values(b, i),
+            Storage::Dcsr(d) => RowAccess::<V>::row_values(d, i),
+        }
+    }
+    fn nonempty_rows(&self) -> Option<&[VertexId]> {
+        match self {
+            Storage::Csr(_) | Storage::Bitmap(_) => None,
+            Storage::Dcsr(d) => RowAccess::<V>::nonempty_rows(d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 rows, rows 1 and 3 empty: 0→{1,2}, 2→{0,3}.
+    fn gappy_csr() -> Csr<f32> {
+        let mut coo = Coo::new(4, 4);
+        for &(r, c) in &[(0u32, 1u32), (0, 2), (2, 0), (2, 3)] {
+            coo.push(r, c, (r * 10 + c) as f32);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    fn same_rows<V: Copy + Send + Sync + PartialEq + std::fmt::Debug>(
+        a: &dyn RowAccess<V>,
+        b: &dyn RowAccess<V>,
+    ) {
+        assert_eq!(a.n_rows(), b.n_rows());
+        assert_eq!(a.n_cols(), b.n_cols());
+        assert_eq!(a.nnz(), b.nnz());
+        for i in 0..a.n_rows() {
+            assert_eq!(a.row(i), b.row(i), "row {i}");
+            assert_eq!(a.row_values(i), b.row_values(i), "row values {i}");
+            assert_eq!(a.degree(i), b.degree(i), "degree {i}");
+        }
+    }
+
+    #[test]
+    fn dcsr_roundtrip_preserves_everything() {
+        let csr = gappy_csr();
+        let d = Dcsr::from_csr(&csr);
+        assert_eq!(d.n_nonempty(), 2);
+        assert_eq!(d.nonempty_rows(), Some(&[0u32, 2][..]));
+        assert!((d.occupancy() - 0.5).abs() < 1e-12);
+        same_rows(&csr, &d);
+        assert_eq!(d.to_csr(), csr);
+    }
+
+    #[test]
+    fn dcsr_empty_rows_read_empty() {
+        let d = Dcsr::from_csr(&gappy_csr());
+        assert_eq!(RowAccess::<f32>::row(&d, 1), &[] as &[u32]);
+        assert_eq!(RowAccess::<f32>::degree(&d, 3), 0);
+        assert_eq!(d.compressed_row(1), &[0, 3]);
+    }
+
+    #[test]
+    fn bitmap_membership_and_values() {
+        let csr = gappy_csr();
+        let b = BitmapStore::try_from_csr(&csr).expect("4×4 fits");
+        same_rows(&csr, &b);
+        assert!(b.has(0, 1));
+        assert!(!b.has(1, 0));
+        assert_eq!(b.get(2, 3), Some(23.0));
+        assert_eq!(b.get(3, 3), None);
+        assert_eq!(b.to_csr(), csr);
+    }
+
+    #[test]
+    fn bitmap_refuses_oversized_shapes() {
+        assert!(BitmapStore::<bool>::fits(1 << 10, 1 << 10));
+        assert!(!BitmapStore::<bool>::fits(1 << 20, 1 << 20));
+        assert!(!BitmapStore::<bool>::fits(usize::MAX, 2));
+    }
+
+    #[test]
+    fn storage_conversion_cycle() {
+        let csr = gappy_csr();
+        let mut s = Storage::from_csr(csr.clone(), StorageFormat::Csr);
+        for f in [
+            StorageFormat::Bitmap,
+            StorageFormat::Dcsr,
+            StorageFormat::Csr,
+            StorageFormat::Dcsr,
+            StorageFormat::Bitmap,
+        ] {
+            s = s.convert(f);
+            assert_eq!(s.format(), f);
+            same_rows(&csr, &s);
+        }
+        assert_eq!(s.into_csr(), csr);
+    }
+
+    #[test]
+    fn storage_bitmap_degrades_when_infeasible() {
+        // A 1-row matrix that is absurdly wide: bitmap cannot fit.
+        let wide = Csr::<bool>::from_parts(
+            1,
+            BitmapStore::<bool>::MAX_BITS + 1,
+            vec![0, 1],
+            vec![7],
+            vec![true],
+        );
+        let s = Storage::from_csr(wide, StorageFormat::Bitmap);
+        assert_eq!(s.format(), StorageFormat::Csr, "fallback to CSR");
+    }
+
+    #[test]
+    fn format_names_are_stable() {
+        assert_eq!(StorageFormat::Csr.name(), "csr");
+        assert_eq!(StorageFormat::Bitmap.to_string(), "bitmap");
+        assert_eq!(StorageFormat::all().len(), 3);
+        assert_eq!(StorageFormat::default(), StorageFormat::Csr);
+    }
+
+    #[test]
+    fn all_empty_matrix_is_fully_hypersparse() {
+        let csr = Csr::<bool>::from_coo(&Coo::new(8, 8));
+        let d = Dcsr::from_csr(&csr);
+        assert_eq!(d.n_nonempty(), 0);
+        assert_eq!(d.occupancy(), 0.0);
+        assert_eq!(d.to_csr(), csr);
+    }
+}

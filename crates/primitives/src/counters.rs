@@ -46,6 +46,12 @@ pub struct AccessCounters {
     /// unfused runs; excluded from [`AccessCounters::total`] because it
     /// records work *not* done.
     pub fused_saved_writes: AtomicU64,
+    /// Storage-format switches the execution planner charged: each time a
+    /// `FormatPolicy` moves an operand to a different matrix format
+    /// (CSR ↔ bitmap ↔ hypersparse DCSR), one switch is recorded — the
+    /// format-side analogue of `push_steps`/`pull_steps`. A decision, not
+    /// an access; excluded from [`AccessCounters::total`].
+    pub format_switches: AtomicU64,
 }
 
 impl AccessCounters {
@@ -97,6 +103,12 @@ impl AccessCounters {
         self.fused_saved_writes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one storage-format switch resolved by the planner.
+    #[inline]
+    pub fn add_format_switch(&self) {
+        self.format_switches.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Sum of all access categories (direction steps are decisions, not
     /// accesses, and are excluded).
     #[must_use]
@@ -118,6 +130,7 @@ impl AccessCounters {
             push_steps: self.push_steps.load(Ordering::Relaxed),
             pull_steps: self.pull_steps.load(Ordering::Relaxed),
             fused_saved_writes: self.fused_saved_writes.load(Ordering::Relaxed),
+            format_switches: self.format_switches.load(Ordering::Relaxed),
         }
     }
 
@@ -130,6 +143,7 @@ impl AccessCounters {
         self.push_steps.store(0, Ordering::Relaxed);
         self.pull_steps.store(0, Ordering::Relaxed);
         self.fused_saved_writes.store(0, Ordering::Relaxed);
+        self.format_switches.store(0, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +165,9 @@ pub struct CounterSnapshot {
     /// Intermediate writes avoided by fused pipelines (not an access; see
     /// [`AccessCounters::fused_saved_writes`]).
     pub fused_saved_writes: u64,
+    /// Storage-format switches charged by the planner (a decision, not an
+    /// access; see [`AccessCounters::format_switches`]).
+    pub format_switches: u64,
 }
 
 impl CounterSnapshot {
@@ -173,6 +190,21 @@ impl CounterSnapshot {
             ..*self
         }
     }
+
+    /// This snapshot with `format_switches` zeroed. The format-equivalence
+    /// contract (`tests/prop_core.rs`) pins that every algorithm's values
+    /// *and accesses* are bit-identical across storage formats; the switch
+    /// tally itself differs by construction (an `Auto` policy converts,
+    /// the `Fixed(Csr)` oracle never does), so comparisons project it out
+    /// exactly as [`CounterSnapshot::accesses_only`] projects out
+    /// `fused_saved_writes`.
+    #[must_use]
+    pub fn without_format_switches(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            format_switches: 0,
+            ..*self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +223,8 @@ mod tests {
         c.add_push_step();
         c.add_pull_step();
         c.add_fused_saved_writes(9);
+        c.add_format_switch();
+        c.add_format_switch();
         let s = c.snapshot();
         assert_eq!(
             s,
@@ -202,16 +236,25 @@ mod tests {
                 push_steps: 2,
                 pull_steps: 1,
                 fused_saved_writes: 9,
+                format_switches: 2,
             }
         );
-        assert_eq!(s.total(), 27, "steps and saved writes are not accesses");
+        assert_eq!(
+            s.total(),
+            27,
+            "steps, saved writes, switches are not accesses"
+        );
         assert_eq!(c.total(), 27);
         assert_eq!(s.accesses_only().fused_saved_writes, 0);
         assert_eq!(s.accesses_only().matrix, 15);
+        assert_eq!(s.without_format_switches().format_switches, 0);
+        assert_eq!(s.without_format_switches().matrix, 15);
+        assert_eq!(s.without_format_switches().fused_saved_writes, 9);
         c.reset();
         assert_eq!(c.total(), 0);
         assert_eq!(c.snapshot().push_steps, 0);
         assert_eq!(c.snapshot().fused_saved_writes, 0);
+        assert_eq!(c.snapshot().format_switches, 0);
     }
 
     #[test]

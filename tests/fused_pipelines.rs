@@ -101,7 +101,7 @@ proptest! {
     ) {
         let source = (source_raw % g.n_vertices()) as u32;
         let cu = AccessCounters::new();
-        let unfused_opts = ParentBfsOpts { switch_threshold: threshold, fused: false, first_hit_exit: false };
+        let unfused_opts = ParentBfsOpts { switch_threshold: threshold, fused: false, first_hit_exit: false, ..ParentBfsOpts::default() };
         let unfused = bfs_parents_with_opts(&g, source, &unfused_opts, Some(&cu));
         // Semantics-preserving fusion: identical counters.
         let cf = AccessCounters::new();
@@ -125,10 +125,10 @@ proptest! {
     ) {
         let cu = AccessCounters::new();
         let unfused = connected_components_with_opts(
-            &g, &CcOpts { switch_threshold: threshold, fused: false }, Some(&cu));
+            &g, &CcOpts { switch_threshold: threshold, fused: false, ..CcOpts::default() }, Some(&cu));
         let cf = AccessCounters::new();
         let fused = connected_components_with_opts(
-            &g, &CcOpts { switch_threshold: threshold, fused: true }, Some(&cf));
+            &g, &CcOpts { switch_threshold: threshold, fused: true, ..CcOpts::default() }, Some(&cf));
         prop_assert_eq!(&fused.labels, &unfused.labels);
         prop_assert_eq!(fused.rounds, unfused.rounds);
         prop_assert_eq!(accesses(&cf), accesses(&cu));

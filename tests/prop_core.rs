@@ -446,3 +446,158 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Storage-format equivalence: the Fixed(Bitmap) / Fixed(Dcsr) / Auto plans
+// against the Fixed(Csr) oracle — values AND access counters bit-identical
+// (the format_switches tally is projected out: an Auto policy converts,
+// the oracle never does). Kernel-level and whole-algorithm.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `mxv` under every forced format and the Auto plan produces the CSR
+    /// oracle's explicit set and counter snapshot, both faces, masked and
+    /// unmasked.
+    #[test]
+    fn mxv_formats_match_csr_oracle(
+        g in arb_graph(50, 400),
+        f_ids in prop::collection::vec(0usize..50, 0..25),
+        m_ids in prop::collection::vec(0usize..50, 0..25),
+        transpose in any::<bool>(),
+        masked in any::<bool>(),
+    ) {
+        use push_pull::core::StorageFormat;
+        let n = g.n_vertices();
+        let f = sparse_bool_vector(n, &f_ids);
+        let mut bits = BitVec::new(n);
+        for &i in &m_ids {
+            if i < n {
+                bits.set(i);
+            }
+        }
+        for dir in [Direction::Push, Direction::Pull] {
+            let run = |fmt: Option<StorageFormat>| {
+                let desc = Descriptor::new().transpose(transpose).force(dir);
+                let desc = match fmt {
+                    Some(fmt) => desc.force_format(fmt),
+                    None => desc, // the planner's Auto rule
+                };
+                let mask = Mask::complement(&bits);
+                let c = AccessCounters::new();
+                let w: Vector<bool> =
+                    mxv(masked.then_some(&mask), BoolOrAnd, &g, &f, &desc, Some(&c)).unwrap();
+                (explicit_set(&w), c.snapshot())
+            };
+            let oracle = run(Some(StorageFormat::Csr));
+            for arm in [
+                Some(StorageFormat::Bitmap),
+                Some(StorageFormat::Dcsr),
+                None,
+            ] {
+                let got = run(arm);
+                prop_assert_eq!(&got.0, &oracle.0, "values: {:?} {:?}", dir, arm);
+                prop_assert_eq!(got.1, oracle.1, "counters: {:?} {:?}", dir, arm);
+            }
+        }
+    }
+
+    /// Whole-algorithm format equivalence on random power-law/Erdős
+    /// graphs: BFS, parent BFS, CC, SSSP, PageRank, msbfs, and batched BC
+    /// under `Fixed(Bitmap)`, `Fixed(Dcsr)`, and `Auto` are bit-identical
+    /// in results and in every counter except `format_switches` to the
+    /// `Fixed(Csr)` oracle.
+    #[test]
+    fn algorithms_formats_match_csr_oracle(
+        seed in 0u64..500,
+        power_law in any::<bool>(),
+        n_raw in 24usize..96,
+        source_bits in 0usize..24,
+    ) {
+        use push_pull::algo::bc::{betweenness_with_opts, BcOpts};
+        use push_pull::algo::bfs::{bfs_with_opts, BfsOpts};
+        use push_pull::algo::bfs_parents::{bfs_parents_with_opts, ParentBfsOpts};
+        use push_pull::algo::cc::{connected_components_with_opts, CcOpts};
+        use push_pull::algo::pagerank::{pagerank_with_counters, PageRankOpts};
+        use push_pull::algo::sssp::{sssp_with_counters, SsspOpts};
+        use push_pull::core::{FormatPolicy, StorageFormat};
+        use push_pull::gen::with_uniform_weights;
+
+        let g = if power_law {
+            chung_lu(n_raw, 5, PowerLawParams::default(), seed)
+        } else {
+            erdos_renyi(n_raw, n_raw * 3, seed)
+        };
+        let gw = with_uniform_weights(&g, seed ^ 0x5eed);
+        let n = g.n_vertices();
+        let source = (source_bits % n) as u32;
+        let sources = [source, ((source_bits * 7 + 1) % n) as u32];
+
+        let policies = [
+            FormatPolicy::fixed(StorageFormat::Csr),
+            FormatPolicy::fixed(StorageFormat::Bitmap),
+            FormatPolicy::fixed(StorageFormat::Dcsr),
+            FormatPolicy::auto(),
+        ];
+
+        // Each closure returns (comparable result bits, counter snapshot
+        // with format_switches projected out).
+        type Arm<'a> =
+            Box<dyn Fn(FormatPolicy) -> (Vec<u64>, push_pull::primitives::counters::CounterSnapshot) + 'a>;
+        let arms: Vec<Arm<'_>> = vec![
+            Box::new(|p| {
+                let c = AccessCounters::new();
+                let r = bfs_with_opts(&g, source, &BfsOpts { format: p, ..BfsOpts::default() }, Some(&c));
+                (r.depths.iter().map(|&d| d as u64).collect(), c.snapshot().without_format_switches())
+            }),
+            Box::new(|p| {
+                let c = AccessCounters::new();
+                let r = bfs_parents_with_opts(
+                    &g, source, &ParentBfsOpts { format: p, ..ParentBfsOpts::default() }, Some(&c));
+                (r.parent.iter().map(|&x| u64::from(x)).collect(), c.snapshot().without_format_switches())
+            }),
+            Box::new(|p| {
+                let c = AccessCounters::new();
+                let r = connected_components_with_opts(
+                    &g, &CcOpts { format: p, ..CcOpts::default() }, Some(&c));
+                (r.labels.iter().map(|&x| u64::from(x)).collect(), c.snapshot().without_format_switches())
+            }),
+            Box::new(|p| {
+                let c = AccessCounters::new();
+                let r = sssp_with_counters(
+                    &gw, source, &SsspOpts { format: p, ..SsspOpts::default() }, Some(&c));
+                (r.dist.iter().map(|x| u64::from(x.to_bits())).collect(), c.snapshot().without_format_switches())
+            }),
+            Box::new(|p| {
+                let c = AccessCounters::new();
+                let r = pagerank_with_counters(
+                    &g, &PageRankOpts { format: p, ..PageRankOpts::default() }, true, Some(&c));
+                (r.ranks.iter().map(|x| x.to_bits()).collect(), c.snapshot().without_format_switches())
+            }),
+            Box::new(|p| {
+                let c = AccessCounters::new();
+                let r = multi_source_bfs_with_opts(
+                    &g, &sources, &MsBfsOpts { format: p, ..MsBfsOpts::default() }, Some(&c));
+                (
+                    r.depths.iter().flatten().map(|&d| d as u64).collect(),
+                    c.snapshot().without_format_switches(),
+                )
+            }),
+            Box::new(|p| {
+                let c = AccessCounters::new();
+                let bc = betweenness_with_opts(&g, &sources, &BcOpts { format: p }, Some(&c));
+                (bc.iter().map(|x| x.to_bits()).collect(), c.snapshot().without_format_switches())
+            }),
+        ];
+
+        for (idx, arm) in arms.iter().enumerate() {
+            let oracle = arm(policies[0]);
+            for &p in &policies[1..] {
+                let got = arm(p);
+                prop_assert_eq!(&got.0, &oracle.0, "algorithm {} values under {:?}", idx, p);
+                prop_assert_eq!(got.1, oracle.1, "algorithm {} counters under {:?}", idx, p);
+            }
+        }
+    }
+}

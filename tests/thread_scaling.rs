@@ -367,3 +367,117 @@ fn fused_algorithms_with_counters_identical_across_thread_counts() {
         )
     });
 }
+
+#[test]
+fn mxv_formats_identical_across_thread_counts() {
+    // Every storage format (and the Auto plan) must produce the identical
+    // explicit set and counter snapshot at 1/2/8 lanes, both faces — the
+    // format axis composes with the lane-count axis.
+    use push_pull::core::StorageFormat;
+    let g = test_graph();
+    let n = g.n_vertices();
+    let (f, bits) = frontier_and_visited(n);
+    let mut dense_f = f.clone();
+    dense_f.make_dense();
+    for format in StorageFormat::all() {
+        for (input, dir) in [(&f, Direction::Push), (&dense_f, Direction::Pull)] {
+            for masked in [false, true] {
+                let desc = Descriptor::new()
+                    .transpose(true)
+                    .force(dir)
+                    .force_format(format);
+                identical_across_lanes(|| {
+                    let mask = Mask::complement(&bits);
+                    let c = AccessCounters::new();
+                    let w: Vector<bool> = mxv(
+                        masked.then_some(&mask),
+                        BoolOrAnd,
+                        &g,
+                        input,
+                        &desc,
+                        Some(&c),
+                    )
+                    .unwrap();
+                    (w.iter_explicit().collect::<Vec<_>>(), c.snapshot())
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn algorithms_under_fixed_formats_identical_across_thread_counts() {
+    // BFS and msbfs under Fixed(Bitmap) / Fixed(Dcsr) / Auto: results and
+    // counters (including the format_switches tally, which is
+    // lane-independent) pinned at 1/2/8 lanes.
+    use push_pull::algo::msbfs::{multi_source_bfs_with_opts, MsBfsOpts};
+    use push_pull::core::{FormatPolicy, StorageFormat};
+    let g = test_graph();
+    for policy in [
+        FormatPolicy::fixed(StorageFormat::Bitmap),
+        FormatPolicy::fixed(StorageFormat::Dcsr),
+        FormatPolicy::auto(),
+    ] {
+        identical_across_lanes(|| {
+            let c = AccessCounters::new();
+            let opts = BfsOpts::default().format(policy);
+            let r = bfs_with_opts(&g, 3, &opts, Some(&c));
+            (r.depths, c.snapshot())
+        });
+        identical_across_lanes(|| {
+            let c = AccessCounters::new();
+            let opts = MsBfsOpts {
+                format: policy,
+                ..MsBfsOpts::default()
+            };
+            let r = multi_source_bfs_with_opts(&g, &[0, 7, 1234], &opts, Some(&c));
+            (r.depths, c.snapshot())
+        });
+    }
+}
+
+#[test]
+fn hypersparse_pull_skip_matches_csr_across_thread_counts() {
+    // The DCSR unmasked-pull fast path (non-empty-row scan with bulk
+    // counter charges) against the CSR full scan: same values, same
+    // counters, at every lane count.
+    use push_pull::core::StorageFormat;
+    let g = {
+        // Hypersparse operand: a few edges in a large vertex space.
+        let mut coo = push_pull::matrix::Coo::new(5000, 5000);
+        for i in 0..40u32 {
+            coo.push(i * 100, ((i + 1) % 40) * 100, true);
+        }
+        coo.clean_undirected();
+        push_pull::matrix::Graph::from_coo(&coo)
+    };
+    let n = g.n_vertices();
+    let dense = Vector::Dense(push_pull::core::DenseVector::from_values(
+        vec![true; n],
+        false,
+    ));
+    let run_format = |format: StorageFormat| {
+        identical_across_lanes(|| {
+            let desc = Descriptor::new()
+                .transpose(true)
+                .force(Direction::Pull)
+                .force_format(format);
+            let c = AccessCounters::new();
+            let w: Vector<bool> = mxv(None, BoolOrAnd, &g, &dense, &desc, Some(&c)).unwrap();
+            (w.iter_explicit().collect::<Vec<_>>(), c.snapshot())
+        });
+        let desc = Descriptor::new()
+            .transpose(true)
+            .force(Direction::Pull)
+            .force_format(format);
+        let c = AccessCounters::new();
+        let w: Vector<bool> = mxv(None, BoolOrAnd, &g, &dense, &desc, Some(&c)).unwrap();
+        (w.iter_explicit().collect::<Vec<_>>(), c.snapshot())
+    };
+    let csr = run_format(StorageFormat::Csr);
+    let dcsr = run_format(StorageFormat::Dcsr);
+    assert_eq!(
+        csr, dcsr,
+        "skip path must be invisible in values and counters"
+    );
+}
