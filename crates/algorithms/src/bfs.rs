@@ -41,7 +41,9 @@ use graphblas_core::mask::Mask;
 use graphblas_core::ops::{BoolOrAnd, BoolStructure, Semiring};
 use graphblas_core::vector::Vector;
 use graphblas_core::vector_ops::filter_by_mask;
-use graphblas_core::{mxv, DirectionPolicy, FormatPolicy, FusedMxv};
+use graphblas_core::{
+    mxv, CostConstants, CostModelInputs, DirectionPolicy, FormatPolicy, FusedMxv,
+};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -81,6 +83,16 @@ pub struct BfsOpts {
     /// tested oracle). Formats never change results or access counters —
     /// only wall clock and the `format_switches` tally.
     pub format: FormatPolicy,
+    /// Let the boolean kernels run bit-parallel when the level's planned
+    /// store is the bitmap (default on). Value- and projected-counter
+    /// neutral; `false` is the scalar-oracle arm of the equivalence tests.
+    pub bit_kernels: bool,
+    /// Replace the ratio-threshold direction rule with the measured cost
+    /// model: `pushwork = c_push · nnz(A(:, f))` against
+    /// `pullwork = c_pull · d · |unvisited|`, per level (overridden by
+    /// [`BfsOpts::force`]). Pair with [`FormatPolicy::cost_model`] to let
+    /// the same constants pick the format half of the plan.
+    pub cost_model: bool,
 }
 
 impl Default for BfsOpts {
@@ -96,6 +108,8 @@ impl Default for BfsOpts {
             record_trace: false,
             fused: true,
             format: FormatPolicy::auto(),
+            bit_kernels: true,
+            cost_model: false,
         }
     }
 }
@@ -116,6 +130,9 @@ impl BfsOpts {
             record_trace: false,
             fused: true,
             format: FormatPolicy::auto(),
+            // The baseline is the scalar reference configuration.
+            bit_kernels: false,
+            cost_model: false,
         }
     }
 
@@ -123,6 +140,22 @@ impl BfsOpts {
     #[must_use]
     pub fn fused(mut self, on: bool) -> Self {
         self.fused = on;
+        self
+    }
+
+    /// Builder: toggle the bit-parallel kernels (see
+    /// [`BfsOpts::bit_kernels`]).
+    #[must_use]
+    pub fn bit_kernels(mut self, on: bool) -> Self {
+        self.bit_kernels = on;
+        self
+    }
+
+    /// Builder: toggle the measured cost-model direction rule (see
+    /// [`BfsOpts::cost_model`]).
+    #[must_use]
+    pub fn cost_model(mut self, on: bool) -> Self {
+        self.cost_model = on;
         self
     }
 
@@ -278,6 +311,7 @@ where
     // chooses which policy variant it runs under.
     let mut policy = match opts.force {
         Some(d) => DirectionPolicy::fixed(d),
+        None if opts.cost_model => DirectionPolicy::cost_model(CostConstants::default()),
         None if opts.change_of_direction => DirectionPolicy::hysteresis(opts.switch_threshold),
         None => DirectionPolicy::fixed(Direction::Push),
     };
@@ -292,7 +326,8 @@ where
         .transpose(true)
         .early_exit(opts.early_exit)
         .structure_only(opts.structure_only)
-        .switch_threshold(opts.switch_threshold);
+        .switch_threshold(opts.switch_threshold)
+        .bit_kernels(opts.bit_kernels);
 
     loop {
         let t0 = opts.record_trace.then(Instant::now);
@@ -300,7 +335,23 @@ where
 
         // Optimization 1: pick this level's direction; the format policy
         // picks the matrix store the level's kernel face runs over.
-        let dir = policy.update(frontier_nnz, n);
+        let dir = if opts.cost_model && opts.force.is_none() {
+            // Measured workloads for the Beamer-style rule: push expands the
+            // out-rows of the frontier; pull scans into the unvisited set.
+            let csr = g.csr();
+            let frontier_edges = f
+                .iter_explicit()
+                .map(|(i, _)| csr.degree(i as usize))
+                .sum::<usize>();
+            let inputs = CostModelInputs {
+                frontier_edges,
+                unvisited: unvisited_count,
+                avg_degree: csr.avg_degree(),
+            };
+            policy.update_measured(frontier_nnz, n, inputs)
+        } else {
+            policy.update(frontier_nnz, n)
+        };
         let fmt = fpol.update(g, true, dir, counters);
         let desc = base_desc.force(dir).force_format(fmt);
 
@@ -578,5 +629,49 @@ mod tests {
             masked * 2 < unmasked,
             "masking must cut matrix traffic: {masked} vs {unmasked}"
         );
+    }
+
+    #[test]
+    fn cost_model_matches_oracle_and_stays_competitive() {
+        // The measured rule must stay correct, and its charged accesses may
+        // not lose to the better of the two fixed directions by more than
+        // 10% (the acceptance bound the bench study re-checks on disk).
+        let g = rmat(12, 16, RmatParams::default(), 4);
+        let expect = bfs_serial(&g, 0);
+        let run = |opts: BfsOpts| {
+            let c = AccessCounters::new();
+            let r = bfs_with_opts(&g, 0, &opts, Some(&c));
+            (r, c.snapshot().accesses_only().total())
+        };
+        let (got, model_total) = run(BfsOpts::default().cost_model(true));
+        assert_eq!(got.depths, expect, "cost-model BFS must stay exact");
+        let (_, push_total) = run(BfsOpts::default().forced(Direction::Push));
+        let (_, pull_total) = run(BfsOpts::default().forced(Direction::Pull));
+        let best_fixed = push_total.min(pull_total);
+        assert!(
+            model_total as f64 <= best_fixed as f64 * 1.1,
+            "cost model lost to best fixed direction: {model_total} vs {best_fixed}"
+        );
+    }
+
+    #[test]
+    fn bit_kernels_are_value_and_counter_equivalent_in_bfs() {
+        // Force the bitmap store so the bit pull actually engages, then pin
+        // the bit arm against the scalar arm: same depths, same projected
+        // access charges (bit_word_ops is telemetry the projection zeroes).
+        let g = chung_lu(1500, 12, PowerLawParams::default(), 23);
+        let run = |bit: bool| {
+            let c = AccessCounters::new();
+            let opts = BfsOpts::default()
+                .bit_kernels(bit)
+                .format(FormatPolicy::fixed(graphblas_core::StorageFormat::Bitmap));
+            let r = bfs_with_opts(&g, 2, &opts, Some(&c));
+            (r.depths, c.snapshot().accesses_only())
+        };
+        let (bit_depths, bit_acc) = run(true);
+        let (scalar_depths, scalar_acc) = run(false);
+        assert_eq!(bit_depths, scalar_depths, "bit arm changed BFS values");
+        assert_eq!(bit_acc, scalar_acc, "bit arm changed projected charges");
+        assert_eq!(bit_depths, bfs_serial(&g, 2));
     }
 }

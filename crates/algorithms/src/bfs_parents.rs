@@ -47,6 +47,11 @@ pub struct ParentBfsOpts {
     /// Matrix storage-format policy (default auto; see
     /// [`graphblas_core::plan`]). Format-invariant results and counters.
     pub format: FormatPolicy,
+    /// Allow the bit-parallel kernels when a level runs over the bitmap
+    /// store (default on). Here the bit path serves the fused first-hit
+    /// exit: rank-of-first-set-bit recovers the same minimum parent the
+    /// scalar ascending scan finds, with identical counter charges.
+    pub bit_kernels: bool,
 }
 
 impl Default for ParentBfsOpts {
@@ -56,6 +61,7 @@ impl Default for ParentBfsOpts {
             fused: true,
             first_hit_exit: true,
             format: FormatPolicy::auto(),
+            bit_kernels: true,
         }
     }
 }
@@ -102,7 +108,9 @@ pub fn bfs_parents_with_opts(
     let mut policy = DirectionPolicy::hysteresis(opts.switch_threshold);
     let mut fpol = opts.format;
     let mut levels = 0usize;
-    let base = Descriptor::new().transpose(true);
+    let base = Descriptor::new()
+        .transpose(true)
+        .bit_kernels(opts.bit_kernels);
 
     loop {
         levels += 1;
@@ -291,5 +299,29 @@ mod tests {
             m_hit < m_full,
             "first-hit must reduce matrix accesses: {m_hit} vs {m_full}"
         );
+    }
+
+    #[test]
+    fn bit_first_hit_recovers_scalar_min_parent_tree() {
+        // Force the bitmap store so the bit first-hit path engages: the
+        // rank-recovered parent must equal the scalar ascending scan's, and
+        // the projected access charges must match exactly.
+        let g = rmat(10, 20, RmatParams::default(), 31);
+        let run = |bit: bool| {
+            let c = AccessCounters::new();
+            let opts = ParentBfsOpts {
+                switch_threshold: 0.0,
+                format: FormatPolicy::fixed(graphblas_core::StorageFormat::Bitmap),
+                bit_kernels: bit,
+                ..ParentBfsOpts::default()
+            };
+            let r = bfs_parents_with_opts(&g, 3, &opts, Some(&c));
+            (r.parent, c.snapshot().accesses_only())
+        };
+        let (p_bit, a_bit) = run(true);
+        let (p_scalar, a_scalar) = run(false);
+        assert_eq!(p_bit, p_scalar, "bit first-hit changed the tree");
+        assert_eq!(a_bit, a_scalar, "bit first-hit changed projected charges");
+        assert!(verify_parents(&g, 3, &p_bit));
     }
 }

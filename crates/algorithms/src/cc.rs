@@ -50,6 +50,11 @@ pub struct CcOpts {
     /// Matrix storage-format policy (default auto; see
     /// [`graphblas_core::plan`]). Format-invariant results and counters.
     pub format: FormatPolicy,
+    /// Allow the bit-parallel kernels (default on). Inert for the
+    /// `(min, second)` semiring today — it has no product hint — but kept
+    /// uniform with the other traversals so a future Boolean CC variant
+    /// inherits the gate.
+    pub bit_kernels: bool,
 }
 
 impl Default for CcOpts {
@@ -58,6 +63,7 @@ impl Default for CcOpts {
             switch_threshold: 0.01,
             fused: true,
             format: FormatPolicy::auto(),
+            bit_kernels: true,
         }
     }
 }
@@ -89,8 +95,14 @@ pub fn connected_components_with_opts(
     // means the policy begins in pull.
     let mut policy = DirectionPolicy::hysteresis_from(Direction::Pull, opts.switch_threshold);
     let mut fpol = opts.format;
-    let base_push = Descriptor::new().transpose(true).force(Direction::Push);
-    let base_pull = Descriptor::new().transpose(true).force(Direction::Pull);
+    let base_push = Descriptor::new()
+        .transpose(true)
+        .force(Direction::Push)
+        .bit_kernels(opts.bit_kernels);
+    let base_pull = Descriptor::new()
+        .transpose(true)
+        .force(Direction::Pull)
+        .bit_kernels(opts.bit_kernels);
 
     loop {
         rounds += 1;

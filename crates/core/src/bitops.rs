@@ -1,0 +1,677 @@
+//! Bit-parallel boolean-semiring kernels: `u64` words end to end.
+//!
+//! The scalar row kernel examines one stored edge per loop iteration. For
+//! BFS-style *any/pair* semirings (structure-only products, an idempotent
+//! ⊕ that saturates at its annihilator) the per-edge work is pure set
+//! algebra, so when the planned operand store is a
+//! [`BitmapStore`](graphblas_matrix::BitmapStore) the same reduction can
+//! run 64 edges at a time: AND a row's bitmap words against the packed
+//! input words, `count_ones` for the Table 1 bookkeeping, and stop at the
+//! first set word for the early-exit semirings. This module holds the
+//! pieces the kernel faces dispatch to:
+//!
+//! * [`BitFrontier`] — a dense bitmap frontier with a popcount-backed nnz,
+//!   convertible to/from [`Vector<bool>`] under the same §6.3
+//!   [`ConvertState`] debounce the scalar frontier uses;
+//! * `BitPull` / `bit_pull_ctx` — the per-call context of the bit pull
+//!   path: the input vector packed into words plus the semiring facts
+//!   (constant product hint, break-on-hit) the word loop relies on;
+//! * `bit_reduce_row` / `bit_reduce_row_first_hit` — the word-wise row
+//!   reductions, value- and counter-equivalent to the scalar `reduce_row`
+//!   twins by construction (popcount rank recovers exactly the scalar
+//!   `examined` count);
+//! * `UnvisitedIndex` — one level of summary words over the
+//!   (complement-adjusted) mask words, so late-level pull scans skip
+//!   64-row regions that are already fully visited;
+//! * `bit_push_parts` — the push-face arm: OR each source row's word
+//!   span into per-chunk bitmaps (the SpaMerge chunk machinery) and merge
+//!   word-wise, replacing the expand/sort/dedup of the structure-only
+//!   column kernel.
+//!
+//! **The load-bearing invariant**: every function here charges the same
+//! `matrix`/`vector`/`mask`/`sort` access amounts the scalar kernel
+//! charges for the same call — the 64× win is *visible only* through the
+//! separate `bit_word_ops` telemetry counter (zeroed by both counter
+//! projections), because the equivalence tests compare bitmap-format runs
+//! against the `Fixed(Csr)` scalar oracle snapshot-for-snapshot.
+//! `Descriptor::bit_kernels(false)` switches all of this off and is the
+//! oracle arm of `tests/prop_core.rs`.
+
+use crate::descriptor::Descriptor;
+use crate::mask::Mask;
+use crate::ops::{Monoid, Scalar, Semiring};
+use crate::vector::{ConvertState, DenseVector, SparseVector, Vector};
+use graphblas_matrix::RowAccess;
+use graphblas_primitives::counters::AccessCounters;
+use graphblas_primitives::{sort, BitVec};
+use rayon::prelude::*;
+
+/// A frontier held as a dense bitmap with a cached popcount `nnz` — the
+/// boolean-semiring analogue of the sparse/dense [`Vector`] pair, sized
+/// `dim/64` words regardless of occupancy.
+///
+/// The bit kernels themselves consume packed words directly (see
+/// `bit_pull_ctx`); `BitFrontier` is the *algorithm-facing* frontier
+/// object: BFS bookkeeping, tests, and the bench studies move between it
+/// and [`Vector<bool>`] with [`BitFrontier::from_vector`] /
+/// [`BitFrontier::into_vector`], the latter applying the same §6.3
+/// [`ConvertState`] hysteresis the scalar frontier uses so the storage
+/// (and hence direction) signal is unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitFrontier {
+    bits: BitVec,
+    nnz: usize,
+}
+
+impl BitFrontier {
+    /// An empty frontier over `dim` vertices.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self {
+            bits: BitVec::new(dim),
+            nnz: 0,
+        }
+    }
+
+    /// Pack a boolean vector's explicit entries into a bitmap.
+    #[must_use]
+    pub fn from_vector(v: &Vector<bool>) -> Self {
+        let mut bits = BitVec::new(v.dim());
+        let mut nnz = 0usize;
+        for (i, _) in v.iter_explicit() {
+            if bits.set(i as usize) {
+                nnz += 1;
+            }
+        }
+        Self { bits, nnz }
+    }
+
+    /// Unpack into a [`Vector<bool>`] (fill `false`), then apply the §6.3
+    /// storage hysteresis via the caller's [`ConvertState`] — exactly the
+    /// debounce a scalar frontier would see, so push/pull dispatch on the
+    /// result is unchanged.
+    #[must_use]
+    pub fn into_vector(self, state: &mut ConvertState, threshold: f64) -> Vector<bool> {
+        let ids: Vec<u32> = self.bits.iter_ones().map(|i| i as u32).collect();
+        let vals = vec![true; ids.len()];
+        let mut v = Vector::from_sparse(self.bits.len(), false, ids, vals);
+        v.convert(state, threshold);
+        v
+    }
+
+    /// Number of vertices covered.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of set bits (cached; no scan).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Whether vertex `i` is in the frontier.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// Insert vertex `i`; returns `true` when newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let fresh = self.bits.set(i);
+        if fresh {
+            self.nnz += 1;
+        }
+        fresh
+    }
+
+    /// The backing bitmap.
+    #[must_use]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// The backing `u64` words (tail bits beyond `dim` are zero).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        self.bits.words()
+    }
+}
+
+/// Per-call context of the bit pull path: the dense input packed into
+/// words, plus the two semiring facts the word loop exploits.
+pub(crate) struct BitPull<Y> {
+    /// `is_explicit` of the input vector, one bit per column.
+    pub(crate) words: Vec<u64>,
+    /// The constant every (stored entry ⊗ explicit input) product equals.
+    pub(crate) hint: Y,
+    /// Whether ⊕ saturates at `hint` (annihilator), i.e. the scalar loop
+    /// would break on the first explicit hit under `early_exit`.
+    pub(crate) break_on_hit: bool,
+}
+
+/// Build the bit pull context when the call qualifies, else `None` (the
+/// caller falls back to the scalar kernel).
+///
+/// Qualifying means: the descriptor opts in (`bit_kernels` *and*
+/// `structure_only`), the served store exposes a word surface
+/// (`RowAccess::has_row_words` — only the bitmap store does), the
+/// semiring declares a constant product hint `h`, and the ⊕ monoid
+/// satisfies `identity ⊕ h = h` and `h ⊕ h = h` — exactly what makes "any
+/// explicit hit ⇒ row reduces to `h`, no hit ⇒ identity" the full
+/// reduction. Packing the operand charges one `bit_word_ops` per word.
+pub(crate) fn bit_pull_ctx<A, X, Y, S, M>(
+    s: S,
+    op: &M,
+    v: &DenseVector<X>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> Option<BitPull<Y>>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
+{
+    if !desc.bit_kernels || !desc.structure_only || !op.has_row_words() {
+        return None;
+    }
+    let hint = s.product_hint()?;
+    let add = s.add_monoid();
+    let identity = add.identity();
+    if add.op(identity, hint) != hint || add.op(hint, hint) != hint {
+        return None;
+    }
+    let break_on_hit = add.annihilator() == Some(hint);
+    let words = pack_explicit_words(v, counters);
+    Some(BitPull {
+        words,
+        hint,
+        break_on_hit,
+    })
+}
+
+/// Pack `is_explicit` of a dense vector into `u64` words (bit `j` set iff
+/// slot `j` is explicit). Charges one `bit_word_ops` per output word.
+pub(crate) fn pack_explicit_words<X: Scalar>(
+    v: &DenseVector<X>,
+    counters: Option<&AccessCounters>,
+) -> Vec<u64> {
+    let n = v.dim();
+    let mut words = vec![0u64; n.div_ceil(64)];
+    for (g, w) in words.iter_mut().enumerate() {
+        let start = g * 64;
+        let end = (start + 64).min(n);
+        let mut bits = 0u64;
+        for j in start..end {
+            if v.is_explicit(j) {
+                bits |= 1u64 << (j - start);
+            }
+        }
+        *w = bits;
+    }
+    if let Some(c) = counters {
+        c.add_bit_word_ops(words.len() as u64);
+    }
+    words
+}
+
+/// Word-wise reduction of one operand row — the bit twin of the scalar
+/// `reduce_row` under a `BitPull` context.
+///
+/// Scans row words ANDed against the packed input; any nonzero AND means
+/// the row reduces to the hint (the context's monoid laws), so the word
+/// scan always stops at the first hit. The *charged* `examined` count
+/// replays the scalar loop exactly:
+///
+/// * early-exit break (context says ⊕ saturates at the hint, caller says
+///   `early_exit`): the scalar loop stops at the first explicit hit, whose
+///   1-based position among the row's stored entries is recovered by
+///   popcount — entries in fully scanned words plus entries of the hit
+///   word up to and including the hit bit;
+/// * otherwise (or no hit): the scalar loop walks the whole row, so the
+///   full `degree(i)` is charged even though the value needed one word.
+#[inline]
+pub(crate) fn bit_reduce_row<A, Y, M>(
+    op: &M,
+    ctx: &BitPull<Y>,
+    i: usize,
+    identity: Y,
+    early_exit: bool,
+    counters: Option<&AccessCounters>,
+) -> Y
+where
+    A: Scalar,
+    Y: Scalar,
+    M: RowAccess<A>,
+{
+    let row = op.row_words(i).expect("bit kernel requires a word surface");
+    let mut scanned = 0u64;
+    let mut seen = 0u64; // stored entries in fully scanned words
+    let mut hit_rank = None;
+    for (&rw, &vw) in row.iter().zip(ctx.words.iter()) {
+        scanned += 1;
+        let and = rw & vw;
+        if and != 0 {
+            let b = and.trailing_zeros();
+            // Stored entries at columns <= the hit column: the scalar
+            // loop's examined count when it breaks on this hit.
+            let upto = rw & (u64::MAX >> (63 - b));
+            hit_rank = Some(seen + u64::from(upto.count_ones()));
+            break;
+        }
+        seen += u64::from(rw.count_ones());
+    }
+    let examined = match hit_rank {
+        Some(rank) if early_exit && ctx.break_on_hit => rank,
+        _ => op.degree(i) as u64,
+    };
+    if let Some(c) = counters {
+        c.add_matrix(examined);
+        c.add_vector(examined + 1);
+        c.add_bit_word_ops(scanned);
+    }
+    if hit_rank.is_some() {
+        ctx.hint
+    } else {
+        identity
+    }
+}
+
+/// Word-wise first-hit reduction — the bit twin of the fused pipeline's
+/// `reduce_row_first_hit`, and fully generic over the semiring (no hint
+/// needed): the popcount rank of the first AND hit indexes straight into
+/// the row's CSR value slice, so the single product `a ⊗ v(j)` is computed
+/// exactly as the scalar loop would. `words` is the packed input from
+/// `pack_explicit_words`. Charges `examined = rank` (the scalar loop
+/// breaks unconditionally on the first explicit hit) or `degree(i)` when
+/// the row has none.
+#[inline]
+pub(crate) fn bit_reduce_row_first_hit<A, X, Y, S, M>(
+    s: S,
+    op: &M,
+    words: &[u64],
+    v: &DenseVector<X>,
+    i: usize,
+    identity: Y,
+    counters: Option<&AccessCounters>,
+) -> Y
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
+{
+    let add = s.add_monoid();
+    let row = op.row_words(i).expect("bit kernel requires a word surface");
+    let mut scanned = 0u64;
+    let mut seen = 0u64;
+    let mut acc = identity;
+    let mut examined = None;
+    for (t, (&rw, &vw)) in row.iter().zip(words.iter()).enumerate() {
+        scanned += 1;
+        let and = rw & vw;
+        if and != 0 {
+            let b = and.trailing_zeros();
+            let j = t * 64 + b as usize;
+            let upto = rw & (u64::MAX >> (63 - b));
+            let rank = seen + u64::from(upto.count_ones());
+            // rank is 1-based among the row's stored entries, ascending by
+            // column — identical to the CSR order, so rank-1 indexes the
+            // stored value of the hit entry.
+            let a = op.row_values(i)[(rank - 1) as usize];
+            acc = add.op(acc, s.mult(a, v.get(j)));
+            examined = Some(rank);
+            break;
+        }
+        seen += u64::from(rw.count_ones());
+    }
+    let examined = examined.unwrap_or(op.degree(i) as u64);
+    if let Some(c) = counters {
+        c.add_matrix(examined);
+        c.add_vector(examined + 1);
+        c.add_bit_word_ops(scanned);
+    }
+    acc
+}
+
+/// One level of summary words over a mask's (complement-adjusted) words:
+/// bit `j` of `summary[q]` is set iff allowed-word `q*64 + j` has any
+/// allowed row. The masked bit pull iterates only the live 64-row groups,
+/// so a level-k BFS scan skips regions whose rows are all visited — the
+/// *unvisited index* of the bit pull path.
+///
+/// Counter-neutral by construction: the scalar kernel charges `mask(M)` in
+/// bulk for the same information and does no per-row work on disallowed
+/// rows, so skipping them wholesale changes `bit_word_ops` telemetry only
+/// (one per mask word + one per summary word, charged at build).
+pub(crate) struct UnvisitedIndex<'a> {
+    words: &'a [u64],
+    complement: bool,
+    tail_mask: u64,
+    summary: Vec<u64>,
+}
+
+impl<'a> UnvisitedIndex<'a> {
+    /// Build the summary from a mask's word surface.
+    pub(crate) fn build(mask: &Mask<'a>, counters: Option<&AccessCounters>) -> Self {
+        let (words, complement) = mask.word_view();
+        let dim = mask.dim();
+        let tail_mask = if dim.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (dim % 64)) - 1
+        };
+        let mut summary = vec![0u64; words.len().div_ceil(64)];
+        for g in 0..words.len() {
+            if allowed_word(words, complement, tail_mask, g) != 0 {
+                summary[g / 64] |= 1u64 << (g % 64);
+            }
+        }
+        if let Some(c) = counters {
+            c.add_bit_word_ops((words.len() + summary.len()) as u64);
+        }
+        Self {
+            words,
+            complement,
+            tail_mask,
+            summary,
+        }
+    }
+
+    /// The allowed-row word for 64-row group `g` (complement applied,
+    /// tail-masked to the mask's dimension).
+    pub(crate) fn allowed_word(&self, g: usize) -> u64 {
+        allowed_word(self.words, self.complement, self.tail_mask, g)
+    }
+
+    /// Indices of groups with at least one allowed row, ascending.
+    pub(crate) fn live_groups(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (q, &sw) in self.summary.iter().enumerate() {
+            let mut bits = sw;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.push(q * 64 + j);
+            }
+        }
+        out
+    }
+}
+
+fn allowed_word(words: &[u64], complement: bool, tail_mask: u64, g: usize) -> u64 {
+    let w = words[g];
+    if complement {
+        let inv = !w;
+        if g + 1 == words.len() {
+            inv & tail_mask
+        } else {
+            inv
+        }
+    } else {
+        // Plain mask words keep their tail zero by the BitVec invariant.
+        w
+    }
+}
+
+/// The push-face bit arm: when the structure-only sort-based column kernel
+/// runs over a word-surfaced store, the expand → radix-sort → dedup chain
+/// is equivalent to OR-ing each source row's word span into an output
+/// bitmap and reading off the set bits. Returns the pre-filter `(ids,
+/// vals)` parts (the caller applies the usual mask/identity filter), or
+/// `None` when the call doesn't qualify.
+///
+/// Parallelism reuses the SpaMerge chunk machinery: the frontier is cut
+/// into expansion-balanced chunks (`spa_chunk_ranges`, boundaries derived
+/// from sizes only), each chunk ORs into a private word buffer, and the
+/// buffers fold word-wise in chunk order — bit-identical at any lane
+/// count because OR is commutative and the fold order is fixed.
+///
+/// Charges replicate the scalar structure-only sort path exactly: one
+/// `matrix` access per expanded edge and the same radix `sort` traffic
+/// (the work the bit path *actually* skips shows up as the gap between
+/// those charges and `bit_word_ops`).
+pub(crate) fn bit_push_parts<A, X, Y, S, M>(
+    s: S,
+    op_t: &M,
+    v: &SparseVector<X>,
+    desc: &Descriptor,
+    counters: Option<&AccessCounters>,
+) -> Option<(Vec<u32>, Vec<Y>)>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+    M: RowAccess<A> + Sync,
+{
+    if !desc.bit_kernels || !desc.structure_only || !op_t.has_row_words() {
+        return None;
+    }
+    let hint = s.product_hint()?;
+    let (offsets, total) = crate::ops_mxv::expansion_offsets(op_t, v);
+    if let Some(c) = counters {
+        // Same bulk charges as expand_keys_only + the key-only radix sort.
+        c.add_matrix(total as u64);
+        c.add_sort(total as u64 * sort::passes_for(op_t.n_rows().max(1) as u32 - 1) as u64);
+    }
+    let wpr = op_t.n_cols().div_ceil(64);
+    let ids_ref = v.ids();
+    let chunks: Vec<Vec<u64>> = crate::ops_mxv::spa_chunk_ranges(&offsets, total)
+        .into_par_iter()
+        .map(|(s0, s1)| {
+            let mut buf = vec![0u64; wpr];
+            let mut word_ops = 0u64;
+            for &id in &ids_ref[s0..s1] {
+                let src = id as usize;
+                let cols = op_t.row(src);
+                if cols.is_empty() {
+                    continue;
+                }
+                let rw = op_t.row_words(src).expect("gated on has_row_words");
+                let w0 = cols[0] as usize / 64;
+                let w1 = cols[cols.len() - 1] as usize / 64;
+                for (t, slot) in buf.iter_mut().enumerate().take(w1 + 1).skip(w0) {
+                    *slot |= rw[t];
+                }
+                word_ops += (w1 - w0 + 1) as u64;
+            }
+            if let Some(c) = counters {
+                c.add_bit_word_ops(word_ops);
+            }
+            buf
+        })
+        .collect();
+    let mut union = vec![0u64; wpr];
+    for part in &chunks {
+        for (u, &p) in union.iter_mut().zip(part.iter()) {
+            *u |= p;
+        }
+    }
+    if let Some(c) = counters {
+        // Word-wise chunk fold plus the output-extraction scan.
+        c.add_bit_word_ops((chunks.len() as u64 + 1) * wpr as u64);
+    }
+    let mut ids = Vec::new();
+    for (g, &w) in union.iter().enumerate() {
+        let mut bits = w;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            ids.push((g * 64 + b) as u32);
+        }
+    }
+    let vals = vec![hint; ids.len()];
+    Some((ids, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::BoolStructure;
+    use graphblas_matrix::{BitmapStore, Coo, Csr};
+    use std::sync::Arc;
+
+    fn bitmap_3x70() -> BitmapStore<bool> {
+        let mut coo = Coo::new(3, 70);
+        for &(i, j) in &[(0u32, 0u32), (0, 63), (0, 64), (1, 69), (2, 1)] {
+            coo.push(i, j, true);
+        }
+        let csr = Arc::new(Csr::from_coo(&coo));
+        BitmapStore::try_from_shared(csr).expect("3x70 fits")
+    }
+
+    #[test]
+    fn bitfrontier_roundtrips_through_vector() {
+        let v = Vector::from_sparse(130, false, vec![0, 63, 64, 129], vec![true; 4]);
+        let bf = BitFrontier::from_vector(&v);
+        assert_eq!((bf.dim(), bf.nnz()), (130, 4));
+        assert!(bf.contains(63) && bf.contains(129) && !bf.contains(1));
+        let mut state = ConvertState::new();
+        // 4/130 = 3% > 1% and rising from no history: densifies, same as a
+        // scalar frontier under the same ConvertState.
+        let back = bf.into_vector(&mut state, 0.01);
+        assert!(!back.is_sparse(), "debounce densified the 3% frontier");
+        let ids: Vec<u32> = back.iter_explicit().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 63, 64, 129]);
+    }
+
+    #[test]
+    fn bitfrontier_insert_tracks_nnz() {
+        let mut bf = BitFrontier::new(70);
+        assert!(bf.insert(69));
+        assert!(!bf.insert(69), "duplicate insert is a no-op");
+        assert_eq!(bf.nnz(), 1);
+        assert_eq!(bf.words().len(), 2);
+    }
+
+    #[test]
+    fn packed_words_match_is_explicit() {
+        let mut d = DenseVector::new(70, false);
+        d.set(0, true);
+        d.set(63, true);
+        d.set(64, true);
+        let c = AccessCounters::new();
+        let words = pack_explicit_words(&d, Some(&c));
+        assert_eq!(words, vec![(1u64 << 63) | 1, 1]);
+        assert_eq!(c.snapshot().bit_word_ops, 2, "one charge per word");
+    }
+
+    #[test]
+    fn bit_reduce_row_matches_scalar_examined_counts() {
+        // Row 0 of the 3x70 store has entries at columns {0, 63, 64}.
+        let store = bitmap_3x70();
+        let mut d = DenseVector::new(70, false);
+        d.set(64, true); // only the third stored entry is explicit
+        let ctx = bit_pull_ctx(
+            BoolStructure,
+            &store,
+            &d,
+            &Descriptor::new().structure_only(true),
+            None,
+        )
+        .expect("BoolStructure on a bitmap qualifies");
+        assert!(ctx.break_on_hit, "OR saturates at true");
+
+        // Early exit: scalar examines entries 1 (col 0), 2 (col 63),
+        // 3 (col 64, hit) => examined = 3.
+        let c = AccessCounters::new();
+        let y = bit_reduce_row(&store, &ctx, 0, false, true, Some(&c));
+        assert!(y);
+        let s = c.snapshot();
+        assert_eq!(s.matrix, 3, "popcount rank = scalar examined");
+        assert_eq!(s.vector, 4);
+        assert_eq!(s.bit_word_ops, 2, "hit found in the second word");
+
+        // No early exit: the scalar loop walks the full degree.
+        let c = AccessCounters::new();
+        let y = bit_reduce_row(&store, &ctx, 0, false, false, Some(&c));
+        assert!(y);
+        assert_eq!(c.snapshot().matrix, 3, "degree(0) = 3");
+
+        // Row with no explicit neighbor reduces to identity, full degree.
+        let c = AccessCounters::new();
+        let y = bit_reduce_row(&store, &ctx, 2, false, true, Some(&c));
+        assert!(!y);
+        assert_eq!(c.snapshot().matrix, 1, "degree(2) = 1");
+    }
+
+    #[test]
+    fn bit_first_hit_recovers_csr_value_by_rank() {
+        // Weighted 1x70 row: values 10, 20, 30 at columns 0, 63, 64.
+        let mut coo = Coo::new(1, 70);
+        coo.push(0, 0, 10i64);
+        coo.push(0, 63, 20);
+        coo.push(0, 64, 30);
+        let store = BitmapStore::try_from_shared(Arc::new(Csr::from_coo(&coo))).unwrap();
+        let mut d = DenseVector::new(70, 0i64);
+        d.set(63, 7); // first explicit neighbor is the rank-2 entry
+        let words = pack_explicit_words(&d, None);
+        let c = AccessCounters::new();
+        // PlusSecond: product = input value (7); first hit only.
+        let y = bit_reduce_row_first_hit(
+            crate::ops::PlusSecond,
+            &store,
+            &words,
+            &d,
+            0,
+            0i64,
+            Some(&c),
+        );
+        assert_eq!(y, 7, "product of the first explicit hit");
+        assert_eq!(c.snapshot().matrix, 2, "rank of the hit entry");
+    }
+
+    #[test]
+    fn unvisited_index_tracks_complement_and_tail() {
+        // 70-bit mask, complemented: visited = {0..=63, 69} so the allowed
+        // rows are 64..=68 — group 0 is dead, group 1 live.
+        let mut visited = BitVec::new(70);
+        for i in 0..64 {
+            visited.set(i);
+        }
+        visited.set(69);
+        let m = Mask::complement(&visited);
+        let c = AccessCounters::new();
+        let idx = UnvisitedIndex::build(&m, Some(&c));
+        assert_eq!(idx.live_groups(), vec![1]);
+        assert_eq!(idx.allowed_word(0), 0);
+        assert_eq!(idx.allowed_word(1), 0b01_1111, "bits 64..=68, tail masked");
+        assert_eq!(c.snapshot().bit_word_ops, 3, "2 mask words + 1 summary");
+
+        // Plain (non-complement) masks pass their words through.
+        let mut few = BitVec::new(70);
+        few.set(65);
+        let m2 = Mask::new(&few);
+        let idx2 = UnvisitedIndex::build(&m2, None);
+        assert_eq!(idx2.live_groups(), vec![1]);
+        assert_eq!(idx2.allowed_word(1), 2);
+    }
+
+    #[test]
+    fn bit_push_union_matches_scalar_expand_sort_dedup() {
+        let store = bitmap_3x70();
+        // Frontier {0, 2}: neighbors {0, 63, 64} ∪ {1} = {0, 1, 63, 64}.
+        let v = SparseVector::from_sorted(vec![0, 2], vec![true, true]);
+        let c = AccessCounters::new();
+        let desc = Descriptor::new();
+        let (ids, vals): (Vec<u32>, Vec<bool>) =
+            bit_push_parts(BoolStructure, &store, &v, &desc, Some(&c)).expect("qualifies");
+        assert_eq!(ids, vec![0, 1, 63, 64]);
+        assert!(vals.iter().all(|&b| b));
+        let s = c.snapshot();
+        assert_eq!(s.matrix, 4, "one charge per expanded edge");
+        assert!(s.sort > 0, "scalar-equivalent sort traffic charged");
+        assert!(s.bit_word_ops > 0);
+
+        // Without the descriptor opt-in the arm declines.
+        let off = Descriptor::new().bit_kernels(false);
+        assert!(
+            bit_push_parts::<_, _, bool, _, _>(BoolStructure, &store, &v, &off, None).is_none()
+        );
+    }
+}

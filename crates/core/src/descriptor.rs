@@ -102,6 +102,13 @@ pub struct Descriptor {
     pub merge_strategy: MergeStrategy,
     /// Matrix storage-format selection policy.
     pub format: FormatChoice,
+    /// Let the boolean-semiring kernels run bit-parallel (whole `u64`
+    /// words of the bitmap operand at a time) whenever the planned store
+    /// exposes a word surface and the semiring qualifies. Value- and
+    /// projected-counter-equivalent to the scalar path by contract;
+    /// `bit_kernels(false)` is the scalar-oracle switch the equivalence
+    /// tests compare against.
+    pub bit_kernels: bool,
 }
 
 impl Default for Descriptor {
@@ -114,6 +121,7 @@ impl Default for Descriptor {
             structure_only: true,
             merge_strategy: MergeStrategy::SortBased,
             format: FormatChoice::Auto,
+            bit_kernels: true,
         }
     }
 }
@@ -180,6 +188,14 @@ impl Descriptor {
         self.format = c;
         self
     }
+
+    /// Builder: toggle the bit-parallel boolean kernels (see
+    /// [`Descriptor::bit_kernels`]).
+    #[must_use]
+    pub fn bit_kernels(mut self, on: bool) -> Self {
+        self.bit_kernels = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +212,7 @@ mod tests {
         assert_eq!(d.merge_strategy, MergeStrategy::SortBased);
         assert_eq!(d.format, FormatChoice::Auto);
         assert!(!d.transpose);
+        assert!(d.bit_kernels, "bit kernels are on by default");
     }
 
     #[test]
@@ -207,7 +224,9 @@ mod tests {
             .structure_only(false)
             .merge_strategy(MergeStrategy::HeapMerge)
             .switch_threshold(0.05)
+            .bit_kernels(false)
             .force_format(StorageFormat::Dcsr);
+        assert!(!d.bit_kernels);
         assert!(d.transpose);
         assert_eq!(d.direction, DirectionChoice::Force(Direction::Pull));
         assert!(!d.early_exit);

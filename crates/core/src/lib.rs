@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitops;
 pub mod descriptor;
 pub mod error;
 pub mod fused;
@@ -52,6 +53,7 @@ pub mod plan;
 pub mod vector;
 pub mod vector_ops;
 
+pub use bitops::BitFrontier;
 pub use descriptor::{Descriptor, Direction, DirectionChoice, FormatChoice, MergeStrategy};
 pub use error::GrbError;
 pub use fused::{FusedMxv, FusedOutput, FusedPipeline};
@@ -59,8 +61,9 @@ pub use graphblas_matrix::StorageFormat;
 pub use mask::Mask;
 pub use ops::{BoolOrAnd, MinPlus, Monoid, PlusTimes, Scalar, Semiring, SemiringNum};
 pub use ops_mxv::{
-    col_masked_mxv, col_mxv, mxv, resolve_direction, row_masked_mxv, row_mxv, DirectionPolicy,
+    col_masked_mxv, col_mxv, mxv, resolve_direction, row_masked_mxv, row_mxv, CostModelInputs,
+    DirectionPolicy,
 };
 pub use ops_mxv_batch::{col_masked_mxv_batch, mxv_batch, row_masked_mxv_batch};
-pub use plan::{resolve_plan, ExecPlan, FormatPolicy};
+pub use plan::{resolve_plan, CostConstants, ExecPlan, FormatPolicy};
 pub use vector::{ConvertState, DenseVector, MultiVector, SparseVector, Vector};

@@ -319,7 +319,18 @@ where
     };
 
     let (mut ids, mut vals) = match desc.merge_strategy {
-        MergeStrategy::SortBased => sort_based(counters),
+        // The sort-based merge is where the bit-parallel push arm slots in:
+        // same structure-only precondition as the key-only sort, plus a
+        // word-surfaced store and the descriptor opt-in. The bit arm
+        // replaces expand/sort/dedup with word-wise OR of source-row spans
+        // but charges the identical matrix/sort amounts (see
+        // `bitops::bit_push_parts`), so it is invisible to the counter
+        // equivalence contract.
+        MergeStrategy::SortBased => match crate::bitops::bit_push_parts(s, op_t, v, desc, counters)
+        {
+            Some(parts) => parts,
+            None => sort_based(counters),
+        },
         MergeStrategy::BitmaskCull => {
             // Gunrock-style local culling (§7.3): claim output slots in a
             // bitmask instead of sorting. Requires every surviving product
@@ -642,6 +653,29 @@ enum PolicyMode {
     Memoryless { threshold: f64 },
     /// Never switch.
     Fixed,
+    /// Measured work comparison: `pushwork = c_push · nnz(frontier rows)`
+    /// vs `pullwork = c_pull · d · |unvisited|`, the per-iteration rule of
+    /// the paper's comparator engines, with the per-format constants of
+    /// [`crate::plan::CostConstants`]. Fed through
+    /// [`DirectionPolicy::update_measured`]; the ratio-only
+    /// [`DirectionPolicy::update`] keeps the current direction (like
+    /// [`PolicyMode::Fixed`]) because it lacks the measured inputs.
+    CostModel {
+        constants: crate::plan::CostConstants,
+    },
+}
+
+/// The measured per-iteration inputs of the [`PolicyMode::CostModel`]
+/// rule: what the traversal actually knows about the next step's work.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModelInputs {
+    /// Σ out-degree over the frontier's explicit vertices — exactly the
+    /// edges a push step would expand (`nnz(A(:, f))`).
+    pub frontier_edges: usize,
+    /// Vertices not yet finished — the rows a masked pull step would scan.
+    pub unvisited: usize,
+    /// Average degree `d` of the operand, so `pullwork ≈ d · unvisited`.
+    pub avg_degree: f64,
 }
 
 /// The workspace's one stateful push/pull switching rule (§6.3 and its
@@ -718,6 +752,17 @@ impl DirectionPolicy {
         }
     }
 
+    /// Measured cost-model rule, starting from push (frontiers start
+    /// small). Drive it with [`DirectionPolicy::update_measured`].
+    #[must_use]
+    pub fn cost_model(constants: crate::plan::CostConstants) -> Self {
+        DirectionPolicy {
+            mode: PolicyMode::CostModel { constants },
+            dir: Direction::Push,
+            last_activity: 0,
+        }
+    }
+
     /// Feed this iteration's activity measure; returns the direction to use.
     pub fn update(&mut self, activity: usize, capacity: usize) -> Direction {
         let r = activity as f64 / capacity.max(1) as f64;
@@ -743,9 +788,38 @@ impl DirectionPolicy {
                 };
             }
             PolicyMode::Fixed => {}
+            // The ratio alone cannot price push against pull; hold the
+            // direction until measured inputs arrive via update_measured.
+            PolicyMode::CostModel { .. } => {}
         }
         self.last_activity = activity;
         self.dir
+    }
+
+    /// Feed measured work estimates. Under [`PolicyMode::CostModel`] this
+    /// prices both faces directly — `pushwork = c_push · frontier_edges`
+    /// against `pullwork = c_pull · d · unvisited` — and picks the cheaper
+    /// one. Every other mode ignores the measurements and delegates to
+    /// [`DirectionPolicy::update`], so loops can call this unconditionally.
+    pub fn update_measured(
+        &mut self,
+        activity: usize,
+        capacity: usize,
+        inputs: CostModelInputs,
+    ) -> Direction {
+        if let PolicyMode::CostModel { constants } = self.mode {
+            let pushwork = constants.push_edge * inputs.frontier_edges as f64;
+            let pullwork = constants.pull_edge * inputs.avg_degree * inputs.unvisited as f64;
+            self.dir = if pushwork < pullwork {
+                Direction::Push
+            } else {
+                Direction::Pull
+            };
+            self.last_activity = activity;
+            self.dir
+        } else {
+            self.update(activity, capacity)
+        }
     }
 
     /// The direction the last `update` settled on.
@@ -829,6 +903,7 @@ where
     // the same generic kernel runs whichever backend comes out — formats
     // change wall clock, never results or counters.
     let plan = crate::plan::resolve_plan(graph, v, desc);
+    crate::plan::note_bitmap_degrade(desc, plan.format, counters);
     if let Some(c) = counters {
         match plan.direction {
             Direction::Push => c.add_push_step(),
@@ -894,7 +969,11 @@ where
     }
 }
 
-/// The pull face for one concrete store: masked or unmasked row kernel.
+/// The pull face for one concrete store: masked or unmasked row kernel,
+/// with the bit-parallel arm slotted in front. When the planned store has
+/// a word surface and the call qualifies (see `bitops::bit_pull_ctx`), the
+/// row reduction runs 64 edges per AND; values and the projected counters
+/// are the scalar kernel's bit for bit.
 fn pull_face<A, X, Y, S, M>(
     s: S,
     op: &M,
@@ -910,9 +989,114 @@ where
     S: Semiring<A, X, Y>,
     M: RowAccess<A>,
 {
+    if let Some(ctx) = crate::bitops::bit_pull_ctx(s, op, dv, desc, counters) {
+        let identity = s.add_monoid().identity();
+        return match mask {
+            Some(m) => row_masked_mxv_bit(op, &ctx, m, identity, desc.early_exit, counters),
+            None => row_mxv_bit(op, &ctx, identity, counters),
+        };
+    }
     match mask {
         Some(m) => row_masked_mxv(s, op, dv, m, desc.early_exit, counters),
         None => row_mxv(s, op, dv, counters),
+    }
+}
+
+/// Bit twin of [`row_mxv`]: same structure (hypersparse row list when the
+/// store tracks one, row-range chunking otherwise), with the per-row
+/// reduction running word-wise.
+fn row_mxv_bit<A, Y, M>(
+    op: &M,
+    ctx: &crate::bitops::BitPull<Y>,
+    identity: Y,
+    counters: Option<&AccessCounters>,
+) -> DenseVector<Y>
+where
+    A: Scalar,
+    Y: Scalar,
+    M: RowAccess<A>,
+{
+    let mut vals = vec![identity; op.n_rows()];
+    if let Some(rows) = op.nonempty_rows() {
+        if let Some(c) = counters {
+            c.add_vector((op.n_rows() - rows.len()) as u64);
+        }
+        let out = SendPtr(vals.as_mut_ptr());
+        rows.par_iter().with_min_len(ROW_GRAIN).for_each(|&i| {
+            let y = crate::bitops::bit_reduce_row(op, ctx, i as usize, identity, false, counters);
+            // SAFETY: non-empty row ids are unique, so writes are disjoint.
+            unsafe { *out.get().add(i as usize) = y };
+        });
+    } else {
+        pool::par_fill_with(&mut vals, ROW_GRAIN, |i| {
+            crate::bitops::bit_reduce_row(op, ctx, i, identity, false, counters)
+        });
+    }
+    DenseVector::from_values(vals, identity)
+}
+
+/// Bit twin of [`row_masked_mxv`]. The active-list arm mirrors the scalar
+/// kernel row for row; the no-list arm adds the *unvisited index*: one
+/// level of summary words over the (complement-adjusted) mask words lets a
+/// level-k BFS scan visit only 64-row groups that still contain allowed
+/// rows. The scalar kernel charges `mask(M)` in bulk and does no matrix
+/// work on disallowed rows, so skipping them wholesale is charged
+/// identically — the skip shows up only in `bit_word_ops`.
+fn row_masked_mxv_bit<A, Y, M>(
+    op: &M,
+    ctx: &crate::bitops::BitPull<Y>,
+    mask: &Mask<'_>,
+    identity: Y,
+    early_exit: bool,
+    counters: Option<&AccessCounters>,
+) -> DenseVector<Y>
+where
+    A: Scalar,
+    Y: Scalar,
+    M: RowAccess<A>,
+{
+    assert_eq!(op.n_rows(), mask.dim(), "mask must cover output dim");
+    if let Some(active) = mask.active_list() {
+        if let Some(c) = counters {
+            c.add_mask(active.len() as u64);
+        }
+        let mut vals = vec![identity; op.n_rows()];
+        let out = SendPtr(vals.as_mut_ptr());
+        active.par_iter().with_min_len(ROW_GRAIN).for_each(|&i| {
+            debug_assert!(mask.allows(i as usize), "active list disagrees with mask");
+            let y =
+                crate::bitops::bit_reduce_row(op, ctx, i as usize, identity, early_exit, counters);
+            // SAFETY: active-list entries are unique, so writes are disjoint.
+            unsafe { *out.get().add(i as usize) = y };
+        });
+        DenseVector::from_values(vals, identity)
+    } else {
+        if let Some(c) = counters {
+            c.add_mask(op.n_rows() as u64);
+        }
+        let idx = crate::bitops::UnvisitedIndex::build(mask, counters);
+        let mut vals = vec![identity; op.n_rows()];
+        let out = SendPtr(vals.as_mut_ptr());
+        let groups = idx.live_groups();
+        // One group = 64 output rows; keep the scalar kernel's grain in
+        // row units so chunk shapes stay lane-count independent.
+        groups
+            .par_iter()
+            .with_min_len((ROW_GRAIN / 64).max(1))
+            .for_each(|&g| {
+                let mut bits = idx.allowed_word(g);
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let i = g * 64 + b;
+                    let y =
+                        crate::bitops::bit_reduce_row(op, ctx, i, identity, early_exit, counters);
+                    // SAFETY: each row belongs to exactly one group and each
+                    // group to one worker, so writes are disjoint.
+                    unsafe { *out.get().add(i) = y };
+                }
+            });
+        DenseVector::from_values(vals, identity)
     }
 }
 

@@ -65,6 +65,32 @@ where
     S: Semiring<A, X, Y>,
     M: RowAccess<A>,
 {
+    // The public entry has no descriptor, so it cannot opt into the
+    // bit-parallel arm; `mxv_batch` passes its descriptor through the
+    // inner variant below.
+    row_masked_mxv_batch_impl(s, op, vs, masks, early_exit, None, counters)
+}
+
+/// [`row_masked_mxv_batch`] with the dispatcher's descriptor, so batched
+/// pulls share the single-source bit-parallel arm. The bit gating is
+/// source-independent (store + semiring + descriptor), so either every
+/// source gets a packed context or the whole batch runs scalar.
+fn row_masked_mxv_batch_impl<A, X, Y, S, M>(
+    s: S,
+    op: &M,
+    vs: &[&DenseVector<X>],
+    masks: Option<&[Mask<'_>]>,
+    early_exit: bool,
+    desc: Option<&Descriptor>,
+    counters: Option<&AccessCounters>,
+) -> Vec<DenseVector<Y>>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
+{
     if let Some(ms) = masks {
         assert_eq!(ms.len(), vs.len(), "one mask per batch row");
         for m in ms {
@@ -105,6 +131,21 @@ where
         c.add_vector((vs.len() * (n - rows.len())) as u64);
     }
 
+    // Per-source bit contexts: one packed word image per source vector
+    // (each charging its own `bit_word_ops`), all-or-nothing since the
+    // qualification test doesn't depend on the source.
+    let ctxs: Option<Vec<crate::bitops::BitPull<Y>>> = desc.and_then(|d| {
+        let mut cs = Vec::with_capacity(vs.len());
+        for v in vs {
+            cs.push(crate::bitops::bit_pull_ctx(s, op, v, d, counters)?);
+        }
+        if cs.is_empty() {
+            None
+        } else {
+            Some(cs)
+        }
+    });
+
     let mut outs: Vec<Vec<Y>> = vs.iter().map(|_| vec![identity; n]).collect();
     let ptrs: Vec<SendPtr<Y>> = outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr())).collect();
 
@@ -134,7 +175,12 @@ where
                 },
             };
             if allowed {
-                let y = reduce_row(s, op, v, i, identity, early_exit, counters);
+                let y = match &ctxs {
+                    Some(cs) => {
+                        crate::bitops::bit_reduce_row(op, &cs[j], i, identity, early_exit, counters)
+                    }
+                    None => reduce_row(s, op, v, i, identity, early_exit, counters),
+                };
                 // SAFETY: within a source, grid indices (and the unique
                 // active-list or non-empty rows they map to) are disjoint;
                 // across sources the output buffers are distinct.
@@ -364,6 +410,7 @@ where
     // `mxv`, the format changes wall clock only — per-row work and
     // counters are format-invariant.
     let format = crate::plan::resolve_format_batch(graph, desc);
+    crate::plan::note_bitmap_degrade(desc, format, counters);
 
     // Push face: sparse inputs (converting dense rows as `mxv` does),
     // masks subset in row order.
@@ -418,15 +465,33 @@ where
             masks.map(|ms| pull_rows.iter().map(|&r| ms[r]).collect());
         let early_exit = masks.is_some() && desc.early_exit;
         let outs = match graph.store(desc.transpose, format) {
-            StoreRef::Csr(m) => {
-                row_masked_mxv_batch(s, m, &dvs, sub_masks.as_deref(), early_exit, counters)
-            }
-            StoreRef::Bitmap(m) => {
-                row_masked_mxv_batch(s, m, &dvs, sub_masks.as_deref(), early_exit, counters)
-            }
-            StoreRef::Dcsr(m) => {
-                row_masked_mxv_batch(s, m, &dvs, sub_masks.as_deref(), early_exit, counters)
-            }
+            StoreRef::Csr(m) => row_masked_mxv_batch_impl(
+                s,
+                m,
+                &dvs,
+                sub_masks.as_deref(),
+                early_exit,
+                Some(desc),
+                counters,
+            ),
+            StoreRef::Bitmap(m) => row_masked_mxv_batch_impl(
+                s,
+                m,
+                &dvs,
+                sub_masks.as_deref(),
+                early_exit,
+                Some(desc),
+                counters,
+            ),
+            StoreRef::Dcsr(m) => row_masked_mxv_batch_impl(
+                s,
+                m,
+                &dvs,
+                sub_masks.as_deref(),
+                early_exit,
+                Some(desc),
+                counters,
+            ),
         };
         for (&r, dv) in pull_rows.iter().zip(outs) {
             out_rows[r] = Some(Vector::Dense(dv));

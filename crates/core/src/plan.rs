@@ -53,6 +53,77 @@ pub const HYPERSPARSE_OCCUPANCY: f64 = 0.125;
 /// selects the bitmap store (when it fits).
 pub const BITMAP_MIN_DEGREE: f64 = 8.0;
 
+/// Calibration constants of the measured push/pull cost model — the
+/// per-edge (and per-word) charge weights that turn the raw measurements
+/// of [`crate::CostModelInputs`] into comparable work estimates:
+///
+/// * `pushwork = push_edge · nnz(A(:, f))` — each expanded edge pays its
+///   matrix read plus the radix-sort passes of the sort-based merge;
+/// * `pullwork = pull_edge · d · |unvisited|` — each unvisited row pays an
+///   average row scan;
+/// * `bit_word` prices one `u64` word scanned by the bit-parallel pull
+///   kernel, for the format half of the model ([`FormatPolicy::cost_model`]):
+///   a bitmap pull scans at most `⌈n/64⌉` words per row, so bitmap wins
+///   when `pull_edge · d > bit_word · ⌈n/64⌉`.
+///
+/// Defaults come from the charged-access shape of the kernels themselves
+/// (an expanded push edge costs its read + ~3 radix passes); the bench
+/// harness re-derives them from measured runs per format.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostConstants {
+    /// Work per expanded push edge (matrix read + sort traffic).
+    pub push_edge: f64,
+    /// Work per examined pull edge on a scalar (CSR/DCSR) row scan.
+    pub pull_edge: f64,
+    /// Work per `u64` word scanned by the bit-parallel bitmap pull.
+    pub bit_word: f64,
+}
+
+impl Default for CostConstants {
+    fn default() -> Self {
+        Self {
+            push_edge: 4.0,
+            pull_edge: 1.0,
+            bit_word: 1.0,
+        }
+    }
+}
+
+impl CostConstants {
+    /// Constants calibrated for a given pull-side storage format: the
+    /// bitmap's bit-parallel kernel touches 64 edges per word, so its
+    /// effective per-edge pull charge is 1/8 of CSR's per cache line
+    /// (8 edges of a `u64` word amortize one read).
+    #[must_use]
+    pub fn for_format(format: StorageFormat) -> Self {
+        let base = Self::default();
+        match format {
+            StorageFormat::Bitmap => Self {
+                pull_edge: base.pull_edge / 8.0,
+                ..base
+            },
+            StorageFormat::Csr | StorageFormat::Dcsr => base,
+        }
+    }
+}
+
+/// Charge the `bitmap_degrades` telemetry event when a descriptor asked
+/// for the bitmap store but the planner had to serve another format — the
+/// silent `MAX_BITS` degrade of [`Graph::effective_format`] made visible.
+pub fn note_bitmap_degrade(
+    desc: &Descriptor,
+    resolved: StorageFormat,
+    counters: Option<&AccessCounters>,
+) {
+    if desc.format == FormatChoice::Force(StorageFormat::Bitmap)
+        && resolved != StorageFormat::Bitmap
+    {
+        if let Some(c) = counters {
+            c.add_bitmap_degrade();
+        }
+    }
+}
+
 /// A resolved execution plan: which kernel face runs, over which storage
 /// backend.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,10 +221,15 @@ pub fn resolve_format_batch<A: Scalar>(graph: &Graph<A>, desc: &Descriptor) -> S
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 enum FormatMode {
     Auto,
     Fixed(StorageFormat),
+    /// Pick the pull-side format from the measured cost constants instead
+    /// of the fixed [`BITMAP_MIN_DEGREE`] threshold: bitmap wins exactly
+    /// when a row's average scalar scan (`pull_edge · d`) outweighs its
+    /// full word scan (`bit_word · ⌈n/64⌉`).
+    CostModel(CostConstants),
 }
 
 /// The stateful format-selection policy iterative algorithms thread
@@ -211,6 +287,18 @@ impl FormatPolicy {
         }
     }
 
+    /// Measured cost-model selection (see [`FormatMode`] docs): the format
+    /// half of the planner's `CostModel` variant, sharing the same
+    /// debounce as [`FormatPolicy::auto`].
+    #[must_use]
+    pub fn cost_model(constants: CostConstants) -> Self {
+        Self {
+            mode: FormatMode::CostModel(constants),
+            current: None,
+            pending: None,
+        }
+    }
+
     /// The format the last `update` settled on (CSR before any update).
     #[must_use]
     pub fn current(&self) -> StorageFormat {
@@ -224,7 +312,7 @@ impl FormatPolicy {
     ) -> StorageFormat {
         let next = match self.mode {
             FormatMode::Fixed(_) => preferred,
-            FormatMode::Auto => match self.current {
+            FormatMode::Auto | FormatMode::CostModel(_) => match self.current {
                 None => preferred,
                 Some(cur) if preferred == cur => {
                     self.pending = None;
@@ -261,8 +349,18 @@ impl FormatPolicy {
         counters: Option<&AccessCounters>,
     ) -> StorageFormat {
         let preferred = match self.mode {
-            FormatMode::Fixed(f) => graph.effective_format(operand_side(transpose, direction), f),
+            FormatMode::Fixed(f) => {
+                let side = operand_side(transpose, direction);
+                let eff = graph.effective_format(side, f);
+                if f == StorageFormat::Bitmap && eff != StorageFormat::Bitmap {
+                    if let Some(c) = counters {
+                        c.add_bitmap_degrade();
+                    }
+                }
+                eff
+            }
             FormatMode::Auto => auto_format(graph, transpose, direction),
+            FormatMode::CostModel(k) => cost_model_format(graph, transpose, direction, k, counters),
         };
         self.adopt(preferred, counters)
     }
@@ -277,11 +375,55 @@ impl FormatPolicy {
         counters: Option<&AccessCounters>,
     ) -> StorageFormat {
         let preferred = match self.mode {
-            FormatMode::Fixed(f) => graph.effective_format(transpose, f),
-            FormatMode::Auto => auto_format_batch(graph, transpose),
+            FormatMode::Fixed(f) => {
+                let eff = graph.effective_format(transpose, f);
+                if f == StorageFormat::Bitmap && eff != StorageFormat::Bitmap {
+                    if let Some(c) = counters {
+                        c.add_bitmap_degrade();
+                    }
+                }
+                eff
+            }
+            // The batched kernels never run the bit pull (one store serves
+            // both faces), so the measured rule has nothing to price there:
+            // fall back to the shape rule, like Auto.
+            FormatMode::Auto | FormatMode::CostModel(_) => auto_format_batch(graph, transpose),
         };
         self.adopt(preferred, counters)
     }
+}
+
+/// The measured format rule of [`FormatPolicy::cost_model`]: hypersparse
+/// operands still take DCSR (the cost model prices scan work, not row
+/// lookup structure), then bitmap vs CSR is decided by comparing an
+/// average row's scalar scan against its word scan. Charges
+/// `bitmap_degrades` when the model wants bitmap but the shape exceeds the
+/// store's `MAX_BITS` ceiling.
+fn cost_model_format<A: Scalar>(
+    graph: &Graph<A>,
+    transpose: bool,
+    direction: Direction,
+    k: CostConstants,
+    counters: Option<&AccessCounters>,
+) -> StorageFormat {
+    if direction != Direction::Pull {
+        return StorageFormat::Csr;
+    }
+    let side = operand_side(transpose, direction);
+    if graph.row_occupancy(side) < HYPERSPARSE_OCCUPANCY {
+        return StorageFormat::Dcsr;
+    }
+    let csr = if side { graph.csr_t() } else { graph.csr() };
+    let words_per_row = (csr.n_cols() as f64 / 64.0).ceil();
+    if k.pull_edge * csr.avg_degree() > k.bit_word * words_per_row {
+        if graph.effective_format(side, StorageFormat::Bitmap) == StorageFormat::Bitmap {
+            return StorageFormat::Bitmap;
+        }
+        if let Some(c) = counters {
+            c.add_bitmap_degrade();
+        }
+    }
+    StorageFormat::Csr
 }
 
 #[cfg(test)]
@@ -451,5 +593,70 @@ mod tests {
             p.update(&g, true, Direction::Pull, None),
             StorageFormat::Csr
         );
+
+        // The silent degrade is recorded: once per policy update that
+        // wanted bitmap, and once per mxv-level plan note.
+        let c = AccessCounters::new();
+        let mut p2 = FormatPolicy::fixed(StorageFormat::Bitmap);
+        p2.update(&g, true, Direction::Pull, Some(&c));
+        p2.update(&g, true, Direction::Pull, Some(&c));
+        assert_eq!(c.snapshot().bitmap_degrades, 2);
+        note_bitmap_degrade(&desc, StorageFormat::Csr, Some(&c));
+        assert_eq!(c.snapshot().bitmap_degrades, 3);
+        // A served bitmap (or a non-bitmap request) records nothing.
+        note_bitmap_degrade(&desc, StorageFormat::Bitmap, Some(&c));
+        note_bitmap_degrade(&Descriptor::new(), StorageFormat::Csr, Some(&c));
+        assert_eq!(c.snapshot().bitmap_degrades, 3);
+    }
+
+    #[test]
+    fn cost_model_format_prices_bitmap_against_word_scans() {
+        // Dense 16-vertex graph: avg degree 15, one word per row — the
+        // scalar scan (15 edges) outweighs the word scan (1 word), so the
+        // measured rule picks bitmap for pull and CSR for push.
+        let g = dense_graph();
+        let k = CostConstants::default();
+        let mut p = FormatPolicy::cost_model(k);
+        assert_eq!(
+            p.update(&g, true, Direction::Push, None),
+            StorageFormat::Csr
+        );
+        // Debounced like Auto: one pull prefers bitmap, two adopt it.
+        assert_eq!(
+            p.update(&g, true, Direction::Pull, None),
+            StorageFormat::Csr
+        );
+        assert_eq!(
+            p.update(&g, true, Direction::Pull, None),
+            StorageFormat::Bitmap
+        );
+
+        // Pricing the word scan up makes CSR win at the same shape.
+        let expensive_words = CostConstants {
+            bit_word: 16.0,
+            ..k
+        };
+        let mut p2 = FormatPolicy::cost_model(expensive_words);
+        assert_eq!(
+            p2.update(&g, true, Direction::Pull, None),
+            StorageFormat::Csr
+        );
+
+        // Hypersparse operands still take DCSR under the cost model.
+        let hs = hypersparse_graph();
+        let mut p3 = FormatPolicy::cost_model(k);
+        assert_eq!(
+            p3.update(&hs, true, Direction::Pull, None),
+            StorageFormat::Dcsr
+        );
+    }
+
+    #[test]
+    fn cost_constants_per_format_scale_pull_edge() {
+        let csr = CostConstants::for_format(StorageFormat::Csr);
+        let bm = CostConstants::for_format(StorageFormat::Bitmap);
+        assert_eq!(csr, CostConstants::default());
+        assert!((bm.pull_edge - csr.pull_edge / 8.0).abs() < f64::EPSILON);
+        assert_eq!(bm.push_edge, csr.push_edge);
     }
 }

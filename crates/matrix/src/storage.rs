@@ -103,6 +103,19 @@ pub trait RowAccess<V>: Sync {
     fn nonempty_rows(&self) -> Option<&[VertexId]> {
         None
     }
+    /// Row `i` as packed `u64` membership words (bit `j % 64` of word
+    /// `j / 64` set iff `(i, j)` is stored), when the store keeps such a
+    /// layout ([`BitmapStore`] does; CSR and DCSR return `None`). This is
+    /// the word surface the bit-parallel boolean kernels AND/OR against;
+    /// tail bits beyond `n_cols` in the last word are always zero.
+    fn row_words(&self, _i: usize) -> Option<&[u64]> {
+        None
+    }
+    /// `true` when [`RowAccess::row_words`] returns `Some` for every row —
+    /// lets dispatchers pick the bit-parallel kernel without probing.
+    fn has_row_words(&self) -> bool {
+        false
+    }
 }
 
 impl<V: Copy + Send + Sync> RowAccess<V> for Csr<V> {
@@ -136,28 +149,41 @@ impl<V: Copy + Send + Sync> RowAccess<V> for Csr<V> {
 /// (masking by matrix pattern, triangle-style membership checks) wants
 /// when `nnz/n` is high — while the CSR-ordered payload keeps the row
 /// slices the matvec kernels iterate, so the kernels run unchanged.
-/// Memory: `nnz` payload + `n_rows·n_cols` bits; construction refuses
-/// shapes past [`BitmapStore::MAX_BITS`] (the planner only selects bitmap
-/// when it fits).
+///
+/// Rows are stored **word-padded**: each row owns
+/// `words_per_row = ⌈n_cols / 64⌉` whole `u64` words, so every row starts
+/// on a word boundary and [`BitmapStore::row_words`] hands the bit-parallel
+/// kernels an aligned word slice to AND/OR against (64 edges per op). Tail
+/// bits beyond `n_cols` in a row's last word are always zero.
+///
+/// Memory: `nnz` payload + `n_rows · 64⌈n_cols/64⌉` bits; construction
+/// refuses shapes whose *padded* grid exceeds [`BitmapStore::MAX_BITS`]
+/// (the planner only selects bitmap when it fits).
 #[derive(Clone, Debug, PartialEq)]
 pub struct BitmapStore<V> {
     // Shared, not copied: `Graph`'s format cache already holds the same
     // CSR behind an `Arc`, so the bitmap store costs only the bitmap.
     csr: std::sync::Arc<Csr<V>>,
     bits: BitVec,
+    /// `⌈n_cols / 64⌉` — the padded per-row word stride.
+    wpr: usize,
 }
 
 impl<V: Copy + Send + Sync> BitmapStore<V> {
-    /// Bitmap ceiling: shapes whose `n_rows · n_cols` exceeds this many
-    /// bits (32 MiB of bitmap) are refused — at that size the dense bitmap
-    /// stops being a cache-resident accelerator and becomes the workload.
+    /// Bitmap ceiling: shapes whose padded `n_rows · 64⌈n_cols/64⌉` grid
+    /// exceeds this many bits (32 MiB of bitmap) are refused — at that size
+    /// the dense bitmap stops being a cache-resident accelerator and
+    /// becomes the workload.
     pub const MAX_BITS: usize = 1 << 28;
 
-    /// Whether a `rows × cols` bitmap fits under [`BitmapStore::MAX_BITS`].
+    /// Whether a `rows × cols` word-padded bitmap fits under
+    /// [`BitmapStore::MAX_BITS`].
     #[must_use]
     pub fn fits(n_rows: usize, n_cols: usize) -> bool {
-        n_rows
-            .checked_mul(n_cols)
+        n_cols
+            .div_ceil(64)
+            .checked_mul(64)
+            .and_then(|padded| padded.checked_mul(n_rows))
             .is_some_and(|bits| bits <= Self::MAX_BITS)
     }
 
@@ -168,14 +194,14 @@ impl<V: Copy + Send + Sync> BitmapStore<V> {
         if !Self::fits(csr.n_rows(), csr.n_cols()) {
             return None;
         }
-        let n_cols = csr.n_cols();
-        let mut bits = BitVec::new(csr.n_rows() * n_cols);
+        let wpr = csr.n_cols().div_ceil(64);
+        let mut bits = BitVec::new(csr.n_rows() * wpr * 64);
         for i in 0..csr.n_rows() {
             for &j in csr.row(i) {
-                bits.set(i * n_cols + j as usize);
+                bits.set(i * wpr * 64 + j as usize);
             }
         }
-        Some(Self { csr, bits })
+        Some(Self { csr, bits, wpr })
     }
 
     /// Build from a borrowed CSR (clones the payload into a fresh `Arc`),
@@ -190,7 +216,23 @@ impl<V: Copy + Send + Sync> BitmapStore<V> {
     #[inline]
     #[must_use]
     pub fn has(&self, i: usize, j: usize) -> bool {
-        self.bits.get(i * self.csr.n_cols() + j)
+        debug_assert!(j < self.csr.n_cols());
+        self.bits.get(i * self.wpr * 64 + j)
+    }
+
+    /// The padded per-row word stride, `⌈n_cols / 64⌉`.
+    #[inline]
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.wpr
+    }
+
+    /// Row `i`'s membership words: bit `j % 64` of word `j / 64` is set
+    /// iff `(i, j)` is stored. Tail bits beyond `n_cols` are zero.
+    #[inline]
+    #[must_use]
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        &self.bits.words()[i * self.wpr..(i + 1) * self.wpr]
     }
 
     /// Value at `(i, j)`: an O(1) bitmap probe, then a binary search of
@@ -239,6 +281,12 @@ impl<V: Copy + Send + Sync> RowAccess<V> for BitmapStore<V> {
     }
     fn row_values(&self, i: usize) -> &[V] {
         self.csr.row_values(i)
+    }
+    fn row_words(&self, i: usize) -> Option<&[u64]> {
+        Some(BitmapStore::row_words(self, i))
+    }
+    fn has_row_words(&self) -> bool {
+        true
     }
 }
 
@@ -496,6 +544,15 @@ impl<V: Copy + Send + Sync> RowAccess<V> for Storage<V> {
             Storage::Dcsr(d) => RowAccess::<V>::nonempty_rows(d),
         }
     }
+    fn row_words(&self, i: usize) -> Option<&[u64]> {
+        match self {
+            Storage::Csr(_) | Storage::Dcsr(_) => None,
+            Storage::Bitmap(b) => RowAccess::<V>::row_words(b, i),
+        }
+    }
+    fn has_row_words(&self) -> bool {
+        matches!(self, Storage::Bitmap(_))
+    }
 }
 
 #[cfg(test)]
@@ -561,6 +618,36 @@ mod tests {
         assert!(BitmapStore::<bool>::fits(1 << 10, 1 << 10));
         assert!(!BitmapStore::<bool>::fits(1 << 20, 1 << 20));
         assert!(!BitmapStore::<bool>::fits(usize::MAX, 2));
+        // The padded grid is what must fit: 65 columns cost 128 bits/row.
+        assert!(!BitmapStore::<bool>::fits(
+            BitmapStore::<bool>::MAX_BITS / 64,
+            65
+        ));
+    }
+
+    #[test]
+    fn bitmap_row_words_are_padded_and_tail_masked() {
+        // 3 rows × 70 cols: two words per row, row starts word-aligned.
+        let mut coo = Coo::new(3, 70);
+        for &(r, c) in &[(0u32, 0u32), (0, 63), (0, 64), (1, 69), (2, 1)] {
+            coo.push(r, c, true);
+        }
+        let csr = Csr::from_coo(&coo);
+        let b = BitmapStore::try_from_csr(&csr).expect("fits");
+        assert_eq!(b.words_per_row(), 2);
+        assert!(b.has_row_words());
+        assert_eq!(b.row_words(0), &[(1u64 << 63) | 1, 1]);
+        assert_eq!(b.row_words(1), &[0, 1u64 << 5]);
+        assert_eq!(b.row_words(2), &[2, 0]);
+        assert_eq!(RowAccess::<bool>::row_words(&b, 2), Some(&[2u64, 0][..]));
+        // Membership agrees with the word layout across the pad boundary.
+        assert!(b.has(0, 63) && b.has(0, 64) && b.has(1, 69));
+        assert!(!b.has(1, 63) && !b.has(2, 69));
+        // CSR and DCSR expose no word surface.
+        assert!(!RowAccess::<bool>::has_row_words(&csr));
+        assert_eq!(RowAccess::<bool>::row_words(&csr, 0), None);
+        let d = Dcsr::from_csr(&csr);
+        assert!(!RowAccess::<bool>::has_row_words(&d));
     }
 
     #[test]

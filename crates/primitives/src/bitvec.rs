@@ -75,6 +75,34 @@ impl BitVec {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The backing `u64` words, least-significant bit first. Bits at
+    /// positions `>= len` (the tail of the last word) are always zero —
+    /// every mutator preserves this, so word-wise kernels may AND/OR/popcount
+    /// whole words without re-masking the tail.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words. Callers must keep the invariant
+    /// that bits at positions `>= len` stay zero (see [`BitVec::words`]).
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Build a bit vector of `len` bits from raw words, truncating or
+    /// zero-extending the word list and masking any tail bits beyond `len`.
+    #[must_use]
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.resize(len.div_ceil(BITS), 0);
+        if !len.is_multiple_of(BITS) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % BITS)) - 1;
+            }
+        }
+        Self { words, len }
+    }
+
     /// Iterate over the indices of set bits in increasing order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -207,6 +235,28 @@ mod tests {
         }
         let ones: Vec<usize> = b.iter_ones().collect();
         assert_eq!(ones, vec![0, 5, 63, 64, 65, 128, 299]);
+    }
+
+    #[test]
+    fn word_surface_roundtrip_masks_tail() {
+        // 70 bits = 2 words; from_words must mask bits 70..128 and
+        // truncate/extend the word list to exactly div_ceil(len, 64).
+        let b = BitVec::from_words(vec![u64::MAX, u64::MAX, 0xdead], 70);
+        assert_eq!(b.len(), 70);
+        assert_eq!(b.words().len(), 2);
+        assert_eq!(b.count_ones(), 70, "tail bits beyond len are zero");
+        assert_eq!(b.words()[1], (1u64 << 6) - 1);
+        // Word-exact length: no masking, no extra word.
+        let c = BitVec::from_words(vec![1u64 << 63], 64);
+        assert_eq!((c.len(), c.count_ones()), (64, 1));
+        // Zero-extension when too few words are given.
+        let d = BitVec::from_words(vec![], 65);
+        assert_eq!(d.words().len(), 2);
+        assert_eq!(d.count_ones(), 0);
+        // words_mut writes are visible through the bit API.
+        let mut e = BitVec::new(128);
+        e.words_mut()[1] = 0b101;
+        assert_eq!(e.iter_ones().collect::<Vec<_>>(), vec![64, 66]);
     }
 
     #[test]

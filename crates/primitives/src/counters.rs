@@ -52,6 +52,21 @@ pub struct AccessCounters {
     /// format-side analogue of `push_steps`/`pull_steps`. A decision, not
     /// an access; excluded from [`AccessCounters::total`].
     pub format_switches: AtomicU64,
+    /// `u64` word operations executed by the bit-parallel boolean kernels
+    /// (frontier-word packs, row-word AND/OR scans, merge folds). Each word
+    /// touches up to 64 edges, so comparing this tally against the scalar
+    /// kernels' per-edge `matrix` examinations makes the 64×-work claim
+    /// measurable. Telemetry, not a Table 1 access class; excluded from
+    /// [`AccessCounters::total`] and zeroed by both snapshot projections
+    /// (scalar and bit runs charge identical *access* totals by contract,
+    /// while their word tallies differ by construction).
+    pub bit_word_ops: AtomicU64,
+    /// Times the planner wanted bitmap storage but the store degraded to
+    /// CSR because the dense bit grid would exceed `MAX_BITS`. Makes the
+    /// silent `BitmapStore` fallback observable in planner decisions. A
+    /// decision, not an access; excluded from [`AccessCounters::total`] and
+    /// zeroed by both snapshot projections.
+    pub bitmap_degrades: AtomicU64,
 }
 
 impl AccessCounters {
@@ -109,6 +124,18 @@ impl AccessCounters {
         self.format_switches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record `n` `u64` word operations executed by a bit-parallel kernel.
+    #[inline]
+    pub fn add_bit_word_ops(&self, n: u64) {
+        self.bit_word_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one bitmap→CSR degrade the planner was forced into.
+    #[inline]
+    pub fn add_bitmap_degrade(&self) {
+        self.bitmap_degrades.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Sum of all access categories (direction steps are decisions, not
     /// accesses, and are excluded).
     #[must_use]
@@ -131,6 +158,8 @@ impl AccessCounters {
             pull_steps: self.pull_steps.load(Ordering::Relaxed),
             fused_saved_writes: self.fused_saved_writes.load(Ordering::Relaxed),
             format_switches: self.format_switches.load(Ordering::Relaxed),
+            bit_word_ops: self.bit_word_ops.load(Ordering::Relaxed),
+            bitmap_degrades: self.bitmap_degrades.load(Ordering::Relaxed),
         }
     }
 
@@ -144,6 +173,8 @@ impl AccessCounters {
         self.pull_steps.store(0, Ordering::Relaxed);
         self.fused_saved_writes.store(0, Ordering::Relaxed);
         self.format_switches.store(0, Ordering::Relaxed);
+        self.bit_word_ops.store(0, Ordering::Relaxed);
+        self.bitmap_degrades.store(0, Ordering::Relaxed);
     }
 }
 
@@ -168,6 +199,12 @@ pub struct CounterSnapshot {
     /// Storage-format switches charged by the planner (a decision, not an
     /// access; see [`AccessCounters::format_switches`]).
     pub format_switches: u64,
+    /// Word operations in the bit-parallel kernels (telemetry, not an
+    /// access; see [`AccessCounters::bit_word_ops`]).
+    pub bit_word_ops: u64,
+    /// Bitmap→CSR planner degrades (a decision, not an access; see
+    /// [`AccessCounters::bitmap_degrades`]).
+    pub bitmap_degrades: u64,
 }
 
 impl CounterSnapshot {
@@ -178,30 +215,39 @@ impl CounterSnapshot {
         self.matrix + self.vector + self.mask + self.sort
     }
 
-    /// This snapshot with `fused_saved_writes` zeroed — the Table 1 access
+    /// This snapshot with the pure-telemetry fields (`fused_saved_writes`,
+    /// `bit_word_ops`, `bitmap_degrades`) zeroed — the Table 1 access
     /// categories plus direction steps only. Fused and unfused runs of the
     /// same computation must agree on this projection (the equivalence
-    /// contract `tests/fused_pipelines.rs` pins); `fused_saved_writes`
-    /// itself differs by construction.
+    /// contract `tests/fused_pipelines.rs` pins), and so must bit-kernel
+    /// and scalar-kernel runs; the telemetry tallies themselves differ by
+    /// construction (only fused runs save writes, only bit runs count
+    /// words).
     #[must_use]
     pub fn accesses_only(&self) -> CounterSnapshot {
         CounterSnapshot {
             fused_saved_writes: 0,
+            bit_word_ops: 0,
+            bitmap_degrades: 0,
             ..*self
         }
     }
 
-    /// This snapshot with `format_switches` zeroed. The format-equivalence
+    /// This snapshot with `format_switches` (and the per-format telemetry
+    /// `bit_word_ops`/`bitmap_degrades`) zeroed. The format-equivalence
     /// contract (`tests/prop_core.rs`) pins that every algorithm's values
     /// *and accesses* are bit-identical across storage formats; the switch
     /// tally itself differs by construction (an `Auto` policy converts,
-    /// the `Fixed(Csr)` oracle never does), so comparisons project it out
-    /// exactly as [`CounterSnapshot::accesses_only`] projects out
+    /// the `Fixed(Csr)` oracle never does), and the bit-word tally exists
+    /// only on bitmap-format runs, so comparisons project them out exactly
+    /// as [`CounterSnapshot::accesses_only`] projects out
     /// `fused_saved_writes`.
     #[must_use]
     pub fn without_format_switches(&self) -> CounterSnapshot {
         CounterSnapshot {
             format_switches: 0,
+            bit_word_ops: 0,
+            bitmap_degrades: 0,
             ..*self
         }
     }
@@ -225,6 +271,8 @@ mod tests {
         c.add_fused_saved_writes(9);
         c.add_format_switch();
         c.add_format_switch();
+        c.add_bit_word_ops(5);
+        c.add_bitmap_degrade();
         let s = c.snapshot();
         assert_eq!(
             s,
@@ -237,17 +285,23 @@ mod tests {
                 pull_steps: 1,
                 fused_saved_writes: 9,
                 format_switches: 2,
+                bit_word_ops: 5,
+                bitmap_degrades: 1,
             }
         );
         assert_eq!(
             s.total(),
             27,
-            "steps, saved writes, switches are not accesses"
+            "steps, saved writes, switches, word ops are not accesses"
         );
         assert_eq!(c.total(), 27);
         assert_eq!(s.accesses_only().fused_saved_writes, 0);
+        assert_eq!(s.accesses_only().bit_word_ops, 0);
+        assert_eq!(s.accesses_only().bitmap_degrades, 0);
         assert_eq!(s.accesses_only().matrix, 15);
         assert_eq!(s.without_format_switches().format_switches, 0);
+        assert_eq!(s.without_format_switches().bit_word_ops, 0);
+        assert_eq!(s.without_format_switches().bitmap_degrades, 0);
         assert_eq!(s.without_format_switches().matrix, 15);
         assert_eq!(s.without_format_switches().fused_saved_writes, 9);
         c.reset();
@@ -255,6 +309,8 @@ mod tests {
         assert_eq!(c.snapshot().push_steps, 0);
         assert_eq!(c.snapshot().fused_saved_writes, 0);
         assert_eq!(c.snapshot().format_switches, 0);
+        assert_eq!(c.snapshot().bit_word_ops, 0);
+        assert_eq!(c.snapshot().bitmap_degrades, 0);
     }
 
     #[test]

@@ -601,3 +601,133 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Bit-parallel kernel equivalence: the u64-word boolean kernels against the
+// scalar oracle — identical values AND identical projected access charges on
+// arbitrary Erdős/power-law graphs (`bit_word_ops` is telemetry that the
+// `accesses_only` projection zeroes, so the comparison is exact).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `mxv` over the bitmap store with the bit kernels on vs off: same
+    /// explicit set, same projected counters — both faces, masked and
+    /// unmasked, with and without the early exit.
+    #[test]
+    fn bit_mxv_matches_scalar_oracle(
+        seed in 0u64..2000,
+        power_law in any::<bool>(),
+        n_raw in 24usize..100,
+        f_ids in prop::collection::vec(0usize..100, 0..30),
+        m_ids in prop::collection::vec(0usize..100, 0..40),
+        masked in any::<bool>(),
+        complement in any::<bool>(),
+        early_exit in any::<bool>(),
+        dir_pull in any::<bool>(),
+    ) {
+        use push_pull::core::ops::BoolStructure;
+        use push_pull::core::StorageFormat;
+        let g = if power_law {
+            chung_lu(n_raw, 6, PowerLawParams::default(), seed)
+        } else {
+            erdos_renyi(n_raw, n_raw * 4, seed)
+        };
+        let n = g.n_vertices();
+        let f = sparse_bool_vector(n, &f_ids);
+        let dir = if dir_pull { Direction::Pull } else { Direction::Push };
+        let mut bits = BitVec::new(n);
+        for &i in &m_ids {
+            if i < n {
+                bits.set(i);
+            }
+        }
+        let mask = if complement { Mask::complement(&bits) } else { Mask::new(&bits) };
+        let run = |bit: bool| {
+            let desc = Descriptor::new()
+                .transpose(true)
+                .structure_only(true)
+                .early_exit(early_exit)
+                .force(dir)
+                .force_format(StorageFormat::Bitmap)
+                .bit_kernels(bit);
+            let c = AccessCounters::new();
+            let w: Vector<bool> =
+                mxv(masked.then_some(&mask), BoolStructure, &g, &f, &desc, Some(&c)).unwrap();
+            (explicit_set(&w), c.snapshot())
+        };
+        let (bit_set, bit_snap) = run(true);
+        let (scalar_set, scalar_snap) = run(false);
+        prop_assert_eq!(bit_set, scalar_set, "values under {:?}", dir);
+        prop_assert_eq!(
+            bit_snap.accesses_only(),
+            scalar_snap.accesses_only(),
+            "projected charges under {:?}",
+            dir
+        );
+    }
+
+    /// Whole-algorithm bit equivalence: BFS depths and min-parent trees
+    /// under `Fixed(Bitmap)` with the bit kernels on vs off are identical
+    /// in values and projected charges, fused and unfused; the measured
+    /// cost-model direction rule reaches the same depths.
+    #[test]
+    fn bit_algorithms_match_scalar_oracle(
+        seed in 0u64..1000,
+        power_law in any::<bool>(),
+        n_raw in 24usize..96,
+        source_bits in 0usize..24,
+        fused in any::<bool>(),
+    ) {
+        use push_pull::algo::bfs::{bfs_with_opts, BfsOpts};
+        use push_pull::algo::bfs_parents::{bfs_parents_with_opts, ParentBfsOpts};
+        use push_pull::core::{FormatPolicy, StorageFormat};
+
+        let g = if power_law {
+            chung_lu(n_raw, 5, PowerLawParams::default(), seed)
+        } else {
+            erdos_renyi(n_raw, n_raw * 3, seed)
+        };
+        let n = g.n_vertices();
+        let source = (source_bits % n) as u32;
+        let fmt = FormatPolicy::fixed(StorageFormat::Bitmap);
+
+        let bfs_run = |bit: bool| {
+            let c = AccessCounters::new();
+            let opts = BfsOpts { fused, ..BfsOpts::default() }
+                .format(fmt)
+                .bit_kernels(bit);
+            let r = bfs_with_opts(&g, source, &opts, Some(&c));
+            (r.depths, c.snapshot().accesses_only())
+        };
+        let (d_bit, a_bit) = bfs_run(true);
+        let (d_scalar, a_scalar) = bfs_run(false);
+        prop_assert_eq!(&d_bit, &d_scalar, "bit BFS depths");
+        prop_assert_eq!(a_bit, a_scalar, "bit BFS projected charges");
+        prop_assert_eq!(
+            &d_bit,
+            &push_pull::baselines::textbook::bfs_serial(&g, source)
+        );
+
+        let parents_run = |bit: bool| {
+            let c = AccessCounters::new();
+            let opts = ParentBfsOpts {
+                fused,
+                format: fmt,
+                bit_kernels: bit,
+                ..ParentBfsOpts::default()
+            };
+            let r = bfs_parents_with_opts(&g, source, &opts, Some(&c));
+            (r.parent, c.snapshot().accesses_only())
+        };
+        let (p_bit, pa_bit) = parents_run(true);
+        let (p_scalar, pa_scalar) = parents_run(false);
+        prop_assert_eq!(p_bit, p_scalar, "bit parent tree");
+        prop_assert_eq!(pa_bit, pa_scalar, "bit parents projected charges");
+
+        // The measured cost-model direction rule stays exact too.
+        let r = bfs_with_opts(&g, source, &BfsOpts::default().cost_model(true), None);
+        prop_assert_eq!(&r.depths, &d_scalar, "cost-model depths");
+    }
+}

@@ -437,6 +437,64 @@ fn algorithms_under_fixed_formats_identical_across_thread_counts() {
 }
 
 #[test]
+fn bit_kernels_identical_across_thread_counts() {
+    // The bit-parallel boolean kernels: explicit sets and the FULL counter
+    // snapshot (including the bit_word_ops telemetry — word scans are
+    // size-derived, never lane-derived) pinned at 1/2/8 lanes, both faces,
+    // masked and unmasked, and the whole bit BFS on top.
+    use push_pull::algo::bfs::bfs;
+    use push_pull::core::ops::BoolStructure;
+    use push_pull::core::{FormatPolicy, StorageFormat};
+    let g = test_graph();
+    let n = g.n_vertices();
+    let (f, bits) = frontier_and_visited(n);
+    let mut dense_f = f.clone();
+    dense_f.make_dense();
+    for (input, dir) in [(&f, Direction::Push), (&dense_f, Direction::Pull)] {
+        for masked in [false, true] {
+            for early_exit in [false, true] {
+                let desc = Descriptor::new()
+                    .transpose(true)
+                    .structure_only(true)
+                    .early_exit(early_exit)
+                    .force(dir)
+                    .force_format(StorageFormat::Bitmap)
+                    .bit_kernels(true);
+                identical_across_lanes(|| {
+                    let mask = Mask::complement(&bits);
+                    let c = AccessCounters::new();
+                    let w: Vector<bool> = mxv(
+                        masked.then_some(&mask),
+                        BoolStructure,
+                        &g,
+                        input,
+                        &desc,
+                        Some(&c),
+                    )
+                    .unwrap();
+                    (w.iter_explicit().collect::<Vec<_>>(), c.snapshot())
+                });
+            }
+        }
+    }
+    // Whole-algorithm: bit BFS (fixed bitmap) and the cost-model rule.
+    identical_across_lanes(|| {
+        let c = AccessCounters::new();
+        let opts = BfsOpts::default()
+            .format(FormatPolicy::fixed(StorageFormat::Bitmap))
+            .bit_kernels(true);
+        let r = bfs_with_opts(&g, 3, &opts, Some(&c));
+        (r.depths, c.snapshot())
+    });
+    identical_across_lanes(|| {
+        let c = AccessCounters::new();
+        let r = bfs_with_opts(&g, 3, &BfsOpts::default().cost_model(true), Some(&c));
+        (r.depths, c.snapshot())
+    });
+    identical_across_lanes(|| bfs(&g, 3).depths);
+}
+
+#[test]
 fn hypersparse_pull_skip_matches_csr_across_thread_counts() {
     // The DCSR unmasked-pull fast path (non-empty-row scan with bulk
     // counter charges) against the CSR full scan: same values, same
