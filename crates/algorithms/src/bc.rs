@@ -27,7 +27,7 @@ use graphblas_core::mask::Mask;
 use graphblas_core::ops::PlusSecond;
 use graphblas_core::ops_mxv_batch::mxv_batch;
 use graphblas_core::vector::{MultiVector, Vector};
-use graphblas_core::{DirectionPolicy, FormatPolicy};
+use graphblas_core::{run_guarded, DirectionPolicy, ExecLimits, FormatPolicy, GrbResult};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -39,6 +39,9 @@ pub struct BcOpts {
     /// under (default auto; `FormatPolicy::fixed(Csr)` is the tested
     /// oracle). Scores and access counters are format-invariant.
     pub format: FormatPolicy,
+    /// Execution limits enforced by [`try_betweenness_with_opts`]; the
+    /// infallible entry points ignore this field.
+    pub limits: ExecLimits,
 }
 
 /// Betweenness scores from a batch of sources (unnormalized, directed
@@ -67,10 +70,31 @@ pub fn betweenness_with_opts(
     opts: &BcOpts,
     counters: Option<&AccessCounters>,
 ) -> Vec<f64> {
+    bc_loop(g, sources, opts, counters)
+        .expect("unlimited betweenness with verified dims cannot abort")
+}
+
+/// Betweenness under the options' [`ExecLimits`] with full fault isolation
+/// (see [`crate::bfs::try_bfs_with_opts`] for the abort/retry contract).
+pub fn try_betweenness_with_opts(
+    g: &Graph<bool>,
+    sources: &[VertexId],
+    opts: &BcOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<Vec<f64>> {
+    run_guarded(counters, &opts.limits, |c| bc_loop(g, sources, opts, c))
+}
+
+fn bc_loop(
+    g: &Graph<bool>,
+    sources: &[VertexId],
+    opts: &BcOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<Vec<f64>> {
     let n = g.n_vertices();
     let mut bc = vec![0.0f64; n];
     if sources.is_empty() {
-        return bc;
+        return Ok(bc);
     }
     let k = sources.len();
     for &s in sources {
@@ -134,8 +158,7 @@ pub fn betweenness_with_opts(
             &desc_fwd,
             Some(&mut live_policies),
             counters,
-        )
-        .expect("dims verified");
+        )?;
         for (row, &s) in batch.into_rows().into_iter().zip(&alive) {
             levels[s].push(row);
         }
@@ -207,8 +230,7 @@ pub fn betweenness_with_opts(
             &desc_bwd,
             Some(&mut live_policies),
             counters,
-        )
-        .expect("dims verified");
+        )?;
         for (p, &s) in live_policies.iter().zip(&active) {
             bwd_policies[s] = p.clone();
         }
@@ -228,7 +250,7 @@ pub fn betweenness_with_opts(
             }
         }
     }
-    bc
+    Ok(bc)
 }
 
 /// Serial Brandes oracle (exact, queue-based).

@@ -42,7 +42,8 @@ use graphblas_core::ops::{BoolOrAnd, BoolStructure, Semiring};
 use graphblas_core::vector::Vector;
 use graphblas_core::vector_ops::filter_by_mask;
 use graphblas_core::{
-    mxv, CostConstants, CostModelInputs, DirectionPolicy, FormatPolicy, FusedMxv,
+    mxv, run_guarded, CostConstants, CostModelInputs, DirectionPolicy, ExecLimits, FormatPolicy,
+    FusedMxv, GrbResult,
 };
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
@@ -93,6 +94,10 @@ pub struct BfsOpts {
     /// [`BfsOpts::force`]). Pair with [`FormatPolicy::cost_model`] to let
     /// the same constants pick the format half of the plan.
     pub cost_model: bool,
+    /// Execution limits (deadline, work budget, bytes budget) enforced by
+    /// [`try_bfs_with_opts`]. The infallible entry points ignore this
+    /// field — they cannot surface an abort.
+    pub limits: ExecLimits,
 }
 
 impl Default for BfsOpts {
@@ -110,6 +115,7 @@ impl Default for BfsOpts {
             format: FormatPolicy::auto(),
             bit_kernels: true,
             cost_model: false,
+            limits: ExecLimits::none(),
         }
     }
 }
@@ -133,6 +139,7 @@ impl BfsOpts {
             // The baseline is the scalar reference configuration.
             bit_kernels: false,
             cost_model: false,
+            limits: ExecLimits::none(),
         }
     }
 
@@ -196,6 +203,13 @@ impl BfsOpts {
     #[must_use]
     pub fn traced(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Builder: set the execution limits [`try_bfs_with_opts`] enforces.
+    #[must_use]
+    pub fn limits(mut self, l: ExecLimits) -> Self {
+        self.limits = l;
         self
     }
 }
@@ -264,6 +278,29 @@ pub fn bfs_with_opts(
     opts: &BfsOpts,
     counters: Option<&AccessCounters>,
 ) -> BfsResult {
+    dispatch_bfs(g, source, opts, counters).expect("unlimited BFS with verified dims cannot abort")
+}
+
+/// BFS under the options' [`ExecLimits`], with full fault isolation: a
+/// tripped deadline or budget, or a panicking worker chunk, surfaces as a
+/// typed [`GrbError`](graphblas_core::GrbError) with counters rolled back
+/// to their entry snapshot, so an immediate retry is bit-identical to a
+/// fresh run.
+pub fn try_bfs_with_opts(
+    g: &Graph<bool>,
+    source: VertexId,
+    opts: &BfsOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<BfsResult> {
+    run_guarded(counters, &opts.limits, |c| dispatch_bfs(g, source, opts, c))
+}
+
+fn dispatch_bfs(
+    g: &Graph<bool>,
+    source: VertexId,
+    opts: &BfsOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<BfsResult> {
     if opts.structure_only {
         bfs_loop(g, source, opts, BoolStructure, counters)
     } else {
@@ -277,7 +314,7 @@ fn bfs_loop<S>(
     opts: &BfsOpts,
     semiring: S,
     counters: Option<&AccessCounters>,
-) -> BfsResult
+) -> GrbResult<BfsResult>
 where
     S: Semiring<bool, bool, bool>,
 {
@@ -405,8 +442,7 @@ where
                 // Masking off: the Table 2 post-filter becomes the assign's
                 // update rule — only unreached slots accept a depth.
                 staged.assign_into(&mut depths, |old, d| (old == UNREACHED).then_some(d))
-            }
-            .expect("dims verified");
+            }?;
             let vd = visited_vec.as_dense_mut().expect("dense by construction");
             for &i in &out.touched {
                 debug_assert!(!visited.get(i as usize), "assigned a visited vertex");
@@ -423,12 +459,9 @@ where
             // assign loop — kept both as the Table 2 reference shape and as
             // the equivalence oracle the fused path is tested against.
             let w: Vector<bool> = match mask.as_ref() {
-                Some(m) => {
-                    mxv(Some(m), semiring, g, input, &desc, counters).expect("dims verified")
-                }
+                Some(m) => mxv(Some(m), semiring, g, input, &desc, counters)?,
                 None => {
-                    let raw: Vector<bool> =
-                        mxv(None, semiring, g, input, &desc, counters).expect("dims verified");
+                    let raw: Vector<bool> = mxv(None, semiring, g, input, &desc, counters)?;
                     filter_by_mask(&raw, &Mask::complement(&visited))
                 }
             };
@@ -467,11 +500,11 @@ where
         frontier_nnz = new_count;
     }
 
-    BfsResult {
+    Ok(BfsResult {
         depths,
         levels: level,
         trace,
-    }
+    })
 }
 
 #[cfg(test)]

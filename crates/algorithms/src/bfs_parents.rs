@@ -24,7 +24,9 @@ use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::mask::Mask;
 use graphblas_core::ops::MinSecond;
 use graphblas_core::vector::Vector;
-use graphblas_core::{mxv, DirectionPolicy, FormatPolicy, FusedMxv};
+use graphblas_core::{
+    mxv, run_guarded, DirectionPolicy, ExecLimits, FormatPolicy, FusedMxv, GrbResult,
+};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -52,6 +54,9 @@ pub struct ParentBfsOpts {
     /// exit: rank-of-first-set-bit recovers the same minimum parent the
     /// scalar ascending scan finds, with identical counter charges.
     pub bit_kernels: bool,
+    /// Execution limits enforced by [`try_bfs_parents_with_opts`]; the
+    /// infallible entry points ignore this field.
+    pub limits: ExecLimits,
 }
 
 impl Default for ParentBfsOpts {
@@ -62,6 +67,7 @@ impl Default for ParentBfsOpts {
             first_hit_exit: true,
             format: FormatPolicy::auto(),
             bit_kernels: true,
+            limits: ExecLimits::none(),
         }
     }
 }
@@ -95,6 +101,29 @@ pub fn bfs_parents_with_opts(
     opts: &ParentBfsOpts,
     counters: Option<&AccessCounters>,
 ) -> ParentBfsResult {
+    parent_bfs_loop(g, source, opts, counters)
+        .expect("unlimited parent BFS with verified dims cannot abort")
+}
+
+/// Parent BFS under the options' [`ExecLimits`] with full fault isolation
+/// (see [`crate::bfs::try_bfs_with_opts`] for the abort/retry contract).
+pub fn try_bfs_parents_with_opts(
+    g: &Graph<bool>,
+    source: VertexId,
+    opts: &ParentBfsOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<ParentBfsResult> {
+    run_guarded(counters, &opts.limits, |c| {
+        parent_bfs_loop(g, source, opts, c)
+    })
+}
+
+fn parent_bfs_loop(
+    g: &Graph<bool>,
+    source: VertexId,
+    opts: &ParentBfsOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<ParentBfsResult> {
     let n = g.n_vertices();
     assert!((source as usize) < n, "source out of range");
     let mut parent = vec![NO_PARENT; n];
@@ -134,12 +163,10 @@ pub fn bfs_parents_with_opts(
                 .counters(counters)
                 .first_hit_exit(opts.first_hit_exit)
                 .apply(|p: u32| p)
-                .assign_into(&mut parent, |_, p| Some(p))
-                .expect("dims verified");
+                .assign_into(&mut parent, |_, p| Some(p))?;
             out.touched
         } else {
-            let w: Vector<u32> =
-                mxv(Some(&mask), MinSecond, g, &f, &desc, counters).expect("dims verified");
+            let w: Vector<u32> = mxv(Some(&mask), MinSecond, g, &f, &desc, counters)?;
             let mut ids = Vec::new();
             for (v, p) in w.iter_explicit() {
                 debug_assert!(!visited.get(v as usize));
@@ -159,7 +186,7 @@ pub fn bfs_parents_with_opts(
         f = Vector::from_sparse(n, NO_PARENT, discovered, vals);
     }
 
-    ParentBfsResult { parent, levels }
+    Ok(ParentBfsResult { parent, levels })
 }
 
 /// Validate a parent array against the graph, Graph500-style: the source

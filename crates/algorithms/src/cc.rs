@@ -16,7 +16,9 @@
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::ops::MinSecond;
 use graphblas_core::vector::{DenseVector, Vector};
-use graphblas_core::{mxv, DirectionPolicy, FormatPolicy, FusedMxv};
+use graphblas_core::{
+    mxv, run_guarded, DirectionPolicy, ExecLimits, FormatPolicy, FusedMxv, GrbResult,
+};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 
@@ -55,6 +57,9 @@ pub struct CcOpts {
     /// uniform with the other traversals so a future Boolean CC variant
     /// inherits the gate.
     pub bit_kernels: bool,
+    /// Execution limits enforced by [`try_connected_components_with_opts`];
+    /// the infallible entry points ignore this field.
+    pub limits: ExecLimits,
 }
 
 impl Default for CcOpts {
@@ -64,6 +69,7 @@ impl Default for CcOpts {
             fused: true,
             format: FormatPolicy::auto(),
             bit_kernels: true,
+            limits: ExecLimits::none(),
         }
     }
 }
@@ -86,6 +92,25 @@ pub fn connected_components_with_opts(
     opts: &CcOpts,
     counters: Option<&AccessCounters>,
 ) -> CcResult {
+    cc_loop(g, opts, counters).expect("unlimited CC with verified dims cannot abort")
+}
+
+/// Connected components under the options' [`ExecLimits`] with full fault
+/// isolation (see [`crate::bfs::try_bfs_with_opts`] for the abort/retry
+/// contract).
+pub fn try_connected_components_with_opts(
+    g: &Graph<bool>,
+    opts: &CcOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<CcResult> {
+    run_guarded(counters, &opts.limits, |c| cc_loop(g, opts, c))
+}
+
+fn cc_loop(
+    g: &Graph<bool>,
+    opts: &CcOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<CcResult> {
     let n = g.n_vertices();
     let mut labels: Vec<u32> = (0..n as u32).collect();
     // Initially every vertex is "changed".
@@ -130,15 +155,14 @@ pub fn connected_components_with_opts(
                     .counters(counters)
                     .apply(|l: u32| l)
                     .assign_into(&mut labels, |old, new| (new < old).then_some(new))
-            }
-            .expect("dims verified");
+            }?;
             out.touched
         } else {
             let candidates: Vector<u32> = if dir == Direction::Pull {
                 let full = Vector::Dense(DenseVector::from_values(labels.clone(), u32::MAX));
-                mxv(None, MinSecond, g, &full, &desc_pull, counters).expect("dims verified")
+                mxv(None, MinSecond, g, &full, &desc_pull, counters)?
             } else {
-                mxv(None, MinSecond, g, &delta, &desc_push, counters).expect("dims verified")
+                mxv(None, MinSecond, g, &delta, &desc_push, counters)?
             };
             let mut ids = Vec::new();
             for (i, c) in candidates.iter_explicit() {
@@ -156,7 +180,7 @@ pub fn connected_components_with_opts(
         delta = Vector::from_sparse(n, u32::MAX, touched, vals);
     }
 
-    CcResult { labels, rounds }
+    Ok(CcResult { labels, rounds })
 }
 
 /// Serial union-find oracle.

@@ -21,7 +21,7 @@ use graphblas_core::mask::Mask;
 use graphblas_core::ops::BoolStructure;
 use graphblas_core::ops_mxv_batch::mxv_batch;
 use graphblas_core::vector::{MultiVector, Vector};
-use graphblas_core::{DirectionPolicy, FormatPolicy};
+use graphblas_core::{run_guarded, DirectionPolicy, ExecLimits, FormatPolicy, GrbResult};
 use graphblas_matrix::{Csr, Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -46,6 +46,9 @@ pub struct MsBfsOpts {
     /// `FormatPolicy::fixed(Bitmap)`; results and projected counters are
     /// identical either way.
     pub bit_kernels: bool,
+    /// Execution limits enforced by [`try_multi_source_bfs_with_opts`];
+    /// the infallible entry points ignore this field.
+    pub limits: ExecLimits,
 }
 
 impl Default for MsBfsOpts {
@@ -55,6 +58,7 @@ impl Default for MsBfsOpts {
             force: None,
             format: FormatPolicy::auto(),
             bit_kernels: true,
+            limits: ExecLimits::none(),
         }
     }
 }
@@ -84,6 +88,27 @@ pub fn multi_source_bfs_with_opts(
     opts: &MsBfsOpts,
     counters: Option<&AccessCounters>,
 ) -> MsBfsResult {
+    msbfs_loop(g, sources, opts, counters)
+        .expect("unlimited batched BFS with verified dims cannot abort")
+}
+
+/// Batched BFS under the options' [`ExecLimits`] with full fault isolation
+/// (see [`crate::bfs::try_bfs_with_opts`] for the abort/retry contract).
+pub fn try_multi_source_bfs_with_opts(
+    g: &Graph<bool>,
+    sources: &[VertexId],
+    opts: &MsBfsOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<MsBfsResult> {
+    run_guarded(counters, &opts.limits, |c| msbfs_loop(g, sources, opts, c))
+}
+
+fn msbfs_loop(
+    g: &Graph<bool>,
+    sources: &[VertexId],
+    opts: &MsBfsOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<MsBfsResult> {
     let n = g.n_vertices();
     let k = sources.len();
     assert!(k > 0, "need at least one source");
@@ -158,8 +183,7 @@ pub fn multi_source_bfs_with_opts(
             &desc,
             Some(&mut live_policies),
             counters,
-        )
-        .expect("dims verified");
+        )?;
 
         for (p, &r) in live_policies.iter().zip(&alive) {
             policies[r] = p.clone();
@@ -183,10 +207,10 @@ pub fn multi_source_bfs_with_opts(
         alive = still_alive;
     }
 
-    MsBfsResult {
+    Ok(MsBfsResult {
         depths,
         levels: level,
-    }
+    })
 }
 
 /// The batch frontier after `steps` synchronous steps, materialized as a

@@ -14,7 +14,7 @@ use graphblas_core::mask::Mask;
 use graphblas_core::mxv;
 use graphblas_core::ops::PlusTimes;
 use graphblas_core::vector::{DenseVector, Vector};
-use graphblas_core::{FormatPolicy, FusedMxv};
+use graphblas_core::{run_guarded, ExecLimits, FormatPolicy, FusedMxv, GrbResult};
 use graphblas_matrix::{Csr, Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 use graphblas_primitives::BitVec;
@@ -40,6 +40,9 @@ pub struct PageRankOpts {
     /// Matrix storage-format policy (default auto; see
     /// [`graphblas_core::plan`]). Format-invariant ranks and counters.
     pub format: FormatPolicy,
+    /// Execution limits enforced by [`try_pagerank_with_counters`]; the
+    /// infallible entry points ignore this field.
+    pub limits: ExecLimits,
 }
 
 impl Default for PageRankOpts {
@@ -51,6 +54,7 @@ impl Default for PageRankOpts {
             max_iters: 200,
             fused: true,
             format: FormatPolicy::auto(),
+            limits: ExecLimits::none(),
         }
     }
 }
@@ -106,6 +110,29 @@ pub fn pagerank_with_counters(
     adaptive: bool,
     counters: Option<&AccessCounters>,
 ) -> PageRankResult {
+    pagerank_loop(g, opts, adaptive, counters)
+        .expect("unlimited PageRank with verified dims cannot abort")
+}
+
+/// PageRank under the options' [`ExecLimits`] with full fault isolation
+/// (see [`crate::bfs::try_bfs_with_opts`] for the abort/retry contract).
+pub fn try_pagerank_with_counters(
+    g: &Graph<bool>,
+    opts: &PageRankOpts,
+    adaptive: bool,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<PageRankResult> {
+    run_guarded(counters, &opts.limits, |c| {
+        pagerank_loop(g, opts, adaptive, c)
+    })
+}
+
+fn pagerank_loop(
+    g: &Graph<bool>,
+    opts: &PageRankOpts,
+    adaptive: bool,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<PageRankResult> {
     let n = g.n_vertices();
     assert!(n > 0, "empty graph");
     let t = transition_matrix(g);
@@ -167,8 +194,7 @@ pub fn pagerank_with_counters(
                     .collect_touched(false)
                     .apply(rank_update)
                     .assign_into(&mut next, |_, z| Some(z))
-            }
-            .expect("dims verified");
+            }?;
             // L1 drift over that same set, in the unfused loop's index
             // order so the f64 sum groups identically.
             if adaptive {
@@ -184,10 +210,10 @@ pub fn pagerank_with_counters(
             let contrib: Vector<f64> = if adaptive {
                 let mask = Mask::new(&active).with_active_list(&active_list);
                 row_updates += active_list.len();
-                mxv(Some(&mask), PlusTimes, &t, &r_vec, &desc, counters).expect("dims verified")
+                mxv(Some(&mask), PlusTimes, &t, &r_vec, &desc, counters)?
             } else {
                 row_updates += n;
-                mxv(None, PlusTimes, &t, &r_vec, &desc, counters).expect("dims verified")
+                mxv(None, PlusTimes, &t, &r_vec, &desc, counters)?
             };
 
             let update = |i: usize, next: &mut Vec<f64>, l1: &mut f64| {
@@ -223,11 +249,11 @@ pub fn pagerank_with_counters(
         }
     }
 
-    PageRankResult {
+    Ok(PageRankResult {
         ranks,
         iters,
         row_updates,
-    }
+    })
 }
 
 #[cfg(test)]

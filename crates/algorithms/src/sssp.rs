@@ -16,7 +16,9 @@
 use graphblas_core::descriptor::{Descriptor, Direction};
 use graphblas_core::ops::MinPlus;
 use graphblas_core::vector::Vector;
-use graphblas_core::{mxv, DirectionPolicy, FormatPolicy, FusedMxv};
+use graphblas_core::{
+    mxv, run_guarded, DirectionPolicy, ExecLimits, FormatPolicy, FusedMxv, GrbResult,
+};
 use graphblas_matrix::{Graph, VertexId};
 use graphblas_primitives::counters::AccessCounters;
 
@@ -37,6 +39,9 @@ pub struct SsspOpts {
     /// Matrix storage-format policy (default auto; see
     /// [`graphblas_core::plan`]). Format-invariant results and counters.
     pub format: FormatPolicy,
+    /// Execution limits enforced by [`try_sssp_with_counters`]; the
+    /// infallible entry points ignore this field.
+    pub limits: ExecLimits,
 }
 
 impl Default for SsspOpts {
@@ -47,6 +52,7 @@ impl Default for SsspOpts {
             max_rounds: None,
             fused: true,
             format: FormatPolicy::auto(),
+            limits: ExecLimits::none(),
         }
     }
 }
@@ -76,6 +82,26 @@ pub fn sssp_with_counters(
     opts: &SsspOpts,
     counters: Option<&AccessCounters>,
 ) -> SsspResult {
+    sssp_loop(g, source, opts, counters).expect("unlimited SSSP with verified dims cannot abort")
+}
+
+/// SSSP under the options' [`ExecLimits`] with full fault isolation (see
+/// [`crate::bfs::try_bfs_with_opts`] for the abort/retry contract).
+pub fn try_sssp_with_counters(
+    g: &Graph<f32>,
+    source: VertexId,
+    opts: &SsspOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<SsspResult> {
+    run_guarded(counters, &opts.limits, |c| sssp_loop(g, source, opts, c))
+}
+
+fn sssp_loop(
+    g: &Graph<f32>,
+    source: VertexId,
+    opts: &SsspOpts,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<SsspResult> {
     let n = g.n_vertices();
     assert!((source as usize) < n, "source out of range");
     let max_rounds = opts.max_rounds.unwrap_or(n.max(1));
@@ -129,8 +155,7 @@ pub fn sssp_with_counters(
                     .counters(counters)
                     .apply(|d: f32| d)
                     .assign_into(&mut dist, |old, new| (new < old).then_some(new))
-            }
-            .expect("dims verified");
+            }?;
             out.touched
         } else {
             let candidates: Vector<f32> = if dir == Direction::Pull {
@@ -138,9 +163,9 @@ pub fn sssp_with_counters(
                     dist.clone(),
                     f32::INFINITY,
                 ));
-                mxv(None, MinPlus, g, &full, &desc_pull, counters).expect("dims verified")
+                mxv(None, MinPlus, g, &full, &desc_pull, counters)?
             } else {
-                mxv(None, MinPlus, g, &delta, &desc_push, counters).expect("dims verified")
+                mxv(None, MinPlus, g, &delta, &desc_push, counters)?
             };
             // dist ← min(dist, candidates); next delta = strict improvements.
             let mut ids = Vec::new();
@@ -159,11 +184,11 @@ pub fn sssp_with_counters(
         delta = Vector::from_sparse(n, f32::INFINITY, touched, vals);
     }
 
-    SsspResult {
+    Ok(SsspResult {
         dist,
         rounds,
         pull_rounds,
-    }
+    })
 }
 
 /// Serial Dijkstra used as the correctness oracle in tests and benches.

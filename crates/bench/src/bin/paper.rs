@@ -8,9 +8,10 @@
 //! ```
 //!
 //! Experiments: `table1` `table2` `table3` `fig2` `fig5` `fig6` `fig7`
-//! `heuristic` `scaling` `batched` `formats` `bitfrontier` `validate`
-//! `all`. `bench-all` regenerates exactly the machine-readable
-//! `BENCH_*.json` artifacts (scaling, batched, formats, bitfrontier).
+//! `heuristic` `scaling` `batched` `formats` `bitfrontier` `chaos`
+//! `validate` `all`. `bench-all` regenerates exactly the machine-readable
+//! `BENCH_*.json` artifacts (scaling, batched, formats, bitfrontier, and —
+//! when built with `--features fault-injection` — the chaos study).
 //! CSVs land in `--out` (default `results/`).
 //!
 //! `--shrink N` divides every dataset's vertex count by 2^N (default 6;
@@ -81,6 +82,7 @@ fn main() {
         "batched" => batched(&cfg),
         "formats" => formats(&cfg),
         "bitfrontier" => bitfrontier(&cfg),
+        "chaos" => chaos(&cfg),
         "validate" => validate(&cfg),
         "bench-all" => {
             // Exactly the experiments that emit BENCH_*.json artifacts.
@@ -88,6 +90,14 @@ fn main() {
             batched(&cfg);
             formats(&cfg);
             bitfrontier(&cfg);
+            if cfg!(feature = "fault-injection") {
+                chaos(&cfg);
+            } else {
+                eprintln!(
+                    "[bench-all] skipping chaos study (rebuild with \
+                     --features fault-injection to regenerate BENCH_chaos.json)"
+                );
+            }
         }
         "all" => {
             table1(&cfg);
@@ -107,7 +117,7 @@ fn main() {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: \
                  table1 table2 table3 fig2 fig5 fig6 fig7 heuristic scaling batched formats \
-                 bitfrontier validate bench-all all"
+                 bitfrontier chaos validate bench-all all"
             );
             std::process::exit(2);
         }
@@ -918,6 +928,116 @@ fn bitfrontier(cfg: &Config) {
         Ok(p) => eprintln!("[bitfrontier] wrote {}", p.display()),
         Err(e) => eprintln!("[bitfrontier] could not write BENCH_bitfrontier.json: {e}"),
     }
+}
+
+/// Chaos study (§robustness): drive every injected fault class — deadline
+/// expiry, work-budget exhaustion, bytes-budget degrade, fail-Nth
+/// allocation, panic-in-Kth-chunk, cost-model inflation — through the
+/// guarded BFS entry point at 1/2/8 lanes, asserting typed-error survival
+/// and bit-identical post-fault recovery. Emits `BENCH_chaos.json` and
+/// exits non-zero if any scenario fails either contract.
+#[cfg(feature = "fault-injection")]
+fn chaos(cfg: &Config) {
+    use graphblas_bench::chaos::chaos_study;
+    let thread_counts = [1usize, 2, 8];
+    let mut t = Table::new(
+        "Chaos — injected faults: typed survival and bit-identical recovery",
+        &[
+            "Dataset",
+            "Fault",
+            "Threads",
+            "Observed",
+            "Survived",
+            "Recovered",
+            "limit degrades",
+        ],
+    );
+    let mut dataset_objs: Vec<Json> = Vec::new();
+    let mut failures = 0usize;
+    // One scale-free and one mesh stand-in keep the suite fast while
+    // covering both traversal regimes (pull-heavy and push-only).
+    for name in ["kron", "roadnet"] {
+        if let Some(only) = &cfg.dataset {
+            if only != name {
+                continue;
+            }
+        }
+        let graph = dataset(name, cfg.shrink, cfg.seed)
+            .expect("known dataset")
+            .graph;
+        eprintln!(
+            "[chaos] {name}: {} vertices, {} edges",
+            graph.n_vertices(),
+            graph.n_edges()
+        );
+        let source = random_sources(&graph, 1, cfg.seed ^ 0xc4a05)[0];
+        let outcomes = chaos_study(&graph, source, cfg.seed, &thread_counts);
+        let mut outcome_objs: Vec<Json> = Vec::new();
+        for o in &outcomes {
+            if !(o.survived && o.recovered) {
+                failures += 1;
+            }
+            t.row(vec![
+                name.to_string(),
+                o.fault.name().to_string(),
+                o.threads.to_string(),
+                o.observed.clone(),
+                o.survived.to_string(),
+                o.recovered.to_string(),
+                o.limit_degrades.to_string(),
+            ]);
+            outcome_objs.push(Json::Obj(vec![
+                ("fault", Json::Str(o.fault.name().to_string())),
+                ("threads", Json::Int(o.threads as u64)),
+                ("observed", Json::Str(o.observed.clone())),
+                ("survived", Json::Str(o.survived.to_string())),
+                ("recovered", Json::Str(o.recovered.to_string())),
+                ("limit_degrades", Json::Int(o.limit_degrades)),
+            ]));
+        }
+        dataset_objs.push(Json::Obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("vertices", Json::Int(graph.n_vertices() as u64)),
+            ("edges", Json::Int(graph.n_edges() as u64)),
+            ("source", Json::Int(u64::from(source))),
+            ("outcomes", Json::Arr(outcome_objs)),
+        ]));
+    }
+    t.print();
+    println!(
+        "every fault class must surface as its typed GrbError (or a recorded\n\
+         graceful degrade) and every post-fault retry must be bit-identical —\n\
+         depths and counter snapshot — to the uninterrupted run."
+    );
+    let _ = t.write_csv(&cfg.out, "chaos_study");
+    let doc = Json::Obj(vec![
+        (
+            "thread_counts",
+            Json::Arr(thread_counts.iter().map(|&t| Json::Int(t as u64)).collect()),
+        ),
+        ("shrink", Json::Int(u64::from(cfg.shrink))),
+        ("seed", Json::Int(cfg.seed)),
+        ("datasets", Json::Arr(dataset_objs)),
+    ]);
+    match doc.write_file(&cfg.out, "BENCH_chaos.json") {
+        Ok(p) => eprintln!("[chaos] wrote {}", p.display()),
+        Err(e) => eprintln!("[chaos] could not write BENCH_chaos.json: {e}"),
+    }
+    if failures > 0 {
+        eprintln!("[chaos] {failures} scenario(s) failed survival/recovery");
+        std::process::exit(1);
+    }
+}
+
+/// Without the `fault-injection` feature there are no chaos hooks to arm;
+/// explain how to get them instead of silently doing nothing.
+#[cfg(not(feature = "fault-injection"))]
+fn chaos(_cfg: &Config) {
+    eprintln!(
+        "the chaos study needs the injection hooks compiled in:\n    \
+         cargo run --release -p graphblas_bench --features fault-injection -- chaos"
+    );
+    std::process::exit(2);
 }
 
 /// Cross-validation gate: every engine and every BFS optimization

@@ -1,6 +1,8 @@
 //! Experiment harness shared by the `paper` binary (which regenerates
 //! every table and figure of the paper) and the criterion benches.
 
+#[cfg(feature = "fault-injection")]
+pub mod chaos;
 pub mod engines;
 pub mod report;
 pub mod study;

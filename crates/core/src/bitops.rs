@@ -247,6 +247,10 @@ where
     Y: Scalar,
     M: RowAccess<A>,
 {
+    // Per-row checkpoint, mirroring the scalar `reduce_row`.
+    if !crate::exec::live(counters) {
+        return identity;
+    }
     let row = op.row_words(i).expect("bit kernel requires a word surface");
     let mut scanned = 0u64;
     let mut seen = 0u64; // stored entries in fully scanned words
@@ -465,6 +469,10 @@ where
         .into_par_iter()
         .map(|(s0, s1)| {
             let mut buf = vec![0u64; wpr];
+            // Per-chunk checkpoint: bail with an empty word image.
+            if !crate::exec::live(counters) {
+                return buf;
+            }
             let mut word_ops = 0u64;
             for &id in &ids_ref[s0..s1] {
                 let src = id as usize;

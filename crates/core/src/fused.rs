@@ -288,6 +288,9 @@ where
             });
         }
 
+        // Pre-flight stop poll, as in `mxv`.
+        crate::exec::check_stop(base.counters)?;
+
         // Same planner as `mxv`: direction by the §6.3 storage rule,
         // storage format by the shape rule (or the descriptor's forces).
         let plan = crate::plan::resolve_plan(base.graph, base.input, &base.desc);
@@ -307,11 +310,20 @@ where
                         &sparse_input
                     }
                 };
-                Ok(match base.graph.store(!base.desc.transpose, plan.format) {
+                let out = match crate::exec::store_budgeted(
+                    base.graph,
+                    !base.desc.transpose,
+                    plan.format,
+                    base.counters,
+                ) {
                     StoreRef::Csr(m) => fused_push(&base, m, sv, &apply, &update, state),
                     StoreRef::Bitmap(m) => fused_push(&base, m, sv, &apply, &update, state),
                     StoreRef::Dcsr(m) => fused_push(&base, m, sv, &apply, &update, state),
-                })
+                };
+                // Post-kernel poll: a checkpoint bail upstream must not
+                // let a partial assignment masquerade as success.
+                crate::exec::check_stop(base.counters)?;
+                Ok(out)
             }
             Direction::Pull => {
                 let dense_input;
@@ -322,11 +334,19 @@ where
                         &dense_input
                     }
                 };
-                Ok(match base.graph.store(base.desc.transpose, plan.format) {
+                let out = match crate::exec::store_budgeted(
+                    base.graph,
+                    base.desc.transpose,
+                    plan.format,
+                    base.counters,
+                ) {
                     StoreRef::Csr(m) => fused_pull(&base, m, dv, &apply, &update, state),
                     StoreRef::Bitmap(m) => fused_pull(&base, m, dv, &apply, &update, state),
                     StoreRef::Dcsr(m) => fused_pull(&base, m, dv, &apply, &update, state),
-                })
+                };
+                // Post-kernel poll: see the push arm.
+                crate::exec::check_stop(base.counters)?;
+                Ok(out)
             }
         }
     }
@@ -356,6 +376,15 @@ where
 {
     let (ids, vals): (Vec<u32>, Vec<Y>) =
         col_kernel_parts(base.s, op_t, v, base.mask, &base.desc, base.counters);
+    // A trip during the kernel leaves partial parts: skip the assign pass
+    // entirely so the caller's state sees as little of the aborted run as
+    // possible (the dispatcher converts the sticky trip into an error, and
+    // guarded callers discard the state buffer on any error).
+    if base.counters.is_some_and(|c| c.stop_reason().is_some()) {
+        return FusedOutput {
+            touched: Vec::new(),
+        };
+    }
     if let Some(c) = base.counters {
         // The unfused composition would write each filtered entry into a
         // sparse output vector the caller immediately re-reads.

@@ -42,6 +42,7 @@
 pub mod bitops;
 pub mod descriptor;
 pub mod error;
+pub mod exec;
 pub mod fused;
 pub mod mask;
 pub mod matrix_ops;
@@ -55,7 +56,8 @@ pub mod vector_ops;
 
 pub use bitops::BitFrontier;
 pub use descriptor::{Descriptor, Direction, DirectionChoice, FormatChoice, MergeStrategy};
-pub use error::GrbError;
+pub use error::{BudgetResource, GrbError, GrbResult};
+pub use exec::{check_stop, run_guarded, ExecLimits, StopReason};
 pub use fused::{FusedMxv, FusedOutput, FusedPipeline};
 pub use graphblas_matrix::StorageFormat;
 pub use mask::Mask;

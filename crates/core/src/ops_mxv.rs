@@ -59,6 +59,9 @@ where
     assert_eq!(op.n_cols(), v.dim(), "operand columns must match input dim");
     let add = s.add_monoid();
     let identity = add.identity();
+    if !crate::exec::charge_alloc(counters, output_bytes::<Y>(op.n_rows())) {
+        return DenseVector::from_values(Vec::new(), identity);
+    }
     let mut vals = vec![identity; op.n_rows()];
     if let Some(rows) = op.nonempty_rows() {
         // Hypersparse store: scan only the non-empty rows — the DCSR win.
@@ -108,6 +111,9 @@ where
     assert_eq!(op.n_rows(), mask.dim(), "mask must cover output dim");
     let add = s.add_monoid();
     let identity = add.identity();
+    if !crate::exec::charge_alloc(counters, output_bytes::<Y>(op.n_rows())) {
+        return DenseVector::from_values(Vec::new(), identity);
+    }
 
     if let Some(active) = mask.active_list() {
         // O(nnz(m)) row iteration: only the listed rows are touched. This
@@ -162,6 +168,13 @@ where
     S: Semiring<A, X, Y>,
     M: RowAccess<A>,
 {
+    // Per-row checkpoint: rows are the row kernels' size-derived work
+    // units, so a tripped limit stops the sweep within one row's work.
+    // The bail value is the ⊕ identity — cheap, and never observed because
+    // the dispatcher converts the sticky trip into an error.
+    if !crate::exec::live(counters) {
+        return identity;
+    }
     let add = s.add_monoid();
     let annihilator = add.annihilator();
     let cols = op.row(i);
@@ -279,6 +292,10 @@ where
 {
     let add = s.add_monoid();
     let identity = add.identity();
+    // Entry checkpoint: the column kernel's pre-expansion boundary.
+    if !crate::exec::live(counters) {
+        return (Vec::new(), Vec::new());
+    }
     if let Some(c) = counters {
         c.add_vector(v.nnz() as u64);
     }
@@ -472,7 +489,7 @@ where
     let seg_ranges = spa_chunk_ranges(&offsets, total);
     let parts: Vec<Vec<(u32, Y)>> = seg_ranges
         .into_par_iter()
-        .map(|(s0, s1)| spa_harvest_chunk(s, op_t, v, s0, s1))
+        .map(|(s0, s1)| spa_harvest_chunk(s, op_t, v, s0, s1, counters))
         .collect();
     spa_merge_parts(s.add_monoid(), &parts, counters)
 }
@@ -510,6 +527,7 @@ pub(crate) fn spa_harvest_chunk<A, X, Y, S, M>(
     v: &SparseVector<X>,
     s0: usize,
     s1: usize,
+    counters: Option<&AccessCounters>,
 ) -> Vec<(u32, Y)>
 where
     A: Scalar,
@@ -518,6 +536,10 @@ where
     S: Semiring<A, X, Y>,
     M: RowAccess<A>,
 {
+    // Per-chunk checkpoint before the O(M) private SPA is even built.
+    if !crate::exec::live(counters) {
+        return Vec::new();
+    }
     let add = s.add_monoid();
     let identity = add.identity();
     let ids = v.ids();
@@ -573,6 +595,11 @@ where
     if let Some(c) = counters {
         c.add_matrix(total as u64);
     }
+    // Caller-thread charge for both expansion buffers (keys + products).
+    let bytes = output_bytes::<u32>(total) + output_bytes::<Y>(total);
+    if !crate::exec::charge_alloc(counters, bytes) {
+        return (Vec::new(), Vec::new());
+    }
     let mut keys = vec![0u32; total];
     let mut prods: Vec<Y> = vec![s.add_monoid().identity(); total];
     let kp = SendPtr(keys.as_mut_ptr());
@@ -607,6 +634,10 @@ where
     let (offsets, total) = expansion_offsets(op_t, v);
     if let Some(c) = counters {
         c.add_matrix(total as u64);
+    }
+    // Caller-thread charge for the bare-key expansion buffer.
+    if !crate::exec::charge_alloc(counters, output_bytes::<u32>(total)) {
+        return Vec::new();
     }
     let mut keys = vec![0u32; total];
     let kp = SendPtr(keys.as_mut_ptr());
@@ -665,7 +696,7 @@ enum PolicyMode {
     },
 }
 
-/// The measured per-iteration inputs of the [`PolicyMode::CostModel`]
+/// The measured per-iteration inputs of the `PolicyMode::CostModel`
 /// rule: what the traversal actually knows about the next step's work.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModelInputs {
@@ -796,7 +827,7 @@ impl DirectionPolicy {
         self.dir
     }
 
-    /// Feed measured work estimates. Under [`PolicyMode::CostModel`] this
+    /// Feed measured work estimates. Under `PolicyMode::CostModel` this
     /// prices both faces directly — `pushwork = c_push · frontier_edges`
     /// against `pullwork = c_pull · d · unvisited` — and picks the cheaper
     /// one. Every other mode ignores the measurements and delegates to
@@ -808,7 +839,13 @@ impl DirectionPolicy {
         inputs: CostModelInputs,
     ) -> Direction {
         if let PolicyMode::CostModel { constants } = self.mode {
-            let pushwork = constants.push_edge * inputs.frontier_edges as f64;
+            // Chaos hook: inflating the push-edge cost lets the fault
+            // harness force direction flips without touching the graph.
+            #[cfg(feature = "fault-injection")]
+            let push_edge = constants.push_edge * graphblas_primitives::fault::cost_inflation();
+            #[cfg(not(feature = "fault-injection"))]
+            let push_edge = constants.push_edge;
+            let pushwork = push_edge * inputs.frontier_edges as f64;
             let pullwork = constants.pull_edge * inputs.avg_degree * inputs.unvisited as f64;
             self.dir = if pushwork < pullwork {
                 Direction::Push
@@ -896,6 +933,10 @@ where
         }
     }
 
+    // Pre-flight stop poll: a limit tripped by an earlier operation in the
+    // same guarded run aborts before any planning or conversion work.
+    crate::exec::check_stop(counters)?;
+
     let identity = s.add_monoid().identity();
     // The execution plan: direction by the §6.3 storage rule (or force),
     // storage format by the planner's shape rule (or force). The face's
@@ -920,11 +961,15 @@ where
                     &sparse_input
                 }
             };
-            let out = match graph.store(!desc.transpose, plan.format) {
-                StoreRef::Csr(m) => push_face(s, m, sv, mask, desc, counters),
-                StoreRef::Bitmap(m) => push_face(s, m, sv, mask, desc, counters),
-                StoreRef::Dcsr(m) => push_face(s, m, sv, mask, desc, counters),
-            };
+            let out =
+                match crate::exec::store_budgeted(graph, !desc.transpose, plan.format, counters) {
+                    StoreRef::Csr(m) => push_face(s, m, sv, mask, desc, counters),
+                    StoreRef::Bitmap(m) => push_face(s, m, sv, mask, desc, counters),
+                    StoreRef::Dcsr(m) => push_face(s, m, sv, mask, desc, counters),
+                };
+            // Post-kernel poll: a checkpoint bail inside the kernel left an
+            // identity-shaped partial result that must not escape.
+            crate::exec::check_stop(counters)?;
             let (ids, vals) = (out.ids().to_vec(), out.vals().to_vec());
             Ok(Vector::from_sparse(operand.n_rows(), identity, ids, vals))
         }
@@ -937,11 +982,14 @@ where
                     &dense_input
                 }
             };
-            let out = match graph.store(desc.transpose, plan.format) {
-                StoreRef::Csr(m) => pull_face(s, m, dv, mask, desc, counters),
-                StoreRef::Bitmap(m) => pull_face(s, m, dv, mask, desc, counters),
-                StoreRef::Dcsr(m) => pull_face(s, m, dv, mask, desc, counters),
-            };
+            let out =
+                match crate::exec::store_budgeted(graph, desc.transpose, plan.format, counters) {
+                    StoreRef::Csr(m) => pull_face(s, m, dv, mask, desc, counters),
+                    StoreRef::Bitmap(m) => pull_face(s, m, dv, mask, desc, counters),
+                    StoreRef::Dcsr(m) => pull_face(s, m, dv, mask, desc, counters),
+                };
+            // Post-kernel poll: see the push arm.
+            crate::exec::check_stop(counters)?;
             Ok(Vector::Dense(out))
         }
     }
@@ -1016,6 +1064,9 @@ where
     Y: Scalar,
     M: RowAccess<A>,
 {
+    if !crate::exec::charge_alloc(counters, output_bytes::<Y>(op.n_rows())) {
+        return DenseVector::from_values(Vec::new(), identity);
+    }
     let mut vals = vec![identity; op.n_rows()];
     if let Some(rows) = op.nonempty_rows() {
         if let Some(c) = counters {
@@ -1056,6 +1107,9 @@ where
     M: RowAccess<A>,
 {
     assert_eq!(op.n_rows(), mask.dim(), "mask must cover output dim");
+    if !crate::exec::charge_alloc(counters, output_bytes::<Y>(op.n_rows())) {
+        return DenseVector::from_values(Vec::new(), identity);
+    }
     if let Some(active) = mask.active_list() {
         if let Some(c) = counters {
             c.add_mask(active.len() as u64);
@@ -1168,6 +1222,14 @@ where
         ..*desc
     };
     mxv(mask, s, graph, v, &flipped, counters)
+}
+
+/// Bytes of a buffer of `n` elements of `T` — the caller-thread
+/// allocation charge the kernels assess before materializing outputs and
+/// expansion buffers.
+#[inline]
+pub(crate) fn output_bytes<T>(n: usize) -> u64 {
+    (n as u64) * (std::mem::size_of::<T>() as u64)
 }
 
 pub(crate) struct SendPtr<T>(pub(crate) *mut T);

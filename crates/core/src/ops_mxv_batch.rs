@@ -103,6 +103,14 @@ where
     let add = s.add_monoid();
     let identity = add.identity();
     let n = op.n_rows();
+    // Caller-thread charge for the batch's dense output buffers; the
+    // per-row checkpoints below stop the sweep itself.
+    if !crate::exec::charge_alloc(counters, crate::ops_mxv::output_bytes::<Y>(vs.len() * n)) {
+        return vs
+            .iter()
+            .map(|_| DenseVector::from_values(Vec::new(), identity))
+            .collect();
+    }
 
     // Per-source work extents: the mask's active list when present (the
     // §3.2 amortized unvisited list); otherwise all rows — or, on a
@@ -225,6 +233,13 @@ where
     }
     let add = s.add_monoid();
     let identity = add.identity();
+    // Entry checkpoint: the batched column kernel's pre-expansion boundary.
+    if !crate::exec::live(counters) {
+        return vs
+            .iter()
+            .map(|_| SparseVector::from_sorted(Vec::new(), Vec::new()))
+            .collect();
+    }
 
     // Expansion preamble per source, then one flat chunk grid. Chunk
     // boundaries come from `spa_chunk_ranges`, so each source's chunking
@@ -254,7 +269,7 @@ where
     // source's frontier is tiny.
     let harvests: Vec<Vec<(u32, Y)>> = items
         .into_par_iter()
-        .map(|(j, s0, s1)| spa_harvest_chunk(s, op_t, vs[j], s0, s1))
+        .map(|(j, s0, s1)| spa_harvest_chunk(s, op_t, vs[j], s0, s1, counters))
         .collect();
 
     // Per-source recombination: merge that source's chunk harvests in
@@ -374,6 +389,9 @@ where
         }
     }
 
+    // Pre-flight stop poll, as in `mxv`.
+    crate::exec::check_stop(counters)?;
+
     // Per-row direction resolution.
     let n = input.dim();
     let dirs: Vec<Direction> = (0..k)
@@ -432,7 +450,7 @@ where
             .collect();
         let sub_masks: Option<Vec<Mask<'_>>> =
             masks.map(|ms| push_rows.iter().map(|&r| ms[r]).collect());
-        let outs = match graph.store(!desc.transpose, format) {
+        let outs = match crate::exec::store_budgeted(graph, !desc.transpose, format, counters) {
             StoreRef::Csr(m) => col_masked_mxv_batch(s, m, &svs, sub_masks.as_deref(), counters),
             StoreRef::Bitmap(m) => col_masked_mxv_batch(s, m, &svs, sub_masks.as_deref(), counters),
             StoreRef::Dcsr(m) => col_masked_mxv_batch(s, m, &svs, sub_masks.as_deref(), counters),
@@ -464,7 +482,7 @@ where
         let sub_masks: Option<Vec<Mask<'_>>> =
             masks.map(|ms| pull_rows.iter().map(|&r| ms[r]).collect());
         let early_exit = masks.is_some() && desc.early_exit;
-        let outs = match graph.store(desc.transpose, format) {
+        let outs = match crate::exec::store_budgeted(graph, desc.transpose, format, counters) {
             StoreRef::Csr(m) => row_masked_mxv_batch_impl(
                 s,
                 m,
@@ -498,6 +516,9 @@ where
         }
     }
 
+    // Post-kernel poll: a checkpoint bail inside either face left
+    // identity-shaped partial rows that must not escape.
+    crate::exec::check_stop(counters)?;
     Ok(MultiVector::from_rows(
         out_rows
             .into_iter()

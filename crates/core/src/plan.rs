@@ -287,7 +287,7 @@ impl FormatPolicy {
         }
     }
 
-    /// Measured cost-model selection (see [`FormatMode`] docs): the format
+    /// Measured cost-model selection (see `FormatMode` docs): the format
     /// half of the planner's `CostModel` variant, sharing the same
     /// debounce as [`FormatPolicy::auto`].
     #[must_use]

@@ -66,7 +66,9 @@ impl<V: Copy + Send + Sync> Csr<V> {
             lengths[r as usize] += 1;
         }
         let row_ptr = scan::exclusive_scan_offsets(&lengths);
-        let nnz = *row_ptr.last().expect("row_ptr non-empty");
+        // `exclusive_scan_offsets` always returns `lengths.len() + 1` ≥ 1
+        // offsets; an empty result would mean zero entries.
+        let nnz = row_ptr.last().copied().unwrap_or(0);
         let mut col_ind = vec![0 as VertexId; nnz];
         let mut values: Vec<V> = Vec::with_capacity(nnz);
         // SAFETY: every slot is written exactly once below.
@@ -104,7 +106,7 @@ impl<V: Copy + Send + Sync> Csr<V> {
         values: Vec<V>,
     ) -> Self {
         assert_eq!(row_ptr.len(), n_rows + 1);
-        assert_eq!(col_ind.len(), *row_ptr.last().expect("non-empty row_ptr"));
+        assert_eq!(col_ind.len(), row_ptr.last().copied().unwrap_or(0));
         assert_eq!(col_ind.len(), values.len());
         let mut me = Self {
             n_rows,

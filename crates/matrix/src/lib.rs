@@ -25,6 +25,10 @@
 //! * [`stats`] — the Table 3 columns: |V|, |E|, max degree, pseudo-diameter.
 
 #![warn(missing_docs)]
+// Robustness line-holder: user input reaches this crate (Matrix Market
+// loaders, raw-part constructors), so non-test code must surface failures
+// as typed errors, never unwrap/expect panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod coo;
 pub mod csr;

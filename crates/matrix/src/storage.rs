@@ -242,12 +242,18 @@ impl<V: Copy + Send + Sync> BitmapStore<V> {
         if !self.has(i, j) {
             return None;
         }
-        let pos = self
-            .csr
-            .row(i)
-            .binary_search(&(j as VertexId))
-            .expect("bitmap and payload agree");
+        // Bitmap and payload are built from the same CSR, so the search
+        // succeeds; an impossible disagreement reads as absent, not a panic.
+        let pos = self.csr.row(i).binary_search(&(j as VertexId)).ok()?;
         Some(self.csr.row_values(i)[pos])
+    }
+
+    /// Bytes a `rows × cols` bitmap conversion would allocate (the padded
+    /// membership grid; the CSR payload is shared, not copied) — what the
+    /// execution layer charges against a bytes budget before converting.
+    #[must_use]
+    pub fn estimate_bytes(n_rows: usize, n_cols: usize) -> u64 {
+        (n_rows as u64) * (n_cols.div_ceil(64) as u64) * 8
     }
 
     /// The CSR payload this store wraps.
@@ -319,10 +325,12 @@ impl<V: Copy + Send + Sync> Dcsr<V> {
     pub fn from_csr(csr: &Csr<V>) -> Self {
         let mut rows = Vec::new();
         let mut row_ptr = vec![0usize];
+        let mut total = 0usize;
         for i in 0..csr.n_rows() {
             if csr.degree(i) > 0 {
                 rows.push(i as VertexId);
-                row_ptr.push(row_ptr.last().expect("non-empty") + csr.degree(i));
+                total += csr.degree(i);
+                row_ptr.push(total);
             }
         }
         Self {
@@ -358,6 +366,18 @@ impl<V: Copy + Send + Sync> Dcsr<V> {
     #[must_use]
     pub fn n_nonempty(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Bytes a DCSR conversion of a CSR with `nonempty` non-empty rows
+    /// would allocate for its compression structure (row list + compressed
+    /// pointers; column/value payload is copied CSR payload and scales the
+    /// same in every format) — what the execution layer charges against a
+    /// bytes budget before converting.
+    #[must_use]
+    pub fn estimate_bytes(nonempty: usize) -> u64 {
+        (nonempty as u64)
+            * (std::mem::size_of::<VertexId>() as u64 + std::mem::size_of::<usize>() as u64)
+            + std::mem::size_of::<usize>() as u64
     }
 
     /// Fraction of rows that are non-empty (`nnz_rows / n_rows`).
@@ -445,13 +465,12 @@ impl<V: Copy + Send + Sync> Storage<V> {
         match format {
             StorageFormat::Csr => Storage::Csr(csr),
             StorageFormat::Bitmap => {
-                if BitmapStore::<V>::fits(csr.n_rows(), csr.n_cols()) {
-                    Storage::Bitmap(
-                        BitmapStore::try_from_shared(std::sync::Arc::new(csr))
-                            .expect("feasibility checked"),
-                    )
-                } else {
-                    Storage::Csr(csr)
+                let shared = std::sync::Arc::new(csr);
+                match BitmapStore::try_from_shared(std::sync::Arc::clone(&shared)) {
+                    Some(b) => Storage::Bitmap(b),
+                    None => Storage::Csr(
+                        std::sync::Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone()),
+                    ),
                 }
             }
             StorageFormat::Dcsr => Storage::Dcsr(Dcsr::from_csr(&csr)),

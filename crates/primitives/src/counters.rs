@@ -17,7 +17,11 @@
 //! cost model feeding `DirectionPolicy` reports identical totals at every
 //! thread count, which `tests/thread_scaling.rs` pins.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::limits::{ConversionKey, ExecLimits, StopReason};
 
 /// Tallies of memory accesses by category, shared across worker threads.
 ///
@@ -67,7 +71,48 @@ pub struct AccessCounters {
     /// decision, not an access; excluded from [`AccessCounters::total`] and
     /// zeroed by both snapshot projections.
     pub bitmap_degrades: AtomicU64,
+    /// Times a storage conversion was denied by the bytes budget (or an
+    /// injected allocation fault) and the run gracefully fell back to the
+    /// cached CSR instead of aborting — the budget-side analogue of
+    /// `bitmap_degrades`. A decision, not an access; excluded from
+    /// [`AccessCounters::total`] and zeroed by both snapshot projections.
+    pub limit_degrades: AtomicU64,
+
+    // ---- limit-enforcement state (not counters; never snapshotted) ----
+    // Installed by `install_limits`, polled by `checkpoint` at the kernels'
+    // size-derived chunk boundaries. Kept inside AccessCounters because
+    // every kernel already threads `Option<&AccessCounters>`, so limits
+    // reach every chunk boundary with zero signature changes.
+    /// Sticky first-trip reason (`StopReason::code`); 0 = not tripped.
+    tripped: AtomicU8,
+    /// Fast-path gate: true only while limits are installed.
+    limit_active: AtomicBool,
+    /// Charged-access budget for this run; `u64::MAX` = unlimited.
+    work_budget: AtomicU64,
+    /// `total()` at install time — the budget meters accesses *since* then.
+    base_work: AtomicU64,
+    /// Conversion/allocation bytes budget; `u64::MAX` = unlimited.
+    bytes_budget: AtomicU64,
+    /// Bytes charged against `bytes_budget` so far this run.
+    bytes_charged: AtomicU64,
+    /// `ConversionKey::bit` mask of conversions already charged this run.
+    conv_charged: AtomicU8,
+    /// `ConversionKey::bit` mask of conversions already *denied* this run —
+    /// memoized so a retry on a warm `FormatCache` denies (and degrades)
+    /// exactly like a fresh process.
+    conv_denied: AtomicU8,
+    /// Checkpoint calls since install; throttles the deadline clock read.
+    check_ticks: AtomicU64,
+    /// Absolute deadline. A mutex, not an atomic, but locked only every
+    /// `DEADLINE_CHECK_PERIOD` checkpoints; accessed poison-tolerantly.
+    deadline: Mutex<Option<Instant>>,
 }
+
+/// Checkpoints between deadline clock reads. Work/trip checks run on every
+/// checkpoint (plain atomics); only the `Instant::now` + mutex lock is
+/// throttled. Tick 0 checks immediately so a zero deadline trips at the
+/// first boundary.
+const DEADLINE_CHECK_PERIOD: u64 = 64;
 
 impl AccessCounters {
     /// Fresh zeroed counters.
@@ -136,6 +181,12 @@ impl AccessCounters {
         self.bitmap_degrades.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one budget-denied conversion that fell back to cached CSR.
+    #[inline]
+    pub fn add_limit_degrade(&self) {
+        self.limit_degrades.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Sum of all access categories (direction steps are decisions, not
     /// accesses, and are excluded).
     #[must_use]
@@ -160,6 +211,7 @@ impl AccessCounters {
             format_switches: self.format_switches.load(Ordering::Relaxed),
             bit_word_ops: self.bit_word_ops.load(Ordering::Relaxed),
             bitmap_degrades: self.bitmap_degrades.load(Ordering::Relaxed),
+            limit_degrades: self.limit_degrades.load(Ordering::Relaxed),
         }
     }
 
@@ -175,6 +227,202 @@ impl AccessCounters {
         self.format_switches.store(0, Ordering::Relaxed);
         self.bit_word_ops.store(0, Ordering::Relaxed);
         self.bitmap_degrades.store(0, Ordering::Relaxed);
+        self.limit_degrades.store(0, Ordering::Relaxed);
+    }
+
+    /// Overwrite every counter category from a snapshot. The abort path of
+    /// a guarded run uses this to roll the tallies back to their pre-run
+    /// values, so a retry starts from exactly the state a fresh process
+    /// would see.
+    pub fn restore(&self, s: &CounterSnapshot) {
+        self.matrix.store(s.matrix, Ordering::Relaxed);
+        self.vector.store(s.vector, Ordering::Relaxed);
+        self.mask.store(s.mask, Ordering::Relaxed);
+        self.sort.store(s.sort, Ordering::Relaxed);
+        self.push_steps.store(s.push_steps, Ordering::Relaxed);
+        self.pull_steps.store(s.pull_steps, Ordering::Relaxed);
+        self.fused_saved_writes
+            .store(s.fused_saved_writes, Ordering::Relaxed);
+        self.format_switches
+            .store(s.format_switches, Ordering::Relaxed);
+        self.bit_word_ops.store(s.bit_word_ops, Ordering::Relaxed);
+        self.bitmap_degrades
+            .store(s.bitmap_degrades, Ordering::Relaxed);
+        self.limit_degrades
+            .store(s.limit_degrades, Ordering::Relaxed);
+    }
+
+    // ---- limit enforcement ----
+
+    /// Arm the given limits on these counters. The deadline clock starts
+    /// now; the work budget meters accesses charged from this point on.
+    /// Replaces any previously installed limits and clears a stale trip.
+    pub fn install_limits(&self, limits: &ExecLimits) {
+        self.tripped.store(0, Ordering::SeqCst);
+        self.work_budget
+            .store(limits.work_budget.unwrap_or(u64::MAX), Ordering::SeqCst);
+        self.base_work.store(self.total(), Ordering::SeqCst);
+        self.bytes_budget
+            .store(limits.bytes_budget.unwrap_or(u64::MAX), Ordering::SeqCst);
+        self.bytes_charged.store(0, Ordering::SeqCst);
+        self.conv_charged.store(0, Ordering::SeqCst);
+        self.conv_denied.store(0, Ordering::SeqCst);
+        self.check_ticks.store(0, Ordering::SeqCst);
+        *self.deadline_slot() = limits.deadline.map(|d| Instant::now() + d);
+        self.limit_active
+            .store(limits.is_limited(), Ordering::SeqCst);
+    }
+
+    /// Disarm limits and clear any trip, returning the counters to the
+    /// zero-overhead unlimited state. The guard on a limited run calls this
+    /// on every exit path (including aborts), so a tripped state can never
+    /// leak into the next run.
+    pub fn uninstall_limits(&self) {
+        self.limit_active.store(false, Ordering::SeqCst);
+        self.tripped.store(0, Ordering::SeqCst);
+        self.work_budget.store(u64::MAX, Ordering::SeqCst);
+        self.bytes_budget.store(u64::MAX, Ordering::SeqCst);
+        self.bytes_charged.store(0, Ordering::SeqCst);
+        self.conv_charged.store(0, Ordering::SeqCst);
+        self.conv_denied.store(0, Ordering::SeqCst);
+        *self.deadline_slot() = None;
+    }
+
+    /// Why this run was stopped, if a limit has tripped.
+    #[must_use]
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        StopReason::from_code(self.tripped.load(Ordering::SeqCst))
+    }
+
+    /// Poll the installed limits at a chunk boundary. Returns `true` when
+    /// execution may continue, `false` once any limit has tripped (kernels
+    /// then bail out with a cheap identity result and the dispatcher maps
+    /// the sticky [`StopReason`] to a typed error).
+    ///
+    /// The unlimited fast path is two relaxed loads — cheap enough for the
+    /// per-row pull loop at every lane count. The deadline clock is read
+    /// only every `DEADLINE_CHECK_PERIOD` calls (and on the first call,
+    /// so zero deadlines trip at the first boundary); the work budget is
+    /// compared on every call.
+    #[inline]
+    #[must_use]
+    pub fn checkpoint(&self) -> bool {
+        if self.tripped.load(Ordering::Relaxed) != 0 {
+            return false;
+        }
+        if !self.limit_active.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.checkpoint_slow()
+    }
+
+    #[cold]
+    fn checkpoint_slow(&self) -> bool {
+        let tick = self.check_ticks.fetch_add(1, Ordering::Relaxed);
+        if tick.is_multiple_of(DEADLINE_CHECK_PERIOD) {
+            let expired = self.deadline_slot().is_some_and(|at| Instant::now() >= at);
+            if expired {
+                self.trip(StopReason::Deadline);
+                return false;
+            }
+        }
+        let budget = self.work_budget.load(Ordering::Relaxed);
+        if budget != u64::MAX {
+            let spent = self
+                .total()
+                .saturating_sub(self.base_work.load(Ordering::Relaxed));
+            if spent >= budget {
+                self.trip(StopReason::WorkBudget);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Charge `bytes` of kernel buffer allocation against the bytes budget
+    /// (and give the fault-injection harness its allocation hook). Returns
+    /// `false` — after tripping [`StopReason::BytesBudget`] — when the
+    /// charge is denied; the caller must then abort before allocating.
+    #[must_use]
+    pub fn try_charge_alloc(&self, bytes: u64) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::alloc_fault_fires() {
+            self.trip(StopReason::BytesBudget);
+            return false;
+        }
+        if self.tripped.load(Ordering::Relaxed) != 0 {
+            return false;
+        }
+        if !self.limit_active.load(Ordering::Relaxed) {
+            return true;
+        }
+        let budget = self.bytes_budget.load(Ordering::Relaxed);
+        if budget == u64::MAX {
+            return true;
+        }
+        let charged = self.bytes_charged.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if charged > budget {
+            self.trip(StopReason::BytesBudget);
+            return false;
+        }
+        true
+    }
+
+    /// Charge a storage conversion's bytes against the bytes budget.
+    /// Unlike [`AccessCounters::try_charge_alloc`], a denial here does
+    /// *not* trip the run: conversions always have the cached CSR as a
+    /// fallback, so the caller degrades gracefully (recording it via
+    /// [`AccessCounters::add_limit_degrade`]) and continues.
+    ///
+    /// Each [`ConversionKey`] is charged at most once per run and a denial
+    /// is memoized per key, so the charge/deny pattern is a function of the
+    /// run alone — independent of whether the shared `FormatCache` already
+    /// holds the converted store. That makes a post-abort retry degrade
+    /// exactly like a fresh process.
+    #[must_use]
+    pub fn try_charge_conversion(&self, key: ConversionKey, bytes: u64) -> bool {
+        let bit = key.bit();
+        if self.conv_denied.load(Ordering::Relaxed) & bit != 0 {
+            return false;
+        }
+        if self.conv_charged.load(Ordering::Relaxed) & bit != 0 {
+            return true;
+        }
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::alloc_fault_fires() {
+            self.conv_denied.fetch_or(bit, Ordering::Relaxed);
+            return false;
+        }
+        if !self.limit_active.load(Ordering::Relaxed) {
+            self.conv_charged.fetch_or(bit, Ordering::Relaxed);
+            return true;
+        }
+        let budget = self.bytes_budget.load(Ordering::Relaxed);
+        if budget != u64::MAX {
+            let charged = self.bytes_charged.load(Ordering::Relaxed);
+            if charged + bytes > budget {
+                self.conv_denied.fetch_or(bit, Ordering::Relaxed);
+                return false;
+            }
+            self.bytes_charged.fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.conv_charged.fetch_or(bit, Ordering::Relaxed);
+        true
+    }
+
+    /// Record the first trip reason; later trips keep the original.
+    fn trip(&self, reason: StopReason) {
+        let _ = self
+            .tripped
+            .compare_exchange(0, reason.code(), Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Poison-tolerant access to the deadline slot: a worker panic while
+    /// the (briefly held) lock is taken must not wedge later runs.
+    fn deadline_slot(&self) -> std::sync::MutexGuard<'_, Option<Instant>> {
+        self.deadline
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -205,6 +453,9 @@ pub struct CounterSnapshot {
     /// Bitmap→CSR planner degrades (a decision, not an access; see
     /// [`AccessCounters::bitmap_degrades`]).
     pub bitmap_degrades: u64,
+    /// Budget-denied conversions served from cached CSR (a decision, not
+    /// an access; see [`AccessCounters::limit_degrades`]).
+    pub limit_degrades: u64,
 }
 
 impl CounterSnapshot {
@@ -229,6 +480,7 @@ impl CounterSnapshot {
             fused_saved_writes: 0,
             bit_word_ops: 0,
             bitmap_degrades: 0,
+            limit_degrades: 0,
             ..*self
         }
     }
@@ -248,6 +500,7 @@ impl CounterSnapshot {
             format_switches: 0,
             bit_word_ops: 0,
             bitmap_degrades: 0,
+            limit_degrades: 0,
             ..*self
         }
     }
@@ -273,6 +526,7 @@ mod tests {
         c.add_format_switch();
         c.add_bit_word_ops(5);
         c.add_bitmap_degrade();
+        c.add_limit_degrade();
         let s = c.snapshot();
         assert_eq!(
             s,
@@ -287,6 +541,7 @@ mod tests {
                 format_switches: 2,
                 bit_word_ops: 5,
                 bitmap_degrades: 1,
+                limit_degrades: 1,
             }
         );
         assert_eq!(
@@ -298,10 +553,12 @@ mod tests {
         assert_eq!(s.accesses_only().fused_saved_writes, 0);
         assert_eq!(s.accesses_only().bit_word_ops, 0);
         assert_eq!(s.accesses_only().bitmap_degrades, 0);
+        assert_eq!(s.accesses_only().limit_degrades, 0);
         assert_eq!(s.accesses_only().matrix, 15);
         assert_eq!(s.without_format_switches().format_switches, 0);
         assert_eq!(s.without_format_switches().bit_word_ops, 0);
         assert_eq!(s.without_format_switches().bitmap_degrades, 0);
+        assert_eq!(s.without_format_switches().limit_degrades, 0);
         assert_eq!(s.without_format_switches().matrix, 15);
         assert_eq!(s.without_format_switches().fused_saved_writes, 9);
         c.reset();
@@ -311,6 +568,98 @@ mod tests {
         assert_eq!(c.snapshot().format_switches, 0);
         assert_eq!(c.snapshot().bit_word_ops, 0);
         assert_eq!(c.snapshot().bitmap_degrades, 0);
+        assert_eq!(c.snapshot().limit_degrades, 0);
+    }
+
+    #[test]
+    fn restore_rolls_counters_back() {
+        let c = AccessCounters::new();
+        c.add_matrix(10);
+        c.add_push_step();
+        let before = c.snapshot();
+        c.add_matrix(99);
+        c.add_vector(3);
+        c.add_limit_degrade();
+        assert_ne!(c.snapshot(), before);
+        c.restore(&before);
+        assert_eq!(c.snapshot(), before);
+    }
+
+    #[test]
+    fn unlimited_checkpoint_always_continues() {
+        let c = AccessCounters::new();
+        assert!(c.checkpoint());
+        c.install_limits(&ExecLimits::none());
+        assert!(c.checkpoint());
+        assert_eq!(c.stop_reason(), None);
+        assert!(c.try_charge_alloc(1 << 40));
+    }
+
+    #[test]
+    fn zero_deadline_trips_at_first_checkpoint() {
+        let c = AccessCounters::new();
+        c.install_limits(&ExecLimits::none().with_deadline(std::time::Duration::ZERO));
+        assert!(!c.checkpoint());
+        assert_eq!(c.stop_reason(), Some(StopReason::Deadline));
+        // Sticky: later checkpoints keep refusing.
+        assert!(!c.checkpoint());
+        c.uninstall_limits();
+        assert_eq!(c.stop_reason(), None);
+        assert!(c.checkpoint());
+    }
+
+    #[test]
+    fn work_budget_meters_accesses_since_install() {
+        let c = AccessCounters::new();
+        c.add_matrix(1_000); // pre-existing traffic must not count
+        c.install_limits(&ExecLimits::none().with_work_budget(10));
+        assert!(c.checkpoint());
+        c.add_matrix(4);
+        assert!(c.checkpoint(), "4 < 10");
+        c.add_vector(6);
+        assert!(!c.checkpoint(), "10 >= 10");
+        assert_eq!(c.stop_reason(), Some(StopReason::WorkBudget));
+        c.uninstall_limits();
+    }
+
+    #[test]
+    fn bytes_budget_denies_alloc_and_trips() {
+        let c = AccessCounters::new();
+        c.install_limits(&ExecLimits::none().with_bytes_budget(100));
+        assert!(c.try_charge_alloc(60));
+        assert!(c.try_charge_alloc(40), "exactly on budget is allowed");
+        assert!(!c.try_charge_alloc(1));
+        assert_eq!(c.stop_reason(), Some(StopReason::BytesBudget));
+        assert!(!c.checkpoint());
+        c.uninstall_limits();
+    }
+
+    #[test]
+    fn conversion_charge_is_once_per_key_and_denial_is_memoized() {
+        let c = AccessCounters::new();
+        let k_bit = ConversionKey {
+            transposed: false,
+            dcsr: false,
+        };
+        let k_dcsr = ConversionKey {
+            transposed: false,
+            dcsr: true,
+        };
+        c.install_limits(&ExecLimits::none().with_bytes_budget(100));
+        assert!(c.try_charge_conversion(k_bit, 80));
+        // Same key again: already charged, no double spend.
+        assert!(c.try_charge_conversion(k_bit, 80));
+        // Different key over the remaining budget: denied, but NOT a trip —
+        // the caller degrades to CSR instead.
+        assert!(!c.try_charge_conversion(k_dcsr, 80));
+        assert_eq!(c.stop_reason(), None);
+        assert!(c.checkpoint());
+        // Denial is memoized: the same key is denied again even though a
+        // warm cache would make the conversion free now.
+        assert!(!c.try_charge_conversion(k_dcsr, 0));
+        c.uninstall_limits();
+        // Unlimited: conversions always succeed.
+        assert!(c.try_charge_conversion(k_dcsr, 1 << 40));
     }
 
     #[test]

@@ -21,12 +21,19 @@
 //! * [`counters`] — memory-access counters used to *measure* the Table 1
 //!   cost model directly instead of inferring it from wall clock.
 //! * [`pool`] — grain-controlled parallel-for helpers.
+//! * [`limits`] — cooperative deadlines and work/bytes budgets enforced at
+//!   the kernels' chunk boundaries through [`counters`].
+//! * `fault` (behind the `fault-injection` cargo feature) — deterministic
+//!   seeded fault injection for the chaos/robustness suite.
 
 #![warn(missing_docs)]
 
 pub mod bitvec;
 pub mod counters;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod gather;
+pub mod limits;
 pub mod merge;
 pub mod pool;
 pub mod scan;
@@ -35,5 +42,6 @@ pub mod sort;
 pub mod spa;
 
 pub use bitvec::{AtomicBitVec, BitVec};
-pub use counters::AccessCounters;
+pub use counters::{AccessCounters, CounterSnapshot};
+pub use limits::{ConversionKey, ExecLimits, StopReason};
 pub use spa::Spa;

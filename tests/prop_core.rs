@@ -586,7 +586,8 @@ proptest! {
             }),
             Box::new(|p| {
                 let c = AccessCounters::new();
-                let bc = betweenness_with_opts(&g, &sources, &BcOpts { format: p }, Some(&c));
+                let opts = BcOpts { format: p, ..BcOpts::default() };
+                let bc = betweenness_with_opts(&g, &sources, &opts, Some(&c));
                 (bc.iter().map(|x| x.to_bits()).collect(), c.snapshot().without_format_switches())
             }),
         ];

@@ -1,0 +1,332 @@
+//! Hardened-execution contract, always-on half: every guarded `try_*`
+//! entry point must (1) surface tripped limits as **typed** errors, never
+//! process aborts; (2) roll counters back so an aborted run leaves no
+//! trace; and (3) make an immediate retry **bit-identical** — values and
+//! counter snapshot — to an uninterrupted clean run, at 1, 2, and 8 lanes.
+//! The injected-fault half (allocation failures, chunk panics, cost-model
+//! skew) lives in `tests/fault_injection.rs` behind the `fault-injection`
+//! feature.
+
+use proptest::prelude::*;
+use push_pull::algo::bc::try_betweenness_with_opts;
+use push_pull::algo::bfs::{try_bfs_with_opts, BfsOpts};
+use push_pull::algo::bfs_parents::{try_bfs_parents_with_opts, ParentBfsOpts};
+use push_pull::algo::cc::{try_connected_components_with_opts, CcOpts};
+use push_pull::algo::msbfs::{try_multi_source_bfs_with_opts, MsBfsOpts};
+use push_pull::algo::pagerank::{try_pagerank_with_counters, PageRankOpts};
+use push_pull::algo::sssp::{try_sssp_with_counters, SsspOpts};
+use push_pull::core::descriptor::Direction;
+use push_pull::core::{
+    run_guarded, BudgetResource, ExecLimits, FormatPolicy, GrbError, GrbResult, StorageFormat,
+};
+use push_pull::gen::rmat::{rmat, RmatParams};
+use push_pull::gen::with_uniform_weights;
+use push_pull::matrix::{Dcsr, Graph};
+use push_pull::primitives::counters::AccessCounters;
+use std::time::Duration;
+
+const LANES: [usize; 3] = [1, 2, 8];
+
+fn test_graph() -> Graph<bool> {
+    rmat(11, 16, RmatParams::default(), 11)
+}
+
+/// A deadline that already expired trips at the first checkpoint of every
+/// guarded algorithm entry point and surfaces as `GrbError::Cancelled`.
+#[test]
+fn zero_deadline_cancels_every_algorithm() {
+    let g = test_graph();
+    let dead = ExecLimits::none().with_deadline(Duration::ZERO);
+    let cancelled = Err(GrbError::Cancelled);
+
+    let bfs_opts = BfsOpts {
+        limits: dead,
+        ..BfsOpts::default()
+    };
+    assert_eq!(
+        try_bfs_with_opts(&g, 0, &bfs_opts, None).map(|r| r.levels),
+        cancelled
+    );
+
+    let parent_opts = ParentBfsOpts {
+        limits: dead,
+        ..ParentBfsOpts::default()
+    };
+    assert_eq!(
+        try_bfs_parents_with_opts(&g, 0, &parent_opts, None).map(|r| r.levels),
+        cancelled
+    );
+
+    let cc_opts = CcOpts {
+        limits: dead,
+        ..CcOpts::default()
+    };
+    assert_eq!(
+        try_connected_components_with_opts(&g, &cc_opts, None).map(|r| r.rounds),
+        cancelled
+    );
+
+    let pr_opts = PageRankOpts {
+        limits: dead,
+        ..PageRankOpts::default()
+    };
+    assert_eq!(
+        try_pagerank_with_counters(&g, &pr_opts, false, None).map(|r| r.iters),
+        cancelled
+    );
+
+    let ms_opts = MsBfsOpts {
+        limits: dead,
+        ..MsBfsOpts::default()
+    };
+    assert_eq!(
+        try_multi_source_bfs_with_opts(&g, &[0, 1, 2], &ms_opts, None).map(|r| r.levels),
+        cancelled
+    );
+
+    let bc_opts = push_pull::algo::bc::BcOpts {
+        limits: dead,
+        ..Default::default()
+    };
+    assert_eq!(
+        try_betweenness_with_opts(&g, &[0, 1], &bc_opts, None).map(|b| b.len()),
+        cancelled
+    );
+
+    let gw = with_uniform_weights(&g, 7);
+    let sssp_opts = SsspOpts {
+        limits: dead,
+        ..SsspOpts::default()
+    };
+    assert_eq!(
+        try_sssp_with_counters(&gw, 0, &sssp_opts, None).map(|r| r.rounds),
+        cancelled
+    );
+}
+
+/// A generous (never-tripping) limit set must be completely transparent:
+/// results and counter tallies identical to the unlimited run.
+#[test]
+fn untripped_limits_are_transparent() {
+    let g = test_graph();
+    let clean_c = AccessCounters::new();
+    let clean = try_bfs_with_opts(&g, 0, &BfsOpts::default(), Some(&clean_c))
+        .expect("unlimited run cannot abort");
+
+    let roomy = BfsOpts {
+        limits: ExecLimits::none()
+            .with_deadline(Duration::from_secs(3600))
+            .with_work_budget(u64::MAX)
+            .with_bytes_budget(u64::MAX),
+        ..BfsOpts::default()
+    };
+    let limited_c = AccessCounters::new();
+    let limited =
+        try_bfs_with_opts(&g, 0, &roomy, Some(&limited_c)).expect("roomy limits cannot trip");
+    assert_eq!(limited.depths, clean.depths);
+    assert_eq!(limited_c.snapshot(), clean_c.snapshot());
+}
+
+/// A tiny work budget aborts mid-traversal with a typed error, rolls the
+/// shared counters back to their entry snapshot, and an immediate retry is
+/// bit-identical to a clean run — values and counter snapshot — at every
+/// lane count.
+#[test]
+fn work_budget_abort_then_retry_is_bit_identical() {
+    let g = test_graph();
+    for lanes in LANES {
+        rayon::with_num_threads(lanes, || {
+            let clean_c = AccessCounters::new();
+            let clean = try_bfs_with_opts(&g, 0, &BfsOpts::default(), Some(&clean_c))
+                .expect("clean run cannot abort");
+            let clean_snap = clean_c.snapshot();
+
+            // Shared counters carry pre-existing tallies that must survive
+            // the rollback untouched.
+            let c = AccessCounters::new();
+            c.add_matrix(123);
+            let baseline = c.snapshot();
+            let starved = BfsOpts {
+                limits: ExecLimits::none().with_work_budget(512),
+                ..BfsOpts::default()
+            };
+            let aborted = try_bfs_with_opts(&g, 0, &starved, Some(&c));
+            assert_eq!(
+                aborted.map(|r| r.levels),
+                Err(GrbError::BudgetExceeded {
+                    resource: BudgetResource::Work
+                }),
+                "at {lanes} lanes"
+            );
+            assert_eq!(c.snapshot(), baseline, "abort rolled back at {lanes} lanes");
+
+            let retry_c = AccessCounters::new();
+            let retry = try_bfs_with_opts(&g, 0, &BfsOpts::default(), Some(&retry_c))
+                .expect("retry cannot abort");
+            assert_eq!(retry.depths, clean.depths, "retry values at {lanes} lanes");
+            assert_eq!(
+                retry_c.snapshot(),
+                clean_snap,
+                "retry counters at {lanes} lanes"
+            );
+        });
+    }
+}
+
+/// A bytes budget too small for the hypersparse conversion denies the
+/// format change instead of aborting: the run completes on the cached CSR
+/// with identical values and records the denial in `limit_degrades`.
+#[test]
+fn bytes_budget_degrades_format_instead_of_aborting() {
+    let g = test_graph();
+    let base = BfsOpts {
+        format: FormatPolicy::fixed(StorageFormat::Dcsr),
+        force: Some(Direction::Pull),
+        ..BfsOpts::default()
+    };
+    let clean_c = AccessCounters::new();
+    let clean =
+        try_bfs_with_opts(&g, 0, &base, Some(&clean_c)).expect("unlimited run cannot abort");
+
+    // One byte short of the DCSR conversion estimate: the charge is denied
+    // and nothing else in the pull-only fused pipeline consumes bytes.
+    let conv = Dcsr::<bool>::estimate_bytes(g.nonempty_rows(true));
+    let pinched = BfsOpts {
+        limits: ExecLimits::none().with_bytes_budget(conv - 1),
+        ..base
+    };
+    let degraded_c = AccessCounters::new();
+    let degraded = try_bfs_with_opts(&g, 0, &pinched, Some(&degraded_c))
+        .expect("denied conversion must degrade, not abort");
+    assert_eq!(degraded.depths, clean.depths, "degrade is value-neutral");
+    let snap = degraded_c.snapshot();
+    assert!(
+        snap.limit_degrades > 0,
+        "the denial must be visible in telemetry"
+    );
+    assert_eq!(
+        clean_c.snapshot().limit_degrades,
+        0,
+        "unlimited runs never degrade"
+    );
+}
+
+/// A panicking worker chunk is caught at the chunk boundary, surfaces as
+/// `WorkerPanicked` with the payload preserved, and leaves the pool and
+/// the shared counters immediately usable.
+#[test]
+fn pool_panic_is_isolated_and_pool_stays_usable() {
+    use rayon::prelude::*;
+    let c = AccessCounters::new();
+    c.add_matrix(9);
+    let before = c.snapshot();
+    let out: GrbResult<Vec<u64>> = rayon::with_num_threads(8, || {
+        run_guarded(Some(&c), &ExecLimits::none(), |_| {
+            Ok((0..256u64)
+                .into_par_iter()
+                .with_min_len(4)
+                .map(|i| {
+                    assert!(i != 130, "injected worker bug");
+                    i
+                })
+                .collect())
+        })
+    });
+    match out {
+        Err(GrbError::WorkerPanicked { message, .. }) => {
+            assert!(
+                message.contains("injected worker bug"),
+                "payload: {message}"
+            );
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    assert_eq!(c.snapshot(), before, "panicked run rolled back");
+
+    // The pool is unpoisoned: the same computation without the bug runs
+    // clean right away, on the same counters.
+    let ok: GrbResult<u64> = rayon::with_num_threads(8, || {
+        run_guarded(Some(&c), &ExecLimits::none(), |_| {
+            Ok((0..256u64).into_par_iter().with_min_len(4).sum())
+        })
+    });
+    assert_eq!(ok, Ok(255 * 256 / 2));
+}
+
+/// Guarded aborts compose across algorithms: CC under a tiny budget
+/// aborts typed and its retry matches the clean labels and counters.
+#[test]
+fn cc_abort_then_retry_matches_clean_run() {
+    let g = test_graph();
+    let clean_c = AccessCounters::new();
+    let clean = try_connected_components_with_opts(&g, &CcOpts::default(), Some(&clean_c))
+        .expect("clean run cannot abort");
+
+    let starved = CcOpts {
+        limits: ExecLimits::none().with_work_budget(256),
+        ..CcOpts::default()
+    };
+    let c = AccessCounters::new();
+    let baseline = c.snapshot();
+    let aborted = try_connected_components_with_opts(&g, &starved, Some(&c));
+    assert_eq!(
+        aborted.map(|r| r.rounds),
+        Err(GrbError::BudgetExceeded {
+            resource: BudgetResource::Work
+        })
+    );
+    assert_eq!(c.snapshot(), baseline);
+
+    let retry_c = AccessCounters::new();
+    let retry = try_connected_components_with_opts(&g, &CcOpts::default(), Some(&retry_c))
+        .expect("retry cannot abort");
+    assert_eq!(retry.labels, clean.labels);
+    assert_eq!(retry_c.snapshot(), clean_c.snapshot());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For an arbitrary work budget, the guarded BFS either completes
+    /// bit-identically to the unlimited run or aborts with the typed
+    /// budget error and a full counter rollback — and in both cases the
+    /// follow-up unlimited retry is bit-identical to the clean run. Swept
+    /// at 1/2/8 lanes so the abort point interacts with real chunking.
+    #[test]
+    fn any_work_budget_aborts_clean_or_completes_identically(
+        budget in 1u64..2_000_000,
+        lane_idx in 0usize..3,
+    ) {
+        let g = test_graph();
+        let lanes = LANES[lane_idx];
+        rayon::with_num_threads(lanes, || {
+            let clean_c = AccessCounters::new();
+            let clean = try_bfs_with_opts(&g, 0, &BfsOpts::default(), Some(&clean_c))
+                .expect("clean run cannot abort");
+            let clean_snap = clean_c.snapshot();
+
+            let limited = BfsOpts {
+                limits: ExecLimits::none().with_work_budget(budget),
+                ..BfsOpts::default()
+            };
+            let c = AccessCounters::new();
+            let baseline = c.snapshot();
+            match try_bfs_with_opts(&g, 0, &limited, Some(&c)) {
+                Ok(r) => {
+                    assert_eq!(r.depths, clean.depths, "completed run diverged");
+                    assert_eq!(c.snapshot(), clean_snap, "completed counters diverged");
+                }
+                Err(GrbError::BudgetExceeded { resource: BudgetResource::Work }) => {
+                    assert_eq!(c.snapshot(), baseline, "abort left residue");
+                }
+                Err(other) => panic!("untyped outcome: {other}"),
+            }
+
+            let retry_c = AccessCounters::new();
+            let retry = try_bfs_with_opts(&g, 0, &BfsOpts::default(), Some(&retry_c))
+                .expect("retry cannot abort");
+            assert_eq!(retry.depths, clean.depths);
+            assert_eq!(retry_c.snapshot(), clean_snap);
+        });
+    }
+}

@@ -35,7 +35,9 @@ mod pool;
 pub use iter::{
     IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, Splittable,
 };
-pub use pool::with_num_threads;
+#[cfg(feature = "fault-injection")]
+pub use pool::set_chunk_fault_countdown;
+pub use pool::{take_last_panic_chunk, with_num_threads};
 
 /// Number of lanes parallel regions started by this thread will use:
 /// the [`with_num_threads`] override if inside one, else

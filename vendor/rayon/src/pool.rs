@@ -42,6 +42,58 @@ thread_local! {
     /// True while this thread is executing a chunk body; nested regions
     /// started under it run inline.
     static IN_REGION: Cell<bool> = const { Cell::new(false) };
+    /// Chunk index of the panic most recently re-thrown to this thread.
+    /// A side channel, not a wrapper: the original payload is preserved
+    /// (so `should_panic(expected = ...)` tests keep matching) while a
+    /// guard that catches the unwind can still learn which chunk died.
+    static LAST_PANIC_CHUNK: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Take (and clear) the chunk index of the panic most recently re-thrown
+/// to the current thread by a parallel region. Meaningful only immediately
+/// after catching an unwind that crossed [`run_chunks`].
+#[must_use]
+pub fn take_last_panic_chunk() -> Option<usize> {
+    LAST_PANIC_CHUNK.with(Cell::take)
+}
+
+/// Deterministic chunk-fault countdown (fault-injection builds only):
+/// panics inside the Kth chunk body executed after arming, inside the
+/// pool's per-chunk catch, so the workspace's chaos suite can prove panic
+/// isolation without hand-writing a panicking kernel.
+#[cfg(feature = "fault-injection")]
+mod chunk_fault {
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    /// Remaining chunk executions until the armed panic; negative = off.
+    static COUNTDOWN: AtomicI64 = AtomicI64::new(-1);
+
+    pub(super) fn set(nth: Option<u64>) {
+        COUNTDOWN.store(nth.map_or(-1, |n| n.max(1) as i64 - 1), Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(super) fn tick() {
+        if COUNTDOWN.load(Ordering::Relaxed) < 0 {
+            return;
+        }
+        if COUNTDOWN.fetch_sub(1, Ordering::SeqCst) == 0 {
+            panic!("injected fault: worker chunk panic");
+        }
+    }
+}
+
+/// Arm (or with `None` disarm) the injected panic in the Kth chunk body
+/// executed from now on, counted across all regions and threads.
+#[cfg(feature = "fault-injection")]
+pub fn set_chunk_fault_countdown(nth: Option<u64>) {
+    chunk_fault::set(nth);
+}
+
+#[inline]
+fn chunk_fault_tick() {
+    #[cfg(feature = "fault-injection")]
+    chunk_fault::tick();
 }
 
 /// Lane count from the environment (cached: the variables are read once
@@ -124,8 +176,10 @@ struct Region<S, R, F> {
     joined: AtomicUsize,
     done: Mutex<bool>,
     done_cv: Condvar,
-    /// First panic payload from any chunk.
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// First panic from any chunk: the chunk's index plus the original
+    /// payload (re-thrown unwrapped; the index travels through
+    /// [`take_last_panic_chunk`]).
+    panic: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
 }
 
 // SAFETY: chunk slots are claimed at most once via `next.fetch_add`, so no
@@ -179,6 +233,7 @@ where
         let chunk = unsafe { (*self.chunks[i].get()).take() }.expect("chunk claimed once");
         let outer = IN_REGION.with(|c| c.replace(true));
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            chunk_fault_tick();
             // SAFETY: `f` outlives the region (caller blocks on done_cv).
             unsafe { (*self.f)(chunk) }
         }));
@@ -188,8 +243,11 @@ where
             // and read by the caller only after completion.
             Ok(r) => unsafe { *self.outs.add(i) = Some(r) },
             Err(payload) => {
-                let mut slot = self.panic.lock().expect("panic slot");
-                slot.get_or_insert(payload);
+                let mut slot = self
+                    .panic
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                slot.get_or_insert((i, payload));
             }
         }
         if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.chunks.len() {
@@ -275,7 +333,23 @@ where
 {
     let lanes = effective_lanes();
     if chunks.len() <= 1 || lanes <= 1 || in_region() {
-        return chunks.into_iter().map(f).collect();
+        // Same per-chunk catch as the parallel path so a panicking chunk
+        // reports its index identically at every lane count; the original
+        // payload is re-thrown untouched.
+        return chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    chunk_fault_tick();
+                    f(c)
+                }));
+                result.unwrap_or_else(|payload| {
+                    LAST_PANIC_CHUNK.with(|slot| slot.set(Some(i)));
+                    panic::resume_unwind(payload)
+                })
+            })
+            .collect();
     }
 
     let n = chunks.len();
@@ -328,7 +402,13 @@ where
         let mut state = p.state.lock().expect("pool state");
         state.queue.retain(|t| !Arc::ptr_eq(t, &task));
     }
-    if let Some(payload) = region.panic.lock().expect("panic slot").take() {
+    let pending_panic = region
+        .panic
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if let Some((chunk_index, payload)) = pending_panic {
+        LAST_PANIC_CHUNK.with(|slot| slot.set(Some(chunk_index)));
         panic::resume_unwind(payload);
     }
     outs.into_iter()
@@ -384,9 +464,29 @@ mod tests {
             })
         });
         assert!(result.is_err(), "panic must cross the region boundary");
+        assert_eq!(
+            take_last_panic_chunk(),
+            Some(17),
+            "the side channel names the chunk that died"
+        );
+        assert_eq!(take_last_panic_chunk(), None, "the channel clears on read");
         // The pool must remain usable after a panicked region.
         let ok = with_num_threads(4, || run_chunks(vec![1usize, 2, 3], |c| c + 1));
         assert_eq!(ok, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sequential_panic_reports_chunk_index_too() {
+        let result = panic::catch_unwind(|| {
+            with_num_threads(1, || {
+                run_chunks((0..8).collect::<Vec<usize>>(), |c| {
+                    assert!(c != 5, "boom at chunk 5");
+                    c
+                })
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(take_last_panic_chunk(), Some(5));
     }
 
     #[test]
