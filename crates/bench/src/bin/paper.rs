@@ -869,7 +869,7 @@ fn bitfrontier(cfg: &Config) {
             name.to_string(),
             s.bit_word_ops.to_string(),
             s.scalar_edge_examinations.to_string(),
-            f(s.word_ratio),
+            s.word_ratio.map_or_else(|| "n/a".to_string(), f),
             s.bitmap_degrades.to_string(),
             f(s.bit_pull_ms),
             f(s.scalar_pull_ms),
@@ -886,7 +886,10 @@ fn bitfrontier(cfg: &Config) {
                 "scalar_edge_examinations",
                 Json::Int(s.scalar_edge_examinations),
             ),
-            ("word_ratio", Json::Num(s.word_ratio)),
+            ("bit_path_engaged", Json::Bool(s.bit_path_engaged)),
+            // `null` when the bit path never engaged: a literal 0 would
+            // read as a perfect ratio.
+            ("word_ratio", Json::Num(s.word_ratio.unwrap_or(f64::NAN))),
             ("bitmap_degrades", Json::Int(s.bitmap_degrades)),
             ("bit_pull_ms", Json::Num(s.bit_pull_ms)),
             ("scalar_pull_ms", Json::Num(s.scalar_pull_ms)),

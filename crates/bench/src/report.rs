@@ -78,6 +78,8 @@ pub enum Json {
     Num(f64),
     /// An integer, kept exact (no float round-trip).
     Int(u64),
+    /// A boolean.
+    Bool(bool),
     /// A string (escaped minimally: quotes and backslashes).
     Str(String),
     /// An ordered array.
@@ -101,6 +103,7 @@ impl Json {
             Json::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
             Json::Num(_) => out.push_str("null"),
             Json::Int(x) => out.push_str(&x.to_string()),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Str(s) => {
                 out.push('"');
                 for c in s.chars() {

@@ -615,9 +615,15 @@ pub struct BitFrontierSample {
     /// Per-edge examinations (matrix accesses) the scalar oracle charged on
     /// the identical run — the denominator of the ≥8× word-parallel claim.
     pub scalar_edge_examinations: u64,
+    /// Whether the bit path actually ran (`bit_word_ops > 0`). When false,
+    /// the "bit" arm executed the scalar kernels end to end and no word
+    /// ratio exists.
+    pub bit_path_engaged: bool,
     /// `bit_word_ops / scalar_edge_examinations`: ≤ 0.125 in the bitmap
     /// regime, where each scanned row word covers many explicit edges.
-    pub word_ratio: f64,
+    /// `None` when the bit path never engaged — reporting 0 here used to
+    /// masquerade as a perfect ratio in BENCH_bitfrontier.json.
+    pub word_ratio: Option<f64>,
     /// Times a forced-Bitmap request silently degraded to CSR during the
     /// pull arms (0 in the bitmap regime; honest on graphs past the bitmap
     /// feasibility bound, where the "bit" arm is really the scalar path).
@@ -707,7 +713,9 @@ pub fn bitfrontier_study(g: &Graph<bool>, repeats: usize, seed: u64) -> BitFront
     BitFrontierSample {
         bit_word_ops: bit_snap.bit_word_ops,
         scalar_edge_examinations: scalar_snap.matrix,
-        word_ratio: bit_snap.bit_word_ops as f64 / scalar_snap.matrix.max(1) as f64,
+        bit_path_engaged: bit_snap.bit_word_ops > 0,
+        word_ratio: (bit_snap.bit_word_ops > 0)
+            .then(|| bit_snap.bit_word_ops as f64 / scalar_snap.matrix.max(1) as f64),
         bitmap_degrades: bit_snap.bitmap_degrades + scalar_snap.bitmap_degrades,
         bit_pull_ms,
         scalar_pull_ms,
@@ -868,10 +876,11 @@ mod tests {
         let s = bitfrontier_study(&g, 1, 42);
         assert_eq!(s.bitmap_degrades, 0, "bitmap must be feasible here");
         assert!(s.bit_word_ops > 0, "bit kernels must have engaged");
+        assert!(s.bit_path_engaged, "engagement flag mirrors bit_word_ops");
+        let ratio = s.word_ratio.expect("engaged path reports a ratio");
         assert!(
-            s.word_ratio <= 0.125,
-            "bit pull must charge ≤ 1/8 of scalar examinations, got {}",
-            s.word_ratio
+            ratio <= 0.125,
+            "bit pull must charge ≤ 1/8 of scalar examinations, got {ratio}"
         );
         assert!(
             s.cost_model_vs_best <= 1.1,

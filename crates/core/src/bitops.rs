@@ -5,28 +5,42 @@
 //! ⊕ that saturates at its annihilator) the per-edge work is pure set
 //! algebra, so when the planned operand store is a
 //! [`BitmapStore`](graphblas_matrix::BitmapStore) the same reduction can
-//! run 64 edges at a time: AND a row's bitmap words against the packed
-//! input words, `count_ones` for the Table 1 bookkeeping, and stop at the
-//! first set word for the early-exit semirings. This module holds the
+//! run 64 edges at a time: AND a row's bitmap window against the packed
+//! input words, recover the scalar rank for the Table 1 bookkeeping, and
+//! stop at the first set word for the early-exit semirings. The tiled
+//! [`BitmapStore`](graphblas_matrix::BitmapStore) hands each row a
+//! *windowed* word span (`RowAccess::row_word_span`: a start word plus the
+//! words its tile actually allocated), so the word loops here run over the
+//! window — not `⌈n_cols/64⌉` padded words — and process word groups of
+//! up to 4 `u64`s per iteration (autovectorizable). This module holds the
 //! pieces the kernel faces dispatch to:
 //!
 //! * [`BitFrontier`] — a dense bitmap frontier with a popcount-backed nnz,
 //!   convertible to/from [`Vector<bool>`] under the same §6.3
 //!   [`ConvertState`] debounce the scalar frontier uses;
+//! * `FrontierWords` — the kernel-facing packed operand: dense words, or a
+//!   compressed sorted `(word_index, word)` list (roaring-lite) when the
+//!   frontier is sparse enough that scanning only its nonzero words beats
+//!   scanning every window word on a huge graph;
 //! * `BitPull` / `bit_pull_ctx` — the per-call context of the bit pull
-//!   path: the input vector packed into words plus the semiring facts
-//!   (constant product hint, break-on-hit) the word loop relies on;
+//!   path: the packed input plus the semiring facts (constant product
+//!   hint, break-on-hit) the word loop relies on;
 //! * `bit_reduce_row` / `bit_reduce_row_first_hit` — the word-wise row
 //!   reductions, value- and counter-equivalent to the scalar `reduce_row`
-//!   twins by construction (popcount rank recovers exactly the scalar
-//!   `examined` count);
+//!   twins by construction (the CSR rank of the first hit column recovers
+//!   exactly the scalar `examined` count). Each is a *hybrid*: rows whose
+//!   degree is below their window-overlap word count — and rows whose tile
+//!   allocated no words at all — take a scalar probe of the CSR columns
+//!   against the frontier bits instead of the word scan, so a missing word
+//!   surface degrades gracefully rather than panicking;
 //! * `UnvisitedIndex` — one level of summary words over the
 //!   (complement-adjusted) mask words, so late-level pull scans skip
 //!   64-row regions that are already fully visited;
 //! * `bit_push_parts` — the push-face arm: OR each source row's word
 //!   span into per-chunk bitmaps (the SpaMerge chunk machinery) and merge
 //!   word-wise, replacing the expand/sort/dedup of the structure-only
-//!   column kernel.
+//!   column kernel (rows without a word surface scatter their columns
+//!   bit-by-bit instead).
 //!
 //! **The load-bearing invariant**: every function here charges the same
 //! `matrix`/`vector`/`mask`/`sort` access amounts the scalar kernel
@@ -139,11 +153,137 @@ impl BitFrontier {
     }
 }
 
-/// Per-call context of the bit pull path: the dense input packed into
-/// words, plus the two semiring facts the word loop exploits.
+/// The packed operand a bit kernel scans: `is_explicit` of the input
+/// vector, one bit per column, in one of two shapes.
+///
+/// `Dense` is the flat `⌈dim/64⌉`-word image. `Compressed` is the
+/// roaring-lite form — only the nonzero words, as a sorted
+/// `(word_index, word)` list — chosen by [`FrontierWords::from_dense`]
+/// when the frontier occupies at most 1 word in
+/// [`FrontierWords::COMPRESS_FACTOR`]: on a huge graph a one-vertex
+/// frontier then costs each row a handful of pair probes instead of a
+/// full window scan. Both shapes answer the same queries, and the kernels
+/// charge identical `matrix`/`vector` counts either way (only the
+/// `bit_word_ops` telemetry sees the difference).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum FrontierWords {
+    /// Flat word image, indexed by word number.
+    Dense(Vec<u64>),
+    /// Sorted `(word_index, word)` pairs, nonzero words only.
+    Compressed(Vec<(u32, u64)>),
+}
+
+impl FrontierWords {
+    /// Compress when nonzero words × this factor still undercuts the
+    /// dense word count — i.e. the frontier touches ≤ 1/4 of the words.
+    pub(crate) const COMPRESS_FACTOR: usize = 4;
+
+    /// Wrap a dense word image, compressing when sparse enough.
+    pub(crate) fn from_dense(words: Vec<u64>) -> Self {
+        let nzw = words.iter().filter(|&&w| w != 0).count();
+        if nzw * Self::COMPRESS_FACTOR <= words.len() {
+            FrontierWords::Compressed(
+                words
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w != 0)
+                    .map(|(g, &w)| (g as u32, w))
+                    .collect(),
+            )
+        } else {
+            FrontierWords::Dense(words)
+        }
+    }
+
+    /// Whether bit `j` (an input slot / column id) is set.
+    #[inline]
+    pub(crate) fn contains(&self, j: usize) -> bool {
+        let (g, b) = (j / 64, (j % 64) as u32);
+        match self {
+            FrontierWords::Dense(w) => w.get(g).is_some_and(|&w| w >> b & 1 != 0),
+            FrontierWords::Compressed(p) => p
+                .binary_search_by_key(&(g as u32), |&(i, _)| i)
+                .is_ok_and(|k| p[k].1 >> b & 1 != 0),
+        }
+    }
+
+    /// How many frontier words a scan of window `[start, start+width)`
+    /// would visit — the word-path cost the hybrid row kernels weigh
+    /// against a `degree`-probe scalar pass.
+    #[inline]
+    pub(crate) fn overlap(&self, start: usize, width: usize) -> usize {
+        match self {
+            FrontierWords::Dense(_) => width,
+            FrontierWords::Compressed(p) => {
+                let lo = p.partition_point(|&(i, _)| (i as usize) < start);
+                let hi = p.partition_point(|&(i, _)| (i as usize) < start + width);
+                hi - lo
+            }
+        }
+    }
+
+    /// Scan a row's word window for the first AND hit, in word groups of
+    /// up to 4 (the dense inner loop is a plain OR-of-ANDs the compiler
+    /// autovectorizes). Returns `(scanned, hit)` where `scanned` counts
+    /// frontier words visited up to and including the hit word (the
+    /// `bit_word_ops` charge) and `hit` is the first set column, lowest
+    /// word then lowest bit — exactly the scalar loop's first explicit
+    /// neighbor, because CSR rows are column-sorted.
+    #[inline]
+    pub(crate) fn scan_window(&self, start: usize, row: &[u64]) -> (u64, Option<usize>) {
+        match self {
+            FrontierWords::Dense(words) => {
+                let vw = &words[start..start + row.len()];
+                let mut scanned = 0u64;
+                let mut t = 0usize;
+                while t < row.len() {
+                    let end = (t + 4).min(row.len());
+                    let mut any = 0u64;
+                    for k in t..end {
+                        any |= row[k] & vw[k];
+                    }
+                    if any != 0 {
+                        for (k, (&rw, &fw)) in row[t..end].iter().zip(&vw[t..end]).enumerate() {
+                            let and = rw & fw;
+                            if and != 0 {
+                                scanned += k as u64 + 1;
+                                let j = (start + t + k) * 64 + and.trailing_zeros() as usize;
+                                return (scanned, Some(j));
+                            }
+                        }
+                        unreachable!("group OR was nonzero");
+                    }
+                    scanned += (end - t) as u64;
+                    t = end;
+                }
+                (scanned, None)
+            }
+            FrontierWords::Compressed(p) => {
+                let lo = p.partition_point(|&(i, _)| (i as usize) < start);
+                let mut scanned = 0u64;
+                for &(idx, fw) in &p[lo..] {
+                    let idx = idx as usize;
+                    if idx >= start + row.len() {
+                        break;
+                    }
+                    scanned += 1;
+                    let and = row[idx - start] & fw;
+                    if and != 0 {
+                        let j = idx * 64 + and.trailing_zeros() as usize;
+                        return (scanned, Some(j));
+                    }
+                }
+                (scanned, None)
+            }
+        }
+    }
+}
+
+/// Per-call context of the bit pull path: the packed input, plus the two
+/// semiring facts the word loop exploits.
 pub(crate) struct BitPull<Y> {
     /// `is_explicit` of the input vector, one bit per column.
-    pub(crate) words: Vec<u64>,
+    pub(crate) words: FrontierWords,
     /// The constant every (stored entry ⊗ explicit input) product equals.
     pub(crate) hint: Y,
     /// Whether ⊕ saturates at `hint` (annihilator), i.e. the scalar loop
@@ -185,12 +325,23 @@ where
         return None;
     }
     let break_on_hit = add.annihilator() == Some(hint);
-    let words = pack_explicit_words(v, counters);
+    let words = pack_frontier(v, counters);
     Some(BitPull {
         words,
         hint,
         break_on_hit,
     })
+}
+
+/// Pack a dense vector into [`FrontierWords`], compressing sparse
+/// frontiers — the packing the bit kernels consume. The charge is the
+/// dense word count (one `bit_word_ops` per packed word) regardless of
+/// the shape chosen, matching [`pack_explicit_words`].
+pub(crate) fn pack_frontier<X: Scalar>(
+    v: &DenseVector<X>,
+    counters: Option<&AccessCounters>,
+) -> FrontierWords {
+    FrontierWords::from_dense(pack_explicit_words(v, counters))
 }
 
 /// Pack `is_explicit` of a dense vector into `u64` words (bit `j` set iff
@@ -218,19 +369,63 @@ pub(crate) fn pack_explicit_words<X: Scalar>(
     words
 }
 
+/// The first explicit hit of row `i` and the words scanned finding it,
+/// via whichever of the two equivalent passes is cheaper:
+///
+/// * **word path** — when the row has a word window and the frontier
+///   overlaps it in at most `degree` words, AND the window against the
+///   frontier ([`FrontierWords::scan_window`], word groups of 4); the hit
+///   column's CSR rank (`binary_search` of the sorted row) is the scalar
+///   loop's 1-based `examined` position;
+/// * **scalar probe** — when the window scan would cost more words than
+///   the row has edges, or the row's tile allocated no words at all
+///   (gating and store state disagreeing is *handled*, not a panic):
+///   probe each stored column against the frontier bits. Charges zero
+///   `bit_word_ops`; the hit rank is the probe position itself.
+///
+/// Both passes return the same `(rank, column)` because CSR rows are
+/// column-sorted and the word scan hits lowest-word-lowest-bit first.
+#[inline]
+fn first_hit<A, M>(op: &M, fw: &FrontierWords, i: usize) -> (u64, Option<(u64, usize)>)
+where
+    A: Scalar,
+    M: RowAccess<A>,
+{
+    if let Some((start, row)) = op.row_word_span(i) {
+        if fw.overlap(start, row.len()) <= op.degree(i) {
+            let (scanned, hit) = fw.scan_window(start, row);
+            let hit = hit.map(|j| {
+                let rank = match op.row(i).binary_search(&(j as u32)) {
+                    Ok(pos) => pos as u64 + 1,
+                    // Bitmap and payload disagree (impossible by
+                    // construction): charge the whole row rather than
+                    // undercount.
+                    Err(_) => op.degree(i) as u64,
+                };
+                (rank, j)
+            });
+            return (scanned, hit);
+        }
+    }
+    for (k, &j) in op.row(i).iter().enumerate() {
+        if fw.contains(j as usize) {
+            return (0, Some((k as u64 + 1, j as usize)));
+        }
+    }
+    (0, None)
+}
+
 /// Word-wise reduction of one operand row — the bit twin of the scalar
 /// `reduce_row` under a `BitPull` context.
 ///
-/// Scans row words ANDed against the packed input; any nonzero AND means
-/// the row reduces to the hint (the context's monoid laws), so the word
-/// scan always stops at the first hit. The *charged* `examined` count
-/// replays the scalar loop exactly:
+/// Finds the first explicit hit via [`first_hit`] (word window or scalar
+/// probe, whichever is cheaper for this row); any hit means the row
+/// reduces to the hint (the context's monoid laws). The *charged*
+/// `examined` count replays the scalar loop exactly:
 ///
 /// * early-exit break (context says ⊕ saturates at the hint, caller says
-///   `early_exit`): the scalar loop stops at the first explicit hit, whose
-///   1-based position among the row's stored entries is recovered by
-///   popcount — entries in fully scanned words plus entries of the hit
-///   word up to and including the hit bit;
+///   `early_exit`): the scalar loop stops at the first explicit hit, so
+///   its CSR rank is charged;
 /// * otherwise (or no hit): the scalar loop walks the whole row, so the
 ///   full `degree(i)` is charged even though the value needed one word.
 #[inline]
@@ -251,25 +446,9 @@ where
     if !crate::exec::live(counters) {
         return identity;
     }
-    let row = op.row_words(i).expect("bit kernel requires a word surface");
-    let mut scanned = 0u64;
-    let mut seen = 0u64; // stored entries in fully scanned words
-    let mut hit_rank = None;
-    for (&rw, &vw) in row.iter().zip(ctx.words.iter()) {
-        scanned += 1;
-        let and = rw & vw;
-        if and != 0 {
-            let b = and.trailing_zeros();
-            // Stored entries at columns <= the hit column: the scalar
-            // loop's examined count when it breaks on this hit.
-            let upto = rw & (u64::MAX >> (63 - b));
-            hit_rank = Some(seen + u64::from(upto.count_ones()));
-            break;
-        }
-        seen += u64::from(rw.count_ones());
-    }
-    let examined = match hit_rank {
-        Some(rank) if early_exit && ctx.break_on_hit => rank,
+    let (scanned, hit) = first_hit(op, &ctx.words, i);
+    let examined = match hit {
+        Some((rank, _)) if early_exit && ctx.break_on_hit => rank,
         _ => op.degree(i) as u64,
     };
     if let Some(c) = counters {
@@ -277,7 +456,7 @@ where
         c.add_vector(examined + 1);
         c.add_bit_word_ops(scanned);
     }
-    if hit_rank.is_some() {
+    if hit.is_some() {
         ctx.hint
     } else {
         identity
@@ -286,17 +465,16 @@ where
 
 /// Word-wise first-hit reduction — the bit twin of the fused pipeline's
 /// `reduce_row_first_hit`, and fully generic over the semiring (no hint
-/// needed): the popcount rank of the first AND hit indexes straight into
-/// the row's CSR value slice, so the single product `a ⊗ v(j)` is computed
-/// exactly as the scalar loop would. `words` is the packed input from
-/// `pack_explicit_words`. Charges `examined = rank` (the scalar loop
-/// breaks unconditionally on the first explicit hit) or `degree(i)` when
-/// the row has none.
+/// needed): the CSR rank of the first hit indexes straight into the row's
+/// value slice, so the single product `a ⊗ v(j)` is computed exactly as
+/// the scalar loop would. `fw` is the packed input from `pack_frontier`.
+/// Charges `examined = rank` (the scalar loop breaks unconditionally on
+/// the first explicit hit) or `degree(i)` when the row has none.
 #[inline]
 pub(crate) fn bit_reduce_row_first_hit<A, X, Y, S, M>(
     s: S,
     op: &M,
-    words: &[u64],
+    fw: &FrontierWords,
     v: &DenseVector<X>,
     i: usize,
     identity: Y,
@@ -310,30 +488,17 @@ where
     M: RowAccess<A>,
 {
     let add = s.add_monoid();
-    let row = op.row_words(i).expect("bit kernel requires a word surface");
-    let mut scanned = 0u64;
-    let mut seen = 0u64;
-    let mut acc = identity;
-    let mut examined = None;
-    for (t, (&rw, &vw)) in row.iter().zip(words.iter()).enumerate() {
-        scanned += 1;
-        let and = rw & vw;
-        if and != 0 {
-            let b = and.trailing_zeros();
-            let j = t * 64 + b as usize;
-            let upto = rw & (u64::MAX >> (63 - b));
-            let rank = seen + u64::from(upto.count_ones());
+    let (scanned, hit) = first_hit(op, fw, i);
+    let (acc, examined) = match hit {
+        Some((rank, j)) => {
             // rank is 1-based among the row's stored entries, ascending by
             // column — identical to the CSR order, so rank-1 indexes the
             // stored value of the hit entry.
             let a = op.row_values(i)[(rank - 1) as usize];
-            acc = add.op(acc, s.mult(a, v.get(j)));
-            examined = Some(rank);
-            break;
+            (add.op(identity, s.mult(a, v.get(j))), rank)
         }
-        seen += u64::from(rw.count_ones());
-    }
-    let examined = examined.unwrap_or(op.degree(i) as u64);
+        None => (identity, op.degree(i) as u64),
+    };
     if let Some(c) = counters {
         c.add_matrix(examined);
         c.add_vector(examined + 1);
@@ -480,13 +645,26 @@ where
                 if cols.is_empty() {
                     continue;
                 }
-                let rw = op_t.row_words(src).expect("gated on has_row_words");
                 let w0 = cols[0] as usize / 64;
                 let w1 = cols[cols.len() - 1] as usize / 64;
-                for (t, slot) in buf.iter_mut().enumerate().take(w1 + 1).skip(w0) {
-                    *slot |= rw[t];
+                match op_t.row_word_span(src) {
+                    Some((start, rw)) => {
+                        // The row's stored columns all fall inside its tile
+                        // window, so `w0..=w1 ⊆ start..start+rw.len()`.
+                        for (slot, &r) in buf[w0..=w1].iter_mut().zip(&rw[w0 - start..]) {
+                            *slot |= r;
+                        }
+                        word_ops += (w1 - w0 + 1) as u64;
+                    }
+                    // No word surface for this row (gating and store state
+                    // disagree): scatter the columns bit-by-bit — the
+                    // scalar-equivalent fallback, no panic.
+                    None => {
+                        for &j in cols {
+                            buf[j as usize / 64] |= 1u64 << (j % 64);
+                        }
+                    }
                 }
-                word_ops += (w1 - w0 + 1) as u64;
             }
             if let Some(c) = counters {
                 c.add_bit_word_ops(word_ops);
@@ -618,20 +796,129 @@ mod tests {
         let store = BitmapStore::try_from_shared(Arc::new(Csr::from_coo(&coo))).unwrap();
         let mut d = DenseVector::new(70, 0i64);
         d.set(63, 7); // first explicit neighbor is the rank-2 entry
-        let words = pack_explicit_words(&d, None);
+        let fw = pack_frontier(&d, None);
         let c = AccessCounters::new();
         // PlusSecond: product = input value (7); first hit only.
-        let y = bit_reduce_row_first_hit(
-            crate::ops::PlusSecond,
-            &store,
-            &words,
-            &d,
-            0,
-            0i64,
-            Some(&c),
-        );
+        let y =
+            bit_reduce_row_first_hit(crate::ops::PlusSecond, &store, &fw, &d, 0, 0i64, Some(&c));
         assert_eq!(y, 7, "product of the first explicit hit");
         assert_eq!(c.snapshot().matrix, 2, "rank of the hit entry");
+    }
+
+    #[test]
+    fn compressed_and_dense_frontiers_agree() {
+        // 1×512 row with entries spread over 8 words; a single-bit
+        // frontier compresses (1 nonzero word × 4 ≤ 8 words).
+        let mut coo = Coo::new(1, 512);
+        for w in 0..8u32 {
+            coo.push(0, w * 64 + 3, true);
+        }
+        let store = BitmapStore::try_from_shared(Arc::new(Csr::from_coo(&coo))).unwrap();
+        let mut d = DenseVector::new(512, false);
+        d.set(5 * 64 + 3, true);
+        let fw = pack_frontier(&d, None);
+        assert!(
+            matches!(fw, FrontierWords::Compressed(ref p) if p.len() == 1),
+            "sparse frontier compresses"
+        );
+        let dense = FrontierWords::Dense(pack_explicit_words(&d, None));
+        for fw in [&fw, &dense] {
+            assert!(fw.contains(5 * 64 + 3) && !fw.contains(3));
+            let ctx = BitPull {
+                words: fw.clone(),
+                hint: true,
+                break_on_hit: true,
+            };
+            let c = AccessCounters::new();
+            let y = bit_reduce_row(&store, &ctx, 0, false, true, Some(&c));
+            assert!(y);
+            // Scalar loop examines entries 1..=6 (hit at word 5's entry).
+            let s = c.snapshot();
+            assert_eq!(s.matrix, 6, "CSR rank of the hit, either shape");
+            assert_eq!(s.vector, 7);
+        }
+        // Dense scan visits words 0..=5 (6 words, in groups of 4); the
+        // compressed scan touches only the frontier's single pair.
+        assert_eq!(dense.scan_window(0, &[u64::MAX; 8]).0, 6);
+        assert_eq!(fw.scan_window(0, &[u64::MAX; 8]).0, 1);
+        assert_eq!(
+            dense.scan_window(0, &[u64::MAX; 8]).1,
+            fw.scan_window(0, &[u64::MAX; 8]).1
+        );
+    }
+
+    #[test]
+    fn probe_fallback_covers_missing_word_surface() {
+        // Middle tile of a 192-row store is empty: its rows have no word
+        // surface, and the kernels must not panic on them.
+        let n = 3 * graphblas_matrix::TILE_ROWS;
+        let mut coo = Coo::new(n, n);
+        coo.push(0, 1, true);
+        coo.push((n - 1) as u32, 0, true);
+        let store = BitmapStore::try_from_shared(Arc::new(Csr::from_coo(&coo))).unwrap();
+        let empty_row = graphblas_matrix::TILE_ROWS + 7;
+        assert!(RowAccess::<bool>::row_word_span(&store, empty_row).is_none());
+        let mut d = DenseVector::new(n, false);
+        d.set(1, true);
+        let ctx = bit_pull_ctx(
+            BoolStructure,
+            &store,
+            &d,
+            &Descriptor::new().structure_only(true),
+            None,
+        )
+        .expect("qualifies");
+        let c = AccessCounters::new();
+        assert!(!bit_reduce_row(
+            &store,
+            &ctx,
+            empty_row,
+            false,
+            true,
+            Some(&c)
+        ));
+        let s = c.snapshot();
+        assert_eq!((s.matrix, s.vector), (0, 1), "degree-0 scalar charges");
+        let c = AccessCounters::new();
+        let y = bit_reduce_row_first_hit(
+            BoolStructure,
+            &store,
+            &ctx.words,
+            &d,
+            empty_row,
+            false,
+            Some(&c),
+        );
+        assert!(!y);
+        assert_eq!(c.snapshot().matrix, 0);
+        // Rows with a surface still reduce normally in the same store.
+        assert!(bit_reduce_row(&store, &ctx, 0, false, true, None));
+    }
+
+    #[test]
+    fn sparse_rows_take_the_probe_path() {
+        // Degree-1 row under a 2-word window with a dense frontier: the
+        // probe (1 edge) undercuts the word scan (2 words), so no
+        // bit_word_ops are charged yet the value and rank still match.
+        let store = bitmap_3x70();
+        let mut d = DenseVector::new(70, false);
+        for j in 0..70 {
+            d.set(j, true);
+        }
+        let ctx = bit_pull_ctx(
+            BoolStructure,
+            &store,
+            &d,
+            &Descriptor::new().structure_only(true),
+            None,
+        )
+        .expect("qualifies");
+        let c = AccessCounters::new();
+        // Row 2 has the single entry at column 1.
+        assert!(bit_reduce_row(&store, &ctx, 2, false, true, Some(&c)));
+        let s = c.snapshot();
+        assert_eq!((s.matrix, s.vector), (1, 2), "scalar charges for rank 1");
+        assert_eq!(s.bit_word_ops, 0, "probe path scans no words");
     }
 
     #[test]

@@ -30,7 +30,7 @@
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 
-use graphblas_matrix::{BitmapStore, Dcsr, Graph, StorageFormat, StoreRef};
+use graphblas_matrix::{Dcsr, Graph, StorageFormat, StoreRef};
 use graphblas_primitives::{AccessCounters, ConversionKey};
 pub use graphblas_primitives::{ExecLimits, StopReason};
 
@@ -80,14 +80,10 @@ pub(crate) fn store_budgeted<'g, V: Copy + Send + Sync + PartialEq>(
         Some(c) if effective != StorageFormat::Csr => c,
         _ => return graph.store(transposed, effective),
     };
-    let csr = if transposed {
-        graph.csr_t()
-    } else {
-        graph.csr()
-    };
     let bytes = match effective {
         StorageFormat::Csr => unreachable!("handled above"),
-        StorageFormat::Bitmap => BitmapStore::<V>::estimate_bytes(csr.n_rows(), csr.n_cols()),
+        // The cached tiling plan prices exactly what a build allocates.
+        StorageFormat::Bitmap => graph.bitmap_plan(transposed).bytes(),
         StorageFormat::Dcsr => Dcsr::<V>::estimate_bytes(graph.nonempty_rows(transposed)),
     };
     let key = ConversionKey {

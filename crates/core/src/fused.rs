@@ -454,12 +454,12 @@ where
     // dispatch; first-hit exit is the caller's stronger opt-in.
     let early_exit = base.mask.is_some() && base.desc.early_exit;
     // Bit-parallel arm, packed once per call (same dispatch rule as the
-    // unfused pull face). The first-hit path is fully generic — the
-    // popcount rank of the first AND hit indexes the CSR values — so it
-    // needs only the packed operand words; the plain reduction goes
-    // through the hint-qualified context.
+    // unfused pull face). The first-hit path is fully generic — the CSR
+    // rank of the first AND hit indexes the CSR values — so it needs only
+    // the packed operand words; the plain reduction goes through the
+    // hint-qualified context.
     let fh_words = if base.first_hit_exit && base.desc.bit_kernels && op.has_row_words() {
-        Some(crate::bitops::pack_explicit_words(v, base.counters))
+        Some(crate::bitops::pack_frontier(v, base.counters))
     } else {
         None
     };

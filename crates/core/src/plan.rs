@@ -256,6 +256,11 @@ pub struct FormatPolicy {
     mode: FormatMode,
     current: Option<StorageFormat>,
     pending: Option<StorageFormat>,
+    /// Per operand side (`[A, Aᵀ]`): whether this policy already recorded
+    /// a bitmap→CSR degrade. The feasibility verdict is a per-graph
+    /// constant, so `bitmap_degrades` counts *distinct decisions* — one
+    /// per policy per side — not one tick per mxv of a long run.
+    degraded: [bool; 2],
 }
 
 impl Default for FormatPolicy {
@@ -272,6 +277,7 @@ impl FormatPolicy {
             mode: FormatMode::Auto,
             current: None,
             pending: None,
+            degraded: [false; 2],
         }
     }
 
@@ -284,6 +290,7 @@ impl FormatPolicy {
             mode: FormatMode::Fixed(f),
             current: None,
             pending: None,
+            degraded: [false; 2],
         }
     }
 
@@ -296,6 +303,7 @@ impl FormatPolicy {
             mode: FormatMode::CostModel(constants),
             current: None,
             pending: None,
+            degraded: [false; 2],
         }
     }
 
@@ -339,6 +347,19 @@ impl FormatPolicy {
         next
     }
 
+    /// Record a bitmap→CSR degrade decision for one operand side, charging
+    /// `bitmap_degrades` only the first time this policy sees it (the
+    /// verdict is a per-graph constant — see the `degraded` field).
+    fn note_degrade(&mut self, side: bool, counters: Option<&AccessCounters>) {
+        let seen = &mut self.degraded[usize::from(side)];
+        if !*seen {
+            *seen = true;
+            if let Some(c) = counters {
+                c.add_bitmap_degrade();
+            }
+        }
+    }
+
     /// Feed one iteration's direction; returns the format to run it with
     /// and charges `format_switches` on change.
     pub fn update<A: Scalar>(
@@ -353,14 +374,18 @@ impl FormatPolicy {
                 let side = operand_side(transpose, direction);
                 let eff = graph.effective_format(side, f);
                 if f == StorageFormat::Bitmap && eff != StorageFormat::Bitmap {
-                    if let Some(c) = counters {
-                        c.add_bitmap_degrade();
-                    }
+                    self.note_degrade(side, counters);
                 }
                 eff
             }
             FormatMode::Auto => auto_format(graph, transpose, direction),
-            FormatMode::CostModel(k) => cost_model_format(graph, transpose, direction, k, counters),
+            FormatMode::CostModel(k) => {
+                let (fmt, wanted_infeasible) = cost_model_format(graph, transpose, direction, k);
+                if wanted_infeasible {
+                    self.note_degrade(operand_side(transpose, direction), counters);
+                }
+                fmt
+            }
         };
         self.adopt(preferred, counters)
     }
@@ -378,9 +403,7 @@ impl FormatPolicy {
             FormatMode::Fixed(f) => {
                 let eff = graph.effective_format(transpose, f);
                 if f == StorageFormat::Bitmap && eff != StorageFormat::Bitmap {
-                    if let Some(c) = counters {
-                        c.add_bitmap_degrade();
-                    }
+                    self.note_degrade(transpose, counters);
                 }
                 eff
             }
@@ -396,34 +419,33 @@ impl FormatPolicy {
 /// The measured format rule of [`FormatPolicy::cost_model`]: hypersparse
 /// operands still take DCSR (the cost model prices scan work, not row
 /// lookup structure), then bitmap vs CSR is decided by comparing an
-/// average row's scalar scan against its word scan. Charges
-/// `bitmap_degrades` when the model wants bitmap but the shape exceeds the
-/// store's `MAX_BITS` ceiling.
+/// average row's scalar scan against its word scan — the word price taken
+/// from the tiled allocation plan (`words / n_rows`), so banded graphs
+/// with narrow windows price far below the old dense `⌈n/64⌉` stride.
+/// Returns the chosen format plus whether the model wanted an infeasible
+/// bitmap (the caller memoizes the `bitmap_degrades` charge per side).
 fn cost_model_format<A: Scalar>(
     graph: &Graph<A>,
     transpose: bool,
     direction: Direction,
     k: CostConstants,
-    counters: Option<&AccessCounters>,
-) -> StorageFormat {
+) -> (StorageFormat, bool) {
     if direction != Direction::Pull {
-        return StorageFormat::Csr;
+        return (StorageFormat::Csr, false);
     }
     let side = operand_side(transpose, direction);
     if graph.row_occupancy(side) < HYPERSPARSE_OCCUPANCY {
-        return StorageFormat::Dcsr;
+        return (StorageFormat::Dcsr, false);
     }
     let csr = if side { graph.csr_t() } else { graph.csr() };
-    let words_per_row = (csr.n_cols() as f64 / 64.0).ceil();
+    let words_per_row = graph.bitmap_plan(side).avg_words_per_row(csr.n_rows());
     if k.pull_edge * csr.avg_degree() > k.bit_word * words_per_row {
         if graph.effective_format(side, StorageFormat::Bitmap) == StorageFormat::Bitmap {
-            return StorageFormat::Bitmap;
+            return (StorageFormat::Bitmap, false);
         }
-        if let Some(c) = counters {
-            c.add_bitmap_degrade();
-        }
+        return (StorageFormat::Csr, true);
     }
-    StorageFormat::Csr
+    (StorageFormat::Csr, false)
 }
 
 #[cfg(test)]
@@ -574,14 +596,22 @@ mod tests {
 
     #[test]
     fn infeasible_bitmap_degrades_to_csr_everywhere() {
-        // Shape too large for a bitmap: Force(Bitmap) must degrade
-        // identically in the plan and the policy.
-        let n = 1 << 15; // 2^30 bits > MAX_BITS
+        // Allocation too large for a bitmap even under tiling: one row per
+        // 64-row tile spans the full column range, so every tile plans a
+        // full-width window — 2^13 tiles × 64 rows × 2^13 words = 2^38
+        // bits > MAX_BITS, on both orientations (symmetric construction).
+        // Force(Bitmap) must degrade identically in the plan and policy.
+        let n = 1 << 19;
         let mut coo = Coo::new(n, n);
-        for u in 0..64u32 {
-            coo.push(u, (u + 1) % 64, true);
+        for t in (0..n as u32).step_by(64) {
+            coo.push(t, 0, true);
+            coo.push(t, (n - 1) as u32, true);
+            coo.push(0, t, true);
+            coo.push((n - 1) as u32, t, true);
         }
+        coo.dedup(|a, _| a);
         let g = Graph::from_coo(&coo);
+        assert!(!g.bitmap_plan(true).feasible(), "construction over budget");
         let desc = Descriptor::new()
             .transpose(true)
             .force_format(StorageFormat::Bitmap);
@@ -594,13 +624,19 @@ mod tests {
             StorageFormat::Csr
         );
 
-        // The silent degrade is recorded: once per policy update that
-        // wanted bitmap, and once per mxv-level plan note.
+        // The silent degrade is recorded once per distinct decision: the
+        // verdict is a per-graph constant, so repeated updates of one
+        // policy on one side charge a single tick — not one per call.
         let c = AccessCounters::new();
         let mut p2 = FormatPolicy::fixed(StorageFormat::Bitmap);
         p2.update(&g, true, Direction::Pull, Some(&c));
         p2.update(&g, true, Direction::Pull, Some(&c));
-        assert_eq!(c.snapshot().bitmap_degrades, 2);
+        assert_eq!(c.snapshot().bitmap_degrades, 1, "memoized per side");
+        // The push face is the other operand side: a fresh decision.
+        p2.update(&g, true, Direction::Push, Some(&c));
+        p2.update(&g, true, Direction::Push, Some(&c));
+        assert_eq!(c.snapshot().bitmap_degrades, 2, "one per side");
+        // The mxv-level plan note (direct descriptor force) still records.
         note_bitmap_degrade(&desc, StorageFormat::Csr, Some(&c));
         assert_eq!(c.snapshot().bitmap_degrades, 3);
         // A served bitmap (or a non-bitmap request) records nothing.

@@ -17,17 +17,20 @@
 //! first request and reusing the cached store afterwards, which is what
 //! makes the execution planner's per-operation format switching cheap.
 
-use crate::storage::{BitmapStore, Dcsr, StorageFormat};
+use crate::storage::{BitmapPlan, BitmapStore, Dcsr, StorageFormat};
 use crate::{Coo, Csr, VertexId};
 use std::sync::{Arc, OnceLock};
 
 /// Lazily-built alternate-format representations of one orientation, plus
 /// the row-occupancy statistic the execution planner keys on. Shared via
 /// `Arc` so clones of a [`Graph`] (and its symmetric orientation aliases)
-/// convert at most once per format.
+/// convert at most once per format. The tiled-bitmap [`BitmapPlan`] is
+/// memoized here too, so the feasibility verdict for one orientation is
+/// computed once per graph — not re-derived (and re-charged) per call.
 #[derive(Debug)]
 struct FormatCache<V> {
     bitmap: OnceLock<Option<Arc<BitmapStore<V>>>>,
+    bitmap_plan: OnceLock<BitmapPlan>,
     dcsr: OnceLock<Arc<Dcsr<V>>>,
     nonempty_rows: OnceLock<usize>,
 }
@@ -36,6 +39,7 @@ impl<V> Default for FormatCache<V> {
     fn default() -> Self {
         Self {
             bitmap: OnceLock::new(),
+            bitmap_plan: OnceLock::new(),
             dcsr: OnceLock::new(),
             nonempty_rows: OnceLock::new(),
         }
@@ -202,19 +206,20 @@ impl<V: Copy + Send + Sync + PartialEq> Graph<V> {
     /// `transposed == true` is `Aᵀ`. Alternate formats are built lazily on
     /// first request and cached for the graph's lifetime, so an iterative
     /// algorithm pays each conversion at most once. A bitmap request whose
-    /// `n_rows × n_cols` bitmap would not fit ([`BitmapStore::fits`])
-    /// degrades to the resident CSR — the same rule
-    /// [`Graph::effective_format`] reports, so the planner, the counters,
-    /// and the executed kernel always agree on the format.
+    /// tiling plan is infeasible ([`BitmapPlan::feasible`]) degrades to
+    /// the resident CSR — the same rule [`Graph::effective_format`]
+    /// reports, so the planner, the counters, and the executed kernel
+    /// always agree on the format.
     #[must_use]
     pub fn store(&self, transposed: bool, format: StorageFormat) -> StoreRef<'_, V> {
         let (csr, cache) = self.side(transposed);
         match format {
             StorageFormat::Csr => StoreRef::Csr(csr),
             StorageFormat::Bitmap => {
+                let plan = self.bitmap_plan(transposed);
                 match cache
                     .bitmap
-                    .get_or_init(|| BitmapStore::try_from_shared(Arc::clone(csr)).map(Arc::new))
+                    .get_or_init(|| BitmapStore::from_plan(Arc::clone(csr), plan).map(Arc::new))
                 {
                     Some(b) => StoreRef::Bitmap(b),
                     None => StoreRef::Csr(csr),
@@ -226,16 +231,23 @@ impl<V: Copy + Send + Sync + PartialEq> Graph<V> {
         }
     }
 
+    /// The cached tiled-bitmap allocation plan for one orientation — the
+    /// feasibility verdict and byte cost the planner and the budget
+    /// enforcement both consult (computed once per orientation, O(n_rows),
+    /// without building the bitmap).
+    #[must_use]
+    pub fn bitmap_plan(&self, transposed: bool) -> &BitmapPlan {
+        let (csr, cache) = self.side(transposed);
+        cache.bitmap_plan.get_or_init(|| BitmapPlan::from_csr(csr))
+    }
+
     /// The format [`Graph::store`] will actually serve for a request —
     /// identical to the request except that an infeasible bitmap degrades
     /// to [`StorageFormat::Csr`].
     #[must_use]
     pub fn effective_format(&self, transposed: bool, format: StorageFormat) -> StorageFormat {
-        let (csr, _) = self.side(transposed);
         match format {
-            StorageFormat::Bitmap if !BitmapStore::<V>::fits(csr.n_rows(), csr.n_cols()) => {
-                StorageFormat::Csr
-            }
+            StorageFormat::Bitmap if !self.bitmap_plan(transposed).feasible() => StorageFormat::Csr,
             other => other,
         }
     }

@@ -41,7 +41,7 @@ pub use coo::Coo;
 pub use csr::Csr;
 pub use graph::{Graph, StoreRef};
 pub use stats::GraphStats;
-pub use storage::{BitmapStore, Dcsr, RowAccess, Storage, StorageFormat};
+pub use storage::{BitmapPlan, BitmapStore, Dcsr, RowAccess, Storage, StorageFormat, TILE_ROWS};
 
 /// Vertex index type. `u32` bounds graphs at ~4.29 B vertices, which covers
 /// every dataset in the paper (largest: road_usa, 23.9 M vertices) while

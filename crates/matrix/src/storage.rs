@@ -11,9 +11,13 @@
 //! * [`Csr`] — the baseline: dense `row_ptr` over all rows. O(1) row
 //!   lookup, `O(n)` pointer memory, every full-matrix scan walks all `n`
 //!   rows even when almost all are empty.
-//! * [`BitmapStore`] — CSR payload plus a dense row×col membership bitmap:
-//!   O(1) `has(i, j)` edge probes for dense phases, at `n_rows·n_cols`
-//!   bits of extra memory (only feasible below [`BitmapStore::MAX_BITS`]).
+//! * [`BitmapStore`] — CSR payload plus a **tiled** row×col membership
+//!   bitmap: rows are partitioned into [`TILE_ROWS`]-row tiles and each
+//!   occupied tile allocates only the column word window its edges span,
+//!   so memory scales with occupancy ([`BitmapPlan`]) instead of the dense
+//!   `n_rows·n_cols` grid. O(1) `has(i, j)` edge probes for dense phases;
+//!   feasibility is the *allocated* bit count against
+//!   [`BitmapStore::MAX_BITS`], not a global shape cliff.
 //! * [`Dcsr`] — hypersparse doubly-compressed CSR: only non-empty rows
 //!   carry pointers, so full scans touch `O(nnz_rows)` rows, not `O(n)` —
 //!   the k-source batched-frontier regime where most of a scale-free
@@ -29,7 +33,6 @@
 //! charging the identical counter totals in bulk.
 
 use crate::{Coo, Csr, VertexId};
-use graphblas_primitives::BitVec;
 
 /// The storage backends the execution planner selects between.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -103,16 +106,22 @@ pub trait RowAccess<V>: Sync {
     fn nonempty_rows(&self) -> Option<&[VertexId]> {
         None
     }
-    /// Row `i` as packed `u64` membership words (bit `j % 64` of word
-    /// `j / 64` set iff `(i, j)` is stored), when the store keeps such a
-    /// layout ([`BitmapStore`] does; CSR and DCSR return `None`). This is
-    /// the word surface the bit-parallel boolean kernels AND/OR against;
-    /// tail bits beyond `n_cols` in the last word are always zero.
-    fn row_words(&self, _i: usize) -> Option<&[u64]> {
+    /// Row `i` as packed `u64` membership words, when the store keeps such
+    /// a layout ([`BitmapStore`] does; CSR and DCSR return `None`). The
+    /// result is `(start_word, words)`: bit `j % 64` of `words[j/64 -
+    /// start_word]` is set iff `(i, j)` is stored, and every stored column
+    /// of the row satisfies `start_word ≤ j/64 < start_word + words.len()`
+    /// (the row's tile window — bits outside the window are implicitly
+    /// zero). This is the word surface the bit-parallel boolean kernels
+    /// AND/OR against; tail bits beyond `n_cols` in the last window word
+    /// are always zero.
+    fn row_word_span(&self, _i: usize) -> Option<(usize, &[u64])> {
         None
     }
-    /// `true` when [`RowAccess::row_words`] returns `Some` for every row —
-    /// lets dispatchers pick the bit-parallel kernel without probing.
+    /// `true` when [`RowAccess::row_word_span`] returns `Some` for every
+    /// row with stored entries — lets dispatchers pick the bit-parallel
+    /// kernel without probing. (Rows in fully-empty tiles may still return
+    /// `None`; kernels fall back to the scalar probe for those.)
     fn has_row_words(&self) -> bool {
         false
     }
@@ -140,68 +149,212 @@ impl<V: Copy + Send + Sync> RowAccess<V> for Csr<V> {
 }
 
 // ---------------------------------------------------------------------------
-// Bitmap store
+// Tiled bitmap store
 // ---------------------------------------------------------------------------
 
-/// CSR payload plus a dense `n_rows × n_cols` membership bitmap.
+/// Rows per bitmap tile: the tiled store partitions rows into stripes of
+/// this height and sizes each stripe's column window independently.
+pub const TILE_ROWS: usize = 64;
+
+/// The allocation plan of a tiled bitmap over one CSR: per-tile column
+/// word windows and the total word count they cost, computed in one O(n)
+/// pass *without* building anything. [`Graph`](crate::Graph) caches one
+/// plan per orientation, so the feasibility verdict
+/// ([`BitmapPlan::feasible`]) and the byte charge ([`BitmapPlan::bytes`])
+/// are each computed at most once per graph — not once per operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitmapPlan {
+    /// `(start_word, width_words)` per [`TILE_ROWS`]-row tile; width 0
+    /// marks a tile with no stored entries (nothing allocated).
+    windows: Vec<(u32, u32)>,
+    /// Arena `u64` words a build would allocate (sum of
+    /// `rows_in_tile · width` over occupied tiles).
+    words: u64,
+    /// Number of tiles with at least one stored entry.
+    occupied: usize,
+}
+
+impl BitmapPlan {
+    /// Plan the tiled bitmap for a CSR: per tile, the window spans from
+    /// the smallest to the largest column word any of its rows stores —
+    /// O(1) per row (CSR rows are sorted, so only the endpoints matter).
+    #[must_use]
+    pub fn from_csr<V: Copy + Send + Sync>(csr: &Csr<V>) -> Self {
+        let n_tiles = csr.n_rows().div_ceil(TILE_ROWS);
+        let mut windows = vec![(0u32, 0u32); n_tiles];
+        let mut words = 0u64;
+        let mut occupied = 0usize;
+        for (t, win) in windows.iter_mut().enumerate() {
+            let r0 = t * TILE_ROWS;
+            let r1 = (r0 + TILE_ROWS).min(csr.n_rows());
+            let mut lo = u32::MAX;
+            let mut hi = 0u32;
+            let mut any = false;
+            for i in r0..r1 {
+                let cols = csr.row(i);
+                if let (Some(&first), Some(&last)) = (cols.first(), cols.last()) {
+                    any = true;
+                    lo = lo.min(first / 64);
+                    hi = hi.max(last / 64);
+                }
+            }
+            if any {
+                let width = hi - lo + 1;
+                *win = (lo, width);
+                words += (r1 - r0) as u64 * u64::from(width);
+                occupied += 1;
+            }
+        }
+        Self {
+            windows,
+            words,
+            occupied,
+        }
+    }
+
+    /// Whether the planned allocation stays under
+    /// [`BitmapStore::MAX_BITS`] — the per-occupancy feasibility rule that
+    /// replaced the old dense `n_rows·n_cols ≤ MAX_BITS` shape cliff.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.words
+            .checked_mul(64)
+            .is_some_and(|bits| bits <= BitmapStore::<bool>::MAX_BITS as u64)
+    }
+
+    /// Arena `u64` words a build allocates.
+    #[must_use]
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Bytes a build allocates (the tiled membership arena; the CSR
+    /// payload is shared, not copied) — what the execution layer charges
+    /// against a bytes budget before converting.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.words * 8
+    }
+
+    /// Number of tiles holding at least one stored entry.
+    #[must_use]
+    pub fn occupied_tiles(&self) -> usize {
+        self.occupied
+    }
+
+    /// Total number of tiles (`⌈n_rows / TILE_ROWS⌉`).
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Average allocated words per row (`words / n_rows`) — the measured
+    /// cost model's per-row word-scan price for this operand.
+    #[must_use]
+    pub fn avg_words_per_row(&self, n_rows: usize) -> f64 {
+        if n_rows == 0 {
+            0.0
+        } else {
+            self.words as f64 / n_rows as f64
+        }
+    }
+}
+
+/// Where one tile's rows live in the arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TileLoc {
+    /// First column word the window covers.
+    start: u32,
+    /// Window width in words (0 = tile holds no entries, nothing stored).
+    width: u32,
+    /// Arena offset of the tile's first row.
+    offset: usize,
+}
+
+/// CSR payload plus a **tiled** membership bitmap.
 ///
 /// The bitmap answers `has(i, j)` in O(1) — the probe dense algebra
 /// (masking by matrix pattern, triangle-style membership checks) wants
 /// when `nnz/n` is high — while the CSR-ordered payload keeps the row
 /// slices the matvec kernels iterate, so the kernels run unchanged.
 ///
-/// Rows are stored **word-padded**: each row owns
-/// `words_per_row = ⌈n_cols / 64⌉` whole `u64` words, so every row starts
-/// on a word boundary and [`BitmapStore::row_words`] hands the bit-parallel
-/// kernels an aligned word slice to AND/OR against (64 edges per op). Tail
-/// bits beyond `n_cols` in a row's last word are always zero.
+/// Rows are partitioned into [`TILE_ROWS`]-row tiles. Each tile with at
+/// least one stored entry allocates a `rows × width` word grid covering
+/// only the column word window `[start, start + width)` its edges span
+/// (banded and clustered graphs allocate narrow windows; empty tiles
+/// allocate nothing). Every row still starts on a word boundary inside
+/// its tile, so [`RowAccess::row_word_span`] hands the bit-parallel
+/// kernels an aligned `(start_word, words)` slice to AND/OR against. Tail
+/// bits beyond `n_cols`, and all bits outside a row's window, are zero.
 ///
-/// Memory: `nnz` payload + `n_rows · 64⌈n_cols/64⌉` bits; construction
-/// refuses shapes whose *padded* grid exceeds [`BitmapStore::MAX_BITS`]
-/// (the planner only selects bitmap when it fits).
+/// Memory: `nnz` payload + 64·[`BitmapPlan::words`] bits; construction
+/// refuses plans whose *allocated* bits exceed [`BitmapStore::MAX_BITS`]
+/// (the planner only selects bitmap when the plan fits).
 #[derive(Clone, Debug, PartialEq)]
 pub struct BitmapStore<V> {
     // Shared, not copied: `Graph`'s format cache already holds the same
     // CSR behind an `Arc`, so the bitmap store costs only the bitmap.
     csr: std::sync::Arc<Csr<V>>,
-    bits: BitVec,
-    /// `⌈n_cols / 64⌉` — the padded per-row word stride.
-    wpr: usize,
+    arena: Vec<u64>,
+    tiles: Vec<TileLoc>,
 }
 
 impl<V: Copy + Send + Sync> BitmapStore<V> {
-    /// Bitmap ceiling: shapes whose padded `n_rows · 64⌈n_cols/64⌉` grid
-    /// exceeds this many bits (32 MiB of bitmap) are refused — at that size
-    /// the dense bitmap stops being a cache-resident accelerator and
-    /// becomes the workload.
-    pub const MAX_BITS: usize = 1 << 28;
+    /// Bitmap ceiling on *allocated* bits (16 GiB of arena). Because tiles
+    /// only pay for the column windows they occupy, every banded or
+    /// moderately-sized dense graph fits; what this refuses is a huge
+    /// scale-free graph whose every tile spans the full column range.
+    pub const MAX_BITS: usize = 1 << 37;
 
-    /// Whether a `rows × cols` word-padded bitmap fits under
-    /// [`BitmapStore::MAX_BITS`].
+    /// Build from a shared CSR and a precomputed plan (payload is shared,
+    /// never copied), or `None` when the plan is infeasible. Callers with
+    /// a [`Graph`](crate::Graph) get the cached plan for free; others can
+    /// compute one with [`BitmapPlan::from_csr`].
     #[must_use]
-    pub fn fits(n_rows: usize, n_cols: usize) -> bool {
-        n_cols
-            .div_ceil(64)
-            .checked_mul(64)
-            .and_then(|padded| padded.checked_mul(n_rows))
-            .is_some_and(|bits| bits <= Self::MAX_BITS)
-    }
-
-    /// Build from a shared CSR (payload is shared, never copied), or
-    /// `None` when the bitmap would not fit.
-    #[must_use]
-    pub fn try_from_shared(csr: std::sync::Arc<Csr<V>>) -> Option<Self> {
-        if !Self::fits(csr.n_rows(), csr.n_cols()) {
+    pub fn from_plan(csr: std::sync::Arc<Csr<V>>, plan: &BitmapPlan) -> Option<Self> {
+        if !plan.feasible() {
             return None;
         }
-        let wpr = csr.n_cols().div_ceil(64);
-        let mut bits = BitVec::new(csr.n_rows() * wpr * 64);
-        for i in 0..csr.n_rows() {
-            for &j in csr.row(i) {
-                bits.set(i * wpr * 64 + j as usize);
+        debug_assert_eq!(plan.tiles(), csr.n_rows().div_ceil(TILE_ROWS));
+        let mut tiles = Vec::with_capacity(plan.windows.len());
+        let mut offset = 0usize;
+        for (t, &(start, width)) in plan.windows.iter().enumerate() {
+            tiles.push(TileLoc {
+                start,
+                width,
+                offset,
+            });
+            if width > 0 {
+                let r0 = t * TILE_ROWS;
+                let r1 = (r0 + TILE_ROWS).min(csr.n_rows());
+                offset += (r1 - r0) * width as usize;
             }
         }
-        Some(Self { csr, bits, wpr })
+        let mut arena = vec![0u64; offset];
+        for (t, loc) in tiles.iter().enumerate() {
+            if loc.width == 0 {
+                continue;
+            }
+            let r0 = t * TILE_ROWS;
+            let r1 = (r0 + TILE_ROWS).min(csr.n_rows());
+            for i in r0..r1 {
+                let base = loc.offset + (i - r0) * loc.width as usize;
+                for &j in csr.row(i) {
+                    let w = (j / 64 - loc.start) as usize;
+                    arena[base + w] |= 1u64 << (j % 64);
+                }
+            }
+        }
+        Some(Self { csr, arena, tiles })
+    }
+
+    /// Build from a shared CSR (payload is shared, never copied), planning
+    /// the tiling on the fly, or `None` when the allocation would exceed
+    /// [`BitmapStore::MAX_BITS`].
+    #[must_use]
+    pub fn try_from_shared(csr: std::sync::Arc<Csr<V>>) -> Option<Self> {
+        let plan = BitmapPlan::from_csr(&csr);
+        Self::from_plan(csr, &plan)
     }
 
     /// Build from a borrowed CSR (clones the payload into a fresh `Arc`),
@@ -217,22 +370,38 @@ impl<V: Copy + Send + Sync> BitmapStore<V> {
     #[must_use]
     pub fn has(&self, i: usize, j: usize) -> bool {
         debug_assert!(j < self.csr.n_cols());
-        self.bits.get(i * self.wpr * 64 + j)
+        let loc = self.tiles[i / TILE_ROWS];
+        let w = j / 64;
+        if loc.width == 0 || w < loc.start as usize || w >= (loc.start + loc.width) as usize {
+            return false;
+        }
+        let base = loc.offset + (i % TILE_ROWS) * loc.width as usize;
+        self.arena[base + (w - loc.start as usize)] & (1u64 << (j % 64)) != 0
     }
 
-    /// The padded per-row word stride, `⌈n_cols / 64⌉`.
+    /// Total arena words allocated across all tiles.
     #[inline]
     #[must_use]
-    pub fn words_per_row(&self) -> usize {
-        self.wpr
+    pub fn arena_words(&self) -> usize {
+        self.arena.len()
     }
 
-    /// Row `i`'s membership words: bit `j % 64` of word `j / 64` is set
-    /// iff `(i, j)` is stored. Tail bits beyond `n_cols` are zero.
+    /// Row `i`'s membership window as `(start_word, words)`: bit `j % 64`
+    /// of `words[j/64 - start_word]` is set iff `(i, j)` is stored, and
+    /// every stored column falls inside the window. `None` when row `i`'s
+    /// tile holds no entries at all (nothing was allocated for it).
     #[inline]
     #[must_use]
-    pub fn row_words(&self, i: usize) -> &[u64] {
-        &self.bits.words()[i * self.wpr..(i + 1) * self.wpr]
+    pub fn row_word_span(&self, i: usize) -> Option<(usize, &[u64])> {
+        let loc = self.tiles[i / TILE_ROWS];
+        if loc.width == 0 {
+            return None;
+        }
+        let base = loc.offset + (i % TILE_ROWS) * loc.width as usize;
+        Some((
+            loc.start as usize,
+            &self.arena[base..base + loc.width as usize],
+        ))
     }
 
     /// Value at `(i, j)`: an O(1) bitmap probe, then a binary search of
@@ -246,14 +415,6 @@ impl<V: Copy + Send + Sync> BitmapStore<V> {
         // succeeds; an impossible disagreement reads as absent, not a panic.
         let pos = self.csr.row(i).binary_search(&(j as VertexId)).ok()?;
         Some(self.csr.row_values(i)[pos])
-    }
-
-    /// Bytes a `rows × cols` bitmap conversion would allocate (the padded
-    /// membership grid; the CSR payload is shared, not copied) — what the
-    /// execution layer charges against a bytes budget before converting.
-    #[must_use]
-    pub fn estimate_bytes(n_rows: usize, n_cols: usize) -> u64 {
-        (n_rows as u64) * (n_cols.div_ceil(64) as u64) * 8
     }
 
     /// The CSR payload this store wraps.
@@ -288,8 +449,8 @@ impl<V: Copy + Send + Sync> RowAccess<V> for BitmapStore<V> {
     fn row_values(&self, i: usize) -> &[V] {
         self.csr.row_values(i)
     }
-    fn row_words(&self, i: usize) -> Option<&[u64]> {
-        Some(BitmapStore::row_words(self, i))
+    fn row_word_span(&self, i: usize) -> Option<(usize, &[u64])> {
+        BitmapStore::row_word_span(self, i)
     }
     fn has_row_words(&self) -> bool {
         true
@@ -456,10 +617,10 @@ pub enum Storage<V> {
 }
 
 impl<V: Copy + Send + Sync> Storage<V> {
-    /// Wrap a CSR in the requested format. A bitmap request that does not
-    /// fit ([`BitmapStore::fits`]) degrades to [`Storage::Csr`] — the same
-    /// fallback the planner applies, so requested and effective formats
-    /// only diverge on infeasible bitmaps.
+    /// Wrap a CSR in the requested format. A bitmap request whose plan is
+    /// infeasible ([`BitmapPlan::feasible`]) degrades to [`Storage::Csr`]
+    /// — the same fallback the planner applies, so requested and effective
+    /// formats only diverge on infeasible bitmaps.
     #[must_use]
     pub fn from_csr(csr: Csr<V>, format: StorageFormat) -> Self {
         match format {
@@ -563,10 +724,10 @@ impl<V: Copy + Send + Sync> RowAccess<V> for Storage<V> {
             Storage::Dcsr(d) => RowAccess::<V>::nonempty_rows(d),
         }
     }
-    fn row_words(&self, i: usize) -> Option<&[u64]> {
+    fn row_word_span(&self, i: usize) -> Option<(usize, &[u64])> {
         match self {
             Storage::Csr(_) | Storage::Dcsr(_) => None,
-            Storage::Bitmap(b) => RowAccess::<V>::row_words(b, i),
+            Storage::Bitmap(b) => RowAccess::<V>::row_word_span(b, i),
         }
     }
     fn has_row_words(&self) -> bool {
@@ -632,41 +793,138 @@ mod tests {
         assert_eq!(b.to_csr(), csr);
     }
 
-    #[test]
-    fn bitmap_refuses_oversized_shapes() {
-        assert!(BitmapStore::<bool>::fits(1 << 10, 1 << 10));
-        assert!(!BitmapStore::<bool>::fits(1 << 20, 1 << 20));
-        assert!(!BitmapStore::<bool>::fits(usize::MAX, 2));
-        // The padded grid is what must fit: 65 columns cost 128 bits/row.
-        assert!(!BitmapStore::<bool>::fits(
-            BitmapStore::<bool>::MAX_BITS / 64,
-            65
-        ));
+    /// One 64-row tile whose single stored row spans the full `u32` column
+    /// range: the window is `2^26` words wide, the tile allocates
+    /// `64 · 2^26` words = `2^38` bits — over the `2^37` budget.
+    fn infeasible_wide_csr() -> Csr<bool> {
+        Csr::<bool>::from_parts(
+            64,
+            1usize << 32,
+            {
+                let mut ptr = vec![0usize; 65];
+                for p in ptr.iter_mut().skip(1) {
+                    *p = 2;
+                }
+                ptr
+            },
+            vec![0, u32::MAX],
+            vec![true, true],
+        )
     }
 
     #[test]
-    fn bitmap_row_words_are_padded_and_tail_masked() {
-        // 3 rows × 70 cols: two words per row, row starts word-aligned.
+    fn bitmap_plan_gates_on_allocated_bits_not_shape() {
+        // Occupancy-based: a huge diagonal graph plans one narrow window
+        // per tile and stays feasible even though n² is astronomical.
+        let n = 1 << 20;
+        let mut coo = Coo::new(n, n);
+        for i in (0..n).step_by(TILE_ROWS) {
+            coo.push(i as VertexId, i as VertexId, true);
+        }
+        let diag = Csr::from_coo(&coo);
+        let plan = BitmapPlan::from_csr(&diag);
+        assert!(plan.feasible());
+        assert_eq!(plan.tiles(), n / TILE_ROWS);
+        assert_eq!(plan.occupied_tiles(), n / TILE_ROWS);
+        // Each occupied tile: 64 rows × 1-word window.
+        assert_eq!(plan.words(), (n as u64 / TILE_ROWS as u64) * 64);
+        assert_eq!(plan.bytes(), plan.words() * 8);
+
+        // A single tile whose window spans the full u32 column range blows
+        // the allocated-bit budget even with only one nonempty row.
+        let wide = infeasible_wide_csr();
+        let plan = BitmapPlan::from_csr(&wide);
+        assert!(!plan.feasible());
+        assert!(BitmapStore::try_from_csr(&wide).is_none());
+    }
+
+    #[test]
+    fn bitmap_row_spans_are_windowed_and_tail_masked() {
+        // 3 rows × 70 cols: the tile's window covers words 0..2, every row
+        // starts word-aligned inside the tile.
         let mut coo = Coo::new(3, 70);
         for &(r, c) in &[(0u32, 0u32), (0, 63), (0, 64), (1, 69), (2, 1)] {
             coo.push(r, c, true);
         }
         let csr = Csr::from_coo(&coo);
         let b = BitmapStore::try_from_csr(&csr).expect("fits");
-        assert_eq!(b.words_per_row(), 2);
         assert!(b.has_row_words());
-        assert_eq!(b.row_words(0), &[(1u64 << 63) | 1, 1]);
-        assert_eq!(b.row_words(1), &[0, 1u64 << 5]);
-        assert_eq!(b.row_words(2), &[2, 0]);
-        assert_eq!(RowAccess::<bool>::row_words(&b, 2), Some(&[2u64, 0][..]));
+        assert_eq!(b.arena_words(), 6);
+        assert_eq!(b.row_word_span(0), Some((0, &[(1u64 << 63) | 1, 1][..])));
+        assert_eq!(b.row_word_span(1), Some((0, &[0, 1u64 << 5][..])));
+        assert_eq!(b.row_word_span(2), Some((0, &[2, 0][..])));
+        assert_eq!(
+            RowAccess::<bool>::row_word_span(&b, 2),
+            Some((0, &[2u64, 0][..]))
+        );
         // Membership agrees with the word layout across the pad boundary.
         assert!(b.has(0, 63) && b.has(0, 64) && b.has(1, 69));
         assert!(!b.has(1, 63) && !b.has(2, 69));
         // CSR and DCSR expose no word surface.
         assert!(!RowAccess::<bool>::has_row_words(&csr));
-        assert_eq!(RowAccess::<bool>::row_words(&csr, 0), None);
+        assert_eq!(RowAccess::<bool>::row_word_span(&csr, 0), None);
         let d = Dcsr::from_csr(&csr);
         assert!(!RowAccess::<bool>::has_row_words(&d));
+    }
+
+    #[test]
+    fn bitmap_windows_start_past_word_zero() {
+        // A tile whose edges all live in high column words: the window
+        // starts at word 2 and bits below it are implicitly absent.
+        let mut coo = Coo::new(2, 300);
+        for &(r, c) in &[(0u32, 130u32), (0, 200), (1, 191)] {
+            coo.push(r, c, true);
+        }
+        let csr = Csr::from_coo(&coo);
+        let b = BitmapStore::try_from_csr(&csr).expect("fits");
+        // Window words 2..=3 (cols 128..256): width 2, start 2.
+        assert_eq!(b.arena_words(), 4);
+        let (start, words) = b.row_word_span(0).expect("occupied tile");
+        assert_eq!(start, 2);
+        assert_eq!(words, &[(1u64 << (130 - 128)), 1u64 << (200 - 192)]);
+        let (start, words) = b.row_word_span(1).expect("occupied tile");
+        assert_eq!(start, 2);
+        assert_eq!(words, &[1u64 << 63, 0]);
+        assert!(b.has(0, 130) && b.has(0, 200) && b.has(1, 191));
+        assert!(!b.has(0, 0) && !b.has(1, 64) && !b.has(0, 299));
+        same_rows(&csr, &b);
+    }
+
+    #[test]
+    fn bitmap_tiles_straddle_boundaries_and_skip_empty_tiles() {
+        // Rows straddle two tiles (n = TILE_ROWS + 1) with the second tile
+        // holding exactly one edge; the span surface stays exact.
+        let n = TILE_ROWS + 1;
+        let mut coo = Coo::new(n, n);
+        coo.push(0, 3, true);
+        coo.push((TILE_ROWS - 1) as VertexId, 0, true);
+        coo.push(TILE_ROWS as VertexId, (n - 1) as VertexId, true);
+        let csr = Csr::from_coo(&coo);
+        let b = BitmapStore::try_from_csr(&csr).expect("fits");
+        assert!(b.has(0, 3) && b.has(TILE_ROWS - 1, 0) && b.has(TILE_ROWS, n - 1));
+        assert!(!b.has(1, 3) && !b.has(TILE_ROWS, 0));
+        let (s0, w0) = b.row_word_span(0).expect("tile 0 occupied");
+        assert_eq!((s0, w0), (0, &[8u64][..]));
+        let (s1, w1) = b.row_word_span(TILE_ROWS).expect("tile 1 occupied");
+        assert_eq!((s1, w1), (1, &[1u64][..]));
+        same_rows(&csr, &b);
+
+        // Middle tile empty: nothing allocated for it, spans return None.
+        let n = 3 * TILE_ROWS;
+        let mut coo = Coo::new(n, n);
+        coo.push(1, 1, true);
+        coo.push((2 * TILE_ROWS) as VertexId, 2, true);
+        let csr = Csr::from_coo(&coo);
+        let b = BitmapStore::try_from_csr(&csr).expect("fits");
+        let plan = BitmapPlan::from_csr(&csr);
+        assert_eq!(plan.tiles(), 3);
+        assert_eq!(plan.occupied_tiles(), 2);
+        assert!(b.row_word_span(TILE_ROWS).is_none());
+        assert!(b.row_word_span(TILE_ROWS + 5).is_none());
+        assert!(b.row_word_span(1).is_some());
+        assert!(b.row_word_span(2 * TILE_ROWS).is_some());
+        assert!(!b.has(TILE_ROWS, 1), "empty tile reads absent");
+        same_rows(&csr, &b);
     }
 
     #[test]
@@ -689,15 +947,8 @@ mod tests {
 
     #[test]
     fn storage_bitmap_degrades_when_infeasible() {
-        // A 1-row matrix that is absurdly wide: bitmap cannot fit.
-        let wide = Csr::<bool>::from_parts(
-            1,
-            BitmapStore::<bool>::MAX_BITS + 1,
-            vec![0, 1],
-            vec![7],
-            vec![true],
-        );
-        let s = Storage::from_csr(wide, StorageFormat::Bitmap);
+        // A tile spanning the full u32 column range: bitmap cannot fit.
+        let s = Storage::from_csr(infeasible_wide_csr(), StorageFormat::Bitmap);
         assert_eq!(s.format(), StorageFormat::Csr, "fallback to CSR");
     }
 

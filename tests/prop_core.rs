@@ -669,6 +669,59 @@ proptest! {
         );
     }
 
+    /// Tile-boundary shapes: n sampled one short of / exactly at / one past
+    /// a multiple of `TILE_ROWS`, with few enough edges that whole tiles go
+    /// empty (their rows have no word surface and fall back to the scalar
+    /// probe) and single-word frontiers compress. The bit path must stay
+    /// value- and charge-identical to the scalar oracle through all of it.
+    #[test]
+    fn bit_tiled_store_matches_scalar_on_boundary_shapes(
+        tiles in 1usize..5,
+        off in 0i32..3,
+        edges in prop::collection::vec((0usize..320, 0usize..320), 1..40),
+        f_ids in prop::collection::vec(0usize..320, 1..20),
+        dir_pull in any::<bool>(),
+        early_exit in any::<bool>(),
+    ) {
+        use push_pull::core::ops::BoolStructure;
+        use push_pull::core::StorageFormat;
+        use push_pull::matrix::TILE_ROWS;
+        let n = ((tiles * TILE_ROWS) as i32 + off - 1).max(2) as usize;
+        let mut coo = Coo::new(n, n);
+        for (u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            if u != v {
+                coo.push(u as u32, v as u32, true);
+            }
+        }
+        coo.dedup(|a, _| a);
+        let g = Graph::from_coo(&coo);
+        let f = sparse_bool_vector(n, &f_ids.iter().map(|&i| i % n).collect::<Vec<_>>());
+        let dir = if dir_pull { Direction::Pull } else { Direction::Push };
+        let run = |bit: bool| {
+            let desc = Descriptor::new()
+                .transpose(true)
+                .structure_only(true)
+                .early_exit(early_exit)
+                .force(dir)
+                .force_format(StorageFormat::Bitmap)
+                .bit_kernels(bit);
+            let c = AccessCounters::new();
+            let w: Vector<bool> =
+                mxv(None, BoolStructure, &g, &f, &desc, Some(&c)).unwrap();
+            (explicit_set(&w), c.snapshot())
+        };
+        let (bit_set, bit_snap) = run(true);
+        let (scalar_set, scalar_snap) = run(false);
+        prop_assert_eq!(bit_set, scalar_set, "values under {:?}", dir);
+        prop_assert_eq!(
+            bit_snap.accesses_only(),
+            scalar_snap.accesses_only(),
+            "projected charges under {:?}",
+            dir
+        );
+    }
+
     /// Whole-algorithm bit equivalence: BFS depths and min-parent trees
     /// under `Fixed(Bitmap)` with the bit kernels on vs off are identical
     /// in values and projected charges, fused and unfused; the measured

@@ -495,6 +495,42 @@ fn bit_kernels_identical_across_thread_counts() {
 }
 
 #[test]
+fn bit_kernels_at_tile_boundaries_identical_across_thread_counts() {
+    // Tiled-bitmap seams under the pool: n one short of / one past a tile,
+    // and a 3-tile graph with an empty middle tile, plus a single-word
+    // frontier that the kernels compress internally. FULL snapshots
+    // (including bit_word_ops) pinned at 1/2/8 lanes.
+    use push_pull::core::ops::BoolStructure;
+    use push_pull::core::StorageFormat;
+    use push_pull::matrix::{Coo, Graph, TILE_ROWS};
+    for n in [TILE_ROWS - 1, TILE_ROWS + 1, 3 * TILE_ROWS, 512] {
+        let mut coo = Coo::new(n, n);
+        coo.push(0, 1, true);
+        coo.push(1, 2, true);
+        coo.push(2, (n - 1) as u32, true);
+        coo.clean_undirected();
+        let g = Graph::from_coo(&coo);
+        // Single explicit vertex → one nonzero frontier word; at n = 512
+        // (8 words) the bit context takes the compressed word-list shape.
+        let f = Vector::from_sparse(n, false, vec![2], vec![true]);
+        for dir in [Direction::Push, Direction::Pull] {
+            let desc = Descriptor::new()
+                .transpose(true)
+                .structure_only(true)
+                .early_exit(true)
+                .force(dir)
+                .force_format(StorageFormat::Bitmap)
+                .bit_kernels(true);
+            identical_across_lanes(|| {
+                let c = AccessCounters::new();
+                let w: Vector<bool> = mxv(None, BoolStructure, &g, &f, &desc, Some(&c)).unwrap();
+                (w.iter_explicit().collect::<Vec<_>>(), c.snapshot())
+            });
+        }
+    }
+}
+
+#[test]
 fn hypersparse_pull_skip_matches_csr_across_thread_counts() {
     // The DCSR unmasked-pull fast path (non-empty-row scan with bulk
     // counter charges) against the CSR full scan: same values, same
