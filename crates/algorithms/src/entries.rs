@@ -1,0 +1,757 @@
+//! Batch entries — coalescing independent single-source queries into one
+//! batched traversal while each query keeps its own counters and limits.
+//!
+//! This is the algorithm-level face of per-request attribution
+//! ([`mxv_batch_attributed`]): a [`BatchEntry`] couples a source vertex
+//! with its own [`ExecLimits`] and [`AccessCounters`], and the
+//! `*_entries` drivers below advance all entries together — one
+//! [`MultiVector`] batch per level, exactly the msbfs/mxv_batch machinery
+//! — while every kernel charge lands on the owning entry's counters.
+//! Each entry resolves independently:
+//!
+//! * **Completed** entries return `Ok` with their result; their counters
+//!   keep the run's tallies (limits uninstalled), so a coalesced entry's
+//!   snapshot is bit-identical to running it alone through the same
+//!   driver (`tests/service_equivalence.rs` pins this at 1/2/8 lanes).
+//! * **Tripped** entries (their own deadline or budget) abort with the
+//!   typed error ([`GrbError::Cancelled`] / [`GrbError::BudgetExceeded`])
+//!   at the end of the level that tripped; their counters are restored to
+//!   the entry baseline so an immediate retry is bit-identical to a fresh
+//!   run. Sibling entries are untouched — the tripped entry's kernel rows
+//!   bail with identity results that are discarded here.
+//! * A **worker-chunk panic** or a batch-wide error (shared-counter trip,
+//!   dimension mismatch) aborts every still-live entry with the same
+//!   typed error ([`GrbError::WorkerPanicked`] carries the chunk); the
+//!   caller decides whether to de-coalesce and retry solo.
+//!
+//! Batch-scoped charges that no single request owns — storage-conversion
+//! bytes and `format_switches` from the per-level `FormatPolicy` call —
+//! go to the `shared` counters, as they do in a solo run through this
+//! driver, so full per-entry snapshots compare equal between coalesced
+//! and solo executions.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use graphblas_core::descriptor::{Descriptor, Direction};
+use graphblas_core::exec::stop_error;
+use graphblas_core::mask::Mask;
+use graphblas_core::ops::{BoolStructure, MinSecond};
+use graphblas_core::vector::{MultiVector, Vector};
+use graphblas_core::{
+    mxv_batch_attributed, DenseVector, DirectionPolicy, ExecLimits, GrbError, GrbResult, MinPlus,
+};
+use graphblas_matrix::{Graph, VertexId};
+use graphblas_primitives::counters::{AccessCounters, CounterSnapshot};
+use graphblas_primitives::BitVec;
+
+use crate::bfs_parents::{ParentBfsOpts, NO_PARENT};
+use crate::msbfs::{MsBfsOpts, UNREACHED};
+use crate::sssp::SsspOpts;
+
+/// One coalesced query: a source plus its own limits and counter set.
+///
+/// Counter sets must be pairwise distinct across a batch and disjoint
+/// from the driver's `shared` counters — attribution folds per-entry
+/// growth into `shared` at each level, so aliasing would double-charge.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchEntry<'a> {
+    /// Source vertex of this query.
+    pub source: VertexId,
+    /// Per-request limits, installed on `counters` for the run's duration.
+    pub limits: ExecLimits,
+    /// This request's private counter set; holds the request's snapshot
+    /// after completion (tallies kept, limits uninstalled).
+    pub counters: &'a AccessCounters,
+}
+
+impl<'a> BatchEntry<'a> {
+    /// An unlimited entry over the given counter set.
+    #[must_use]
+    pub fn new(source: VertexId, counters: &'a AccessCounters) -> Self {
+        Self {
+            source,
+            limits: ExecLimits::none(),
+            counters,
+        }
+    }
+
+    /// Attach per-request limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
+/// Per-entry BFS result (one source's slice of
+/// [`MsBfsResult`](crate::msbfs::MsBfsResult)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntryBfs {
+    /// `depths[v]` = depth of `v`; [`UNREACHED`] where unreached.
+    pub depths: Vec<i32>,
+    /// Levels this source executed (its frontier emptied at this level).
+    pub levels: usize,
+}
+
+/// Per-entry parent-BFS result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntryParents {
+    /// `parent[v]` = minimum-id BFS parent; [`NO_PARENT`] where unreached.
+    pub parent: Vec<u32>,
+    /// Levels this source executed.
+    pub levels: usize,
+}
+
+/// Per-entry SSSP result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EntrySssp {
+    /// Tentative distances; `f32::INFINITY` where unreachable.
+    pub dist: Vec<f32>,
+    /// Relaxation rounds this source executed.
+    pub rounds: usize,
+    /// Rounds in the pull (row-based) phase.
+    pub pull_rounds: usize,
+}
+
+/// Scoreboard: installs limits on construction, resolves each entry
+/// exactly once (abort restores the baseline; completion keeps tallies),
+/// and guarantees uninstallation on every path.
+struct Board<'a, 'b, R> {
+    entries: &'b [BatchEntry<'a>],
+    baselines: Vec<CounterSnapshot>,
+    results: Vec<Option<GrbResult<R>>>,
+}
+
+impl<'a, 'b, R> Board<'a, 'b, R> {
+    fn new(entries: &'b [BatchEntry<'a>]) -> Self {
+        for e in entries {
+            e.counters.install_limits(&e.limits);
+        }
+        Self {
+            entries,
+            baselines: entries.iter().map(|e| e.counters.snapshot()).collect(),
+            results: (0..entries.len()).map(|_| None).collect(),
+        }
+    }
+
+    /// Abort entry `i`: restore its counters to the entry baseline (retry
+    /// is bit-identical to fresh) and record the typed error.
+    fn abort(&mut self, i: usize, err: GrbError) {
+        self.entries[i].counters.restore(&self.baselines[i]);
+        self.entries[i].counters.uninstall_limits();
+        self.results[i] = Some(Err(err));
+    }
+
+    /// Complete entry `i`: keep its tallies, drop its limits.
+    fn complete(&mut self, i: usize, value: R) {
+        self.entries[i].counters.uninstall_limits();
+        self.results[i] = Some(Ok(value));
+    }
+
+    /// Abort every unresolved entry in `live` with clones of `err`.
+    fn abort_all(&mut self, live: &[usize], err: &GrbError) {
+        for &i in live {
+            if self.results[i].is_none() {
+                self.abort(i, err.clone());
+            }
+        }
+    }
+
+    /// If entry `i` tripped its own limits, abort it and report `true`.
+    fn retire_if_tripped(&mut self, i: usize) -> bool {
+        match self.entries[i].counters.stop_reason() {
+            Some(reason) => {
+                self.abort(i, stop_error(reason));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn finish(self) -> Vec<GrbResult<R>> {
+        self.results
+            .into_iter()
+            .map(|r| r.expect("every entry resolved"))
+            .collect()
+    }
+}
+
+/// Best-effort rendering of a panic payload (mirrors `exec`'s private
+/// helper) for [`GrbError::WorkerPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One batched kernel call with the `run_guarded` panic contract: a pool
+/// chunk panic becomes a typed batch-wide error; any other panic cleans
+/// up the still-live entries and re-throws (caller bug).
+fn catch_batch<R, T>(
+    board: &mut Board<'_, '_, R>,
+    live: &[usize],
+    f: impl FnOnce() -> GrbResult<T>,
+) -> GrbResult<T> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            if let Some(chunk) = rayon::take_last_panic_chunk() {
+                Err(GrbError::WorkerPanicked {
+                    chunk,
+                    message: panic_message(payload.as_ref()),
+                })
+            } else {
+                let bug = GrbError::InvalidValue("entry batch panicked outside the pool");
+                board.abort_all(live, &bug);
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Coalesced multi-source BFS: each entry's depths and counter snapshot
+/// are bit-identical to a solo (`k = 1`) run through this same driver.
+pub fn multi_source_bfs_entries(
+    g: &Graph<bool>,
+    entries: &[BatchEntry<'_>],
+    opts: &MsBfsOpts,
+    shared: Option<&AccessCounters>,
+) -> Vec<GrbResult<EntryBfs>> {
+    let n = g.n_vertices();
+    let k = entries.len();
+    for e in entries {
+        assert!((e.source as usize) < n, "source out of range");
+    }
+    let mut board: Board<'_, '_, EntryBfs> = Board::new(entries);
+
+    let mut frontiers: Vec<Vector<bool>> = entries
+        .iter()
+        .map(|e| Vector::singleton(n, false, e.source, true))
+        .collect();
+    let mut visited: Vec<BitVec> = entries
+        .iter()
+        .map(|e| {
+            let mut b = BitVec::new(n);
+            b.set(e.source as usize);
+            b
+        })
+        .collect();
+    let mut depths: Vec<Vec<i32>> = entries
+        .iter()
+        .map(|e| {
+            let mut d = vec![UNREACHED; n];
+            d[e.source as usize] = 0;
+            d
+        })
+        .collect();
+    let mut policies: Vec<DirectionPolicy> = (0..k)
+        .map(|_| match opts.force {
+            Some(d) => DirectionPolicy::fixed(d),
+            None => DirectionPolicy::hysteresis(opts.switch_threshold),
+        })
+        .collect();
+
+    let base_desc = match opts.force {
+        Some(d) => Descriptor::new().transpose(true).force(d),
+        None => Descriptor::new().transpose(true),
+    }
+    .bit_kernels(opts.bit_kernels);
+    let mut fpol = opts.format;
+
+    let mut alive: Vec<usize> = (0..k).collect();
+    let mut level = 0usize;
+    while !alive.is_empty() {
+        level += 1;
+        let desc = base_desc.force_format(fpol.update_batch(g, true, shared));
+        let batch = MultiVector::from_rows(
+            alive
+                .iter()
+                .map(|&r| std::mem::replace(&mut frontiers[r], Vector::new_sparse(n, false)))
+                .collect(),
+        );
+        let masks: Vec<Mask<'_>> = alive
+            .iter()
+            .map(|&r| Mask::complement(&visited[r]))
+            .collect();
+        let mut live_policies: Vec<DirectionPolicy> =
+            alive.iter().map(|&r| policies[r].clone()).collect();
+        let row_refs: Vec<&AccessCounters> = alive.iter().map(|&r| entries[r].counters).collect();
+
+        let next = catch_batch(&mut board, &alive, || {
+            mxv_batch_attributed(
+                Some(&masks),
+                BoolStructure,
+                g,
+                &batch,
+                &desc,
+                Some(&mut live_policies),
+                shared,
+                Some(&row_refs),
+            )
+        });
+        let next: MultiVector<bool> = match next {
+            Ok(v) => v,
+            Err(e) => {
+                board.abort_all(&alive, &e);
+                return board.finish();
+            }
+        };
+        for (p, &r) in live_policies.iter().zip(&alive) {
+            policies[r] = p.clone();
+        }
+
+        let mut still_alive = Vec::with_capacity(alive.len());
+        for (row, &r) in next.into_rows().into_iter().zip(&alive) {
+            if board.retire_if_tripped(r) {
+                continue; // its bailed row is identity-shaped — discard
+            }
+            let mut found = false;
+            for (v, _) in row.iter_explicit() {
+                depths[r][v as usize] = level as i32;
+                visited[r].set(v as usize);
+                found = true;
+            }
+            if found {
+                frontiers[r] = row;
+                still_alive.push(r);
+            } else {
+                board.complete(
+                    r,
+                    EntryBfs {
+                        depths: std::mem::take(&mut depths[r]),
+                        levels: level,
+                    },
+                );
+            }
+        }
+        alive = still_alive;
+    }
+    board.finish()
+}
+
+/// Coalesced parent BFS (min-parent tie-breaking). The batched form runs
+/// the unfused (min, second) composition — `opts.fused` /
+/// `opts.first_hit_exit` only shape the solo pipeline — so coalesced and
+/// solo runs through *this* driver stay bit-identical in values and
+/// per-entry counters.
+pub fn bfs_parents_entries(
+    g: &Graph<bool>,
+    entries: &[BatchEntry<'_>],
+    opts: &ParentBfsOpts,
+    shared: Option<&AccessCounters>,
+) -> Vec<GrbResult<EntryParents>> {
+    let n = g.n_vertices();
+    let k = entries.len();
+    for e in entries {
+        assert!((e.source as usize) < n, "source out of range");
+    }
+    let mut board: Board<'_, '_, EntryParents> = Board::new(entries);
+
+    // Frontier rows carry each frontier vertex's own id as its value, the
+    // same invariant the solo loop keeps.
+    let mut frontiers: Vec<Vector<u32>> = entries
+        .iter()
+        .map(|e| Vector::singleton(n, NO_PARENT, e.source, e.source))
+        .collect();
+    let mut visited: Vec<BitVec> = entries
+        .iter()
+        .map(|e| {
+            let mut b = BitVec::new(n);
+            b.set(e.source as usize);
+            b
+        })
+        .collect();
+    let mut parents: Vec<Vec<u32>> = entries
+        .iter()
+        .map(|e| {
+            let mut p = vec![NO_PARENT; n];
+            p[e.source as usize] = e.source;
+            p
+        })
+        .collect();
+    let mut policies: Vec<DirectionPolicy> = (0..k)
+        .map(|_| DirectionPolicy::hysteresis(opts.switch_threshold))
+        .collect();
+
+    let base_desc = Descriptor::new()
+        .transpose(true)
+        .bit_kernels(opts.bit_kernels);
+    let mut fpol = opts.format;
+
+    let mut alive: Vec<usize> = (0..k).collect();
+    let mut level = 0usize;
+    while !alive.is_empty() {
+        level += 1;
+        let desc = base_desc.force_format(fpol.update_batch(g, true, shared));
+        let batch = MultiVector::from_rows(
+            alive
+                .iter()
+                .map(|&r| std::mem::replace(&mut frontiers[r], Vector::new_sparse(n, NO_PARENT)))
+                .collect(),
+        );
+        let masks: Vec<Mask<'_>> = alive
+            .iter()
+            .map(|&r| Mask::complement(&visited[r]))
+            .collect();
+        let mut live_policies: Vec<DirectionPolicy> =
+            alive.iter().map(|&r| policies[r].clone()).collect();
+        let row_refs: Vec<&AccessCounters> = alive.iter().map(|&r| entries[r].counters).collect();
+
+        let next = catch_batch(&mut board, &alive, || {
+            mxv_batch_attributed(
+                Some(&masks),
+                MinSecond,
+                g,
+                &batch,
+                &desc,
+                Some(&mut live_policies),
+                shared,
+                Some(&row_refs),
+            )
+        });
+        let next: MultiVector<u32> = match next {
+            Ok(v) => v,
+            Err(e) => {
+                board.abort_all(&alive, &e);
+                return board.finish();
+            }
+        };
+        for (p, &r) in live_policies.iter().zip(&alive) {
+            policies[r] = p.clone();
+        }
+
+        let mut still_alive = Vec::with_capacity(alive.len());
+        for (row, &r) in next.into_rows().into_iter().zip(&alive) {
+            if board.retire_if_tripped(r) {
+                continue;
+            }
+            let mut discovered: Vec<u32> = Vec::new();
+            for (v, p) in row.iter_explicit() {
+                debug_assert!(!visited[r].get(v as usize));
+                parents[r][v as usize] = p;
+                visited[r].set(v as usize);
+                discovered.push(v);
+            }
+            if discovered.is_empty() {
+                board.complete(
+                    r,
+                    EntryParents {
+                        parent: std::mem::take(&mut parents[r]),
+                        levels: level,
+                    },
+                );
+            } else {
+                let vals = discovered.clone();
+                frontiers[r] = Vector::from_sparse(n, NO_PARENT, discovered, vals);
+                still_alive.push(r);
+            }
+        }
+        alive = still_alive;
+    }
+    board.finish()
+}
+
+/// Coalesced SSSP (Bellman-Ford over min-plus with the §5.6 two-phase
+/// switch). Direction is resolved *outside* the kernel, per entry: a pull
+/// round ships that entry's full distance vector as a dense row, a push
+/// round ships the sparse delta set, and the batch kernel's storage rule
+/// (dense → row-based, sparse → column-based) dispatches each row to the
+/// face its phase chose. `opts.fused` only shapes the solo pipeline.
+pub fn sssp_entries(
+    g: &Graph<f32>,
+    entries: &[BatchEntry<'_>],
+    opts: &SsspOpts,
+    shared: Option<&AccessCounters>,
+) -> Vec<GrbResult<EntrySssp>> {
+    let n = g.n_vertices();
+    let k = entries.len();
+    for e in entries {
+        assert!((e.source as usize) < n, "source out of range");
+    }
+    let max_rounds = opts.max_rounds.unwrap_or(n.max(1));
+    let mut board: Board<'_, '_, EntrySssp> = Board::new(entries);
+
+    let mut dists: Vec<Vec<f32>> = entries
+        .iter()
+        .map(|e| {
+            let mut d = vec![f32::INFINITY; n];
+            d[e.source as usize] = 0.0;
+            d
+        })
+        .collect();
+    let mut deltas: Vec<Vector<f32>> = entries
+        .iter()
+        .map(|e| Vector::singleton(n, f32::INFINITY, e.source, 0.0))
+        .collect();
+    let mut policies: Vec<DirectionPolicy> = (0..k)
+        .map(|_| {
+            if opts.change_of_direction {
+                DirectionPolicy::two_phase(opts.switch_threshold)
+            } else {
+                DirectionPolicy::fixed(Direction::Push)
+            }
+        })
+        .collect();
+    let mut rounds = vec![0usize; k];
+    let mut pull_rounds = vec![0usize; k];
+
+    let base_desc = Descriptor::new().transpose(true);
+    let mut fpol = opts.format;
+
+    let mut alive: Vec<usize> = (0..k).collect();
+    while !alive.is_empty() {
+        let desc = base_desc.force_format(fpol.update_batch(g, true, shared));
+        // External per-entry direction resolution: the row's storage
+        // encodes the phase and the kernel's storage rule honors it.
+        let rows: Vec<Vector<f32>> = alive
+            .iter()
+            .map(|&r| {
+                rounds[r] += 1;
+                match policies[r].update(deltas[r].nnz(), n) {
+                    Direction::Pull => {
+                        pull_rounds[r] += 1;
+                        Vector::Dense(DenseVector::from_values(dists[r].clone(), f32::INFINITY))
+                    }
+                    Direction::Push => {
+                        std::mem::replace(&mut deltas[r], Vector::new_sparse(n, f32::INFINITY))
+                    }
+                }
+            })
+            .collect();
+        let batch = MultiVector::from_rows(rows);
+        let row_refs: Vec<&AccessCounters> = alive.iter().map(|&r| entries[r].counters).collect();
+
+        let out = catch_batch(&mut board, &alive, || {
+            mxv_batch_attributed(
+                None,
+                MinPlus,
+                g,
+                &batch,
+                &desc,
+                None,
+                shared,
+                Some(&row_refs),
+            )
+        });
+        let out: MultiVector<f32> = match out {
+            Ok(v) => v,
+            Err(e) => {
+                board.abort_all(&alive, &e);
+                return board.finish();
+            }
+        };
+
+        let mut still_alive = Vec::with_capacity(alive.len());
+        for (row, &r) in out.into_rows().into_iter().zip(&alive) {
+            if board.retire_if_tripped(r) {
+                continue;
+            }
+            // dist ← min(dist, candidates); next delta = strict improvements.
+            let mut touched: Vec<u32> = Vec::new();
+            for (i, c) in row.iter_explicit() {
+                if c < dists[r][i as usize] {
+                    dists[r][i as usize] = c;
+                    touched.push(i);
+                }
+            }
+            if touched.is_empty() || rounds[r] >= max_rounds {
+                board.complete(
+                    r,
+                    EntrySssp {
+                        dist: std::mem::take(&mut dists[r]),
+                        rounds: rounds[r],
+                        pull_rounds: pull_rounds[r],
+                    },
+                );
+            } else {
+                let vals: Vec<f32> = touched.iter().map(|&i| dists[r][i as usize]).collect();
+                deltas[r] = Vector::from_sparse(n, f32::INFINITY, touched, vals);
+                still_alive.push(r);
+            }
+        }
+        alive = still_alive;
+    }
+    board.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs_parents::verify_parents;
+    use crate::msbfs::multi_source_bfs;
+    use crate::sssp::dijkstra_oracle;
+    use graphblas_baselines::textbook::bfs_serial;
+    use graphblas_gen::rmat::{rmat, RmatParams};
+    use graphblas_gen::with_uniform_weights;
+
+    fn counters(k: usize) -> Vec<AccessCounters> {
+        (0..k).map(|_| AccessCounters::new()).collect()
+    }
+
+    /// Run one entry solo through the same driver — the equivalence
+    /// baseline the service uses.
+    fn solo_bfs(g: &Graph<bool>, source: VertexId) -> (EntryBfs, CounterSnapshot) {
+        let c = AccessCounters::new();
+        let shared = AccessCounters::new();
+        let r = multi_source_bfs_entries(
+            g,
+            &[BatchEntry::new(source, &c)],
+            &MsBfsOpts::default(),
+            Some(&shared),
+        )
+        .pop()
+        .unwrap()
+        .unwrap();
+        (r, c.snapshot())
+    }
+
+    #[test]
+    fn coalesced_bfs_entries_match_solo_runs_and_oracle() {
+        let g = rmat(10, 14, RmatParams::default(), 23);
+        let sources = [0u32, 17, 300];
+        let cs = counters(3);
+        let entries: Vec<BatchEntry<'_>> = sources
+            .iter()
+            .zip(&cs)
+            .map(|(&s, c)| BatchEntry::new(s, c))
+            .collect();
+        let shared = AccessCounters::new();
+        let rs = multi_source_bfs_entries(&g, &entries, &MsBfsOpts::default(), Some(&shared));
+        for ((r, &src), c) in rs.iter().zip(&sources).zip(&cs) {
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.depths, bfs_serial(&g, src), "source {src}");
+            let (solo, solo_snap) = solo_bfs(&g, src);
+            assert_eq!(r.depths, solo.depths);
+            assert_eq!(r.levels, solo.levels);
+            assert_eq!(c.snapshot(), solo_snap, "source {src} counters");
+        }
+        // And the whole-batch result matches the plain msbfs driver.
+        let plain = multi_source_bfs(&g, &sources);
+        for (r, d) in rs.iter().zip(&plain.depths) {
+            assert_eq!(&r.as_ref().unwrap().depths, d);
+        }
+    }
+
+    #[test]
+    fn tripped_entry_aborts_typed_and_spares_siblings() {
+        let g = rmat(10, 14, RmatParams::default(), 23);
+        let cs = counters(3);
+        let entries = [
+            BatchEntry::new(0, &cs[0]),
+            BatchEntry::new(17, &cs[1])
+                .with_limits(ExecLimits::none().with_deadline(std::time::Duration::ZERO)),
+            BatchEntry::new(300, &cs[2]),
+        ];
+        let shared = AccessCounters::new();
+        let rs = multi_source_bfs_entries(&g, &entries, &MsBfsOpts::default(), Some(&shared));
+        assert_eq!(rs[1], Err(GrbError::Cancelled));
+        for (i, src) in [(0usize, 0u32), (2, 300)] {
+            let r = rs[i].as_ref().unwrap();
+            let (solo, solo_snap) = solo_bfs(&g, src);
+            assert_eq!(r.depths, solo.depths, "sibling {src}");
+            assert_eq!(cs[i].snapshot(), solo_snap, "sibling {src} counters");
+        }
+        // Aborted entry's counters restored: an immediate retry is fresh.
+        assert_eq!(cs[1].snapshot(), CounterSnapshot::default());
+        let retry = multi_source_bfs_entries(
+            &g,
+            &[BatchEntry::new(17, &cs[1])],
+            &MsBfsOpts::default(),
+            Some(&AccessCounters::new()),
+        )
+        .pop()
+        .unwrap()
+        .unwrap();
+        let (solo, solo_snap) = solo_bfs(&g, 17);
+        assert_eq!(retry.depths, solo.depths);
+        assert_eq!(cs[1].snapshot(), solo_snap);
+    }
+
+    #[test]
+    fn coalesced_parents_match_solo_and_verify() {
+        let g = rmat(10, 14, RmatParams::default(), 29);
+        let sources = [3u32, 99, 500];
+        let cs = counters(3);
+        let entries: Vec<BatchEntry<'_>> = sources
+            .iter()
+            .zip(&cs)
+            .map(|(&s, c)| BatchEntry::new(s, c))
+            .collect();
+        let rs = bfs_parents_entries(&g, &entries, &ParentBfsOpts::default(), None);
+        for ((r, &src), c) in rs.iter().zip(&sources).zip(&cs) {
+            let r = r.as_ref().unwrap();
+            assert!(verify_parents(&g, src, &r.parent), "source {src}");
+            let solo_c = AccessCounters::new();
+            let solo = bfs_parents_entries(
+                &g,
+                &[BatchEntry::new(src, &solo_c)],
+                &ParentBfsOpts::default(),
+                None,
+            )
+            .pop()
+            .unwrap()
+            .unwrap();
+            assert_eq!(r, &solo, "source {src}");
+            assert_eq!(c.snapshot(), solo_c.snapshot(), "source {src} counters");
+        }
+    }
+
+    #[test]
+    fn coalesced_sssp_matches_solo_and_dijkstra() {
+        let gb = rmat(10, 14, RmatParams::default(), 31);
+        let g = with_uniform_weights(&gb, 7);
+        let sources = [0u32, 42, 777];
+        let cs = counters(3);
+        let entries: Vec<BatchEntry<'_>> = sources
+            .iter()
+            .zip(&cs)
+            .map(|(&s, c)| BatchEntry::new(s, c))
+            .collect();
+        let rs = sssp_entries(&g, &entries, &SsspOpts::default(), None);
+        for ((r, &src), c) in rs.iter().zip(&sources).zip(&cs) {
+            let r = r.as_ref().unwrap();
+            let oracle = dijkstra_oracle(&g, src);
+            for (i, (&x, &y)) in r.dist.iter().zip(&oracle).enumerate() {
+                if x.is_infinite() || y.is_infinite() {
+                    assert_eq!(x, y, "source {src} at {i}");
+                } else {
+                    assert!((x - y).abs() < 1e-4, "source {src} at {i}: {x} vs {y}");
+                }
+            }
+            let solo_c = AccessCounters::new();
+            let solo = sssp_entries(
+                &g,
+                &[BatchEntry::new(src, &solo_c)],
+                &SsspOpts::default(),
+                None,
+            )
+            .pop()
+            .unwrap()
+            .unwrap();
+            assert_eq!(r, &solo, "source {src} (values bit-identical)");
+            assert_eq!(c.snapshot(), solo_c.snapshot(), "source {src} counters");
+        }
+    }
+
+    #[test]
+    fn zero_work_budget_trips_every_entry_but_leaves_counters_fresh() {
+        let g = rmat(9, 10, RmatParams::default(), 5);
+        let cs = counters(2);
+        let entries = [
+            BatchEntry::new(0, &cs[0]).with_limits(ExecLimits::none().with_work_budget(0)),
+            BatchEntry::new(1, &cs[1]),
+        ];
+        let rs = multi_source_bfs_entries(&g, &entries, &MsBfsOpts::default(), None);
+        assert!(
+            matches!(rs[0], Err(GrbError::BudgetExceeded { .. })),
+            "{:?}",
+            rs[0]
+        );
+        assert!(rs[1].is_ok());
+        assert_eq!(cs[0].snapshot(), CounterSnapshot::default());
+    }
+}

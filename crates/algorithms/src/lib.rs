@@ -17,6 +17,10 @@
 //! * [`bc`] — batched Brandes betweenness centrality riding the same
 //!   batched kernels (masked forward σ sweeps, level-masked backward δ
 //!   accumulation, per-source push/pull switching in both phases).
+//! * [`mod@entries`] — coalesced query batches: BFS / parent-BFS / SSSP
+//!   entries advanced together through `mxv_batch_attributed`, each with
+//!   its own [`ExecLimits`](graphblas_core::ExecLimits) and counter set
+//!   (the service layer's algorithm face).
 //!
 //! BFS, parent BFS ([`mod@bfs_parents`]), CC, SSSP, and PageRank all run their
 //! per-iteration `mxv · apply · assign` chain as a **fused pipeline**
@@ -29,6 +33,7 @@ pub mod bc;
 pub mod bfs;
 pub mod bfs_parents;
 pub mod cc;
+pub mod entries;
 pub mod ktruss;
 pub mod mis;
 pub mod msbfs;
@@ -38,3 +43,7 @@ pub mod tricount;
 
 pub use bfs::{bfs, bfs_with_opts, BfsOpts, BfsResult, IterRecord};
 pub use bfs_parents::{bfs_parents, bfs_parents_with_opts, ParentBfsOpts, ParentBfsResult};
+pub use entries::{
+    bfs_parents_entries, multi_source_bfs_entries, sssp_entries, BatchEntry, EntryBfs,
+    EntryParents, EntrySssp,
+};

@@ -8,10 +8,10 @@
 //! ```
 //!
 //! Experiments: `table1` `table2` `table3` `fig2` `fig5` `fig6` `fig7`
-//! `heuristic` `scaling` `batched` `formats` `bitfrontier` `chaos`
+//! `heuristic` `scaling` `batched` `serve` `formats` `bitfrontier` `chaos`
 //! `validate` `all`. `bench-all` regenerates exactly the machine-readable
-//! `BENCH_*.json` artifacts (scaling, batched, formats, bitfrontier, and —
-//! when built with `--features fault-injection` — the chaos study).
+//! `BENCH_*.json` artifacts (scaling, batched, serve, formats, bitfrontier,
+//! and — when built with `--features fault-injection` — the chaos study).
 //! CSVs land in `--out` (default `results/`).
 //!
 //! `--shrink N` divides every dataset's vertex count by 2^N (default 6;
@@ -80,6 +80,7 @@ fn main() {
         "heuristic" => heuristic(&cfg),
         "scaling" => scaling(&cfg),
         "batched" => batched(&cfg),
+        "serve" => serve(&cfg),
         "formats" => formats(&cfg),
         "bitfrontier" => bitfrontier(&cfg),
         "chaos" => chaos(&cfg),
@@ -88,6 +89,7 @@ fn main() {
             // Exactly the experiments that emit BENCH_*.json artifacts.
             scaling(&cfg);
             batched(&cfg);
+            serve(&cfg);
             formats(&cfg);
             bitfrontier(&cfg);
             if cfg!(feature = "fault-injection") {
@@ -110,14 +112,15 @@ fn main() {
             heuristic(&cfg);
             scaling(&cfg);
             batched(&cfg);
+            serve(&cfg);
             formats(&cfg);
             bitfrontier(&cfg);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: \
-                 table1 table2 table3 fig2 fig5 fig6 fig7 heuristic scaling batched formats \
-                 bitfrontier chaos validate bench-all all"
+                 table1 table2 table3 fig2 fig5 fig6 fig7 heuristic scaling batched serve \
+                 formats bitfrontier chaos validate bench-all all"
             );
             std::process::exit(2);
         }
@@ -733,6 +736,133 @@ fn batched(cfg: &Config) {
     match doc.write_file(&cfg.out, "BENCH_batched.json") {
         Ok(p) => eprintln!("[batched] wrote {}", p.display()),
         Err(e) => eprintln!("[batched] could not write BENCH_batched.json: {e}"),
+    }
+}
+
+/// Serve study: the concurrent query service replaying a seeded open-loop
+/// trace at coalescing targets k ∈ {1, 4, 16}, against the same trace
+/// dispatched sequentially (zero admission window). Reports queries/sec,
+/// latency percentiles, batch-size histogram, and coalescing rate, plus an
+/// abort probe executing the isolation claim (one expired-deadline request
+/// inside a coalesced batch; siblings bit-identical to solo). Emits the
+/// machine-readable `BENCH_serve.json` companion artifact.
+fn serve(cfg: &Config) {
+    use graphblas_bench::serve::{abort_probe, serve_study, TICK_NS};
+
+    let n_requests = 32;
+    let mut t = Table::new(
+        "Serve — coalesced admission vs sequential dispatch (same trace)",
+        &[
+            "Dataset",
+            "mix",
+            "target k",
+            "window",
+            "coalesce %",
+            "max batch",
+            "qps",
+            "seq qps",
+            "speedup",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+        ],
+    );
+    let mut dataset_objs: Vec<Json> = Vec::new();
+    for name in ["kron", "roadnet"] {
+        let Some(Dataset { graph, .. }) = dataset(name, cfg.shrink, cfg.seed) else {
+            continue;
+        };
+        if let Some(only) = &cfg.dataset {
+            if only != name {
+                continue;
+            }
+        }
+        eprintln!(
+            "[serve] {name}: {} vertices, {} edges, {n_requests} requests",
+            graph.n_vertices(),
+            graph.n_edges()
+        );
+        let scenarios = serve_study(&graph, cfg.seed, n_requests);
+        let mut scenario_objs: Vec<Json> = Vec::new();
+        for s in &scenarios {
+            t.row(vec![
+                name.to_string(),
+                s.mix.to_string(),
+                s.target_k.to_string(),
+                format!("{}t", s.window_ticks),
+                format!("{:.0}%", s.stats.coalescing_rate * 100.0),
+                s.stats.max_batch.to_string(),
+                f(s.stats.qps),
+                f(s.sequential_qps),
+                format!("{:.2}x", s.qps_speedup),
+                f(s.stats.p50_ms),
+                f(s.stats.p95_ms),
+                f(s.stats.p99_ms),
+            ]);
+            scenario_objs.push(Json::Obj(vec![
+                ("mix", Json::Str(s.mix.to_string())),
+                ("target_k", Json::Int(s.target_k as u64)),
+                ("window_ticks", Json::Int(s.window_ticks)),
+                ("coalescing_rate", Json::Num(s.stats.coalescing_rate)),
+                ("max_batch_size", Json::Int(s.stats.max_batch as u64)),
+                ("max_group_size", Json::Int(s.stats.max_group as u64)),
+                (
+                    "batch_hist",
+                    Json::Arr(
+                        s.stats
+                            .batch_hist
+                            .iter()
+                            .map(|&c| Json::Int(c as u64))
+                            .collect(),
+                    ),
+                ),
+                ("qps", Json::Num(s.stats.qps)),
+                ("sequential_qps", Json::Num(s.sequential_qps)),
+                ("qps_speedup", Json::Num(s.qps_speedup)),
+                ("p50_ms", Json::Num(s.stats.p50_ms)),
+                ("p95_ms", Json::Num(s.stats.p95_ms)),
+                ("p99_ms", Json::Num(s.stats.p99_ms)),
+                ("aborted", Json::Int(s.stats.aborted as u64)),
+                ("retried_solo", Json::Int(s.retried as u64)),
+            ]));
+        }
+        let probe = abort_probe(&graph, cfg.seed);
+        eprintln!(
+            "[serve] {name}: abort probe — typed abort: {}, siblings unchanged: {}",
+            probe.aborted_typed, probe.siblings_unchanged
+        );
+        dataset_objs.push(Json::Obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("vertices", Json::Int(graph.n_vertices() as u64)),
+            ("edges", Json::Int(graph.n_edges() as u64)),
+            ("scenarios", Json::Arr(scenario_objs)),
+            (
+                "abort_probe",
+                Json::Obj(vec![
+                    ("aborted_typed", Json::Bool(probe.aborted_typed)),
+                    ("siblings_unchanged", Json::Bool(probe.siblings_unchanged)),
+                ]),
+            ),
+        ]));
+    }
+    t.print();
+    println!(
+        "each scenario replays the identical seeded trace; the speedup column\n\
+         isolates coalesced admission against one-at-a-time dispatch of the\n\
+         same queries (per-request values and counters are pinned identical\n\
+         by tests/service_equivalence.rs)."
+    );
+    let _ = t.write_csv(&cfg.out, "serve");
+    let doc = Json::Obj(vec![
+        ("n_requests", Json::Int(n_requests as u64)),
+        ("tick_ns", Json::Int(TICK_NS)),
+        ("shrink", Json::Int(u64::from(cfg.shrink))),
+        ("seed", Json::Int(cfg.seed)),
+        ("datasets", Json::Arr(dataset_objs)),
+    ]);
+    match doc.write_file(&cfg.out, "BENCH_serve.json") {
+        Ok(p) => eprintln!("[serve] wrote {}", p.display()),
+        Err(e) => eprintln!("[serve] could not write BENCH_serve.json: {e}"),
     }
 }
 

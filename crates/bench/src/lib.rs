@@ -5,6 +5,7 @@
 pub mod chaos;
 pub mod engines;
 pub mod report;
+pub mod serve;
 pub mod study;
 
 use std::time::Instant;

@@ -4,8 +4,16 @@
 //! bit-parallel path: feasibility is per-tile occupancy, not the global
 //! `n² ≤ MAX_BITS` cliff. This test pins that property on the committed
 //! `BENCH_bitfrontier.json` — every dataset with at least 32 Ki vertices
-//! must report `bitmap_degrades == 0` and an engaged bit path. If the
-//! artifact is stale, regenerate it with `paper -- bench-all`.
+//! must report `bitmap_degrades == 0` and an engaged bit path.
+//!
+//! The serve artifact (`BENCH_serve.json`) is pinned the same way: the
+//! service must actually coalesce at k ≥ 4 (batches bigger than one,
+//! positive coalescing rate), keep latency percentiles monotone, beat the
+//! sequential-dispatch baseline on at least one coalesced scenario, and
+//! its abort probe — one expired-deadline request inside a coalesced
+//! batch — must report a typed abort with siblings bit-identical to solo.
+//!
+//! If an artifact is stale, regenerate it with `paper -- bench-all`.
 
 use std::path::PathBuf;
 
@@ -96,4 +104,158 @@ fn committed_bitfrontier_artifact_keeps_large_graphs_on_the_bit_path() {
         large >= 2,
         "suite should include n ≥ 32Ki graphs (found {large})"
     );
+}
+
+/// One serve scenario scraped out of `BENCH_serve.json`.
+#[derive(Debug, Default)]
+struct ServeScenario {
+    dataset: String,
+    mix: String,
+    target_k: u64,
+    coalescing_rate: f64,
+    max_batch_size: u64,
+    qps_speedup: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// Scrape scenarios plus the per-dataset abort-probe booleans.
+fn scrape_serve(text: &str) -> (Vec<ServeScenario>, Vec<(bool, bool)>) {
+    let mut scenarios: Vec<ServeScenario> = Vec::new();
+    let mut probes: Vec<(bool, bool)> = Vec::new();
+    let mut dataset = String::new();
+    let parse_f = |v: &str| v.parse::<f64>().ok();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "name" => dataset = value.trim_matches('"').to_string(),
+            "mix" => scenarios.push(ServeScenario {
+                dataset: dataset.clone(),
+                mix: value.trim_matches('"').to_string(),
+                ..ServeScenario::default()
+            }),
+            "target_k" => {
+                if let (Some(s), Ok(v)) = (scenarios.last_mut(), value.parse()) {
+                    s.target_k = v;
+                }
+            }
+            "coalescing_rate" => {
+                if let (Some(s), Some(v)) = (scenarios.last_mut(), parse_f(value)) {
+                    s.coalescing_rate = v;
+                }
+            }
+            "max_batch_size" => {
+                if let (Some(s), Ok(v)) = (scenarios.last_mut(), value.parse()) {
+                    s.max_batch_size = v;
+                }
+            }
+            "qps_speedup" => {
+                if let (Some(s), Some(v)) = (scenarios.last_mut(), parse_f(value)) {
+                    s.qps_speedup = v;
+                }
+            }
+            "p50_ms" => {
+                if let (Some(s), Some(v)) = (scenarios.last_mut(), parse_f(value)) {
+                    s.p50_ms = v;
+                }
+            }
+            "p95_ms" => {
+                if let (Some(s), Some(v)) = (scenarios.last_mut(), parse_f(value)) {
+                    s.p95_ms = v;
+                }
+            }
+            "p99_ms" => {
+                if let (Some(s), Some(v)) = (scenarios.last_mut(), parse_f(value)) {
+                    s.p99_ms = v;
+                }
+            }
+            "aborted_typed" => probes.push((value == "true", false)),
+            "siblings_unchanged" => {
+                if let Some(p) = probes.last_mut() {
+                    p.1 = value == "true";
+                }
+            }
+            _ => {}
+        }
+    }
+    (scenarios, probes)
+}
+
+#[test]
+fn committed_serve_artifact_shows_coalescing_and_isolation() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_serve.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let (scenarios, probes) = scrape_serve(&text);
+    assert!(
+        scenarios.len() >= 4,
+        "artifact should cover multiple scenarios per dataset, scraped {scenarios:?}"
+    );
+
+    for s in &scenarios {
+        assert!(
+            s.p50_ms > 0.0 && s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms,
+            "{}/{} k={}: latency percentiles must be monotone \
+             (p50 {} / p95 {} / p99 {})",
+            s.dataset,
+            s.mix,
+            s.target_k,
+            s.p50_ms,
+            s.p95_ms,
+            s.p99_ms
+        );
+        if s.target_k >= 4 {
+            assert!(
+                s.max_batch_size > 1,
+                "{}/{} k={}: admission never formed a batch bigger than one",
+                s.dataset,
+                s.mix,
+                s.target_k
+            );
+            assert!(
+                s.coalescing_rate > 0.0,
+                "{}/{} k={}: no request ever shared a coalesced traversal",
+                s.dataset,
+                s.mix,
+                s.target_k
+            );
+        }
+    }
+
+    // The coalescing payoff: every dataset beats sequential dispatch on
+    // at least one k ≥ 4 scenario (the pure-BFS workload rides the
+    // bit-parallel batched path, so the win is structural, not luck).
+    let mut datasets: Vec<&str> = scenarios.iter().map(|s| s.dataset.as_str()).collect();
+    datasets.dedup();
+    for d in datasets {
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.dataset == d && s.target_k >= 4 && s.qps_speedup >= 1.0),
+            "{d}: no coalesced scenario matched or beat sequential dispatch; \
+             regenerate with bench-all"
+        );
+    }
+
+    assert!(
+        probes.len() >= 2,
+        "every dataset should carry an abort probe, scraped {probes:?}"
+    );
+    for (i, &(typed, unchanged)) in probes.iter().enumerate() {
+        assert!(
+            typed,
+            "abort probe {i}: the expired-deadline request must abort typed"
+        );
+        assert!(
+            unchanged,
+            "abort probe {i}: siblings of the aborted request must be \
+             bit-identical to their solo runs"
+        );
+    }
 }

@@ -66,6 +66,8 @@ pub use ops_mxv::{
     col_masked_mxv, col_mxv, mxv, resolve_direction, row_masked_mxv, row_mxv, CostModelInputs,
     DirectionPolicy,
 };
-pub use ops_mxv_batch::{col_masked_mxv_batch, mxv_batch, row_masked_mxv_batch};
+pub use ops_mxv_batch::{
+    col_masked_mxv_batch, mxv_batch, mxv_batch_attributed, row_masked_mxv_batch,
+};
 pub use plan::{resolve_plan, CostConstants, ExecPlan, FormatPolicy};
 pub use vector::{ConvertState, DenseVector, MultiVector, SparseVector, Vector};

@@ -68,13 +68,34 @@ where
     // The public entry has no descriptor, so it cannot opt into the
     // bit-parallel arm; `mxv_batch` passes its descriptor through the
     // inner variant below.
-    row_masked_mxv_batch_impl(s, op, vs, masks, early_exit, None, counters)
+    row_masked_mxv_batch_impl(s, op, vs, masks, early_exit, None, counters, None)
+}
+
+/// Resolve the counters row `j` of an attributed batch charges: its own
+/// per-row set when attribution is on, the shared set otherwise.
+#[inline]
+fn row_charge<'a>(
+    counters: Option<&'a AccessCounters>,
+    row_counters: Option<&'a [&'a AccessCounters]>,
+    j: usize,
+) -> Option<&'a AccessCounters> {
+    match row_counters {
+        Some(rc) => Some(rc[j]),
+        None => counters,
+    }
 }
 
 /// [`row_masked_mxv_batch`] with the dispatcher's descriptor, so batched
 /// pulls share the single-source bit-parallel arm. The bit gating is
 /// source-independent (store + semiring + descriptor), so either every
 /// source gets a packed context or the whole batch runs scalar.
+///
+/// When `row_counters` is present (one per source), each source's
+/// row-scoped charges — output-buffer allocation, mask/vector traffic, and
+/// every `reduce_row` — land on that source's counters instead of the
+/// shared set, and each source's chunks poll *its* checkpoints, so one
+/// source's tripped limit stops only its own rows.
+#[allow(clippy::too_many_arguments)]
 fn row_masked_mxv_batch_impl<A, X, Y, S, M>(
     s: S,
     op: &M,
@@ -83,6 +104,7 @@ fn row_masked_mxv_batch_impl<A, X, Y, S, M>(
     early_exit: bool,
     desc: Option<&Descriptor>,
     counters: Option<&AccessCounters>,
+    row_counters: Option<&[&AccessCounters]>,
 ) -> Vec<DenseVector<Y>>
 where
     A: Scalar,
@@ -100,16 +122,32 @@ where
     for v in vs {
         assert_eq!(op.n_cols(), v.dim(), "operand columns must match input dim");
     }
+    if let Some(rc) = row_counters {
+        assert_eq!(rc.len(), vs.len(), "one counter set per batch row");
+    }
     let add = s.add_monoid();
     let identity = add.identity();
     let n = op.n_rows();
     // Caller-thread charge for the batch's dense output buffers; the
-    // per-row checkpoints below stop the sweep itself.
-    if !crate::exec::charge_alloc(counters, crate::ops_mxv::output_bytes::<Y>(vs.len() * n)) {
-        return vs
-            .iter()
-            .map(|_| DenseVector::from_values(Vec::new(), identity))
-            .collect();
+    // per-row checkpoints below stop the sweep itself. Attributed batches
+    // charge each source for its own buffer (same aggregate bytes): a
+    // denied row trips only its own counters and its chunks then bail
+    // with identity results while siblings proceed.
+    match row_counters {
+        None => {
+            if !crate::exec::charge_alloc(counters, crate::ops_mxv::output_bytes::<Y>(vs.len() * n))
+            {
+                return vs
+                    .iter()
+                    .map(|_| DenseVector::from_values(Vec::new(), identity))
+                    .collect();
+            }
+        }
+        Some(rc) => {
+            for c in rc {
+                let _ = c.try_charge_alloc(crate::ops_mxv::output_bytes::<Y>(n));
+            }
+        }
     }
 
     // Per-source work extents: the mask's active list when present (the
@@ -130,13 +168,19 @@ where
             .collect(),
         None => vec![hyper_rows.map_or(n, <[u32]>::len); vs.len()],
     };
-    if let (Some(c), Some(_)) = (counters, masks) {
-        for &len in &lens {
-            c.add_mask(len as u64);
+    if masks.is_some() {
+        for (j, &len) in lens.iter().enumerate() {
+            if let Some(c) = row_charge(counters, row_counters, j) {
+                c.add_mask(len as u64);
+            }
         }
     }
-    if let (Some(c), Some(rows)) = (counters, hyper_rows) {
-        c.add_vector((vs.len() * (n - rows.len())) as u64);
+    if let Some(rows) = hyper_rows {
+        for j in 0..vs.len() {
+            if let Some(c) = row_charge(counters, row_counters, j) {
+                c.add_vector((n - rows.len()) as u64);
+            }
+        }
     }
 
     // Per-source bit contexts: one packed word image per source vector
@@ -144,8 +188,14 @@ where
     // qualification test doesn't depend on the source.
     let ctxs: Option<Vec<crate::bitops::BitPull<Y>>> = desc.and_then(|d| {
         let mut cs = Vec::with_capacity(vs.len());
-        for v in vs {
-            cs.push(crate::bitops::bit_pull_ctx(s, op, v, d, counters)?);
+        for (j, v) in vs.iter().enumerate() {
+            cs.push(crate::bitops::bit_pull_ctx(
+                s,
+                op,
+                v,
+                d,
+                row_charge(counters, row_counters, j),
+            )?);
         }
         if cs.is_empty() {
             None
@@ -183,11 +233,12 @@ where
                 },
             };
             if allowed {
+                let c = row_charge(counters, row_counters, j);
                 let y = match &ctxs {
                     Some(cs) => {
-                        crate::bitops::bit_reduce_row(op, &cs[j], i, identity, early_exit, counters)
+                        crate::bitops::bit_reduce_row(op, &cs[j], i, identity, early_exit, c)
                     }
-                    None => reduce_row(s, op, v, i, identity, early_exit, counters),
+                    None => reduce_row(s, op, v, i, identity, early_exit, c),
                 };
                 // SAFETY: within a source, grid indices (and the unique
                 // active-list or non-empty rows they map to) are disjoint;
@@ -225,6 +276,31 @@ where
     S: Semiring<A, X, Y>,
     M: RowAccess<A>,
 {
+    col_masked_mxv_batch_impl(s, op_t, vs, masks, counters, None)
+}
+
+/// [`col_masked_mxv_batch`] with optional per-source counter attribution:
+/// each source's expansion preamble, SPA harvests, merge, and mask filter
+/// charge (and poll) that source's counters, so a tripped source bails out
+/// of its own chunks without touching its siblings.
+fn col_masked_mxv_batch_impl<A, X, Y, S, M>(
+    s: S,
+    op_t: &M,
+    vs: &[&SparseVector<X>],
+    masks: Option<&[Mask<'_>]>,
+    counters: Option<&AccessCounters>,
+    row_counters: Option<&[&AccessCounters]>,
+) -> Vec<SparseVector<Y>>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+    M: RowAccess<A>,
+{
+    if let Some(rc) = row_counters {
+        assert_eq!(rc.len(), vs.len(), "one counter set per batch row");
+    }
     if let Some(ms) = masks {
         assert_eq!(ms.len(), vs.len(), "one mask per batch row");
         for m in ms {
@@ -247,14 +323,15 @@ where
     let mut items: Vec<(usize, usize, usize)> = Vec::new();
     let mut chunk_counts = vec![0usize; vs.len()];
     for (j, v) in vs.iter().enumerate() {
-        if let Some(c) = counters {
+        let cj = row_charge(counters, row_counters, j);
+        if let Some(c) = cj {
             c.add_vector(v.nnz() as u64);
         }
         if v.nnz() == 0 {
             continue;
         }
         let (offsets, total) = expansion_offsets(op_t, v);
-        if let Some(c) = counters {
+        if let Some(c) = cj {
             c.add_matrix(total as u64);
             // One SPA scatter per product plus the harvest.
             c.add_vector(2 * total as u64);
@@ -269,7 +346,16 @@ where
     // source's frontier is tiny.
     let harvests: Vec<Vec<(u32, Y)>> = items
         .into_par_iter()
-        .map(|(j, s0, s1)| spa_harvest_chunk(s, op_t, vs[j], s0, s1, counters))
+        .map(|(j, s0, s1)| {
+            spa_harvest_chunk(
+                s,
+                op_t,
+                vs[j],
+                s0,
+                s1,
+                row_charge(counters, row_counters, j),
+            )
+        })
         .collect();
 
     // Per-source recombination: merge that source's chunk harvests in
@@ -285,10 +371,11 @@ where
             if vs[j].nnz() == 0 {
                 return SparseVector::from_sorted(Vec::new(), Vec::new());
             }
+            let cj = row_charge(counters, row_counters, j);
             let parts = &harvests[starts[j]..starts[j + 1]];
-            let (mut ids, mut vals) = spa_merge_parts(add, parts, counters);
+            let (mut ids, mut vals) = spa_merge_parts(add, parts, cj);
             let mask = masks.map(|ms| &ms[j]);
-            filter_col_output(&mut ids, &mut vals, mask, identity, counters);
+            filter_col_output(&mut ids, &mut vals, mask, identity, cj);
             SparseVector::from_sorted(ids, vals)
         })
         .collect()
@@ -337,8 +424,51 @@ pub fn mxv_batch<A, X, Y, S>(
     graph: &Graph<A>,
     input: &MultiVector<X>,
     desc: &Descriptor,
+    policies: Option<&mut [DirectionPolicy]>,
+    counters: Option<&AccessCounters>,
+) -> GrbResult<MultiVector<Y>>
+where
+    A: Scalar,
+    X: Scalar,
+    Y: Scalar,
+    S: Semiring<A, X, Y>,
+{
+    mxv_batch_attributed(masks, s, graph, input, desc, policies, counters, None)
+}
+
+/// [`mxv_batch`] with **per-row counter attribution**: `row_counters[r]`
+/// (one set per batch row) receives every charge row `r`'s work causes —
+/// its direction step, output-buffer allocation, mask/vector/matrix
+/// traffic, SPA harvests and merge, bit-word telemetry — and row `r`'s
+/// kernel chunks poll *those* counters' checkpoints, so per-row
+/// [`ExecLimits`](crate::ExecLimits) installed on `row_counters[r]` stop
+/// only row `r` (its chunks bail with identity results; siblings are
+/// untouched). This is what lets a query service coalesce independent
+/// requests into one batch while each request keeps its own counter
+/// snapshot, deadline, and budget.
+///
+/// Batch-scoped charges that no single row owns — the storage-conversion
+/// bytes of [`FormatPolicy`](crate::FormatPolicy) planning and
+/// `bitmap_degrades` — stay on the shared `counters`. At the end of the
+/// call every row counter's growth is folded into `counters` via
+/// [`AccessCounters::absorb`], so the shared aggregate is identical to an
+/// unattributed `mxv_batch` of the same batch (the callers' existing
+/// batch ≡ k-singles counter contract is preserved; pinned by this
+/// module's tests).
+///
+/// `row_counters` must be disjoint from `counters` (folding into an
+/// aliased set would double-charge). With `row_counters = None` this is
+/// exactly [`mxv_batch`].
+#[allow(clippy::too_many_arguments)]
+pub fn mxv_batch_attributed<A, X, Y, S>(
+    masks: Option<&[Mask<'_>]>,
+    s: S,
+    graph: &Graph<A>,
+    input: &MultiVector<X>,
+    desc: &Descriptor,
     mut policies: Option<&mut [DirectionPolicy]>,
     counters: Option<&AccessCounters>,
+    row_counters: Option<&[&AccessCounters]>,
 ) -> GrbResult<MultiVector<Y>>
 where
     A: Scalar,
@@ -388,9 +518,24 @@ where
             });
         }
     }
+    if let Some(rc) = row_counters {
+        if rc.len() != k {
+            return Err(GrbError::DimensionMismatch {
+                context: "mxv_batch row counters",
+                expected: k,
+                actual: rc.len(),
+            });
+        }
+    }
 
     // Pre-flight stop poll, as in `mxv`.
     crate::exec::check_stop(counters)?;
+
+    // Attribution baselines: each row counter's growth over this call is
+    // folded into the shared set before returning, keeping the shared
+    // aggregate identical to an unattributed run.
+    let baselines: Option<Vec<graphblas_primitives::counters::CounterSnapshot>> =
+        row_counters.map(|rc| rc.iter().map(|c| c.snapshot()).collect());
 
     // Per-row direction resolution.
     let n = input.dim();
@@ -409,8 +554,8 @@ where
             },
         })
         .collect();
-    if let Some(c) = counters {
-        for d in &dirs {
+    for (r, d) in dirs.iter().enumerate() {
+        if let Some(c) = row_charge(counters, row_counters, r) {
             match d {
                 Direction::Push => c.add_push_step(),
                 Direction::Pull => c.add_pull_step(),
@@ -450,10 +595,33 @@ where
             .collect();
         let sub_masks: Option<Vec<Mask<'_>>> =
             masks.map(|ms| push_rows.iter().map(|&r| ms[r]).collect());
+        let sub_rc: Option<Vec<&AccessCounters>> =
+            row_counters.map(|rc| push_rows.iter().map(|&r| rc[r]).collect());
         let outs = match crate::exec::store_budgeted(graph, !desc.transpose, format, counters) {
-            StoreRef::Csr(m) => col_masked_mxv_batch(s, m, &svs, sub_masks.as_deref(), counters),
-            StoreRef::Bitmap(m) => col_masked_mxv_batch(s, m, &svs, sub_masks.as_deref(), counters),
-            StoreRef::Dcsr(m) => col_masked_mxv_batch(s, m, &svs, sub_masks.as_deref(), counters),
+            StoreRef::Csr(m) => col_masked_mxv_batch_impl(
+                s,
+                m,
+                &svs,
+                sub_masks.as_deref(),
+                counters,
+                sub_rc.as_deref(),
+            ),
+            StoreRef::Bitmap(m) => col_masked_mxv_batch_impl(
+                s,
+                m,
+                &svs,
+                sub_masks.as_deref(),
+                counters,
+                sub_rc.as_deref(),
+            ),
+            StoreRef::Dcsr(m) => col_masked_mxv_batch_impl(
+                s,
+                m,
+                &svs,
+                sub_masks.as_deref(),
+                counters,
+                sub_rc.as_deref(),
+            ),
         };
         for (&r, sv) in push_rows.iter().zip(outs) {
             let (ids, vals) = (sv.ids().to_vec(), sv.vals().to_vec());
@@ -481,6 +649,8 @@ where
             .collect();
         let sub_masks: Option<Vec<Mask<'_>>> =
             masks.map(|ms| pull_rows.iter().map(|&r| ms[r]).collect());
+        let sub_rc: Option<Vec<&AccessCounters>> =
+            row_counters.map(|rc| pull_rows.iter().map(|&r| rc[r]).collect());
         let early_exit = masks.is_some() && desc.early_exit;
         let outs = match crate::exec::store_budgeted(graph, desc.transpose, format, counters) {
             StoreRef::Csr(m) => row_masked_mxv_batch_impl(
@@ -491,6 +661,7 @@ where
                 early_exit,
                 Some(desc),
                 counters,
+                sub_rc.as_deref(),
             ),
             StoreRef::Bitmap(m) => row_masked_mxv_batch_impl(
                 s,
@@ -500,6 +671,7 @@ where
                 early_exit,
                 Some(desc),
                 counters,
+                sub_rc.as_deref(),
             ),
             StoreRef::Dcsr(m) => row_masked_mxv_batch_impl(
                 s,
@@ -509,6 +681,7 @@ where
                 early_exit,
                 Some(desc),
                 counters,
+                sub_rc.as_deref(),
             ),
         };
         for (&r, dv) in pull_rows.iter().zip(outs) {
@@ -516,8 +689,22 @@ where
         }
     }
 
+    // Fold each row's attributed work into the shared aggregate (before
+    // the stop poll, so even an aborting batch accounts the work it did).
+    // A row that tripped its own limits keeps its partial tallies here;
+    // the caller restores that row's counters when it retires the row.
+    if let (Some(rc), Some(base)) = (row_counters, baselines.as_ref()) {
+        if let Some(shared) = counters {
+            for (c, b) in rc.iter().zip(base) {
+                shared.absorb(&c.snapshot().delta_since(b));
+            }
+        }
+    }
+
     // Post-kernel poll: a checkpoint bail inside either face left
-    // identity-shaped partial rows that must not escape.
+    // identity-shaped partial rows that must not escape. Per-row trips are
+    // *not* batch errors: the caller inspects each row counter's
+    // `stop_reason` and retires tripped rows individually.
     crate::exec::check_stop(counters)?;
     Ok(MultiVector::from_rows(
         out_rows
@@ -690,5 +877,155 @@ mod tests {
         let snap = c.snapshot();
         assert_eq!(snap.matrix, 0, "no expansion for empty frontiers");
         assert_eq!(snap.sort, 0);
+    }
+
+    /// A mixed-direction batch (row 0 dense → pull, rows 1–2 sparse → push).
+    fn attribution_batch() -> MultiVector<bool> {
+        let mut dense_row = Vector::from_sparse(5, false, vec![0, 1, 2], vec![true; 3]);
+        dense_row.make_dense();
+        MultiVector::from_rows(vec![
+            dense_row,
+            Vector::singleton(5, false, 0, true),
+            Vector::singleton(5, false, 2, true),
+        ])
+    }
+
+    #[test]
+    fn attributed_rows_match_their_solo_runs() {
+        let batch = attribution_batch();
+        let rows: Vec<AccessCounters> = (0..3).map(|_| AccessCounters::new()).collect();
+        let row_refs: Vec<&AccessCounters> = rows.iter().collect();
+        let shared = AccessCounters::new();
+        let out: MultiVector<bool> = mxv_batch_attributed(
+            None,
+            BoolOrAnd,
+            &diamond(),
+            &batch,
+            &desc_bfs(),
+            None,
+            Some(&shared),
+            Some(&row_refs),
+        )
+        .unwrap();
+        for (r, row) in rows.iter().enumerate() {
+            // Solo = the same row as a k=1 attributed batch on a fresh graph
+            // (fresh FormatCache keeps batch-scoped conversion charges out of
+            // the comparison; they live on the shared set either way).
+            let solo_row = AccessCounters::new();
+            let solo_shared = AccessCounters::new();
+            let single = MultiVector::from_rows(vec![batch.row(r).clone()]);
+            let solo: MultiVector<bool> = mxv_batch_attributed(
+                None,
+                BoolOrAnd,
+                &diamond(),
+                &single,
+                &desc_bfs(),
+                None,
+                Some(&solo_shared),
+                Some(&[&solo_row]),
+            )
+            .unwrap();
+            assert_eq!(
+                explicit(out.row(r)),
+                explicit(solo.row(0)),
+                "row {r} values"
+            );
+            assert_eq!(
+                row.snapshot(),
+                solo_row.snapshot(),
+                "row {r} attributed counters ≠ solo run"
+            );
+        }
+    }
+
+    #[test]
+    fn attribution_fold_keeps_the_shared_aggregate_identical() {
+        let batch = attribution_batch();
+        let rows: Vec<AccessCounters> = (0..3).map(|_| AccessCounters::new()).collect();
+        let row_refs: Vec<&AccessCounters> = rows.iter().collect();
+        let attributed_shared = AccessCounters::new();
+        let a: MultiVector<bool> = mxv_batch_attributed(
+            None,
+            BoolOrAnd,
+            &diamond(),
+            &batch,
+            &desc_bfs(),
+            None,
+            Some(&attributed_shared),
+            Some(&row_refs),
+        )
+        .unwrap();
+        let plain_shared = AccessCounters::new();
+        let b: MultiVector<bool> = mxv_batch(
+            None,
+            BoolOrAnd,
+            &diamond(),
+            &batch,
+            &desc_bfs(),
+            None,
+            Some(&plain_shared),
+        )
+        .unwrap();
+        for r in 0..3 {
+            assert_eq!(explicit(a.row(r)), explicit(b.row(r)), "row {r}");
+        }
+        assert_eq!(
+            attributed_shared.snapshot(),
+            plain_shared.snapshot(),
+            "fold-at-end must keep the aggregate identical to an unattributed run"
+        );
+        let total_rows: u64 = rows.iter().map(|c| c.snapshot().matrix).sum();
+        assert_eq!(total_rows, plain_shared.snapshot().matrix);
+    }
+
+    #[test]
+    fn tripped_row_counter_stops_only_its_row() {
+        use crate::{ExecLimits, StopReason};
+
+        let batch = attribution_batch();
+        let rows: Vec<AccessCounters> = (0..3).map(|_| AccessCounters::new()).collect();
+        // Row 1 carries an already-expired deadline; its chunks bail at the
+        // first checkpoint while siblings run to completion.
+        rows[1].install_limits(&ExecLimits::none().with_deadline(std::time::Duration::ZERO));
+        let row_refs: Vec<&AccessCounters> = rows.iter().collect();
+        let shared = AccessCounters::new();
+        let out: MultiVector<bool> = mxv_batch_attributed(
+            None,
+            BoolOrAnd,
+            &diamond(),
+            &batch,
+            &desc_bfs(),
+            None,
+            Some(&shared),
+            Some(&row_refs),
+        )
+        .unwrap();
+        assert_eq!(rows[1].stop_reason(), Some(StopReason::Deadline));
+        assert_eq!(rows[0].stop_reason(), None);
+        assert_eq!(rows[2].stop_reason(), None);
+
+        // Siblings are bit-identical to an untripped run.
+        let clean: MultiVector<bool> =
+            mxv_batch(None, BoolOrAnd, &diamond(), &batch, &desc_bfs(), None, None).unwrap();
+        assert_eq!(explicit(out.row(0)), explicit(clean.row(0)));
+        assert_eq!(explicit(out.row(2)), explicit(clean.row(2)));
+    }
+
+    #[test]
+    fn row_counter_count_mismatch_reported() {
+        let g = diamond();
+        let batch = MultiVector::<bool>::new_sparse(2, 5, false);
+        let one = AccessCounters::new();
+        let r: GrbResult<MultiVector<bool>> = mxv_batch_attributed(
+            None,
+            BoolOrAnd,
+            &g,
+            &batch,
+            &desc_bfs(),
+            None,
+            None,
+            Some(&[&one]),
+        );
+        assert!(matches!(r, Err(GrbError::DimensionMismatch { .. })));
     }
 }

@@ -252,6 +252,32 @@ impl AccessCounters {
             .store(s.limit_degrades, Ordering::Relaxed);
     }
 
+    /// Add every category of `delta` into these counters (one relaxed
+    /// atomic add per field). The attributed batch kernels use this to
+    /// fold each row's privately-charged work back into the shared
+    /// aggregate at the end of the call, so an attributed batch's shared
+    /// totals stay identical to an unattributed run of the same batch.
+    pub fn absorb(&self, delta: &CounterSnapshot) {
+        self.matrix.fetch_add(delta.matrix, Ordering::Relaxed);
+        self.vector.fetch_add(delta.vector, Ordering::Relaxed);
+        self.mask.fetch_add(delta.mask, Ordering::Relaxed);
+        self.sort.fetch_add(delta.sort, Ordering::Relaxed);
+        self.push_steps
+            .fetch_add(delta.push_steps, Ordering::Relaxed);
+        self.pull_steps
+            .fetch_add(delta.pull_steps, Ordering::Relaxed);
+        self.fused_saved_writes
+            .fetch_add(delta.fused_saved_writes, Ordering::Relaxed);
+        self.format_switches
+            .fetch_add(delta.format_switches, Ordering::Relaxed);
+        self.bit_word_ops
+            .fetch_add(delta.bit_word_ops, Ordering::Relaxed);
+        self.bitmap_degrades
+            .fetch_add(delta.bitmap_degrades, Ordering::Relaxed);
+        self.limit_degrades
+            .fetch_add(delta.limit_degrades, Ordering::Relaxed);
+    }
+
     // ---- limit enforcement ----
 
     /// Arm the given limits on these counters. The deadline clock starts
@@ -466,6 +492,28 @@ impl CounterSnapshot {
         self.matrix + self.vector + self.mask + self.sort
     }
 
+    /// Field-wise difference `self − earlier` (saturating), for folding a
+    /// counter's growth since a baseline into another set of counters via
+    /// [`AccessCounters::absorb`].
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            matrix: self.matrix.saturating_sub(earlier.matrix),
+            vector: self.vector.saturating_sub(earlier.vector),
+            mask: self.mask.saturating_sub(earlier.mask),
+            sort: self.sort.saturating_sub(earlier.sort),
+            push_steps: self.push_steps.saturating_sub(earlier.push_steps),
+            pull_steps: self.pull_steps.saturating_sub(earlier.pull_steps),
+            fused_saved_writes: self
+                .fused_saved_writes
+                .saturating_sub(earlier.fused_saved_writes),
+            format_switches: self.format_switches.saturating_sub(earlier.format_switches),
+            bit_word_ops: self.bit_word_ops.saturating_sub(earlier.bit_word_ops),
+            bitmap_degrades: self.bitmap_degrades.saturating_sub(earlier.bitmap_degrades),
+            limit_degrades: self.limit_degrades.saturating_sub(earlier.limit_degrades),
+        }
+    }
+
     /// This snapshot with the pure-telemetry fields (`fused_saved_writes`,
     /// `bit_word_ops`, `bitmap_degrades`) zeroed — the Table 1 access
     /// categories plus direction steps only. Fused and unfused runs of the
@@ -583,6 +631,26 @@ mod tests {
         assert_ne!(c.snapshot(), before);
         c.restore(&before);
         assert_eq!(c.snapshot(), before);
+    }
+
+    #[test]
+    fn absorb_folds_a_delta_into_another_counter_set() {
+        let private = AccessCounters::new();
+        let base = private.snapshot();
+        private.add_matrix(10);
+        private.add_push_step();
+        private.add_bit_word_ops(3);
+        let shared = AccessCounters::new();
+        shared.add_matrix(5);
+        shared.absorb(&private.snapshot().delta_since(&base));
+        let s = shared.snapshot();
+        assert_eq!(s.matrix, 15);
+        assert_eq!(s.push_steps, 1);
+        assert_eq!(s.bit_word_ops, 3);
+        // Saturating: a restored (rolled-back) private counter folds as 0.
+        private.restore(&base);
+        shared.absorb(&private.snapshot().delta_since(&base));
+        assert_eq!(shared.snapshot(), s, "empty delta absorbs as a no-op");
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Windowed admission: micro-batches derived purely from arrival ticks.
+//!
+//! The first pending request opens an admission window; everything that
+//! arrives within `window_ticks` of it joins the batch, up to
+//! `max_batch`. The plan is a pure function of the arrival ticks — it
+//! does not look at execution times — so a fixed seeded trace admits
+//! identically at any lane count (`tests/thread_scaling.rs` pins this).
+
+/// Admission parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Window length in ticks; 0 degenerates to sequential dispatch
+    /// (every request its own batch — the bench baseline).
+    pub window_ticks: u64,
+    /// Hard cap on batch size; the window closes early when reached.
+    pub max_batch: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            window_ticks: 8,
+            max_batch: 16,
+        }
+    }
+}
+
+/// Group request indices into admission batches. `arrivals` must be
+/// sorted ascending (trace order).
+#[must_use]
+pub fn plan_admission(arrivals: &[u64], cfg: &AdmissionConfig) -> Vec<Vec<usize>> {
+    let max_batch = cfg.max_batch.max(1);
+    let mut batches = Vec::new();
+    let mut i = 0;
+    while i < arrivals.len() {
+        let close = arrivals[i].saturating_add(cfg.window_ticks);
+        let mut batch = Vec::new();
+        while i < arrivals.len() && arrivals[i] <= close && batch.len() < max_batch {
+            debug_assert!(batch.is_empty() || arrivals[i] >= arrivals[i - 1], "sorted");
+            batch.push(i);
+            i += 1;
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+/// The tick at which a batch's window closes (its virtual admission
+/// time): the last member's arrival when the size cap filled the batch,
+/// otherwise the window edge.
+#[must_use]
+pub fn admit_tick(arrivals: &[u64], batch: &[usize], cfg: &AdmissionConfig) -> u64 {
+    let first = arrivals[batch[0]];
+    let last = arrivals[*batch.last().expect("non-empty batch")];
+    if batch.len() >= cfg.max_batch.max(1) {
+        last
+    } else {
+        first.saturating_add(cfg.window_ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_groups_nearby_arrivals() {
+        let arrivals = [0, 2, 5, 20, 21, 40];
+        let cfg = AdmissionConfig {
+            window_ticks: 6,
+            max_batch: 16,
+        };
+        let plan = plan_admission(&arrivals, &cfg);
+        assert_eq!(plan, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+        assert_eq!(admit_tick(&arrivals, &plan[0], &cfg), 6);
+    }
+
+    #[test]
+    fn zero_window_is_sequential_dispatch() {
+        let arrivals = [0, 0, 1, 9];
+        let cfg = AdmissionConfig {
+            window_ticks: 0,
+            max_batch: 16,
+        };
+        let plan = plan_admission(&arrivals, &cfg);
+        // Simultaneous arrivals still share the zero-length window.
+        assert_eq!(plan, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn max_batch_closes_the_window_early() {
+        let arrivals = [0, 1, 2, 3];
+        let cfg = AdmissionConfig {
+            window_ticks: 100,
+            max_batch: 3,
+        };
+        let plan = plan_admission(&arrivals, &cfg);
+        assert_eq!(plan, vec![vec![0, 1, 2], vec![3]]);
+        assert_eq!(admit_tick(&arrivals, &plan[0], &cfg), 2, "filled at t=2");
+    }
+}

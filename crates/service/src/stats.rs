@@ -1,0 +1,107 @@
+//! Service-level statistics over a trace outcome: throughput, latency
+//! percentiles, batch-size histogram, coalescing rate.
+
+use crate::trace::TraceOutcome;
+
+/// Aggregated serve metrics.
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Requests completed per virtual second.
+    pub qps: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    /// Fraction of requests that executed in a same-kind group of
+    /// size > 1 (shared a batched traversal).
+    pub coalescing_rate: f64,
+    /// `hist[i]` = number of admitted batches of size `i + 1`.
+    pub batch_hist: Vec<usize>,
+    /// Largest admitted batch.
+    pub max_batch: usize,
+    /// Largest same-kind coalesced group.
+    pub max_group: usize,
+    /// Requests that returned a typed abort.
+    pub aborted: usize,
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) over an unsorted sample.
+#[must_use]
+pub fn percentile_ns(samples: &[u128], p: f64) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+const NS_PER_MS: f64 = 1e6;
+
+/// Reduce a trace outcome to its serve metrics.
+#[must_use]
+pub fn compute(outcome: &TraceOutcome) -> ServeStats {
+    let n = outcome.responses.len();
+    let qps = if outcome.total_ns == 0 {
+        0.0
+    } else {
+        n as f64 * 1e9 / outcome.total_ns as f64
+    };
+    let coalesced = outcome
+        .responses
+        .iter()
+        .filter(|r| r.group_size > 1)
+        .count();
+    let aborted = outcome
+        .responses
+        .iter()
+        .filter(|r| r.result.is_err())
+        .count();
+    let max_batch = outcome.batches.iter().map(Vec::len).max().unwrap_or(0);
+    let mut batch_hist = vec![0usize; max_batch];
+    for b in &outcome.batches {
+        if !b.is_empty() {
+            batch_hist[b.len() - 1] += 1;
+        }
+    }
+    ServeStats {
+        qps,
+        p50_ms: percentile_ns(&outcome.latencies_ns, 50.0) as f64 / NS_PER_MS,
+        p95_ms: percentile_ns(&outcome.latencies_ns, 95.0) as f64 / NS_PER_MS,
+        p99_ms: percentile_ns(&outcome.latencies_ns, 99.0) as f64 / NS_PER_MS,
+        coalescing_rate: if n == 0 {
+            0.0
+        } else {
+            coalesced as f64 / n as f64
+        },
+        batch_hist,
+        max_batch,
+        max_group: outcome
+            .responses
+            .iter()
+            .map(|r| r.group_size)
+            .max()
+            .unwrap_or(0),
+        aborted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles_are_monotone() {
+        let samples: Vec<u128> = (1..=100).rev().collect();
+        assert_eq!(percentile_ns(&samples, 50.0), 50);
+        assert_eq!(percentile_ns(&samples, 95.0), 95);
+        assert_eq!(percentile_ns(&samples, 99.0), 99);
+        assert_eq!(percentile_ns(&samples, 100.0), 100);
+        assert!(percentile_ns(&samples, 50.0) <= percentile_ns(&samples, 95.0));
+    }
+
+    #[test]
+    fn empty_sample_is_zero() {
+        assert_eq!(percentile_ns(&[], 99.0), 0);
+    }
+}

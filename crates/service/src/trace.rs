@@ -1,0 +1,66 @@
+//! Deterministic trace runner: a virtual clock over arrival ticks plus
+//! measured execution time. Admission order, batch composition, values,
+//! and per-request counters are pure functions of the trace; only the
+//! latency *numbers* reflect the machine.
+
+use std::time::Instant;
+
+use graphblas_primitives::counters::AccessCounters;
+
+use crate::admission::{admit_tick, plan_admission, AdmissionConfig};
+use crate::executor::{execute_batch, ExecOpts, ServiceGraphs};
+use crate::request::{Request, Response};
+
+/// Outcome of replaying one trace.
+#[derive(Clone, Debug)]
+pub struct TraceOutcome {
+    /// One response per request, in admission (= arrival) order.
+    pub responses: Vec<Response>,
+    /// Request ids per admitted batch — the composition pin.
+    pub batches: Vec<Vec<u64>>,
+    /// Per-response latency: virtual completion − arrival, in ns.
+    pub latencies_ns: Vec<u128>,
+    /// Virtual makespan of the whole trace in ns.
+    pub total_ns: u128,
+}
+
+/// Replay `trace` (arrival-ordered) through windowed admission and the
+/// coalescing executor. The virtual clock starts each batch at
+/// `max(previous completion, its admission tick)` and advances by the
+/// measured execution time; `tick_ns` converts arrival ticks to ns.
+pub fn run_trace(
+    graphs: &ServiceGraphs,
+    opts: &ExecOpts,
+    trace: &[Request],
+    adm: &AdmissionConfig,
+    tick_ns: u64,
+    shared: Option<&AccessCounters>,
+) -> TraceOutcome {
+    let arrivals: Vec<u64> = trace.iter().map(|r| r.arrival_tick).collect();
+    let plan = plan_admission(&arrivals, adm);
+
+    let mut responses = Vec::with_capacity(trace.len());
+    let mut latencies_ns = Vec::with_capacity(trace.len());
+    let mut batches = Vec::with_capacity(plan.len());
+    let mut now_ns: u128 = 0;
+    for batch_idxs in &plan {
+        let batch: Vec<Request> = batch_idxs.iter().map(|&i| trace[i].clone()).collect();
+        batches.push(batch.iter().map(|r| r.id).collect());
+        let admit_ns = u128::from(admit_tick(&arrivals, batch_idxs, adm)) * u128::from(tick_ns);
+        let start_ns = now_ns.max(admit_ns);
+        let t = Instant::now();
+        let rs = execute_batch(graphs, opts, &batch, shared);
+        now_ns = start_ns + t.elapsed().as_nanos();
+        for &i in batch_idxs {
+            let arrival_ns = u128::from(arrivals[i]) * u128::from(tick_ns);
+            latencies_ns.push(now_ns.saturating_sub(arrival_ns));
+        }
+        responses.extend(rs);
+    }
+    TraceOutcome {
+        responses,
+        batches,
+        latencies_ns,
+        total_ns: now_ns,
+    }
+}

@@ -36,6 +36,7 @@
 //! | [`algo`] | BFS (Algorithm 1 + Table 2 ladder), SSSP, PageRank (+adaptive), CC, MIS, triangle counting, multi-source BFS, batched BC |
 //! | [`gen`] | R-MAT/Kronecker, Chung-Lu power-law, RGG, road meshes, the Table 3 dataset suite |
 //! | [`baselines`] | reimplemented comparators: SuiteSparse-like, CuSha-like, Ligra-like, Gunrock-like, push baseline, serial oracle |
+//! | [`service`] | concurrent query service: windowed admission, same-kind coalescing into batched traversals, per-request limits/counters, seeded load generator |
 
 pub use graphblas_algo as algo;
 pub use graphblas_baselines as baselines;
@@ -43,6 +44,7 @@ pub use graphblas_core as core;
 pub use graphblas_gen as gen;
 pub use graphblas_matrix as matrix;
 pub use graphblas_primitives as primitives;
+pub use graphblas_service as service;
 
 /// The names most programs need.
 pub mod prelude {

@@ -171,6 +171,159 @@ proptest! {
     }
 }
 
+/// An armed allocation fault inside a coalesced service batch fells
+/// exactly one request with the typed bytes error; every sibling's
+/// values and per-request counters are bit-identical to a disarmed solo
+/// run, and the disarmed re-dispatch of the full batch is clean.
+#[test]
+fn alloc_fault_in_coalesced_batch_fells_exactly_one_request() {
+    use push_pull::core::ExecLimits;
+    use push_pull::service::{execute_batch, ExecOpts, Query, Request, ServiceGraphs};
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let g = test_graph();
+    let gs = ServiceGraphs::new(g.clone(), push_pull::gen::with_uniform_weights(&g, 7));
+    // Unfused parent BFS charges its per-level output buffers, giving the
+    // allocation countdown real sites inside the coalesced traversal.
+    let opts = ExecOpts {
+        parents: push_pull::algo::bfs_parents::ParentBfsOpts {
+            fused: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sources = [0u32, 17, 513];
+    let batch: Vec<Request> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            // Real (roomy) budgets on every request: the fault must
+            // surface through the limits machinery, not around it.
+            Request::new(i as u64, Query::Parents { source: s })
+                .with_limits(ExecLimits::none().with_bytes_budget(u64::MAX / 2))
+        })
+        .collect();
+    for lanes in LANES {
+        rayon::with_num_threads(lanes, || {
+            fault::clear();
+            let plan = FaultPlan {
+                fail_alloc_nth: Some(2),
+                ..FaultPlan::default()
+            };
+            fault::install(&plan);
+            let rs = execute_batch(&gs, &opts, &batch, None);
+            fault::clear();
+
+            let felled: Vec<usize> = (0..rs.len()).filter(|&i| rs[i].result.is_err()).collect();
+            assert_eq!(felled.len(), 1, "exactly one victim at {lanes} lanes");
+            let v = felled[0];
+            assert_eq!(
+                rs[v].result,
+                Err(GrbError::BudgetExceeded {
+                    resource: BudgetResource::Bytes
+                }),
+                "typed bytes abort at {lanes} lanes"
+            );
+            assert_eq!(
+                rs[v].counters,
+                CounterSnapshot::default(),
+                "victim's counters restored at {lanes} lanes"
+            );
+
+            let solo_disarmed = |s: u32| {
+                execute_batch(
+                    &gs,
+                    &opts,
+                    &[Request::new(9, Query::Parents { source: s })],
+                    None,
+                )
+                .pop()
+                .expect("one request, one response")
+            };
+            for (i, &s) in sources.iter().enumerate() {
+                if i == v {
+                    continue;
+                }
+                let alone = solo_disarmed(s);
+                assert_eq!(rs[i].result, alone.result, "sibling {i} at {lanes} lanes");
+                assert_eq!(
+                    rs[i].counters, alone.counters,
+                    "sibling {i} counters at {lanes} lanes"
+                );
+            }
+
+            // Disarmed re-dispatch of the identical batch: all clean.
+            let retry = execute_batch(&gs, &opts, &batch, None);
+            for (i, r) in retry.iter().enumerate() {
+                assert!(r.result.is_ok(), "retry request {i} at {lanes} lanes");
+            }
+        });
+    }
+}
+
+/// An injected worker-chunk panic inside a coalesced group triggers the
+/// executor's de-coalescing path: every passenger is re-run solo (the
+/// one-shot fault is spent), flagged `retried_solo`, and returns values
+/// identical to a disarmed solo dispatch.
+#[test]
+fn chunk_panic_decoalesces_group_and_solo_retries_succeed() {
+    use push_pull::algo::msbfs::MsBfsOpts;
+    use push_pull::service::{execute_batch, ExecOpts, Query, Request, ServiceGraphs};
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    // Scale 12 with forced pull over CSR: every level chunks through the
+    // pool, so a low armed K lands inside the coalesced traversal.
+    let g = rmat(12, 16, RmatParams::default(), 23);
+    let gs = ServiceGraphs::new(g.clone(), push_pull::gen::with_uniform_weights(&g, 7));
+    let opts = ExecOpts {
+        bfs: MsBfsOpts {
+            force: Some(Direction::Pull),
+            format: FormatPolicy::fixed(StorageFormat::Csr),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sources = [0u32, 17, 1234];
+    let batch: Vec<Request> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Request::new(i as u64, Query::Bfs { source: s }))
+        .collect();
+    for lanes in LANES {
+        rayon::with_num_threads(lanes, || {
+            fault::clear();
+            let disarmed: Vec<_> = execute_batch(&gs, &opts, &batch, None)
+                .into_iter()
+                .map(|r| (r.result, r.counters))
+                .collect();
+
+            let plan = FaultPlan {
+                panic_chunk_nth: Some(2),
+                ..FaultPlan::default()
+            };
+            fault::install(&plan);
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let rs = execute_batch(&gs, &opts, &batch, None);
+            std::panic::set_hook(prev);
+            fault::clear();
+
+            assert!(
+                rs.iter().any(|r| r.retried_solo),
+                "the group must have de-coalesced at {lanes} lanes"
+            );
+            for (i, r) in rs.iter().enumerate() {
+                assert_eq!(
+                    r.result, disarmed[i].0,
+                    "request {i} values after retry at {lanes} lanes"
+                );
+                assert_eq!(
+                    r.counters, disarmed[i].1,
+                    "request {i} counters after retry at {lanes} lanes"
+                );
+            }
+        });
+    }
+}
+
 /// Arming the same plan twice injects the same fault at the same logical
 /// point: at one lane the surfaced chunk index is identical run-to-run,
 /// which is what makes a failing chaos scenario replayable.

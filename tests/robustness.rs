@@ -284,6 +284,76 @@ fn cc_abort_then_retry_matches_clean_run() {
     assert_eq!(retry_c.snapshot(), clean_c.snapshot());
 }
 
+/// Service-layer isolation: one request with an expired deadline inside
+/// a coalesced batch aborts with its typed error while every sibling's
+/// values and per-request counters are bit-identical to its solo run —
+/// and the victim's immediate unlimited retry is bit-identical to a
+/// fresh dispatch. At every lane count.
+#[test]
+fn coalesced_batch_isolates_tripped_request_and_retry_is_fresh() {
+    use push_pull::service::{execute_batch, ExecOpts, Query, Request, ServiceGraphs};
+    let g = test_graph();
+    let gs = ServiceGraphs::new(g.clone(), with_uniform_weights(&g, 7));
+    let opts = ExecOpts::default();
+    let sources = [0u32, 17, 1234];
+    for lanes in LANES {
+        rayon::with_num_threads(lanes, || {
+            let batch: Vec<Request> = sources
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let r = Request::new(i as u64, Query::Bfs { source: s });
+                    if i == 1 {
+                        r.with_limits(ExecLimits::none().with_deadline(Duration::ZERO))
+                    } else {
+                        r
+                    }
+                })
+                .collect();
+            let rs = execute_batch(&gs, &opts, &batch, None);
+            assert_eq!(
+                rs[1].result,
+                Err(GrbError::Cancelled),
+                "victim aborts typed at {lanes} lanes"
+            );
+            assert_eq!(
+                rs[1].counters,
+                push_pull::primitives::counters::CounterSnapshot::default(),
+                "victim's counters restored at {lanes} lanes"
+            );
+
+            let solo = |id: u64, s: u32| {
+                execute_batch(
+                    &gs,
+                    &opts,
+                    &[Request::new(id, Query::Bfs { source: s })],
+                    None,
+                )
+                .pop()
+                .expect("one request, one response")
+            };
+            for i in [0usize, 2] {
+                let alone = solo(9, sources[i]);
+                assert_eq!(rs[i].result, alone.result, "sibling {i} at {lanes} lanes");
+                assert_eq!(
+                    rs[i].counters, alone.counters,
+                    "sibling {i} counters at {lanes} lanes"
+                );
+            }
+
+            // The victim's immediate unlimited retry carries no residue.
+            let retry = solo(10, sources[1]);
+            let fresh = solo(11, sources[1]);
+            assert!(retry.result.is_ok(), "retry completes at {lanes} lanes");
+            assert_eq!(retry.result, fresh.result, "retry values at {lanes} lanes");
+            assert_eq!(
+                retry.counters, fresh.counters,
+                "retry counters at {lanes} lanes"
+            );
+        });
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -531,6 +531,49 @@ fn bit_kernels_at_tile_boundaries_identical_across_thread_counts() {
 }
 
 #[test]
+fn service_trace_identical_across_thread_counts() {
+    // The query service replaying a fixed seeded arrival trace: the
+    // admission plan is a pure function of arrival ticks, so the batch
+    // composition, every response's values, and every request's FULL
+    // per-request counter snapshot are bit-identical at 1/2/8 lanes.
+    use push_pull::service::{
+        generate_trace, run_trace, AdmissionConfig, ExecOpts, LoadGenConfig, ServiceGraphs,
+    };
+    let g = test_graph();
+    let gs = ServiceGraphs::new(g.clone(), with_uniform_weights(&g, 23));
+    let opts = ExecOpts::default();
+    let trace = generate_trace(
+        &LoadGenConfig {
+            n_requests: 12,
+            ..LoadGenConfig::default()
+        },
+        gs.n_vertices(),
+    );
+    let adm = AdmissionConfig {
+        window_ticks: 16,
+        max_batch: 4,
+    };
+    identical_across_lanes(|| {
+        let out = run_trace(&gs, &opts, &trace, &adm, 1_000, None);
+        let per_request: Vec<_> = out
+            .responses
+            .iter()
+            .map(|r| {
+                (
+                    r.id,
+                    r.result.clone(),
+                    r.counters,
+                    r.batch_size,
+                    r.group_size,
+                    r.retried_solo,
+                )
+            })
+            .collect();
+        (out.batches, per_request)
+    });
+}
+
+#[test]
 fn hypersparse_pull_skip_matches_csr_across_thread_counts() {
     // The DCSR unmasked-pull fast path (non-empty-row scan with bulk
     // counter charges) against the CSR full scan: same values, same
