@@ -259,3 +259,124 @@ fn committed_serve_artifact_shows_coalescing_and_isolation() {
         );
     }
 }
+
+/// One dataset scraped out of `BENCH_shards.json`: the unsharded push/pull
+/// totals plus every grid arm's totals and telemetry.
+#[derive(Debug, Default)]
+struct ShardDataset {
+    name: String,
+    unsharded_push_total: u64,
+    unsharded_pull_total: u64,
+    /// `(push_total, pull_total, shard_merges)` per grid arm.
+    arms: Vec<(u64, u64, u64)>,
+}
+
+/// Hand-scan of the shards artifact. `"name"` opens a dataset object;
+/// `"grid_rows"` opens a grid arm within the current dataset.
+fn scrape_shards(text: &str) -> Vec<ShardDataset> {
+    let mut out: Vec<ShardDataset> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "name" => out.push(ShardDataset {
+                name: value.trim_matches('"').to_string(),
+                ..ShardDataset::default()
+            }),
+            "unsharded_push_total" => {
+                if let (Some(d), Ok(v)) = (out.last_mut(), value.parse()) {
+                    d.unsharded_push_total = v;
+                }
+            }
+            "unsharded_pull_total" => {
+                if let (Some(d), Ok(v)) = (out.last_mut(), value.parse()) {
+                    d.unsharded_pull_total = v;
+                }
+            }
+            "grid_rows" => {
+                if let Some(d) = out.last_mut() {
+                    d.arms.push((0, 0, 0));
+                }
+            }
+            "push_total" => {
+                if let (Some(a), Ok(v)) = (
+                    out.last_mut().and_then(|d| d.arms.last_mut()),
+                    value.parse(),
+                ) {
+                    a.0 = v;
+                }
+            }
+            "pull_total" => {
+                if let (Some(a), Ok(v)) = (
+                    out.last_mut().and_then(|d| d.arms.last_mut()),
+                    value.parse(),
+                ) {
+                    a.1 = v;
+                }
+            }
+            "shard_merges" => {
+                if let (Some(a), Ok(v)) = (
+                    out.last_mut().and_then(|d| d.arms.last_mut()),
+                    value.parse(),
+                ) {
+                    a.2 = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The committed shards artifact carries the acceptance claim of the
+/// sharded execution layer: on every suite dataset and every grid, the
+/// sharded push charges no more total accesses than the unsharded oracle
+/// (the study's equivalence gate makes them identical), pull likewise, and
+/// the stripe-local merge telemetry shows sharding genuinely engaged.
+#[test]
+fn committed_shards_artifact_never_charges_more_than_unsharded() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_shards.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let datasets = scrape_shards(&text);
+    assert!(
+        datasets.len() >= 2,
+        "artifact should cover the dataset suite, scraped {datasets:?}"
+    );
+    for d in &datasets {
+        assert!(
+            d.arms.len() >= 2,
+            "{}: artifact should sweep multiple grid shapes",
+            d.name
+        );
+        assert!(
+            d.unsharded_push_total > 0 && d.unsharded_pull_total > 0,
+            "{}: counted oracle runs must charge accesses",
+            d.name
+        );
+        for (i, &(push, pull, merges)) in d.arms.iter().enumerate() {
+            assert!(
+                push <= d.unsharded_push_total,
+                "{} arm {i}: sharded push charged {push} > unsharded {}; \
+                 regenerate with bench-all",
+                d.name,
+                d.unsharded_push_total
+            );
+            assert!(
+                pull <= d.unsharded_pull_total,
+                "{} arm {i}: sharded pull charged {pull} > unsharded {}",
+                d.name,
+                d.unsharded_pull_total
+            );
+            assert!(
+                merges >= 1,
+                "{} arm {i}: no stripe-local merge recorded — sharding never engaged",
+                d.name
+            );
+        }
+    }
+}

@@ -38,11 +38,12 @@
 //! every backend (`tests/prop_core.rs` pins values *and* counters against
 //! the `Fixed(Csr)` oracle) — so the planner is free to chase wall clock.
 
-use crate::descriptor::{Descriptor, Direction, FormatChoice};
+use crate::bitops::FrontierWords;
+use crate::descriptor::{Descriptor, Direction, FormatChoice, ShardPolicy};
 use crate::ops::Scalar;
 use crate::ops_mxv::resolve_direction;
 use crate::vector::Vector;
-use graphblas_matrix::{Graph, StorageFormat};
+use graphblas_matrix::{Graph, ShardGrid, StorageFormat, DEFAULT_SHARD_BUDGET};
 use graphblas_primitives::counters::AccessCounters;
 
 /// Row-occupancy threshold below which an operand counts as hypersparse
@@ -125,13 +126,16 @@ pub fn note_bitmap_degrade(
 }
 
 /// A resolved execution plan: which kernel face runs, over which storage
-/// backend.
+/// backend, blocked by which shard grid (if any).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecPlan {
     /// The kernel face (push = column-based, pull = row-based).
     pub direction: Direction,
     /// The storage format the face's operand will be served in.
     pub format: StorageFormat,
+    /// The 2D shard grid the face blocks its work by, or `None` to run
+    /// the unsharded oracle path. Resolved by [`resolve_shards`].
+    pub shard: Option<ShardGrid>,
 }
 
 /// Which physical orientation the chosen kernel face iterates rows of:
@@ -206,7 +210,40 @@ pub fn resolve_plan<A: Scalar, X: Scalar>(
         }
         FormatChoice::Auto => auto_format(graph, desc.transpose, direction),
     };
-    ExecPlan { direction, format }
+    let shard = resolve_shards(graph, desc.transpose, direction, desc);
+    ExecPlan {
+        direction,
+        format,
+        shard,
+    }
+}
+
+/// The shard half of [`resolve_plan`]: the grid the chosen face should
+/// block its work by, or `None` for the unsharded oracle path.
+///
+/// `Fixed` grids always engage (normalized per dimension — a requested
+/// `1×1` still runs the sharded code path over a single stripe, which is
+/// how the equivalence suite exercises the degenerate grid). `Auto`
+/// engages the operand's cached default-budget plan only when the dense
+/// push working set exceeds the shard cache budget; below that the stripe
+/// bookkeeping costs more than the locality buys.
+#[must_use]
+pub fn resolve_shards<A: Scalar>(
+    graph: &Graph<A>,
+    transpose: bool,
+    direction: Direction,
+    desc: &Descriptor,
+) -> Option<ShardGrid> {
+    match desc.shards {
+        ShardPolicy::Off => None,
+        ShardPolicy::Fixed(g) => Some(ShardGrid::new(g.row_stripes, g.col_stripes)),
+        ShardPolicy::Auto => {
+            let side = operand_side(transpose, direction);
+            let plan = graph.shard_plan(side);
+            (plan.dense_working_set_bytes() > DEFAULT_SHARD_BUDGET && plan.engaged())
+                .then(|| plan.grid())
+        }
+    }
 }
 
 /// Resolve the format for a batched call (`mxv_batch`), whose per-row
@@ -369,6 +406,24 @@ impl FormatPolicy {
         direction: Direction,
         counters: Option<&AccessCounters>,
     ) -> StorageFormat {
+        self.update_with_frontier(graph, transpose, direction, None, counters)
+    }
+
+    /// [`FormatPolicy::update`] with this iteration's frontier population
+    /// supplied, letting the measured cost model price the *compressed*
+    /// frontier-word scan: a bit pull intersects each row window with the
+    /// frontier's nonzero words only (`FrontierWords` compresses when
+    /// they are few), so a sparse frontier caps the scan far below the
+    /// dense window stride the shape-only rule assumes. `Auto` and `Fixed`
+    /// modes ignore the hint.
+    pub fn update_with_frontier<A: Scalar>(
+        &mut self,
+        graph: &Graph<A>,
+        transpose: bool,
+        direction: Direction,
+        frontier_nnz: Option<usize>,
+        counters: Option<&AccessCounters>,
+    ) -> StorageFormat {
         let preferred = match self.mode {
             FormatMode::Fixed(f) => {
                 let side = operand_side(transpose, direction);
@@ -380,7 +435,8 @@ impl FormatPolicy {
             }
             FormatMode::Auto => auto_format(graph, transpose, direction),
             FormatMode::CostModel(k) => {
-                let (fmt, wanted_infeasible) = cost_model_format(graph, transpose, direction, k);
+                let (fmt, wanted_infeasible) =
+                    cost_model_format(graph, transpose, direction, k, frontier_nnz);
                 if wanted_infeasible {
                     self.note_degrade(operand_side(transpose, direction), counters);
                 }
@@ -422,13 +478,22 @@ impl FormatPolicy {
 /// average row's scalar scan against its word scan — the word price taken
 /// from the tiled allocation plan (`words / n_rows`), so banded graphs
 /// with narrow windows price far below the old dense `⌈n/64⌉` stride.
-/// Returns the chosen format plus whether the model wanted an infeasible
-/// bitmap (the caller memoizes the `bitmap_degrades` charge per side).
+///
+/// When the caller supplies the frontier population, the word price is
+/// additionally capped at the frontier's *compressed* word count: the bit
+/// pull kernel scans the intersection of a row's window with the frontier
+/// words, and once the frontier clears [`FrontierWords`]' compression
+/// threshold only its nonzero words are visited at all — a few-word
+/// frontier makes the bit scan near-free regardless of window width (the
+/// mispricing the dense-only rule suffered). Returns the chosen format
+/// plus whether the model wanted an infeasible bitmap (the caller
+/// memoizes the `bitmap_degrades` charge per side).
 fn cost_model_format<A: Scalar>(
     graph: &Graph<A>,
     transpose: bool,
     direction: Direction,
     k: CostConstants,
+    frontier_nnz: Option<usize>,
 ) -> (StorageFormat, bool) {
     if direction != Direction::Pull {
         return (StorageFormat::Csr, false);
@@ -438,7 +503,8 @@ fn cost_model_format<A: Scalar>(
         return (StorageFormat::Dcsr, false);
     }
     let csr = if side { graph.csr_t() } else { graph.csr() };
-    let words_per_row = graph.bitmap_plan(side).avg_words_per_row(csr.n_rows());
+    let dense_words = graph.bitmap_plan(side).avg_words_per_row(csr.n_rows());
+    let words_per_row = effective_words_per_row(dense_words, csr.n_cols(), frontier_nnz);
     if k.pull_edge * csr.avg_degree() > k.bit_word * words_per_row {
         if graph.effective_format(side, StorageFormat::Bitmap) == StorageFormat::Bitmap {
             return (StorageFormat::Bitmap, false);
@@ -446,6 +512,25 @@ fn cost_model_format<A: Scalar>(
         return (StorageFormat::Csr, true);
     }
     (StorageFormat::Csr, false)
+}
+
+/// Words a bit-parallel pull actually scans per row: the dense window
+/// stride, capped at the frontier's nonzero word count when the frontier
+/// is sparse enough that [`FrontierWords::from_dense`] would compress it
+/// (`nzw · COMPRESS_FACTOR ≤ total words`) — compressed traversals visit
+/// only the frontier's populated words that overlap the row window.
+fn effective_words_per_row(dense_words: f64, n_cols: usize, frontier_nnz: Option<usize>) -> f64 {
+    let Some(nnz) = frontier_nnz else {
+        return dense_words;
+    };
+    let total_words = n_cols.div_ceil(64).max(1);
+    // Each frontier nonzero populates at most one word.
+    let nzw = nnz.min(total_words).max(1);
+    if nzw * FrontierWords::COMPRESS_FACTOR <= total_words {
+        dense_words.min(nzw as f64)
+    } else {
+        dense_words
+    }
 }
 
 #[cfg(test)]
@@ -685,6 +770,92 @@ mod tests {
             p3.update(&hs, true, Direction::Pull, None),
             StorageFormat::Dcsr
         );
+    }
+
+    #[test]
+    fn resolve_shards_follows_the_policy() {
+        let g = dense_graph();
+        let desc = Descriptor::new().transpose(true);
+        // Off (the default): never shard.
+        assert_eq!(resolve_shards(&g, true, Direction::Push, &desc), None);
+        // Fixed: always the (normalized) requested grid.
+        let fixed = desc.shard_grid(ShardGrid::new(2, 4));
+        assert_eq!(
+            resolve_shards(&g, true, Direction::Push, &fixed),
+            Some(ShardGrid::new(2, 4))
+        );
+        assert_eq!(
+            resolve_shards(
+                &g,
+                true,
+                Direction::Push,
+                &desc.shard_grid(ShardGrid::new(0, 99))
+            ),
+            Some(ShardGrid::new(1, 16)),
+            "fixed grids are clamped per dimension"
+        );
+        // Auto on a tiny operand: working set under budget, run unsharded.
+        let auto = desc.shard_policy(ShardPolicy::Auto);
+        assert_eq!(resolve_shards(&g, true, Direction::Push, &auto), None);
+        // Auto on a large operand: the cached plan's grid engages.
+        let n = 40_000u32;
+        let mut coo = Coo::new(n as usize, n as usize);
+        for u in 0..n {
+            coo.push(u, (u + 1) % n, true);
+        }
+        let big = Graph::from_coo(&coo);
+        let grid =
+            resolve_shards(&big, true, Direction::Push, &auto).unwrap_or(ShardGrid::UNSHARDED);
+        assert!(
+            !grid.is_unsharded(),
+            "40k-vertex working set exceeds budget"
+        );
+        assert_eq!(grid, big.shard_plan(false).grid(), "the cached plan's grid");
+        // And the resolved plan carries the shard dimension through.
+        let sparse = Vector::singleton(n as usize, false, 0, true);
+        let plan = resolve_plan(&big, &sparse, &auto);
+        assert_eq!(plan.shard, Some(grid));
+        assert_eq!(resolve_plan(&big, &sparse, &desc).shard, None);
+    }
+
+    #[test]
+    fn cost_model_prices_compressed_frontier_scans() {
+        // Every row reaches columns at both ends of a 1024-wide matrix, so
+        // each 64-row tile plans a full 16-word window: dense pricing sees
+        // 16 words/row against an average degree of 4 and keeps CSR.
+        let n = 1024;
+        let mut coo = Coo::new(n, n);
+        for u in 0..n as u32 {
+            for &c in &[0u32, 1, (n - 2) as u32, (n - 1) as u32] {
+                coo.push(u, c, true);
+            }
+        }
+        let g = Graph::from_coo(&coo);
+        let k = CostConstants::default();
+        let mut dense_rule = FormatPolicy::cost_model(k);
+        assert_eq!(
+            dense_rule.update(&g, false, Direction::Pull, None),
+            StorageFormat::Csr,
+            "dense-word pricing overprices the scan"
+        );
+        // A 2-nonzero frontier compresses to ≤2 populated words, so the
+        // bit pull scans at most 2 words/row — now bitmap wins.
+        let mut sparse_rule = FormatPolicy::cost_model(k);
+        assert_eq!(
+            sparse_rule.update_with_frontier(&g, false, Direction::Pull, Some(2), None),
+            StorageFormat::Bitmap,
+            "compressed-frontier pricing sees the real scan cost"
+        );
+        // A frontier too dense to compress prices exactly like before.
+        let mut full_rule = FormatPolicy::cost_model(k);
+        assert_eq!(
+            full_rule.update_with_frontier(&g, false, Direction::Pull, Some(n), None),
+            StorageFormat::Csr
+        );
+        // The cap never *raises* the price: effective words are monotone.
+        assert!(effective_words_per_row(16.0, n, Some(2)) <= 16.0);
+        assert_eq!(effective_words_per_row(16.0, n, None), 16.0);
+        assert_eq!(effective_words_per_row(0.5, n, Some(1)), 0.5);
     }
 
     #[test]

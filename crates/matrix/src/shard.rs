@@ -1,0 +1,369 @@
+//! 2D shard partition plan: cache-sized row × column stripes.
+//!
+//! `BENCH_scaling.json` shows the push (column) kernel scaling *below* 1×
+//! on large graphs: every per-chunk SPA harvest funnels through one global
+//! k-way merge, so adding lanes adds merge traffic faster than it adds
+//! expansion throughput. The fix — standard in distributed GraphBLAS
+//! backends and framed as the communication trade-off in Besta et al.'s
+//! "To Push or To Pull" — is to partition the *output* dimension into
+//! column stripes sized to the cache and let each worker own a stripe:
+//! push collisions then resolve entirely within a stripe-local SPA and the
+//! global merge barrier disappears, while pull streams one column stripe
+//! of the frontier across a row tile at a time, bounding its working set.
+//!
+//! [`ShardPlan`] is the planning half: given any [`RowAccess`] store it
+//! derives a [`ShardGrid`] from `nnz` and a configurable cache budget,
+//! fixes the stripe boundaries, and records per-row-stripe column spans —
+//! all priced O(n_rows) from the CSR row endpoints, exactly like
+//! [`crate::storage::BitmapPlan`], and cached per orientation in the
+//! graph's `FormatCache` so iterative algorithms pay the scan once.
+//!
+//! Stripe boundaries are a function of the matrix shape and the budget
+//! alone — never of the lane count — so sharded kernels produce
+//! bit-identical values and counters at every `PUSH_PULL_THREADS` setting,
+//! the same determinism contract every other chunk layout in this repo
+//! honors.
+
+use crate::storage::RowAccess;
+use crate::{Csr, VertexId};
+
+/// Default per-stripe cache budget in bytes (half a typical per-core L2).
+/// One column stripe's SPA slab plus its slice of the frontier should fit.
+pub const DEFAULT_SHARD_BUDGET: usize = 256 * 1024;
+
+/// Upper bound on stripes per dimension. 16 matches `MAX_SPAS` in the
+/// unsharded SPA path: beyond ~16 stripes the per-stripe merge fan-in
+/// stops shrinking while stripe bookkeeping keeps growing.
+pub const MAX_STRIPES: usize = 16;
+
+/// Bytes a stripe-local SPA charges per output slot (value + occupancy
+/// word, rounded to keep the estimate conservative).
+const SPA_SLOT_BYTES: usize = 16;
+
+/// A shard grid: how many row stripes × column stripes a plan carves the
+/// operand into. `1 × 1` means unsharded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShardGrid {
+    /// Stripes along the row (traversal) dimension.
+    pub row_stripes: u32,
+    /// Stripes along the column (output) dimension.
+    pub col_stripes: u32,
+}
+
+impl ShardGrid {
+    /// The trivial grid: one tile covering the whole operand.
+    pub const UNSHARDED: ShardGrid = ShardGrid {
+        row_stripes: 1,
+        col_stripes: 1,
+    };
+
+    /// A grid with both dimensions clamped into `1..=MAX_STRIPES`.
+    #[must_use]
+    pub fn new(row_stripes: u32, col_stripes: u32) -> Self {
+        let max = MAX_STRIPES as u32;
+        Self {
+            row_stripes: row_stripes.clamp(1, max),
+            col_stripes: col_stripes.clamp(1, max),
+        }
+    }
+
+    /// Whether this grid is the trivial `1 × 1` partition.
+    #[must_use]
+    pub fn is_unsharded(self) -> bool {
+        self.row_stripes == 1 && self.col_stripes == 1
+    }
+}
+
+impl std::fmt::Display for ShardGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.row_stripes, self.col_stripes)
+    }
+}
+
+/// The 2D tile partition of one operand orientation: stripe boundaries
+/// along both dimensions plus the per-row-stripe column spans the tiled
+/// pull traversal streams. Built once per orientation (O(n_rows) over the
+/// CSR row endpoints) and cached in the graph's format cache.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    n_rows: usize,
+    n_cols: usize,
+    nnz: usize,
+    grid: ShardGrid,
+    /// `row_stripes + 1` ascending boundaries; stripe `s` is rows
+    /// `row_bounds[s]..row_bounds[s+1]`.
+    row_bounds: Vec<u32>,
+    /// `col_stripes + 1` ascending boundaries; stripe `s` is columns
+    /// `col_bounds[s]..col_bounds[s+1]`.
+    col_bounds: Vec<u32>,
+    /// Per row stripe: `(lo, hi)` — the smallest/largest+1 column any of
+    /// its rows stores, from the CSR row endpoints (`(0, 0)` when the
+    /// stripe is empty). Bounds which column stripes a row stripe can
+    /// touch at all.
+    stripe_spans: Vec<(u32, u32)>,
+}
+
+impl ShardPlan {
+    /// Plan a grid for `store` sized from `nnz` and `budget` bytes per
+    /// stripe: column stripes narrow enough that a stripe-local SPA slab
+    /// fits the budget, row stripes short enough that a stripe's share of
+    /// the CSR payload does too.
+    #[must_use]
+    pub fn from_store<V, S: RowAccess<V> + ?Sized>(store: &S, budget: usize) -> Self {
+        let grid = Self::grid_for(store.n_rows(), store.n_cols(), store.nnz(), budget);
+        Self::with_grid(store, grid)
+    }
+
+    /// Plan the default-budget grid for a CSR — the form the per-
+    /// orientation cache memoizes.
+    #[must_use]
+    pub fn from_csr<V: Copy + Send + Sync>(csr: &Csr<V>) -> Self {
+        Self::from_store(csr, DEFAULT_SHARD_BUDGET)
+    }
+
+    /// Plan an explicitly requested grid (clamped to `1..=MAX_STRIPES`
+    /// per dimension). Stripe widths are equal up to rounding, so `n` not
+    /// divisible by the stripe count leaves the last stripes one narrower
+    /// and a grid wider than `n` leaves trailing stripes empty.
+    #[must_use]
+    pub fn with_grid<V, S: RowAccess<V> + ?Sized>(store: &S, grid: ShardGrid) -> Self {
+        let grid = ShardGrid::new(grid.row_stripes, grid.col_stripes);
+        let n_rows = store.n_rows();
+        let n_cols = store.n_cols();
+        let row_bounds = bounds(n_rows, grid.row_stripes as usize);
+        let col_bounds = bounds(n_cols, grid.col_stripes as usize);
+        // O(n_rows) endpoint scan, like BitmapPlan: each row's span is its
+        // first and last stored column (slices are sorted ascending).
+        let mut stripe_spans = Vec::with_capacity(grid.row_stripes as usize);
+        for s in 0..grid.row_stripes as usize {
+            let (mut lo, mut hi) = (u32::MAX, 0u32);
+            for i in row_bounds[s] as usize..row_bounds[s + 1] as usize {
+                let row = store.row(i);
+                if let (Some(&first), Some(&last)) = (row.first(), row.last()) {
+                    lo = lo.min(first);
+                    hi = hi.max(last + 1);
+                }
+            }
+            stripe_spans.push(if lo == u32::MAX { (0, 0) } else { (lo, hi) });
+        }
+        Self {
+            n_rows,
+            n_cols,
+            nnz: store.nnz(),
+            grid,
+            row_bounds,
+            col_bounds,
+            stripe_spans,
+        }
+    }
+
+    /// The grid a given shape and budget resolve to. Pure shape math so
+    /// the planner can price engagement without building a plan.
+    #[must_use]
+    pub fn grid_for(n_rows: usize, n_cols: usize, nnz: usize, budget: usize) -> ShardGrid {
+        let budget = budget.max(1);
+        // Column stripes: a stripe-local SPA slab over the stripe's output
+        // slots must fit the budget.
+        let cols_per_stripe = (budget / SPA_SLOT_BYTES).max(1);
+        let col_stripes = n_cols.div_ceil(cols_per_stripe).max(1);
+        // Row stripes: a stripe's share of the CSR payload (indices +
+        // values, ~8 bytes per stored entry) must fit the budget.
+        let bytes_per_row = 8 * nnz / n_rows.max(1) + 8;
+        let rows_per_stripe = (budget / bytes_per_row.max(1)).max(1);
+        let row_stripes = n_rows.div_ceil(rows_per_stripe).max(1);
+        ShardGrid::new(row_stripes as u32, col_stripes as u32)
+    }
+
+    /// The planned grid.
+    #[must_use]
+    pub fn grid(&self) -> ShardGrid {
+        self.grid
+    }
+
+    /// Rows of the planned operand.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Columns of the planned operand.
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Stored entries of the planned operand.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of column (output) stripes.
+    #[must_use]
+    pub fn n_col_stripes(&self) -> usize {
+        self.grid.col_stripes as usize
+    }
+
+    /// Number of row (traversal) stripes.
+    #[must_use]
+    pub fn n_row_stripes(&self) -> usize {
+        self.grid.row_stripes as usize
+    }
+
+    /// Half-open column range of stripe `s`.
+    ///
+    /// # Panics
+    /// When `s` is not a valid column-stripe index.
+    #[must_use]
+    pub fn col_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.col_bounds[s] as usize..self.col_bounds[s + 1] as usize
+    }
+
+    /// Half-open row range of stripe `s`.
+    ///
+    /// # Panics
+    /// When `s` is not a valid row-stripe index.
+    #[must_use]
+    pub fn row_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.row_bounds[s] as usize..self.row_bounds[s + 1] as usize
+    }
+
+    /// The column stripe that owns column `j` (clamped into range, so any
+    /// vertex id maps to *some* stripe — the telemetry that attributes a
+    /// write to its source's stripe stays total).
+    #[must_use]
+    pub fn col_stripe_of(&self, j: usize) -> usize {
+        let j = j.min(self.n_cols.saturating_sub(1)) as u32;
+        self.col_bounds.partition_point(|&b| b <= j).max(1) - 1
+    }
+
+    /// `(lo, hi)` column span stored by row stripe `s` (`(0, 0)` when the
+    /// stripe holds no entries).
+    ///
+    /// # Panics
+    /// When `s` is not a valid row-stripe index.
+    #[must_use]
+    pub fn stripe_span(&self, s: usize) -> (u32, u32) {
+        self.stripe_spans[s]
+    }
+
+    /// Estimated bytes a full-width (unsharded) push SPA would occupy —
+    /// the working set the `Auto` policy compares against the budget.
+    #[must_use]
+    pub fn dense_working_set_bytes(&self) -> usize {
+        self.n_cols.saturating_mul(SPA_SLOT_BYTES)
+    }
+
+    /// Whether the planned grid actually partitions anything.
+    #[must_use]
+    pub fn engaged(&self) -> bool {
+        !self.grid.is_unsharded()
+    }
+}
+
+/// `k + 1` equal-width (up to rounding) ascending boundaries over `0..n`.
+fn bounds(n: usize, k: usize) -> Vec<u32> {
+    (0..=k).map(|i| ((i * n) / k) as VertexId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn csr(n: usize, edges: &[(u32, u32)]) -> Csr<bool> {
+        let mut coo = Coo::new(n, n);
+        for &(r, c) in edges {
+            coo.push(r, c, true);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn shard_bounds_cover_and_ascend_even_when_indivisible() {
+        // n = 65 over 4 stripes: widths 16/16/17/16 by the rounding rule —
+        // whatever the split, bounds must cover 0..65 without gaps.
+        let m = csr(65, &[(0, 64), (64, 0)]);
+        let plan = ShardPlan::with_grid(&m, ShardGrid::new(4, 4));
+        assert_eq!(plan.col_range(0).start, 0);
+        assert_eq!(plan.col_range(3).end, 65);
+        let mut covered = 0;
+        for s in 0..plan.n_col_stripes() {
+            let r = plan.col_range(s);
+            assert_eq!(r.start, covered, "no gap");
+            assert!(r.end >= r.start);
+            covered = r.end;
+        }
+        assert_eq!(covered, 65);
+        // Every column maps back into the stripe that contains it.
+        for j in 0..65 {
+            let s = plan.col_stripe_of(j);
+            assert!(plan.col_range(s).contains(&j), "col {j} in stripe {s}");
+        }
+    }
+
+    #[test]
+    fn shard_grid_wider_than_n_leaves_empty_stripes() {
+        let m = csr(3, &[(0, 1), (1, 2)]);
+        let plan = ShardPlan::with_grid(&m, ShardGrid::new(1, 8));
+        assert_eq!(plan.n_col_stripes(), 8);
+        let empties = (0..8).filter(|&s| plan.col_range(s).is_empty()).count();
+        assert_eq!(empties, 5, "3 columns over 8 stripes leaves 5 empty");
+        assert_eq!(plan.col_range(7).end, 3);
+    }
+
+    #[test]
+    fn shard_grid_clamps_to_limits() {
+        let g = ShardGrid::new(0, 99);
+        assert_eq!(g.row_stripes, 1);
+        assert_eq!(g.col_stripes, MAX_STRIPES as u32);
+        assert!(ShardGrid::UNSHARDED.is_unsharded());
+        assert!(!g.is_unsharded());
+        assert_eq!(format!("{}", ShardGrid::new(2, 4)), "2x4");
+    }
+
+    #[test]
+    fn shard_spans_follow_row_endpoints() {
+        // Rows 0..2 store only low columns, rows 2..4 only high ones.
+        let m = csr(4, &[(0, 0), (1, 1), (2, 3), (3, 2)]);
+        let plan = ShardPlan::with_grid(&m, ShardGrid::new(2, 2));
+        assert_eq!(plan.stripe_span(0), (0, 2));
+        assert_eq!(plan.stripe_span(1), (2, 4));
+        // An empty row stripe reports an empty span.
+        let empty = csr(4, &[(2, 3)]);
+        let plan = ShardPlan::with_grid(&empty, ShardGrid::new(2, 2));
+        assert_eq!(plan.stripe_span(0), (0, 0));
+        assert_eq!(plan.stripe_span(1), (3, 4));
+    }
+
+    #[test]
+    fn shard_grid_sizing_scales_with_shape_and_budget() {
+        // Tiny operand: everything fits one tile.
+        assert!(ShardPlan::grid_for(100, 100, 500, DEFAULT_SHARD_BUDGET).is_unsharded());
+        // Wide operand: column dimension splits.
+        let g = ShardPlan::grid_for(100_000, 100_000, 1_000_000, DEFAULT_SHARD_BUDGET);
+        assert!(g.col_stripes > 1);
+        // Shrinking the budget can only add stripes, never remove them.
+        let tighter = ShardPlan::grid_for(100_000, 100_000, 1_000_000, DEFAULT_SHARD_BUDGET / 4);
+        assert!(tighter.col_stripes >= g.col_stripes);
+        assert!(tighter.row_stripes >= g.row_stripes);
+        // And the clamp holds under absurd pressure.
+        let clamped = ShardPlan::grid_for(1 << 30, 1 << 30, 1 << 33, 1);
+        assert_eq!(clamped.col_stripes, MAX_STRIPES as u32);
+        assert_eq!(clamped.row_stripes, MAX_STRIPES as u32);
+    }
+
+    #[test]
+    fn shard_plan_is_shape_derived_only() {
+        let m = csr(64, &[(0, 63), (63, 0), (10, 20)]);
+        let a = ShardPlan::with_grid(&m, ShardGrid::new(3, 5));
+        let b = ShardPlan::with_grid(&m, ShardGrid::new(3, 5));
+        assert_eq!(a.col_bounds, b.col_bounds);
+        assert_eq!(a.row_bounds, b.row_bounds);
+        assert_eq!(a.stripe_spans, b.stripe_spans);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.n_rows(), 64);
+        assert_eq!(a.n_cols(), 64);
+        assert!(a.dense_working_set_bytes() >= 64 * 16);
+    }
+}

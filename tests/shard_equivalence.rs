@@ -1,0 +1,238 @@
+//! Sharded-execution contract: running any kernel over a 2D shard grid is
+//! an execution detail — values AND full counter snapshots (telemetry
+//! aside) must be bit-identical to the unsharded oracle, for arbitrary
+//! graphs and frontiers, every grid shape, and every lane count. f64
+//! semirings make the check strict: floating-point ⊕ is order-sensitive,
+//! so matching bits prove the stripe decomposition preserves the oracle's
+//! per-destination accumulation order, not merely the output set.
+
+use proptest::prelude::*;
+use push_pull::core::descriptor::{Descriptor, Direction, MergeStrategy, ShardPolicy};
+use push_pull::core::ops::{BoolOrAnd, PlusTimes};
+use push_pull::core::{mxv, mxv_batch, FusedMxv, Mask, MultiVector, ShardGrid, Vector};
+use push_pull::matrix::{Coo, Graph};
+use push_pull::primitives::counters::{AccessCounters, CounterSnapshot};
+use push_pull::primitives::BitVec;
+
+const LANES: [usize; 3] = [1, 2, 8];
+const GRIDS: [(u32, u32); 3] = [(1, 1), (2, 4), (4, 4)];
+
+/// Shard telemetry describes the merge topology, which sharding
+/// deliberately changes; everything else in the snapshot must match the
+/// oracle bit for bit.
+fn scrub(mut s: CounterSnapshot) -> CounterSnapshot {
+    s.shard_merges = 0;
+    s.cross_shard_writes = 0;
+    s
+}
+
+/// Arbitrary weighted digraph (duplicates summed) on up to `n` vertices.
+fn arb_graph(n: usize, max_edges: usize) -> impl Strategy<Value = Graph<f64>> {
+    (
+        2..n,
+        prop::collection::vec((0usize..n, 0usize..n, 1u8..8), 1..max_edges),
+    )
+        .prop_map(move |(dim, edges)| {
+            let mut coo = Coo::new(dim, dim);
+            for (u, v, w) in edges {
+                if u < dim && v < dim {
+                    coo.push(u as u32, v as u32, f64::from(w) * 0.5);
+                }
+            }
+            coo.dedup(|a, b| a + b);
+            Graph::from_coo(&coo)
+        })
+}
+
+fn sparse_frontier(dim: usize, ids: &[usize]) -> Vector<f64> {
+    let mut sorted: Vec<u32> = ids
+        .iter()
+        .filter(|&&i| i < dim)
+        .map(|&i| i as u32)
+        .collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let vals = sorted.iter().map(|&i| f64::from(i % 5) + 1.0).collect();
+    Vector::from_sparse(dim, 0.0, sorted, vals)
+}
+
+fn explicit(v: &Vector<f64>) -> Vec<(u32, f64)> {
+    v.iter_explicit().collect()
+}
+
+/// Run one `mxv` and return (explicit output, scrubbed snapshot).
+fn run_mxv(
+    g: &Graph<f64>,
+    f: &Vector<f64>,
+    desc: &Descriptor,
+) -> (Vec<(u32, f64)>, CounterSnapshot) {
+    let c = AccessCounters::new();
+    let out: Vector<f64> = mxv(None, PlusTimes, g, f, desc, Some(&c)).expect("mxv");
+    (explicit(&out), scrub(c.snapshot()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded `mxv` ≡ unsharded `mxv`, push and pull, every grid, every
+    /// lane count — and the sharded runs are lane-invariant themselves.
+    #[test]
+    fn sharded_mxv_is_bit_identical_to_unsharded(
+        g in arb_graph(65, 400),
+        frontier in prop::collection::vec(0usize..65, 1..30),
+        dir_roll in 0u8..2,
+    ) {
+        let dir = if dir_roll == 0 { Direction::Push } else { Direction::Pull };
+        let mut f = sparse_frontier(g.n_vertices(), &frontier);
+        if dir == Direction::Pull {
+            f.make_dense();
+        }
+        let base = Descriptor::new()
+            .force(dir)
+            .merge_strategy(MergeStrategy::SpaMerge);
+        let oracle = run_mxv(&g, &f, &base);
+        for (rs, cs) in GRIDS {
+            let desc = base.shard_grid(ShardGrid::new(rs, cs));
+            let mut per_lane = Vec::new();
+            for lanes in LANES {
+                let got = rayon::with_num_threads(lanes, || run_mxv(&g, &f, &desc));
+                prop_assert_eq!(
+                    &got, &oracle,
+                    "{:?} grid {}x{} at {} lanes diverged from the oracle",
+                    dir, rs, cs, lanes
+                );
+                per_lane.push(got);
+            }
+            for got in &per_lane {
+                prop_assert_eq!(got, &per_lane[0]);
+            }
+        }
+    }
+
+    /// Sharded batched push ≡ unsharded batched push, values and shared
+    /// counters, with the same per-source outputs either way.
+    #[test]
+    fn sharded_batch_matches_unsharded_batch(
+        g in arb_graph(65, 300),
+        rows in prop::collection::vec(prop::collection::vec(0usize..65, 1..12), 2..5),
+        lane_idx in 0usize..3,
+    ) {
+        let n = g.n_vertices();
+        let input = MultiVector::from_rows(
+            rows.iter().map(|ids| sparse_frontier(n, ids)).collect(),
+        );
+        let base = Descriptor::new().force(Direction::Push);
+        let run = |desc: &Descriptor| {
+            let c = AccessCounters::new();
+            let out: MultiVector<f64> =
+                mxv_batch(None, PlusTimes, &g, &input, desc, None, Some(&c)).expect("batch");
+            let rows: Vec<Vec<(u32, f64)>> =
+                (0..out.k()).map(|r| explicit(out.row(r))).collect();
+            (rows, scrub(c.snapshot()))
+        };
+        let oracle = run(&base);
+        for (rs, cs) in GRIDS {
+            let desc = base.shard_grid(ShardGrid::new(rs, cs));
+            let got = rayon::with_num_threads(LANES[lane_idx], || run(&desc));
+            prop_assert_eq!(&got, &oracle, "grid {}x{} diverged", rs, cs);
+        }
+    }
+}
+
+/// Fused push (mxv·apply·assign in one pass) under a shard grid: state
+/// writes, touched sets, and counters match the unsharded fused run.
+#[test]
+fn sharded_fused_push_matches_unsharded() {
+    let mut coo = Coo::new(65, 65);
+    let mut state = 0x5EEDu64;
+    for u in 0..65u32 {
+        for _ in 0..4 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            coo.push(u, ((state >> 33) % 65) as u32, true);
+        }
+    }
+    coo.dedup(|a, _| a);
+    let g = Graph::from_coo(&coo);
+    let f: Vector<bool> = Vector::from_sparse(65, false, vec![3, 17, 40, 64], vec![true; 4]);
+    let visited = {
+        let mut b = BitVec::new(65);
+        for i in [3usize, 17, 40, 64] {
+            b.set(i);
+        }
+        b
+    };
+
+    let run = |shards: ShardPolicy, lanes: usize| {
+        rayon::with_num_threads(lanes, || {
+            let mask = Mask::complement(&visited);
+            let desc = Descriptor::new()
+                .transpose(true)
+                .force(Direction::Push)
+                .merge_strategy(MergeStrategy::SpaMerge)
+                .shard_policy(shards);
+            let c = AccessCounters::new();
+            let mut depth = vec![-1i32; 65];
+            let out = FusedMxv::new(BoolOrAnd, &g, &f)
+                .mask(&mask)
+                .descriptor(desc)
+                .counters(Some(&c))
+                .apply(|_: bool| 1i32)
+                .assign_into(&mut depth, |_, z| Some(z))
+                .expect("fused");
+            (out.touched, depth, scrub(c.snapshot()))
+        })
+    };
+
+    let oracle = run(ShardPolicy::Off, 1);
+    for (rs, cs) in GRIDS {
+        for lanes in LANES {
+            let got = run(ShardPolicy::Fixed(ShardGrid::new(rs, cs)), lanes);
+            assert_eq!(
+                got, oracle,
+                "fused push grid {rs}x{cs} at {lanes} lanes diverged"
+            );
+        }
+    }
+}
+
+/// Tile-boundary edge cases the proptest sweep may not pin down exactly:
+/// a 65-vertex graph (no grid divides it evenly), a grid wider than the
+/// populated column range (empty stripes), and a single-column grid.
+#[test]
+fn tile_boundary_edge_cases() {
+    // All push destinations below 8 of a 65-wide output.
+    let mut coo = Coo::new(65, 65);
+    for u in 0..65u32 {
+        coo.push(u % 8, u, f64::from(u % 3) + 1.0);
+    }
+    coo.dedup(|a, b| a + b);
+    let g = Graph::from_coo(&coo);
+    let f = sparse_frontier(65, &[0, 9, 31, 32, 33, 63, 64]);
+    let base = Descriptor::new()
+        .force(Direction::Push)
+        .merge_strategy(MergeStrategy::SpaMerge);
+    let oracle = run_mxv(&g, &f, &base);
+    // 1×16: stripes past the populated range stay empty; 16×1: single
+    // column stripe (the degenerate "no column blocking" shape); 4×4 on
+    // n = 65: every stripe boundary is non-divisible.
+    for (rs, cs) in [(1u32, 16u32), (16, 1), (4, 4)] {
+        let desc = base.shard_grid(ShardGrid::new(rs, cs));
+        for lanes in LANES {
+            let got = rayon::with_num_threads(lanes, || run_mxv(&g, &f, &desc));
+            assert_eq!(got, oracle, "grid {rs}x{cs} at {lanes} lanes");
+        }
+        // Telemetry: only populated stripes merge.
+        let c = AccessCounters::new();
+        let _: Vector<f64> = mxv(None, PlusTimes, &g, &f, &desc, Some(&c)).expect("mxv");
+        let s = c.snapshot();
+        assert!(s.shard_merges >= 1, "grid {rs}x{cs} recorded no merges");
+        if cs == 16 {
+            assert_eq!(
+                s.shard_merges, 2,
+                "destinations < 8 populate exactly the first two 65/16-wide stripes"
+            );
+        }
+    }
+}
